@@ -1,0 +1,174 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **SOCS kernel count** — the compact optical model's accuracy/speed dial:
+  error vs. the Abbe reference and imaging time as kernels grow.
+* **lambda (L1 weight)** — Eq. (3)'s pixel term: without it the generator
+  has no pixel anchor and the reconstruction degrades (tiny-scale training).
+* **Color encoding (Section 3.1)** — the RGB class encoding vs. a
+  monochrome mask: the colors carry which opening is the *target*, so the
+  monochrome model cannot know which contact to print.
+* **Resist model family** — VTR vs. constant-threshold golden contours.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+from conftest import write_artifact
+
+from repro.config import N10, OpticalConfig, tiny
+from repro.core import CganModel
+from repro.data import synthesize_dataset
+from repro.geometry import Grid, Rect
+from repro.optics import AerialImager, abbe_aerial_image
+from repro.resist import develop
+from repro.sim import LithographySimulator
+
+EXTENT = 1000.0
+GRID = 64
+
+
+@pytest.fixture(scope="module")
+def ablation_mask():
+    grid = Grid(size=GRID, extent_nm=EXTENT)
+    return grid.rasterize_rects(
+        [
+            Rect.from_center(500, 500, 72, 72),
+            Rect.from_center(628, 500, 72, 72),
+            Rect.from_center(500, 372, 72, 72),
+        ]
+    )
+
+
+def test_socs_kernel_ablation(ablation_mask, artifact_dir, benchmark):
+    """Error vs. Abbe and imaging cost as the kernel count grows."""
+    reference = abbe_aerial_image(
+        ablation_mask, OpticalConfig(grid_size=GRID), EXTENT
+    )
+    lines = [f"{'kernels':>8} {'max err':>10} {'energy':>8} {'ms/image':>9}"]
+    errors = {}
+    for kernels in (1, 2, 4, 8, 16, 32):
+        imager = AerialImager(
+            OpticalConfig(grid_size=GRID, num_kernels=kernels), EXTENT
+        )
+        start = time.perf_counter()
+        for _ in range(5):
+            image = imager.aerial_image(ablation_mask)
+        elapsed = (time.perf_counter() - start) / 5 * 1e3
+        error = float(np.abs(image - reference).max())
+        errors[kernels] = error
+        lines.append(
+            f"{kernels:>8} {error:>10.5f} {imager.energy_captured:>8.4f} "
+            f"{elapsed:>9.2f}"
+        )
+    write_artifact(artifact_dir, "ablation_socs_kernels.txt", lines)
+
+    assert errors[32] < errors[1], "more kernels must improve accuracy"
+    assert errors[32] < 5e-3, "32 kernels should nearly match Abbe"
+
+    imager8 = AerialImager(
+        OpticalConfig(grid_size=GRID, num_kernels=8), EXTENT
+    )
+    benchmark(imager8.aerial_image, ablation_mask)
+
+
+@pytest.fixture(scope="module")
+def tiny_training_setup():
+    config = tiny(N10, num_clips=24, epochs=8)
+    dataset = synthesize_dataset(config)
+    return config, dataset
+
+
+def _train_and_score(config, masks, dataset, seed=0):
+    rng = np.random.default_rng(seed)
+    cgan = CganModel(config.model, config.training, rng)
+    cgan.fit(masks, dataset.resists, rng)
+    mono = cgan.predict_mono(masks)
+    return float(np.abs(mono - dataset.resists[:, 0]).mean())
+
+
+def test_lambda_ablation(tiny_training_setup, artifact_dir, benchmark):
+    """Eq. (3)'s L1 weight: lambda=100 (paper) vs lambda=0 (pure GAN)."""
+    config, dataset = tiny_training_setup
+    results = {}
+    for lam in (0.0, 100.0):
+        ablated = config.replace(
+            training=dataclasses.replace(config.training, lambda_l1=lam)
+        )
+        results[lam] = _train_and_score(ablated, dataset.masks, dataset)
+    lines = [
+        f"lambda={lam:>6}: train-set L1 to golden = {err:.4f}"
+        for lam, err in results.items()
+    ]
+    write_artifact(artifact_dir, "ablation_lambda.txt", lines)
+    assert results[100.0] < results[0.0], (
+        "the paper's lambda=100 pixel term must beat a pure GAN objective"
+    )
+
+    # Benchmarked op: one adversarial train step at the ablation scale.
+    rng = np.random.default_rng(0)
+    cgan = CganModel(config.model, config.training, rng)
+    targets = cgan.expand_targets(dataset.resists[:2])
+    benchmark(cgan.train_step, dataset.masks[:2], targets)
+
+
+def test_color_encoding_ablation(tiny_training_setup, artifact_dir, benchmark):
+    """Section 3.1's RGB class encoding vs. a monochrome (union) mask.
+
+    At this tiny training scale the two encodings land within noise of each
+    other (the target is also identifiable by its central position), so the
+    bench *reports* the comparison and asserts only that both encodings
+    train to a useful reconstruction — the paper presents the coloring as a
+    design aid for discrimination, not as an ablated accuracy win.
+    """
+    config, dataset = tiny_training_setup
+    rgb_error = _train_and_score(config, dataset.masks, dataset)
+    union = np.clip(dataset.masks.sum(axis=1, keepdims=True), 0, 1)
+    mono_masks = np.repeat(union, 3, axis=1).astype(np.float32)
+    mono_error = _train_and_score(config, mono_masks, dataset)
+    lines = [
+        f"RGB class encoding:  L1 = {rgb_error:.4f}",
+        f"monochrome encoding: L1 = {mono_error:.4f}",
+        "(the colors tell the model WHICH opening is the target contact;",
+        " at tiny scale the two encodings sit within training noise)",
+    ]
+    write_artifact(artifact_dir, "ablation_color_encoding.txt", lines)
+    # Predicting an empty image would score ~0.3 (the golden fill fraction):
+    # both encodings must do substantially better than that.
+    assert rgb_error < 0.25
+    assert mono_error < 0.25
+
+    # Benchmarked op: the mask-encoding step itself.
+    from repro.layout import build_mask_layout, generate_clip, render_mask_rgb
+
+    clip = generate_clip(config.tech, np.random.default_rng(3))
+    layout = build_mask_layout(clip)
+    benchmark(render_mask_rgb, layout, config.image.mask_image_px)
+
+
+def test_resist_model_ablation(artifact_dir, benchmark):
+    """VTR vs. constant-threshold development on the same aerial image."""
+    config = tiny(N10, num_clips=1)
+    simulator = LithographySimulator(config)
+    from repro.layout import build_mask_layout, generate_clip
+
+    clip = generate_clip(config.tech, np.random.default_rng(17))
+    layout = build_mask_layout(clip)
+    aerial = simulator.aerial_image(layout)
+    vtr = develop(aerial, simulator.grid, config.resist, model="vtr")
+    ctr = develop(aerial, simulator.grid, config.resist, model="ctr")
+    difference = float(np.abs(vtr.printed - ctr.printed).sum())
+    lines = [
+        f"printed pixels VTR: {int(vtr.printed.sum())}",
+        f"printed pixels CTR: {int(ctr.printed.sum())}",
+        f"pixels that differ: {int(difference)}",
+        "(VTR shifts edge placement via local image statistics — the",
+        " advanced-node effect constant thresholds miss)",
+    ]
+    write_artifact(artifact_dir, "ablation_resist_model.txt", lines)
+    assert difference > 0
+
+    benchmark(develop, aerial, simulator.grid, config.resist, "vtr")

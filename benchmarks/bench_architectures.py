@@ -1,0 +1,84 @@
+"""Tables 1 and 2: the network architectures, rendered and timed.
+
+Regenerates the paper's architecture tables from the constructed networks
+(the unit tests assert exact row equality; this bench renders and persists
+them), and benchmarks single forward passes at paper scale — the per-clip
+inference cost underlying Table 4's "ours" column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import write_artifact
+
+from repro.config import ModelConfig
+from repro.models import (
+    build_center_cnn,
+    build_discriminator,
+    build_generator,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_networks():
+    config = ModelConfig()  # 256x256, base 64: the paper's setting
+    rng = np.random.default_rng(0)
+    return {
+        "generator": build_generator(config, rng),
+        "discriminator": build_discriminator(config, rng),
+        "center_cnn": build_center_cnn(config, rng),
+    }
+
+
+def _format_rows(rows) -> list:
+    return [
+        f"{row['layer']:<22} {row['filter']:>8}  {row['output']}"
+        for row in rows
+    ]
+
+
+def test_render_architecture_tables(paper_networks, artifact_dir, benchmark):
+    lines = ["Table 1 - Generator (256x256 paper scale)", ""]
+    lines += _format_rows(paper_networks["generator"].summary((3, 256, 256)))
+    lines += ["", "Table 1 - Discriminator", ""]
+    lines += _format_rows(
+        paper_networks["discriminator"].summary((6, 256, 256))
+    )
+    lines += ["", "Table 2 - Center CNN", ""]
+    lines += _format_rows(paper_networks["center_cnn"].summary((3, 256, 256)))
+    lines += [
+        "",
+        f"generator parameters:     {paper_networks['generator'].num_parameters():,}",
+        f"discriminator parameters: {paper_networks['discriminator'].num_parameters():,}",
+        f"center CNN parameters:    {paper_networks['center_cnn'].num_parameters():,}",
+    ]
+    write_artifact(artifact_dir, "tables1and2.txt", lines)
+
+    # Benchmarked op: generating the Table 1 generator summary.
+    benchmark(paper_networks["generator"].summary, (3, 256, 256))
+
+
+def test_generator_forward_paper_scale(paper_networks, benchmark):
+    """One 256x256 generator pass — the core of a LithoGAN prediction."""
+    x = np.zeros((1, 3, 256, 256), dtype=np.float32)
+    benchmark.pedantic(
+        paper_networks["generator"].forward, args=(x,), rounds=3, iterations=1
+    )
+
+
+def test_center_cnn_forward_paper_scale(paper_networks, benchmark):
+    x = np.zeros((1, 3, 256, 256), dtype=np.float32)
+    benchmark.pedantic(
+        paper_networks["center_cnn"].forward, args=(x,), rounds=3, iterations=1
+    )
+
+
+def test_discriminator_forward_paper_scale(paper_networks, benchmark):
+    x = np.zeros((1, 6, 256, 256), dtype=np.float32)
+    benchmark.pedantic(
+        paper_networks["discriminator"].forward,
+        args=(x,),
+        rounds=3,
+        iterations=1,
+    )

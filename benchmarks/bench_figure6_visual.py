@@ -1,0 +1,61 @@
+"""Figure 6: mask input / CGAN output / LithoGAN output / golden, per array type.
+
+Regenerates the qualitative comparison as ASCII panels (one row per clip,
+covering all three contact-array types like the paper's figure) and writes
+``artifacts/figure6.txt``.  The visual claim being reproduced: CGAN gets the
+*shape* right but can misplace the *center*; LithoGAN nails both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.data import bbox_center_rc
+from repro.eval import ascii_pattern, figure6_panels, pick_panel_indices, side_by_side
+
+
+def test_figure6(bundle_n10, artifact_dir, benchmark):
+    indices = pick_panel_indices(bundle_n10.test, per_type=2)
+    panels = figure6_panels(
+        bundle_n10.test,
+        bundle_n10.predictions["CGAN"],
+        bundle_n10.predictions["LithoGAN"],
+        indices,
+    )
+
+    lines = []
+    for panel in panels:
+        mask_mono = np.clip(panel.mask.sum(axis=0), 0, 1)
+        blocks = [
+            ascii_pattern(mask_mono, width=24),
+            ascii_pattern(panel.golden, width=24),
+            ascii_pattern(panel.cgan, width=24),
+            ascii_pattern(panel.lithogan, width=24),
+        ]
+        lines.append(f"--- clip {panel.index} ({panel.array_type}) ---")
+        lines.extend(
+            side_by_side(blocks, ["mask", "golden", "CGAN", "LithoGAN"])
+        )
+        lines.append("")
+    write_artifact(artifact_dir, "figure6.txt", lines)
+
+    # Every panel's LithoGAN prediction must land near the golden center.
+    for panel in panels:
+        if panel.lithogan.sum() == 0:
+            continue
+        golden_center = bbox_center_rc(panel.golden)
+        litho_center = bbox_center_rc(panel.lithogan)
+        drift = np.hypot(
+            golden_center[0] - litho_center[0],
+            golden_center[1] - litho_center[1],
+        )
+        assert drift < panel.golden.shape[0] / 4
+
+    benchmark(
+        figure6_panels,
+        bundle_n10.test,
+        bundle_n10.predictions["CGAN"],
+        bundle_n10.predictions["LithoGAN"],
+        indices,
+    )

@@ -1,0 +1,45 @@
+"""Figure 7: EDE distributions of CGAN vs. LithoGAN.
+
+The paper's claim: LithoGAN's histogram mass sits at lower EDE than the
+plain CGAN's.  Regenerates the two histograms over the N10 test set, prints
+them as text bars, writes ``artifacts/figure7.txt``, and asserts the mass
+shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.eval import figure7_histogram, render_histogram
+
+
+def test_figure7(bundle_n10, artifact_dir, benchmark):
+    golden = bundle_n10.golden
+    cgan = bundle_n10.predictions["CGAN"]
+    litho = bundle_n10.predictions["LithoGAN"]
+
+    edges, counts_cgan, counts_litho = figure7_histogram(
+        golden, cgan, litho, bundle_n10.nm_per_px, bins=12
+    )
+    lines = render_histogram(
+        edges, counts_cgan, counts_litho, labels=["CGAN", "LithoGAN"]
+    )
+    centers = (edges[:-1] + edges[1:]) / 2
+    mean_cgan = float((centers * counts_cgan).sum() / counts_cgan.sum())
+    mean_litho = float((centers * counts_litho).sum() / counts_litho.sum())
+    lines += [
+        "",
+        f"mean EDE: CGAN {mean_cgan:.2f} nm, LithoGAN {mean_litho:.2f} nm "
+        "(paper: LithoGAN shifted left)",
+    ]
+    write_artifact(artifact_dir, "figure7.txt", lines)
+
+    assert mean_litho < mean_cgan, (
+        "LithoGAN's EDE distribution must sit left of the CGAN's"
+    )
+    assert counts_cgan.sum() == counts_litho.sum() == golden.shape[0]
+
+    benchmark(
+        figure7_histogram, golden, cgan, litho, bundle_n10.nm_per_px
+    )

@@ -1,0 +1,59 @@
+"""Figure 8: prediction quality across training epochs.
+
+The paper shows generator outputs for two test clips after 1, 3, 5, 7, 15,
+27, 50, and 80 epochs, progressively sharpening toward the golden pattern.
+The training fixture records snapshots at the same epochs (clipped to the
+benchmark's epoch budget); this bench renders them and asserts the L1
+distance to golden decreases from the first to the last snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.data import recenter_pattern
+from repro.eval import ascii_pattern, figure8_progression, side_by_side
+
+
+def test_figure8(bundle_n10, artifact_dir, benchmark):
+    history = bundle_n10.lithogan_history.cgan
+    # Snapshot inputs were the first 4 test masks; the CGAN path of LithoGAN
+    # trains on re-centered golden patterns, so compare against those.
+    golden_windows = bundle_n10.test.resists[:4]
+    recentered = np.stack(
+        [recenter_pattern(golden_windows[i, 0])[0][None] for i in range(4)]
+    )
+
+    entries = figure8_progression(history, recentered)
+    lines = [
+        f"snapshot epochs: {[entry.epoch for entry in entries]}",
+        "",
+    ]
+    for sample in range(2):
+        blocks = [
+            ascii_pattern(
+                np.clip(entry.predictions[sample].mean(axis=0), 0, 1),
+                width=20,
+            )
+            for entry in entries
+        ]
+        labels = [f"ep{entry.epoch}" for entry in entries]
+        blocks.append(ascii_pattern(recentered[sample, 0], width=20))
+        labels.append("golden")
+        lines.append(f"--- test clip {sample} ---")
+        lines.extend(side_by_side(blocks, labels))
+        lines.append("")
+    lines.append(
+        "L1 to golden per epoch: "
+        + ", ".join(
+            f"ep{entry.epoch}={entry.l1_to_golden:.3f}" for entry in entries
+        )
+    )
+    write_artifact(artifact_dir, "figure8.txt", lines)
+
+    assert entries[-1].l1_to_golden < entries[0].l1_to_golden, (
+        "predictions must get closer to golden as training progresses"
+    )
+
+    benchmark(figure8_progression, history, recentered)

@@ -1,0 +1,41 @@
+"""Figure 9: generator and discriminator loss curves.
+
+The paper's curves show the generator loss decaying (it is dominated by the
+lambda-weighted L1 term) while the discriminator stays in a healthy GAN
+equilibrium, with convergence well before the end of training.  This bench
+renders both curves as text and asserts the same qualitative behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.eval import figure9_losses
+
+
+def _ascii_curve(label: str, values: np.ndarray, width: int = 50) -> list:
+    top = float(values.max()) or 1.0
+    lines = [f"{label} (peak {top:.2f}):"]
+    for epoch, value in enumerate(values, start=1):
+        bar = "#" * int(round(width * value / top))
+        lines.append(f"  epoch {epoch:>3} {value:>8.3f} |{bar}")
+    return lines
+
+
+def test_figure9(bundle_n10, artifact_dir, benchmark):
+    history = bundle_n10.lithogan_history.cgan
+    epochs, g_loss, d_loss = figure9_losses(history)
+
+    lines = _ascii_curve("Generator loss", g_loss)
+    lines.append("")
+    lines.extend(_ascii_curve("Discriminator loss", d_loss))
+    write_artifact(artifact_dir, "figure9.txt", lines)
+
+    # Generator loss must decrease overall (L1 term dominates and shrinks).
+    assert g_loss[-1] < g_loss[0], "generator loss failed to decrease"
+    # Losses stay finite and bounded — no divergence/mode collapse blow-up.
+    assert np.all(np.isfinite(g_loss)) and np.all(np.isfinite(d_loss))
+    assert d_loss.max() < 50.0
+
+    benchmark(figure9_losses, history)

@@ -1,0 +1,82 @@
+"""Table 3: accuracy comparison of Ref-[12], CGAN, and LithoGAN on N10/N7.
+
+Regenerates the paper's Table 3 rows (EDE mean/std, pixel accuracy, class
+accuracy, mean IoU) plus the Section 4.1 center-prediction error, prints
+them, and writes ``artifacts/table3.txt``.  The benchmarked operation is the
+metric sweep itself.
+
+Shape expectations (DESIGN.md section 6): Ref-[12] <= LithoGAN on EDE, and
+LithoGAN beats plain CGAN on every metric.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.eval import evaluate_predictions, format_table3
+from repro.metrics import center_error_nm
+
+
+def _summaries(bundle):
+    summaries = []
+    for method, predicted in bundle.predictions.items():
+        centers = (
+            bundle.predicted_centers if method == "LithoGAN" else None
+        )
+        _, summary = evaluate_predictions(
+            method,
+            bundle.golden,
+            predicted,
+            bundle.nm_per_px,
+            golden_centers=bundle.test.centers if centers is not None else None,
+            predicted_centers=centers,
+        )
+        summaries.append(summary)
+    return summaries
+
+
+def test_table3(bundle_n10, bundle_n7, artifact_dir, benchmark):
+    lines = []
+    by_method = {}
+    for bundle, name in ((bundle_n10, "N10"), (bundle_n7, "N7")):
+        summaries = _summaries(bundle)
+        lines.extend(format_table3(name, summaries))
+        center_error = center_error_nm(
+            bundle.test.centers, bundle.predicted_centers, bundle.nm_per_px
+        )
+        lines.append(
+            f"{name:<8} LithoGAN center prediction error: "
+            f"{center_error:.2f} nm (paper: 0.43 / 0.37 nm at 0.5 nm/px scale)"
+        )
+        lines.append("")
+        by_method[name] = {s.method: s for s in summaries}
+
+    write_artifact(artifact_dir, "table3.txt", lines)
+
+    # Shape assertions: the orderings the paper's Table 3 establishes.
+    for name in ("N10", "N7"):
+        ref12 = by_method[name]["Ref. [12]"]
+        cgan = by_method[name]["CGAN"]
+        litho = by_method[name]["LithoGAN"]
+        assert ref12.ede_mean_nm <= litho.ede_mean_nm + 0.25, (
+            f"{name}: Ref-[12] should be the most accurate flow"
+        )
+        assert litho.ede_mean_nm < cgan.ede_mean_nm, (
+            f"{name}: LithoGAN must beat plain CGAN on EDE"
+        )
+        assert litho.mean_iou >= cgan.mean_iou - 0.005
+        # Section 4.2's acceptability budget: 10% of the half pitch.
+        budget = 0.1 * bundle_n10.config.tech.half_pitch_nm
+        assert litho.cd_error_mean_nm < budget, (
+            f"{name}: CD error {litho.cd_error_mean_nm:.2f} nm exceeds the "
+            f"10%-of-half-pitch budget ({budget:.2f} nm)"
+        )
+
+    # The benchmarked operation: a full metric sweep over one test set.
+    benchmark(
+        evaluate_predictions,
+        "LithoGAN",
+        bundle_n10.golden,
+        bundle_n10.predictions["LithoGAN"],
+        bundle_n10.nm_per_px,
+    )

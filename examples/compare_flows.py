@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Compare the three lithography-modeling flows on one benchmark.
+
+Trains the paper's three contenders on a freshly minted reduced-scale
+dataset and prints a Table 3-style accuracy comparison plus a Table 4-style
+runtime comparison:
+
+* **Ref. [12]** — optical simulation + threshold CNN + contour processing;
+* **CGAN** — end-to-end image translation, no center handling;
+* **LithoGAN** — the dual-learning framework (re-centered CGAN + center CNN).
+
+Usage::
+
+    python examples/compare_flows.py [--clips 90] [--epochs 6] [--node N7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines import Ref12Flow
+from repro.config import N7, N10, reduced
+from repro.core import LithoGan, PlainCgan
+from repro.data import synthesize_dataset
+from repro.eval import (
+    evaluate_predictions,
+    format_table3,
+    format_table4,
+    render_table,
+)
+from repro.metrics import center_error_nm
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clips", type=int, default=90)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--node", choices=("N10", "N7"), default="N10")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    tech = N10 if args.node == "N10" else N7
+    config = reduced(tech, num_clips=args.clips, epochs=args.epochs,
+                     seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"minting {args.clips} {tech.name} clips ...")
+    dataset = synthesize_dataset(config)
+    train, test = dataset.split(config.training.train_fraction, rng)
+    nm_per_px = config.image.resist_nm_per_px(config.tech)
+
+    flows = {}
+    print("training LithoGAN ...")
+    lithogan = LithoGan(config, rng)
+    lithogan.fit(train, rng)
+    flows["LithoGAN"] = lithogan
+
+    print("training plain CGAN ...")
+    cgan = PlainCgan(config, rng)
+    cgan.fit(train, rng)
+    flows["CGAN"] = cgan
+
+    print("training Ref. [12] threshold CNN ...")
+    ref12 = Ref12Flow(config, rng)
+    ref12.fit(train, rng)
+    flows["Ref. [12]"] = ref12
+
+    golden = test.resists[:, 0]
+    summaries = []
+    timings = {}
+    for name in ("Ref. [12]", "CGAN", "LithoGAN"):
+        flow = flows[name]
+        start = time.perf_counter()
+        predictions = flow.predict_resist(test.masks)
+        timings[name] = (time.perf_counter() - start) / len(test)
+        centers = (
+            lithogan.predict_centers(test.masks) if name == "LithoGAN" else None
+        )
+        _, summary = evaluate_predictions(
+            name, golden, predictions, nm_per_px,
+            golden_centers=test.centers if centers is not None else None,
+            predicted_centers=centers,
+        )
+        summaries.append(summary)
+
+    print()
+    print(render_table(format_table3(tech.name, summaries)))
+    lithogan_summary = summaries[-1]
+    if lithogan_summary.center_error_nm is not None:
+        print(f"\nLithoGAN center-prediction error: "
+              f"{lithogan_summary.center_error_nm:.2f} nm")
+
+    print("\nper-clip inference time:")
+    print(render_table(format_table4(timings)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""LithoGAN reproduction: end-to-end lithography modeling with GANs.
+
+Reproduces Ye et al., "LithoGAN: End-to-End Lithography Modeling with
+Generative Adversarial Networks" (DAC 2019) on a from-scratch NumPy stack.
+
+Subpackages
+-----------
+``repro.geometry``   rectangles, rasterization grids, marching-squares contours
+``repro.layout``     contact-array synthesis, SRAF insertion, OPC
+``repro.optics``     Hopkins TCC / SOCS partially-coherent aerial imaging
+``repro.resist``     diffusion + (variable-)threshold resist development
+``repro.sim``        the rigorous golden-data pipeline (Fig. 1, left path)
+``repro.nn``         the NumPy deep-learning framework
+``repro.data``       dataset synthesis, image encoding, batching, persistence
+``repro.models``     Table 1 / Table 2 network architectures
+``repro.core``       CGAN training and the dual-learning LithoGAN framework
+``repro.baselines``  conventional VTR flow and the Ref-[12] threshold-CNN flow
+``repro.metrics``    EDE, pixel/class accuracy, mean IoU, CD and center error
+``repro.eval``       Table 3/4 and Figure 6-9 regeneration harness
+"""
+
+from . import config
+from .config import (
+    ExperimentConfig,
+    ImageConfig,
+    ModelConfig,
+    OpticalConfig,
+    ResistConfig,
+    TechnologyConfig,
+    TrainingConfig,
+    N10,
+    N7,
+    paper_n10,
+    paper_n7,
+    reduced,
+    tiny,
+)
+from .errors import (
+    ConfigError,
+    DataError,
+    EvaluationError,
+    GeometryError,
+    LayoutError,
+    OpticsError,
+    ReproError,
+    ResistError,
+    ShapeError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "ExperimentConfig",
+    "ImageConfig",
+    "ModelConfig",
+    "OpticalConfig",
+    "ResistConfig",
+    "TechnologyConfig",
+    "TrainingConfig",
+    "N10",
+    "N7",
+    "paper_n10",
+    "paper_n7",
+    "reduced",
+    "tiny",
+    "ReproError",
+    "ConfigError",
+    "GeometryError",
+    "LayoutError",
+    "OpticsError",
+    "ResistError",
+    "DataError",
+    "ShapeError",
+    "TrainingError",
+    "EvaluationError",
+    "__version__",
+]

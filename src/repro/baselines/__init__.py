@@ -1,0 +1,6 @@
+"""Comparison flows: the Ref-[12] ML-threshold baseline and compact VTR flow."""
+
+from .ref12 import Ref12Flow
+from .vtr_flow import CompactVtrFlow
+
+__all__ = ["Ref12Flow", "CompactVtrFlow"]

@@ -1,0 +1,206 @@
+"""The paper's machine-learning baseline: optical sim + threshold CNN + contours.
+
+Reproduces the flow of references [10, 12] that Table 3 and Table 4 compare
+against.  Per clip it:
+
+1. runs **optical simulation** (the compact SOCS imager) on the mask to get
+   the aerial image — the expensive step LithoGAN eliminates;
+2. extracts the aerial window around the target contact;
+3. feeds the window to a **CNN that predicts four slicing thresholds** (one
+   per bounding-box edge of the resist pattern);
+4. performs **contour processing**: builds a bilinearly blended threshold
+   map from the four values, binarizes the aerial window against it, and
+   keeps the center blob.
+
+Training targets come from the golden data: for each sample, the aerial
+intensity at the golden bounding-box edge midpoints — exactly the threshold
+that would place the printed edge at the golden position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from ..config import ExperimentConfig
+from ..data.dataset import PairedDataset
+from ..errors import EvaluationError, TrainingError
+from ..geometry import Grid, bounding_box_of_mask
+from ..geometry.grid import resample_image
+from ..models import build_threshold_cnn
+from ..optics.imaging import get_imager
+from ..core.trainer import RegressionHistory, fit_regression, predict_in_batches
+from ..nn import Sequential
+
+
+class Ref12Flow:
+    """Optical simulation + threshold-CNN + contour processing baseline."""
+
+    def __init__(self, config: ExperimentConfig, rng: np.random.Generator):
+        self.config = config
+        self.cnn: Sequential = build_threshold_cnn(config.model, rng)
+        self.grid = Grid(
+            size=config.optical.grid_size,
+            extent_nm=config.tech.cropped_clip_nm,
+        )
+        # Threshold targets are standardized for regression (they cluster
+        # tightly around the resist base threshold); the training statistics
+        # are stored for de-standardization at prediction time.
+        self._target_mean = np.zeros(4, dtype=np.float32)
+        self._target_std = np.ones(4, dtype=np.float32)
+        self._trained = False
+
+    # -- stage 1: optical simulation -------------------------------------------
+
+    def aerial_from_mask_image(self, mask_rgb: np.ndarray) -> np.ndarray:
+        """Aerial image of the full clip, reconstructed from the RGB encoding.
+
+        All three color channels are mask openings (target, neighbors,
+        SRAFs), so their sum is the transmission map.
+        """
+        if mask_rgb.ndim != 3 or mask_rgb.shape[0] != 3:
+            raise EvaluationError(
+                f"expected a (3, H, W) mask image, got {mask_rgb.shape}"
+            )
+        transmission = np.clip(mask_rgb.sum(axis=0), 0.0, 1.0).astype(np.float64)
+        transmission = resample_image(transmission, self.grid.size)
+        imager = get_imager(
+            self.config.optical, self.grid.extent_nm, self.grid.size
+        )
+        return imager.aerial_image(transmission)
+
+    # -- stage 2: window extraction ----------------------------------------------
+
+    def aerial_window(self, aerial: np.ndarray) -> np.ndarray:
+        """Aerial intensity over the target's resist window, at image res."""
+        out_px = self.config.image.resist_image_px
+        window_nm = self.config.tech.resist_window_nm
+        mid = self.config.tech.cropped_clip_nm / 2.0
+        step = window_nm / out_px
+        offsets = (np.arange(out_px) + 0.5) * step - window_nm / 2.0
+        cols = (mid + offsets) / self.grid.nm_per_px - 0.5
+        rows = (self.grid.extent_nm - (mid - offsets)) / self.grid.nm_per_px - 0.5
+        row_grid, col_grid = np.meshgrid(rows, cols, indexing="ij")
+        return ndimage.map_coordinates(
+            aerial, [row_grid, col_grid], order=3, mode="grid-wrap"
+        )
+
+    # -- training targets -----------------------------------------------------------
+
+    @staticmethod
+    def golden_thresholds(aerial_window: np.ndarray,
+                          golden_window: np.ndarray) -> np.ndarray:
+        """The four aerial intensities at the golden bbox edge midpoints.
+
+        Ordered (top, bottom, left, right).  These are the thresholds that
+        reproduce the golden contour's bounding box under slicing.
+        """
+        box = bounding_box_of_mask(golden_window)
+        if box is None:
+            raise TrainingError("golden window is empty")
+        rlo, clo, rhi, chi = box
+        row_mid = (rlo + rhi - 1) // 2
+        col_mid = (clo + chi - 1) // 2
+        size = golden_window.shape[0]
+        return np.array(
+            [
+                aerial_window[max(rlo, 0), col_mid],
+                aerial_window[min(rhi - 1, size - 1), col_mid],
+                aerial_window[row_mid, max(clo, 0)],
+                aerial_window[row_mid, min(chi - 1, size - 1)],
+            ],
+            dtype=np.float32,
+        )
+
+    # -- stage 4: contour processing --------------------------------------------------
+
+    @staticmethod
+    def threshold_map(thresholds: np.ndarray, size: int) -> np.ndarray:
+        """Bilinearly blended per-pixel threshold map from 4 edge thresholds."""
+        if thresholds.shape != (4,):
+            raise EvaluationError(
+                f"expected 4 thresholds, got shape {thresholds.shape}"
+            )
+        top, bottom, left, right = (float(t) for t in thresholds)
+        frac = np.arange(size, dtype=np.float64) / max(size - 1, 1)
+        vertical = top + (bottom - top) * frac  # rows: top -> bottom
+        horizontal = left + (right - left) * frac  # cols: left -> right
+        return 0.5 * (vertical[:, None] + horizontal[None, :])
+
+    @staticmethod
+    def contour_processing(aerial_window: np.ndarray,
+                           threshold_map: np.ndarray) -> np.ndarray:
+        """Binarize against the threshold map, keeping the center blob."""
+        binary = (aerial_window >= threshold_map).astype(np.float64)
+        labels, count = ndimage.label(binary)
+        if count == 0:
+            return binary
+        mid = (binary.shape[0] - 1) / 2.0
+        centroids = ndimage.center_of_mass(
+            binary, labels, index=range(1, count + 1)
+        )
+        best = 1 + int(
+            np.argmin([(r - mid) ** 2 + (c - mid) ** 2 for r, c in centroids])
+        )
+        return (labels == best).astype(np.float64)
+
+    # -- public API -------------------------------------------------------------------
+
+    def compute_aerial_windows(self, masks: np.ndarray) -> np.ndarray:
+        """Aerial windows for a stack of mask images, (N, H, W)."""
+        return np.stack(
+            [
+                self.aerial_window(self.aerial_from_mask_image(mask))
+                for mask in masks
+            ]
+        )
+
+    def fit(self, dataset: PairedDataset, rng: np.random.Generator,
+            aerial_windows: Optional[np.ndarray] = None) -> RegressionHistory:
+        """Train the threshold CNN on golden edge thresholds."""
+        if aerial_windows is None:
+            aerial_windows = self.compute_aerial_windows(dataset.masks)
+        targets = np.stack(
+            [
+                self.golden_thresholds(aerial_windows[i], dataset.resists[i, 0])
+                for i in range(len(dataset))
+            ]
+        )
+        self._target_mean = targets.mean(axis=0).astype(np.float32)
+        std = targets.std(axis=0)
+        self._target_std = np.where(std > 1e-6, std, 1.0).astype(np.float32)
+        standardized = (targets - self._target_mean) / self._target_std
+        inputs = aerial_windows[:, None, :, :].astype(np.float32)
+        history = fit_regression(
+            self.cnn,
+            inputs,
+            standardized.astype(np.float32),
+            epochs=self.config.training.aux_epochs,
+            batch_size=max(self.config.training.batch_size, 8),
+            rng=rng,
+        )
+        self._trained = True
+        return history
+
+    def predict_thresholds(self, aerial_windows: np.ndarray) -> np.ndarray:
+        inputs = aerial_windows[:, None, :, :].astype(np.float32)
+        standardized = predict_in_batches(self.cnn, inputs)
+        return standardized * self._target_std + self._target_mean
+
+    def predict_resist(self, masks: np.ndarray,
+                       aerial_windows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Full baseline flow over a stack of mask images, (N, H, W) binary."""
+        if aerial_windows is None:
+            aerial_windows = self.compute_aerial_windows(masks)
+        thresholds = self.predict_thresholds(aerial_windows)
+        size = aerial_windows.shape[1]
+        return np.stack(
+            [
+                self.contour_processing(
+                    aerial_windows[i], self.threshold_map(thresholds[i], size)
+                )
+                for i in range(aerial_windows.shape[0])
+            ]
+        )

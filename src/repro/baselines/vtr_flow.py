@@ -1,0 +1,75 @@
+"""Conventional compact-model flow: optical sim + analytic VTR, no learning.
+
+The "conventional variable threshold resist (VTR) models" the introduction
+describes: efficient but less accurate at advanced nodes.  Because our golden
+data is minted with a (finely sampled) VTR of the same family, this flow
+evaluated with *perturbed* coefficients demonstrates the accuracy loss of an
+uncalibrated compact model — the gap the learning-based flows close.  With
+unperturbed coefficients it reproduces the golden data (a pipeline identity
+check used by the tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..config import ExperimentConfig, ResistConfig
+from ..errors import EvaluationError
+from ..geometry import Grid, Point
+from ..geometry.grid import resample_image
+from ..optics.imaging import get_imager
+from ..resist import develop, resist_window_image
+
+
+class CompactVtrFlow:
+    """Unlearned compact flow: SOCS imaging + VTR development + windowing."""
+
+    def __init__(self, config: ExperimentConfig,
+                 resist_override: Optional[ResistConfig] = None,
+                 threshold_offset: float = 0.0):
+        self.config = config
+        resist = resist_override if resist_override is not None else config.resist
+        if threshold_offset:
+            resist = dataclasses.replace(
+                resist, base_threshold=resist.base_threshold + threshold_offset
+            )
+        self.resist = resist
+        self.grid = Grid(
+            size=config.optical.grid_size,
+            extent_nm=config.tech.cropped_clip_nm,
+        )
+
+    def predict_resist(self, masks: np.ndarray) -> np.ndarray:
+        """Compact-flow resist windows for a stack of RGB mask images."""
+        if masks.ndim != 4 or masks.shape[1] != 3:
+            raise EvaluationError(
+                f"expected (N, 3, H, W) mask images, got {masks.shape}"
+            )
+        imager = get_imager(
+            self.config.optical, self.grid.extent_nm, self.grid.size
+        )
+        mid = self.config.tech.cropped_clip_nm / 2.0
+        center = Point(mid, mid)
+        out = np.empty(
+            (
+                masks.shape[0],
+                self.config.image.resist_image_px,
+                self.config.image.resist_image_px,
+            ),
+            dtype=np.float64,
+        )
+        for i, mask in enumerate(masks):
+            transmission = np.clip(mask.sum(axis=0), 0.0, 1.0).astype(np.float64)
+            transmission = resample_image(transmission, self.grid.size)
+            aerial = imager.aerial_image(transmission)
+            pattern = develop(aerial, self.grid, self.resist, model="vtr")
+            out[i] = resist_window_image(
+                pattern,
+                center,
+                self.config.tech.resist_window_nm,
+                self.config.image.resist_image_px,
+            )
+        return out

@@ -1,0 +1,217 @@
+"""Command-line interface: ``repro-litho <command>``.
+
+Subcommands cover the library's main entry points so a downstream user can
+drive the whole reproduction without writing Python:
+
+``mint``
+    Synthesize a paired dataset through the rigorous pipeline and save it.
+``train``
+    Train LithoGAN on a saved dataset; saves model weights and the split.
+``evaluate``
+    Score saved LithoGAN weights on the held-out split (Table 3-style row).
+``process-window``
+    Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
+
+Example session::
+
+    repro-litho mint --node N10 --clips 120 --out n10.npz
+    repro-litho train --dataset n10.npz --epochs 10 --out model/
+    repro-litho evaluate --dataset n10.npz --model model/
+    repro-litho process-window --node N10 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .config import ExperimentConfig, N7, N10, reduced
+from .core import LithoGan
+from .data import load_dataset, save_dataset, synthesize_dataset
+from .errors import ReproError
+from .eval import evaluate_predictions, format_table3, render_table
+from .layout import ArrayType
+
+
+def _tech(name: str):
+    return {"N10": N10, "N7": N7}[name]
+
+
+def _config_for(args, num_clips: int) -> ExperimentConfig:
+    return reduced(
+        _tech(args.node), num_clips=num_clips,
+        epochs=getattr(args, "epochs", 10), seed=args.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_mint(args) -> int:
+    config = _config_for(args, args.clips)
+    print(f"minting {args.clips} {args.node} clips (seed {args.seed}) ...")
+    dataset = synthesize_dataset(config)
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {len(dataset)} samples to {path}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = load_dataset(args.dataset)
+    config = _config_for(args, len(dataset))
+    if dataset.image_size != config.model.image_size:
+        print(
+            f"error: dataset resolution {dataset.image_size} does not match "
+            f"the reduced-model resolution {config.model.image_size}",
+            file=sys.stderr,
+        )
+        return 2
+    rng = np.random.default_rng(args.seed)
+    train, test = dataset.split(config.training.train_fraction, rng)
+    print(f"training LithoGAN on {len(train)} samples, "
+          f"{config.training.epochs} epochs ...")
+    model = LithoGan(config, rng)
+    history = model.fit(train, rng)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    model.cgan.generator.save(out / "generator.npz")
+    model.cgan.discriminator.save(out / "discriminator.npz")
+    model.center_cnn.save(out / "center_cnn.npz")
+    np.savez(
+        out / "center_scaling.npz",
+        mean=model._center_mean,
+        std=model._center_std,
+    )
+    (out / "history.json").write_text(json.dumps({
+        "generator_loss": history.cgan.generator_loss,
+        "discriminator_loss": history.cgan.discriminator_loss,
+        "l1_loss": history.cgan.l1_loss,
+        "center_loss": history.center.loss,
+        "seed": args.seed,
+        "node": args.node,
+    }, indent=2))
+    print(f"saved weights and history to {out}/ "
+          f"(final L1 {history.cgan.l1_loss[-1]:.3f})")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    dataset = load_dataset(args.dataset)
+    config = _config_for(args, len(dataset))
+    rng = np.random.default_rng(args.seed)
+    _, test = dataset.split(config.training.train_fraction, rng)
+
+    model = LithoGan(config, np.random.default_rng(args.seed))
+    model_dir = Path(args.model)
+    model.cgan.generator.load(model_dir / "generator.npz")
+    model.cgan.discriminator.load(model_dir / "discriminator.npz")
+    model.center_cnn.load(model_dir / "center_cnn.npz")
+    with np.load(model_dir / "center_scaling.npz") as data:
+        model._center_mean = data["mean"]
+        model._center_std = data["std"]
+
+    predictions = model.predict_resist(test.masks)
+    nm_per_px = config.image.resist_nm_per_px(config.tech)
+    _, summary = evaluate_predictions(
+        "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
+        golden_centers=test.centers,
+        predicted_centers=model.predict_centers(test.masks),
+    )
+    print(render_table(format_table3(dataset.tech_name or args.node, [summary])))
+    if summary.center_error_nm is not None:
+        print(f"center-prediction error: {summary.center_error_nm:.2f} nm")
+    return 0
+
+
+def cmd_process_window(args) -> int:
+    from .layout import build_mask_layout, generate_clip
+    from .sim import sweep_process_window
+
+    config = _config_for(args, 1)
+    rng = np.random.default_rng(args.seed)
+    clip = generate_clip(
+        config.tech, rng, array_type=ArrayType(args.array_type)
+    )
+    layout = build_mask_layout(clip)
+    window = sweep_process_window(layout, config)
+    print(f"nominal CD: {window.nominal_cd_nm:.1f} nm")
+    defocus, cds = window.bossung_curve(1.0)
+    for d, cd in zip(defocus, cds):
+        shown = f"{cd:.1f}" if np.isfinite(cd) else "no print"
+        print(f"  defocus {d:+6.0f} nm -> CD {shown} nm")
+    print(f"depth of focus (+/-10% CD): "
+          f"{window.depth_of_focus_nm():.0f} nm")
+    print(f"exposure latitude (+/-10% CD): "
+          f"{100 * window.exposure_latitude():.0f} %")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-litho",
+        description="LithoGAN reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mint = sub.add_parser("mint", help="synthesize a paired dataset")
+    mint.add_argument("--node", choices=("N10", "N7"), default="N10")
+    mint.add_argument("--clips", type=int, default=120)
+    mint.add_argument("--seed", type=int, default=0)
+    mint.add_argument("--out", required=True, help="output .npz path")
+    mint.set_defaults(func=cmd_mint)
+
+    train = sub.add_parser("train", help="train LithoGAN on a dataset")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--node", choices=("N10", "N7"), default="N10")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True, help="output weight directory")
+    train.set_defaults(func=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="score saved weights")
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--node", choices=("N10", "N7"), default="N10")
+    evaluate.add_argument("--epochs", type=int, default=10)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    window = sub.add_parser(
+        "process-window", help="dose/defocus sweep of one clip"
+    )
+    window.add_argument("--node", choices=("N10", "N7"), default="N10")
+    window.add_argument(
+        "--array-type",
+        choices=[t.value for t in ArrayType],
+        default="isolated",
+        dest="array_type",
+    )
+    window.add_argument("--seed", type=int, default=0)
+    window.set_defaults(func=cmd_process_window)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,398 @@
+"""Configuration objects and named presets for the LithoGAN reproduction.
+
+Every experiment in the paper is described by an :class:`ExperimentConfig`,
+which bundles the technology node, the optical and resist models used to mint
+golden data, the image-encoding geometry of Section 3.1, the network
+architecture of Tables 1--2, and the training hyper-parameters of Section 4.
+
+Three preset families are provided:
+
+``paper_n10()`` / ``paper_n7()``
+    The exact paper-scale setup (256x256 images, base width 64, 80 epochs,
+    982/979 clips).  Constructible and shape-tested everywhere, but far too
+    slow to *train* on CPU in CI.
+
+``reduced()``
+    The default for the benchmark harness: identical code paths at 64x64
+    images and base width 16 so a full train/evaluate cycle finishes in
+    minutes on a laptop CPU.
+
+``tiny()``
+    Unit-test scale (32x32, handful of clips, 1-2 epochs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .errors import ConfigError
+
+# ---------------------------------------------------------------------------
+# Optical model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpticalConfig:
+    """Partially-coherent scalar imaging model parameters.
+
+    The defaults describe a 193 nm immersion scanner with annular
+    illumination, the workhorse for contact layers at N10/N7.
+    """
+
+    wavelength_nm: float = 193.0
+    numerical_aperture: float = 1.35
+    sigma_inner: float = 0.60
+    sigma_outer: float = 0.90
+    defocus_nm: float = 0.0
+    #: number of SOCS kernels retained from the TCC eigendecomposition
+    num_kernels: int = 8
+    #: simulation grid resolution (pixels across the cropped clip)
+    grid_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0:
+            raise ConfigError(f"wavelength must be positive, got {self.wavelength_nm}")
+        if not 0 < self.numerical_aperture:
+            raise ConfigError(f"NA must be positive, got {self.numerical_aperture}")
+        if not 0 <= self.sigma_inner < self.sigma_outer <= 1.0 + 1e-9:
+            raise ConfigError(
+                "annular source requires 0 <= sigma_inner < sigma_outer <= 1, "
+                f"got ({self.sigma_inner}, {self.sigma_outer})"
+            )
+        if self.num_kernels < 1:
+            raise ConfigError(f"num_kernels must be >= 1, got {self.num_kernels}")
+        if self.grid_size < 8:
+            raise ConfigError(f"grid_size must be >= 8, got {self.grid_size}")
+
+
+# ---------------------------------------------------------------------------
+# Resist model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResistConfig:
+    """Resist development model parameters.
+
+    ``base_threshold`` is the nominal constant intensity threshold; the
+    variable-threshold model perturbs it from local aerial-image statistics
+    (Imax/Imin/slope), following the VTR family the paper cites [9].
+    """
+
+    base_threshold: float = 0.22
+    diffusion_length_nm: float = 8.0
+    #: VTR sensitivity coefficients: threshold = base + a*(Imax-c) + b*(Imin-d)
+    vtr_imax_coeff: float = 0.08
+    vtr_imin_coeff: float = -0.12
+    vtr_slope_coeff: float = 0.02
+    vtr_imax_ref: float = 1.0
+    vtr_imin_ref: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_threshold < 1:
+            raise ConfigError(
+                f"base_threshold must lie in (0, 1), got {self.base_threshold}"
+            )
+        if self.diffusion_length_nm < 0:
+            raise ConfigError(
+                f"diffusion_length_nm must be >= 0, got {self.diffusion_length_nm}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Technology node / layout synthesis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TechnologyConfig:
+    """Technology-node description used by the layout synthesizer.
+
+    Matches the paper's data preparation (Section 3.1): clips are originally
+    2x2 um, cropped to 1x1 um around the target contact; the drawn target
+    contact is 60x60 nm.
+    """
+
+    name: str
+    #: drawn contact edge length in nm (the paper uses 60 nm for both nodes)
+    contact_size_nm: float
+    #: minimum center-to-center contact pitch in nm
+    pitch_nm: float
+    #: number of clips in the benchmark (982 for N10, 979 for N7)
+    num_clips: int
+    clip_size_nm: float = 2000.0
+    cropped_clip_nm: float = 1000.0
+    #: golden resist crop window around the target contact (Section 3.1)
+    resist_window_nm: float = 128.0
+    #: 1-sigma mask registration (pattern-placement) error per axis, nm.
+    #: Every drawn feature lands on the reticle with this much jitter; the
+    #: resist window stays anchored at the *ideal* target position, so the
+    #: printed pattern's center inherits the jitter — the displacement the
+    #: LithoGAN center CNN learns to predict.
+    registration_sigma_nm: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.contact_size_nm <= 0:
+            raise ConfigError("contact_size_nm must be positive")
+        if self.registration_sigma_nm < 0:
+            raise ConfigError("registration_sigma_nm must be >= 0")
+        if self.pitch_nm <= self.contact_size_nm:
+            raise ConfigError(
+                f"pitch ({self.pitch_nm}) must exceed contact size "
+                f"({self.contact_size_nm})"
+            )
+        if self.cropped_clip_nm > self.clip_size_nm:
+            raise ConfigError("cropped clip cannot exceed the original clip")
+        if self.resist_window_nm <= self.contact_size_nm:
+            raise ConfigError(
+                "resist window must be larger than the contact itself"
+            )
+        if self.num_clips < 1:
+            raise ConfigError("num_clips must be >= 1")
+
+    @property
+    def half_pitch_nm(self) -> float:
+        """Contact half-pitch; 10% of this is the paper's CD error budget."""
+        return self.pitch_nm / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Image encoding (Section 3.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ImageConfig:
+    """Pixel geometry of the paired training images.
+
+    The paper renders the 1x1 um cropped mask clip to a 256x256 RGB image and
+    the 128x128 nm golden resist window to a 256x256 monochrome image (so one
+    mispredicted pixel costs ~0.5 nm of contour error).
+    """
+
+    mask_image_px: int = 256
+    resist_image_px: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("mask_image_px", "resist_image_px"):
+            value = getattr(self, name)
+            if value < 8 or value & (value - 1):
+                raise ConfigError(f"{name} must be a power of two >= 8, got {value}")
+
+    def mask_nm_per_px(self, tech: TechnologyConfig) -> float:
+        return tech.cropped_clip_nm / self.mask_image_px
+
+    def resist_nm_per_px(self, tech: TechnologyConfig) -> float:
+        return tech.resist_window_nm / self.resist_image_px
+
+
+# ---------------------------------------------------------------------------
+# Network architecture (Tables 1 and 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Parametric description of the Table 1 / Table 2 architectures.
+
+    At ``image_size=256`` and ``base_filters=64`` the generated layer stacks
+    match the paper's tables exactly (verified by unit test); smaller sizes
+    shrink depth/width while preserving the topology.
+    """
+
+    image_size: int = 256
+    mask_channels: int = 3
+    resist_channels: int = 3
+    base_filters: int = 64
+    #: channel progression cap: widths are min(base * 2**i, base * cap_mult)
+    cap_mult: int = 8
+    kernel_size: int = 5
+    #: number of decoder layers that get dropout (the paper uses 2)
+    decoder_dropout_layers: int = 2
+    dropout_rate: float = 0.5
+    #: dropout rate of the auxiliary regression CNNs (Table 2 includes the
+    #: layer but not its rate; heavy dropout prevents the small-data
+    #: regression from fitting at reduced scale, so presets lower it)
+    aux_dropout_rate: float = 0.5
+    leaky_slope: float = 0.2
+    #: center-CNN widths (Table 2)
+    center_first_filters: int = 32
+    center_filters: int = 64
+    center_fc_units: int = 64
+
+    def __post_init__(self) -> None:
+        if self.image_size < 8 or self.image_size & (self.image_size - 1):
+            raise ConfigError(
+                f"image_size must be a power of two >= 8, got {self.image_size}"
+            )
+        if self.base_filters < 1:
+            raise ConfigError("base_filters must be >= 1")
+        if not 0 <= self.dropout_rate < 1:
+            raise ConfigError("dropout_rate must lie in [0, 1)")
+        if not 0 <= self.aux_dropout_rate < 1:
+            raise ConfigError("aux_dropout_rate must lie in [0, 1)")
+
+    @property
+    def num_downsamples(self) -> int:
+        """Stride-2 encoder stages needed to reach a 1x1 bottleneck."""
+        return int(math.log2(self.image_size))
+
+    def encoder_widths(self) -> Tuple[int, ...]:
+        cap = self.base_filters * self.cap_mult
+        return tuple(
+            min(self.base_filters * (2**i), cap) for i in range(self.num_downsamples)
+        )
+
+    def decoder_widths(self) -> Tuple[int, ...]:
+        """Widths of the decoder deconvs, excluding the final output layer."""
+        return tuple(reversed(self.encoder_widths()))[1:]
+
+
+# ---------------------------------------------------------------------------
+# Training (Section 4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimization hyper-parameters from Section 4 of the paper."""
+
+    epochs: int = 80
+    batch_size: int = 4
+    learning_rate: float = 2e-4
+    adam_beta1: float = 0.5
+    adam_beta2: float = 0.999
+    lambda_l1: float = 100.0
+    train_fraction: float = 0.75
+    seed: int = 0
+    #: expand the training set with dihedral-4 transforms before fitting
+    augment: bool = False
+    #: epochs for the auxiliary regressors (center CNN, threshold CNN); they
+    #: are far cheaper per epoch than the CGAN, so they get more of them
+    aux_epochs: int = 80
+    #: epochs at which Figure 8 snapshots are taken (subset actually used)
+    snapshot_epochs: Tuple[int, ...] = (1, 3, 5, 7, 15, 27, 50, 80)
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if not 0 < self.train_fraction < 1:
+            raise ConfigError("train_fraction must lie in (0, 1)")
+        if self.aux_epochs < 1:
+            raise ConfigError("aux_epochs must be >= 1")
+        if not 0 <= self.adam_beta1 < 1 or not 0 <= self.adam_beta2 < 1:
+            raise ConfigError("Adam betas must lie in [0, 1)")
+
+
+# ---------------------------------------------------------------------------
+# Bundle
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to mint a dataset, train, and evaluate one node."""
+
+    tech: TechnologyConfig
+    optical: OpticalConfig = field(default_factory=OpticalConfig)
+    resist: ResistConfig = field(default_factory=ResistConfig)
+    image: ImageConfig = field(default_factory=ImageConfig)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+
+    def __post_init__(self) -> None:
+        if self.model.image_size != self.image.mask_image_px:
+            raise ConfigError(
+                "model.image_size must equal image.mask_image_px "
+                f"({self.model.image_size} != {self.image.mask_image_px})"
+            )
+        if self.image.mask_image_px != self.image.resist_image_px:
+            raise ConfigError(
+                "mask and resist images must share a resolution for the CGAN"
+            )
+
+    def replace(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Named technology nodes
+# ---------------------------------------------------------------------------
+
+N10 = TechnologyConfig(
+    name="N10", contact_size_nm=60.0, pitch_nm=128.0, num_clips=982
+)
+N7 = TechnologyConfig(
+    name="N7", contact_size_nm=60.0, pitch_nm=108.0, num_clips=979
+)
+
+
+def _scaled(tech: TechnologyConfig, *, image_px: int, base_filters: int,
+            epochs: int, num_clips: int, grid_size: int,
+            num_kernels: int, batch_size: int, seed: int,
+            aux_epochs: int = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        tech=dataclasses.replace(tech, num_clips=num_clips),
+        optical=OpticalConfig(grid_size=grid_size, num_kernels=num_kernels),
+        resist=ResistConfig(),
+        image=ImageConfig(mask_image_px=image_px, resist_image_px=image_px),
+        model=ModelConfig(
+            image_size=image_px,
+            base_filters=base_filters,
+            aux_dropout_rate=0.5 if image_px >= 256 else 0.1,
+        ),
+        training=TrainingConfig(
+            epochs=epochs,
+            batch_size=batch_size,
+            seed=seed,
+            aux_epochs=aux_epochs if aux_epochs is not None else max(epochs, 60),
+            snapshot_epochs=tuple(
+                e for e in (1, 3, 5, 7, 15, 27, 50, 80) if e <= epochs
+            ),
+        ),
+    )
+
+
+def paper_n10() -> ExperimentConfig:
+    """Exact paper-scale N10 experiment (Section 4)."""
+    return _scaled(
+        N10, image_px=256, base_filters=64, epochs=80, num_clips=982,
+        grid_size=128, num_kernels=12, batch_size=4, seed=0,
+    )
+
+
+def paper_n7() -> ExperimentConfig:
+    """Exact paper-scale N7 experiment (Section 4)."""
+    return _scaled(
+        N7, image_px=256, base_filters=64, epochs=80, num_clips=979,
+        grid_size=128, num_kernels=12, batch_size=4, seed=0,
+    )
+
+
+def reduced(tech: TechnologyConfig = N10, *, num_clips: int = 160,
+            epochs: int = 12, seed: int = 0) -> ExperimentConfig:
+    """Benchmark-harness scale: same code paths, minutes on a CPU."""
+    return _scaled(
+        tech, image_px=64, base_filters=16, epochs=epochs,
+        num_clips=num_clips, grid_size=64, num_kernels=6,
+        batch_size=4, seed=seed,
+    )
+
+
+def tiny(tech: TechnologyConfig = N10, *, num_clips: int = 12,
+         epochs: int = 1, seed: int = 0) -> ExperimentConfig:
+    """Unit-test scale."""
+    return _scaled(
+        tech, image_px=32, base_filters=4, epochs=epochs,
+        num_clips=num_clips, grid_size=32, num_kernels=4,
+        batch_size=2, seed=seed, aux_epochs=max(epochs, 4),
+    )

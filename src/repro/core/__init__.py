@@ -1,0 +1,19 @@
+"""The paper's contribution: CGAN lithography modeling and LithoGAN."""
+
+from .trainer import RegressionHistory, fit_regression, predict_in_batches
+from .cgan import CganHistory, CganModel
+from .recenter import binarize, recenter_to_predicted
+from .lithogan import LithoGan, LithoGanHistory, PlainCgan
+
+__all__ = [
+    "RegressionHistory",
+    "fit_regression",
+    "predict_in_batches",
+    "CganHistory",
+    "CganModel",
+    "binarize",
+    "recenter_to_predicted",
+    "LithoGan",
+    "LithoGanHistory",
+    "PlainCgan",
+]

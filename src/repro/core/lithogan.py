@@ -1,0 +1,136 @@
+"""The LithoGAN dual-learning framework (Section 3.3, Figure 5).
+
+LithoGAN splits resist prediction into two learned paths:
+
+1. **Resist shape modeling** — a CGAN trained on *re-centered* golden
+   patterns, so the generator only has to learn shape, never placement.
+2. **Resist center prediction** — a CNN regressing the golden pattern's
+   bounding-box center from the mask image.
+
+At inference the generated (centered) shape is binarized and shifted to the
+CNN-predicted center, producing the final resist pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..data.augment import augment_dataset
+from ..data.dataset import PairedDataset
+from ..data.encoding import denormalize_center, normalize_center
+from ..errors import TrainingError
+from ..models import build_center_cnn
+from ..nn import Sequential
+from .cgan import CganHistory, CganModel
+from .recenter import binarize, recenter_to_predicted
+from .trainer import RegressionHistory, fit_regression, predict_in_batches
+
+
+@dataclass
+class LithoGanHistory:
+    """Training records of both LithoGAN paths."""
+
+    cgan: CganHistory
+    center: RegressionHistory
+
+
+class LithoGan:
+    """End-to-end lithography model: CGAN shape path + CNN center path."""
+
+    def __init__(self, config: ExperimentConfig, rng: np.random.Generator):
+        self.config = config
+        self.cgan = CganModel(config.model, config.training, rng)
+        self.center_cnn: Sequential = build_center_cnn(config.model, rng)
+        # Center offsets are a tiny fraction of the image, so the regression
+        # targets are standardized to unit variance (training statistics are
+        # kept for de-standardization at inference); without this, the MSE
+        # gradients are so small the CNN never escapes predicting the mean.
+        self._center_mean = np.zeros(2, dtype=np.float32)
+        self._center_std = np.ones(2, dtype=np.float32)
+        self._trained = False
+
+    def fit(self, dataset: PairedDataset,
+            rng: np.random.Generator,
+            snapshot_inputs: Optional[np.ndarray] = None) -> LithoGanHistory:
+        """Train both paths on a (training) dataset.
+
+        With ``config.training.augment`` set, the training set is expanded
+        with its dihedral-4 transforms first (lithography under a 4-fold
+        symmetric source is equivariant to them).
+        """
+        if dataset.image_size != self.config.model.image_size:
+            raise TrainingError(
+                f"dataset resolution {dataset.image_size} does not match "
+                f"model image_size {self.config.model.image_size}"
+            )
+        if self.config.training.augment:
+            dataset = augment_dataset(dataset)
+        recentered = dataset.recentered_resists()
+        cgan_history = self.cgan.fit(
+            dataset.masks, recentered, rng, snapshot_inputs=snapshot_inputs
+        )
+        center_targets = normalize_center(dataset.centers, dataset.image_size)
+        self._center_mean = center_targets.mean(axis=0).astype(np.float32)
+        std = center_targets.std(axis=0)
+        self._center_std = np.where(std > 1e-6, std, 1.0).astype(np.float32)
+        standardized = (
+            (center_targets - self._center_mean) / self._center_std
+        ).astype(np.float32)
+        center_history = fit_regression(
+            self.center_cnn,
+            dataset.masks,
+            standardized,
+            epochs=self.config.training.aux_epochs,
+            batch_size=max(self.config.training.batch_size, 8),
+            rng=rng,
+        )
+        self._trained = True
+        return LithoGanHistory(cgan=cgan_history, center=center_history)
+
+    # -- inference -------------------------------------------------------------
+
+    def predict_centers(self, masks: np.ndarray) -> np.ndarray:
+        """CNN-predicted pattern centers in pixel coordinates, (N, 2)."""
+        standardized = predict_in_batches(self.center_cnn, masks)
+        normalized = standardized * self._center_std + self._center_mean
+        return denormalize_center(normalized, masks.shape[2])
+
+    def predict_shapes(self, masks: np.ndarray) -> np.ndarray:
+        """Centered binary shape predictions from the CGAN path, (N, H, W)."""
+        return binarize(self.cgan.predict_mono(masks))
+
+    def predict_resist(self, masks: np.ndarray) -> np.ndarray:
+        """Final LithoGAN output: centered shapes moved to predicted centers."""
+        shapes = self.predict_shapes(masks)
+        centers = self.predict_centers(masks)
+        return np.stack(
+            [
+                recenter_to_predicted(shape, center)
+                for shape, center in zip(shapes, centers)
+            ]
+        )
+
+
+class PlainCgan:
+    """The ablation baseline of Section 4.1: CGAN without the center path.
+
+    Trained directly on the un-centered golden patterns; its output is used
+    as-is.  Exists to reproduce the CGAN rows of Table 3 and Figures 6-7.
+    """
+
+    def __init__(self, config: ExperimentConfig, rng: np.random.Generator):
+        self.config = config
+        self.cgan = CganModel(config.model, config.training, rng)
+
+    def fit(self, dataset: PairedDataset, rng: np.random.Generator,
+            snapshot_inputs: Optional[np.ndarray] = None) -> CganHistory:
+        return self.cgan.fit(
+            dataset.masks, dataset.resists, rng, snapshot_inputs=snapshot_inputs
+        )
+
+    def predict_resist(self, masks: np.ndarray) -> np.ndarray:
+        return binarize(self.cgan.predict_mono(masks))

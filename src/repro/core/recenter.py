@@ -1,0 +1,33 @@
+"""Figure 5's post-adjustment: shift the generated shape to the predicted center."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.encoding import bbox_center_rc, shift_pattern
+from ..errors import DataError
+
+
+def binarize(image: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Snap a continuous prediction to a binary pattern image."""
+    if not 0 < threshold < 1:
+        raise DataError(f"threshold must lie in (0, 1), got {threshold}")
+    return (image >= threshold).astype(np.float64)
+
+
+def recenter_to_predicted(pattern: np.ndarray,
+                          center_rc: np.ndarray) -> np.ndarray:
+    """Shift a binary pattern so its bbox center lands on ``center_rc``.
+
+    This is the final LithoGAN adjustment: the CGAN generates a shape
+    centered at the image center, and the CNN-predicted center places it.
+    An empty pattern is returned unchanged (nothing to place).
+    """
+    if pattern.ndim != 2:
+        raise DataError(f"expected a 2-D pattern, got shape {pattern.shape}")
+    if not np.any(pattern >= 0.5):
+        return pattern.copy()
+    current = bbox_center_rc(pattern)
+    dr = int(round(float(center_rc[0]) - current[0]))
+    dc = int(round(float(center_rc[1]) - current[1]))
+    return shift_pattern(pattern, dr, dc)

@@ -1,0 +1,80 @@
+"""Shared training utilities: batched inference and supervised regression.
+
+The center CNN (LithoGAN's second path) and the baseline threshold CNN are
+both plain supervised regressors; they share this loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn import Adam, Sequential, mse_loss
+
+
+@dataclass
+class RegressionHistory:
+    """Per-epoch mean training loss of a supervised regression."""
+
+    loss: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.loss:
+            raise TrainingError("no epochs recorded")
+        return self.loss[-1]
+
+
+def predict_in_batches(net: Sequential, inputs: np.ndarray,
+                       batch_size: int = 16,
+                       training: bool = False) -> np.ndarray:
+    """Run ``net`` over ``inputs`` in batches and stack the outputs."""
+    if batch_size < 1:
+        raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+    outputs = [
+        net.forward(inputs[start : start + batch_size], training=training)
+        for start in range(0, inputs.shape[0], batch_size)
+    ]
+    return np.concatenate(outputs, axis=0)
+
+
+def fit_regression(net: Sequential, inputs: np.ndarray, targets: np.ndarray,
+                   *, epochs: int, batch_size: int,
+                   rng: np.random.Generator, learning_rate: float = 1e-3,
+                   optimizer: Optional[Adam] = None) -> RegressionHistory:
+    """Train a network on an MSE objective with Adam.
+
+    Returns the per-epoch loss history.  Raises :class:`TrainingError` if the
+    loss becomes non-finite (divergence), rather than silently continuing.
+    """
+    if inputs.shape[0] != targets.shape[0]:
+        raise TrainingError(
+            f"input/target count mismatch: {inputs.shape[0]} vs {targets.shape[0]}"
+        )
+    if epochs < 1:
+        raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    if optimizer is None:
+        optimizer = Adam(net.parameters(), learning_rate=learning_rate)
+
+    history = RegressionHistory()
+    count = inputs.shape[0]
+    for _ in range(epochs):
+        order = rng.permutation(count)
+        epoch_losses = []
+        for start in range(0, count, batch_size):
+            idx = order[start : start + batch_size]
+            optimizer.zero_grad()
+            prediction = net.forward(inputs[idx], training=True)
+            value, grad = mse_loss(prediction, targets[idx])
+            if not np.isfinite(value):
+                raise TrainingError(
+                    f"regression training diverged (loss={value})"
+                )
+            net.backward(grad)
+            optimizer.step()
+            epoch_losses.append(value)
+        history.loss.append(float(np.mean(epoch_losses)))
+    return history

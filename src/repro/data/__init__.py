@@ -1,0 +1,32 @@
+"""Dataset synthesis, image encoding, batching, and persistence."""
+
+from .encoding import (
+    bbox_center_rc,
+    denormalize_center,
+    normalize_center,
+    recenter_pattern,
+    resist_to_tensor,
+    shift_pattern,
+    tensor_to_mono,
+)
+from .augment import DIHEDRAL4, augment_dataset
+from .dataset import PairedDataset, Sample
+from .synthesis import synthesize_dataset
+from .io import load_dataset, save_dataset
+
+__all__ = [
+    "bbox_center_rc",
+    "recenter_pattern",
+    "shift_pattern",
+    "normalize_center",
+    "denormalize_center",
+    "resist_to_tensor",
+    "tensor_to_mono",
+    "Sample",
+    "PairedDataset",
+    "DIHEDRAL4",
+    "augment_dataset",
+    "synthesize_dataset",
+    "save_dataset",
+    "load_dataset",
+]

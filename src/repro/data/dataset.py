@@ -1,0 +1,142 @@
+"""Paired (mask, resist) dataset with splitting and mini-batching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DataError
+from .encoding import bbox_center_rc, recenter_pattern
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One training pair, unbatched."""
+
+    mask: np.ndarray        # (3, H, W) float32 color-encoded mask
+    resist: np.ndarray      # (1, H, W) float32 binary golden resist window
+    center_rc: np.ndarray   # (2,) float32 bbox center (row, col) in pixels
+    array_type: str
+
+
+class PairedDataset:
+    """Stacked arrays of paired mask/resist images plus center labels."""
+
+    def __init__(self, masks: np.ndarray, resists: np.ndarray,
+                 centers: Optional[np.ndarray] = None,
+                 array_types: Optional[np.ndarray] = None,
+                 tech_name: str = ""):
+        masks = np.asarray(masks, dtype=np.float32)
+        resists = np.asarray(resists, dtype=np.float32)
+        if masks.ndim != 4 or masks.shape[1] != 3:
+            raise DataError(f"masks must be (N, 3, H, W), got {masks.shape}")
+        if resists.ndim != 4 or resists.shape[1] != 1:
+            raise DataError(f"resists must be (N, 1, H, W), got {resists.shape}")
+        if masks.shape[0] != resists.shape[0]:
+            raise DataError(
+                f"mask/resist count mismatch: {masks.shape[0]} vs {resists.shape[0]}"
+            )
+        if masks.shape[2:] != resists.shape[2:]:
+            raise DataError(
+                f"mask/resist resolution mismatch: {masks.shape[2:]} vs "
+                f"{resists.shape[2:]}"
+            )
+        self.masks = masks
+        self.resists = resists
+        if centers is None:
+            centers = np.stack(
+                [bbox_center_rc(r[0]) for r in resists]
+            ).astype(np.float32)
+        else:
+            centers = np.asarray(centers, dtype=np.float32)
+            if centers.shape != (masks.shape[0], 2):
+                raise DataError(
+                    f"centers must be (N, 2), got {centers.shape}"
+                )
+        self.centers = centers
+        if array_types is None:
+            array_types = np.array(["unknown"] * masks.shape[0])
+        else:
+            array_types = np.asarray(array_types)
+            if array_types.shape != (masks.shape[0],):
+                raise DataError("array_types must have one entry per sample")
+        self.array_types = array_types
+        self.tech_name = tech_name
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.masks.shape[0])
+
+    def __getitem__(self, index: int) -> Sample:
+        return Sample(
+            mask=self.masks[index],
+            resist=self.resists[index],
+            center_rc=self.centers[index],
+            array_type=str(self.array_types[index]),
+        )
+
+    @property
+    def image_size(self) -> int:
+        return int(self.masks.shape[2])
+
+    # -- derived views ------------------------------------------------------------
+
+    def recentered_resists(self) -> np.ndarray:
+        """Golden resists shifted so each bbox center sits at the image center.
+
+        This is the CGAN training target in the LithoGAN framework
+        (Section 3.3: "the golden pattern is re-centered at the center of
+        the image").
+        """
+        out = np.empty_like(self.resists)
+        for i in range(len(self)):
+            out[i, 0], _ = recenter_pattern(self.resists[i, 0])
+        return out
+
+    def subset(self, indices: np.ndarray) -> "PairedDataset":
+        indices = np.asarray(indices)
+        return PairedDataset(
+            self.masks[indices],
+            self.resists[indices],
+            self.centers[indices],
+            self.array_types[indices],
+            tech_name=self.tech_name,
+        )
+
+    def split(self, train_fraction: float,
+              rng: np.random.Generator) -> Tuple["PairedDataset", "PairedDataset"]:
+        """Random train/test split (the paper uses 75% / 25%)."""
+        if not 0 < train_fraction < 1:
+            raise DataError(
+                f"train_fraction must lie in (0, 1), got {train_fraction}"
+            )
+        count = len(self)
+        if count < 2:
+            raise DataError("cannot split a dataset with fewer than 2 samples")
+        order = rng.permutation(count)
+        cut = int(round(train_fraction * count))
+        cut = min(max(cut, 1), count - 1)
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def batches(self, batch_size: int, rng: Optional[np.random.Generator] = None,
+                targets: Optional[np.ndarray] = None
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (mask_batch, target_batch) mini-batches.
+
+        ``targets`` defaults to the golden resists; pass e.g. the re-centered
+        resists or center labels to train the other networks.  A generator
+        shuffles each pass when provided.
+        """
+        if batch_size < 1:
+            raise DataError(f"batch_size must be >= 1, got {batch_size}")
+        if targets is None:
+            targets = self.resists
+        if targets.shape[0] != len(self):
+            raise DataError("targets must have one entry per sample")
+        order = rng.permutation(len(self)) if rng is not None else np.arange(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.masks[idx], targets[idx]

@@ -1,0 +1,96 @@
+"""Image encodings and the re-centering transform of the LithoGAN framework.
+
+The dual-learning split (Section 3.3) hinges on two operations:
+
+* during training, the golden resist pattern is **re-centered** so its
+  bounding-box center sits at the image center, and the original center is
+  saved as the CNN's regression target;
+* at inference, the CGAN's centered output is **shifted** to the CNN's
+  predicted center (Figure 5's post-adjustment).
+
+Centers follow the paper's definition: the center of the bounding box
+enclosing the resist pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DataError
+from ..geometry import bounding_box_of_mask
+
+
+def bbox_center_rc(image: np.ndarray, level: float = 0.5) -> Tuple[float, float]:
+    """Bounding-box center ``(row, col)`` of a monochrome pattern image."""
+    if image.ndim != 2:
+        raise DataError(f"expected a 2-D image, got shape {image.shape}")
+    box = bounding_box_of_mask(image, level=level)
+    if box is None:
+        raise DataError("pattern image is empty; no center defined")
+    rlo, clo, rhi, chi = box
+    # Half-open bounds: the continuous box spans [rlo, rhi) in index space.
+    return ((rlo + rhi - 1) / 2.0, (clo + chi - 1) / 2.0)
+
+
+def shift_pattern(image: np.ndarray, dr: int, dc: int) -> np.ndarray:
+    """Shift a 2-D image by whole pixels, filling vacated pixels with zeros."""
+    if image.ndim != 2:
+        raise DataError(f"expected a 2-D image, got shape {image.shape}")
+    out = np.zeros_like(image)
+    h, w = image.shape
+    src_r0, src_r1 = max(0, -dr), min(h, h - dr)
+    src_c0, src_c1 = max(0, -dc), min(w, w - dc)
+    if src_r1 > src_r0 and src_c1 > src_c0:
+        out[src_r0 + dr : src_r1 + dr, src_c0 + dc : src_c1 + dc] = image[
+            src_r0:src_r1, src_c0:src_c1
+        ]
+    return out
+
+
+def recenter_pattern(image: np.ndarray,
+                     level: float = 0.5) -> Tuple[np.ndarray, Tuple[float, float]]:
+    """Move a pattern's bbox center to the image center.
+
+    Returns the shifted image and the *original* center ``(row, col)`` —
+    the CNN's training label.  The shift is integral, so the original center
+    is recoverable to within half a pixel.
+    """
+    center = bbox_center_rc(image, level=level)
+    mid = (image.shape[0] - 1) / 2.0
+    dr = int(round(mid - center[0]))
+    dc = int(round(mid - center[1]))
+    return shift_pattern(image, dr, dc), center
+
+
+def normalize_center(center_rc: np.ndarray, size: int) -> np.ndarray:
+    """Map pixel centers to [-1, 1] regression targets (0 = image center)."""
+    center = np.asarray(center_rc, dtype=np.float64)
+    mid = (size - 1) / 2.0
+    return ((center - mid) / mid).astype(np.float32)
+
+
+def denormalize_center(normalized: np.ndarray, size: int) -> np.ndarray:
+    """Inverse of :func:`normalize_center`."""
+    norm = np.asarray(normalized, dtype=np.float64)
+    mid = (size - 1) / 2.0
+    return (norm * mid + mid).astype(np.float32)
+
+
+def resist_to_tensor(window: np.ndarray, channels: int = 1) -> np.ndarray:
+    """Lift a monochrome resist window to a channel-first float32 tensor."""
+    if window.ndim != 2:
+        raise DataError(f"expected a 2-D window, got shape {window.shape}")
+    if channels < 1:
+        raise DataError(f"channels must be >= 1, got {channels}")
+    return np.repeat(
+        window.astype(np.float32)[None, :, :], channels, axis=0
+    )
+
+
+def tensor_to_mono(tensor: np.ndarray) -> np.ndarray:
+    """Collapse a (C, H, W) prediction to a monochrome (H, W) image."""
+    if tensor.ndim != 3:
+        raise DataError(f"expected a (C, H, W) tensor, got shape {tensor.shape}")
+    return tensor.mean(axis=0)

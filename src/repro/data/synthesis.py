@@ -1,0 +1,75 @@
+"""Benchmark-dataset synthesis.
+
+Stands in for the paper's proprietary N10/N7 datasets: clips are drawn from
+the three contact-array families, pushed through the RET flow (SRAF + OPC)
+and the rigorous simulation pipeline, then encoded into the Section 3.1
+image pairs.  Deterministic given the config's seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..errors import DataError, ResistError
+from ..layout import ArrayType, generate_clip, render_mask_rgb
+from ..sim import LithographySimulator
+from .dataset import PairedDataset
+from .encoding import bbox_center_rc
+
+
+def synthesize_dataset(config: ExperimentConfig,
+                       rng: Optional[np.random.Generator] = None,
+                       resist_model: str = "vtr",
+                       model_based_opc: bool = False) -> PairedDataset:
+    """Mint a full paired dataset for one technology node.
+
+    Clips whose target contact fails to print (possible for extreme random
+    neighborhoods) are skipped and replaced, so the returned dataset always
+    has ``config.tech.num_clips`` samples.
+    """
+    if rng is None:
+        rng = np.random.default_rng(config.training.seed)
+    simulator = LithographySimulator(config, resist_model=resist_model)
+
+    count = config.tech.num_clips
+    image_px = config.image.mask_image_px
+    masks = np.empty((count, 3, image_px, image_px), dtype=np.float32)
+    resists = np.empty(
+        (count, 1, config.image.resist_image_px, config.image.resist_image_px),
+        dtype=np.float32,
+    )
+    centers = np.empty((count, 2), dtype=np.float32)
+    array_types = np.empty(count, dtype=object)
+
+    types = list(ArrayType)
+    produced = 0
+    attempts = 0
+    max_attempts = count * 4
+    while produced < count:
+        if attempts >= max_attempts:
+            raise DataError(
+                f"dataset synthesis stalled: {produced}/{count} clips after "
+                f"{attempts} attempts (resist keeps failing to print)"
+            )
+        array_type = types[attempts % len(types)]
+        attempts += 1
+        clip = generate_clip(config.tech, rng, array_type=array_type)
+        try:
+            result = simulator.simulate_clip(
+                clip, model_based_opc=model_based_opc
+            )
+        except ResistError:
+            continue
+        masks[produced] = render_mask_rgb(result.layout, image_px)
+        resists[produced, 0] = result.golden_window
+        centers[produced] = bbox_center_rc(result.golden_window)
+        array_types[produced] = array_type.value
+        produced += 1
+
+    return PairedDataset(
+        masks, resists, centers, array_types.astype(str),
+        tech_name=config.tech.name,
+    )

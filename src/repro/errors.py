@@ -1,0 +1,48 @@
+"""Exception hierarchy for the LithoGAN reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single except clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive was constructed or used incorrectly."""
+
+
+class LayoutError(ReproError):
+    """Layout synthesis (contacts / SRAF / OPC) failed a design rule."""
+
+
+class OpticsError(ReproError):
+    """Optical model construction or aerial-image simulation failed."""
+
+
+class ResistError(ReproError):
+    """Resist model evaluation or contour development failed."""
+
+
+class DataError(ReproError):
+    """Dataset synthesis, encoding, or persistence failed."""
+
+
+class ShapeError(ReproError):
+    """A tensor had an unexpected shape in the neural-network stack."""
+
+
+class TrainingError(ReproError):
+    """Model training diverged or was configured inconsistently."""
+
+
+class EvaluationError(ReproError):
+    """Metric computation or report generation failed."""

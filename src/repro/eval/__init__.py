@@ -1,0 +1,42 @@
+"""Evaluation harness: Table 3/4 rows and Figure 6-9 data series."""
+
+from .evaluate import EvaluationSummary, SampleMetrics, evaluate_predictions
+from .tables import format_table3, format_table4, table4_ratios
+from .figures import (
+    figure6_panels,
+    figure7_histogram,
+    figure8_progression,
+    figure9_losses,
+    pick_panel_indices,
+)
+from .hotspots import (
+    HotspotCriteria,
+    ScreeningReport,
+    is_hotspot,
+    screen,
+    screening_report,
+)
+from .report import ascii_pattern, render_histogram, render_table, side_by_side
+
+__all__ = [
+    "SampleMetrics",
+    "EvaluationSummary",
+    "evaluate_predictions",
+    "format_table3",
+    "format_table4",
+    "table4_ratios",
+    "figure6_panels",
+    "figure7_histogram",
+    "figure8_progression",
+    "figure9_losses",
+    "pick_panel_indices",
+    "ascii_pattern",
+    "render_table",
+    "render_histogram",
+    "side_by_side",
+    "HotspotCriteria",
+    "ScreeningReport",
+    "is_hotspot",
+    "screen",
+    "screening_report",
+]

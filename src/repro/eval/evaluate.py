@@ -1,0 +1,94 @@
+"""Test-set evaluation producing the Table 3 statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..metrics import cd_error_nm, ede_nm, segmentation_metrics
+from ..metrics.center import center_error_nm
+
+
+@dataclass(frozen=True)
+class SampleMetrics:
+    """All per-sample quality numbers for one prediction."""
+
+    ede_nm: float
+    pixel_accuracy: float
+    class_accuracy: float
+    mean_iou: float
+    cd_error_nm: float
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """Test-set aggregate — one Table 3 row."""
+
+    method: str
+    ede_mean_nm: float
+    ede_std_nm: float
+    pixel_accuracy: float
+    class_accuracy: float
+    mean_iou: float
+    cd_error_mean_nm: float
+    num_samples: int
+    center_error_nm: Optional[float] = None
+
+
+def evaluate_predictions(method: str, golden: np.ndarray,
+                         predicted: np.ndarray, nm_per_px: float,
+                         golden_centers: Optional[np.ndarray] = None,
+                         predicted_centers: Optional[np.ndarray] = None
+                         ) -> tuple:
+    """Score a stack of predictions against golden windows.
+
+    Returns ``(per_sample, summary)``.  An empty prediction is penalized
+    with an EDE of half the window size rather than aborting the sweep.
+    """
+    if golden.shape != predicted.shape:
+        raise EvaluationError(
+            f"golden/predicted shape mismatch: {golden.shape} vs {predicted.shape}"
+        )
+    if golden.ndim != 3:
+        raise EvaluationError(
+            f"expected (N, H, W) image stacks, got shape {golden.shape}"
+        )
+    penalty = golden.shape[1] * nm_per_px / 2.0
+
+    per_sample: List[SampleMetrics] = []
+    for i in range(golden.shape[0]):
+        pixel, class_acc, iou = segmentation_metrics(golden[i], predicted[i])
+        per_sample.append(
+            SampleMetrics(
+                ede_nm=ede_nm(
+                    golden[i], predicted[i], nm_per_px, empty_penalty_nm=penalty
+                ),
+                pixel_accuracy=pixel,
+                class_accuracy=class_acc,
+                mean_iou=iou,
+                cd_error_nm=cd_error_nm(golden[i], predicted[i], nm_per_px),
+            )
+        )
+
+    center_error = None
+    if golden_centers is not None and predicted_centers is not None:
+        center_error = center_error_nm(
+            golden_centers, predicted_centers, nm_per_px
+        )
+
+    edes = np.array([m.ede_nm for m in per_sample])
+    summary = EvaluationSummary(
+        method=method,
+        ede_mean_nm=float(edes.mean()),
+        ede_std_nm=float(edes.std()),
+        pixel_accuracy=float(np.mean([m.pixel_accuracy for m in per_sample])),
+        class_accuracy=float(np.mean([m.class_accuracy for m in per_sample])),
+        mean_iou=float(np.mean([m.mean_iou for m in per_sample])),
+        cd_error_mean_nm=float(np.mean([m.cd_error_nm for m in per_sample])),
+        num_samples=golden.shape[0],
+        center_error_nm=center_error,
+    )
+    return per_sample, summary

@@ -1,0 +1,134 @@
+"""Data series for the paper's Figures 6-9.
+
+Each function returns plain arrays/dataclasses; :mod:`repro.eval.report`
+renders them as text so the benchmark harness can print them without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..metrics import ede_nm
+from ..core.cgan import CganHistory
+
+
+@dataclass(frozen=True)
+class Figure6Panel:
+    """One row of Figure 6: mask input, CGAN output, LithoGAN output, golden."""
+
+    index: int
+    array_type: str
+    mask: np.ndarray        # (3, H, W)
+    cgan: np.ndarray        # (H, W) binary
+    lithogan: np.ndarray    # (H, W) binary
+    golden: np.ndarray      # (H, W) binary
+
+
+def figure6_panels(dataset, cgan_predictions: np.ndarray,
+                   lithogan_predictions: np.ndarray,
+                   indices: Sequence[int]) -> List[Figure6Panel]:
+    """Assemble Figure 6 panels for chosen test-set indices."""
+    panels = []
+    for index in indices:
+        if not 0 <= index < len(dataset):
+            raise EvaluationError(
+                f"index {index} out of range for dataset of {len(dataset)}"
+            )
+        sample = dataset[index]
+        panels.append(
+            Figure6Panel(
+                index=index,
+                array_type=sample.array_type,
+                mask=sample.mask,
+                cgan=cgan_predictions[index],
+                lithogan=lithogan_predictions[index],
+                golden=sample.resist[0],
+            )
+        )
+    return panels
+
+
+def pick_panel_indices(dataset, per_type: int = 1) -> List[int]:
+    """Indices covering every contact-array type (Figure 6's requirement)."""
+    chosen: List[int] = []
+    for array_type in sorted(set(str(t) for t in dataset.array_types)):
+        hits = [
+            i for i in range(len(dataset))
+            if str(dataset.array_types[i]) == array_type
+        ]
+        chosen.extend(hits[:per_type])
+    return chosen
+
+
+def figure7_histogram(golden: np.ndarray, cgan_predictions: np.ndarray,
+                      lithogan_predictions: np.ndarray, nm_per_px: float,
+                      bins: int = 16) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """EDE distributions of CGAN vs. LithoGAN (Figure 7).
+
+    Returns (bin_edges, cgan_counts, lithogan_counts) over a shared binning.
+    """
+    penalty = golden.shape[1] * nm_per_px / 2.0
+    ede_cgan = np.array(
+        [
+            ede_nm(golden[i], cgan_predictions[i], nm_per_px, penalty)
+            for i in range(golden.shape[0])
+        ]
+    )
+    ede_litho = np.array(
+        [
+            ede_nm(golden[i], lithogan_predictions[i], nm_per_px, penalty)
+            for i in range(golden.shape[0])
+        ]
+    )
+    top = float(max(ede_cgan.max(), ede_litho.max(), 1e-9))
+    edges = np.linspace(0.0, top, bins + 1)
+    counts_cgan, _ = np.histogram(ede_cgan, bins=edges)
+    counts_litho, _ = np.histogram(ede_litho, bins=edges)
+    return edges, counts_cgan, counts_litho
+
+
+@dataclass(frozen=True)
+class ProgressionEntry:
+    """One Figure 8 column: predictions after training to a given epoch."""
+
+    epoch: int
+    predictions: np.ndarray   # (K, C, H, W) raw generator output
+    l1_to_golden: float
+
+
+def figure8_progression(history: CganHistory,
+                        golden: np.ndarray) -> List[ProgressionEntry]:
+    """Order the recorded snapshots and score each against the golden images.
+
+    ``golden`` is the (K, 1, H, W) stack matching the snapshot inputs — for
+    LithoGAN these are the *re-centered* golden patterns the CGAN trains on.
+    """
+    if not history.snapshots:
+        raise EvaluationError("history contains no snapshots for Figure 8")
+    entries = []
+    for epoch in sorted(history.snapshots):
+        predictions = history.snapshots[epoch]
+        mono = np.clip(predictions.mean(axis=1), 0.0, 1.0)
+        l1 = float(np.abs(mono - golden[:, 0]).mean())
+        entries.append(
+            ProgressionEntry(epoch=epoch, predictions=predictions, l1_to_golden=l1)
+        )
+    return entries
+
+
+def figure9_losses(history: CganHistory
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(epochs, generator_loss, discriminator_loss) for the Figure 9 curves."""
+    if history.epochs_trained == 0:
+        raise EvaluationError("history contains no trained epochs")
+    epochs = np.arange(1, history.epochs_trained + 1)
+    return (
+        epochs,
+        np.asarray(history.generator_loss),
+        np.asarray(history.discriminator_loss),
+    )

@@ -1,0 +1,143 @@
+"""Hotspot detection with a fast lithography model.
+
+The downstream application motivating fast litho models (and the paper's
+reference [28]): screen layout clips for *hotspots* — locations whose
+printed pattern misses its design intent badly enough to risk yield —
+without paying rigorous-simulation cost per clip.
+
+A clip is a hotspot when its printed (or predicted) resist window violates
+any of the :class:`HotspotCriteria`:
+
+* CD error beyond a tolerance of the drawn CD (bridging/necking risk),
+* printed area out of proportion with the drawn contact (missing/merged),
+* pattern center displaced beyond a placement limit (overlay risk).
+
+``screen`` labels a stack of windows; ``screening_report`` compares a fast
+model's labels against golden labels the way a production flow would qualify
+an ML screen: recall on true hotspots is the number that matters (a missed
+hotspot is a dead die; a false alarm is only a wasted rigorous simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..metrics import measure_cd_nm
+from ..data.encoding import bbox_center_rc
+
+
+@dataclass(frozen=True)
+class HotspotCriteria:
+    """Pass/fail limits for one printed contact window."""
+
+    drawn_cd_nm: float
+    #: relative CD error beyond which the clip is a hotspot
+    cd_tolerance: float = 0.5
+    #: allowed printed/drawn area ratio band
+    area_ratio_band: tuple = (0.33, 3.0)
+    #: allowed center displacement from the window center, nm
+    max_center_offset_nm: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.drawn_cd_nm <= 0:
+            raise EvaluationError("drawn_cd_nm must be positive")
+        if not 0 < self.cd_tolerance < 1:
+            raise EvaluationError("cd_tolerance must lie in (0, 1)")
+        lo, hi = self.area_ratio_band
+        if not 0 < lo < hi:
+            raise EvaluationError("area_ratio_band must satisfy 0 < lo < hi")
+
+
+def is_hotspot(window: np.ndarray, criteria: HotspotCriteria,
+               nm_per_px: float) -> bool:
+    """Evaluate one binary resist window against the criteria."""
+    if window.ndim != 2:
+        raise EvaluationError(f"expected a 2-D window, got {window.shape}")
+    if not np.any(window >= 0.5):
+        return True  # nothing printed: the worst hotspot
+
+    cd_h, cd_v = measure_cd_nm(window, nm_per_px)
+    drawn = criteria.drawn_cd_nm
+    if abs(cd_h - drawn) > criteria.cd_tolerance * drawn:
+        return True
+    if abs(cd_v - drawn) > criteria.cd_tolerance * drawn:
+        return True
+
+    printed_area = float((window >= 0.5).sum()) * nm_per_px**2
+    ratio = printed_area / (drawn * drawn)
+    lo, hi = criteria.area_ratio_band
+    if not lo <= ratio <= hi:
+        return True
+
+    row, col = bbox_center_rc(window)
+    mid = (window.shape[0] - 1) / 2.0
+    offset = np.hypot(row - mid, col - mid) * nm_per_px
+    return offset > criteria.max_center_offset_nm
+
+
+def screen(windows: np.ndarray, criteria: HotspotCriteria,
+           nm_per_px: float) -> np.ndarray:
+    """Label a stack of windows: True = hotspot."""
+    if windows.ndim != 3:
+        raise EvaluationError(
+            f"expected (N, H, W) windows, got shape {windows.shape}"
+        )
+    return np.array(
+        [is_hotspot(window, criteria, nm_per_px) for window in windows]
+    )
+
+
+@dataclass(frozen=True)
+class ScreeningReport:
+    """Confusion of a fast-model screen against golden hotspot labels."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives + self.false_positives
+            + self.false_negatives + self.true_negatives
+        )
+
+    @property
+    def recall(self) -> Optional[float]:
+        """Fraction of golden hotspots the screen caught (None if none exist)."""
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else None
+
+    @property
+    def precision(self) -> Optional[float]:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else None
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positives + self.true_negatives) / self.total
+
+
+def screening_report(golden_windows: np.ndarray,
+                     predicted_windows: np.ndarray,
+                     criteria: HotspotCriteria,
+                     nm_per_px: float) -> ScreeningReport:
+    """Score a fast model's hotspot screen against golden labels."""
+    if golden_windows.shape != predicted_windows.shape:
+        raise EvaluationError(
+            f"shape mismatch: {golden_windows.shape} vs "
+            f"{predicted_windows.shape}"
+        )
+    golden = screen(golden_windows, criteria, nm_per_px)
+    predicted = screen(predicted_windows, criteria, nm_per_px)
+    return ScreeningReport(
+        true_positives=int(np.sum(golden & predicted)),
+        false_positives=int(np.sum(~golden & predicted)),
+        false_negatives=int(np.sum(golden & ~predicted)),
+        true_negatives=int(np.sum(~golden & ~predicted)),
+    )

@@ -1,0 +1,81 @@
+"""Plain-text rendering of patterns, tables, and histograms.
+
+Keeps the benchmark harness free of plotting dependencies: Figure 6 panels
+become ASCII contact images, Figure 7 becomes a bar chart of '#' runs, and
+tables print aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+def ascii_pattern(image: np.ndarray, width: int = 32,
+                  fill: str = "#", empty: str = ".") -> List[str]:
+    """Downsample a monochrome pattern to an ASCII block."""
+    if image.ndim != 2:
+        raise EvaluationError(f"expected a 2-D image, got shape {image.shape}")
+    size = image.shape[0]
+    step = max(1, size // width)
+    lines = []
+    for r in range(0, size, step):
+        lines.append(
+            "".join(
+                fill if image[r, c] >= 0.5 else empty
+                for c in range(0, size, step)
+            )
+        )
+    return lines
+
+
+def side_by_side(blocks: Sequence[List[str]], labels: Sequence[str],
+                 gap: str = "   ") -> List[str]:
+    """Join several equal-height ASCII blocks horizontally with labels."""
+    if len(blocks) != len(labels):
+        raise EvaluationError("one label per block is required")
+    height = max(len(block) for block in blocks)
+    widths = [max((len(line) for line in block), default=0) for block in blocks]
+    lines = [
+        gap.join(label.center(width) for label, width in zip(labels, widths))
+    ]
+    for row in range(height):
+        lines.append(
+            gap.join(
+                (block[row] if row < len(block) else "").ljust(width)
+                for block, width in zip(blocks, widths)
+            )
+        )
+    return lines
+
+
+def render_table(rows: List[str]) -> str:
+    """Join pre-formatted table rows into one printable block."""
+    return "\n".join(rows)
+
+
+def render_histogram(edges: np.ndarray, *series,
+                     labels: Sequence[str] = (), width: int = 40) -> List[str]:
+    """Horizontal bar rendering of one or more shared-bin histograms."""
+    if not series:
+        raise EvaluationError("render_histogram needs at least one series")
+    if labels and len(labels) != len(series):
+        raise EvaluationError("one label per series is required")
+    peak = max(int(np.max(counts)) for counts in series) or 1
+    lines = []
+    markers = ["#", "o", "+", "*"]
+    for s, counts in enumerate(series):
+        label = labels[s] if labels else f"series {s}"
+        lines.append(f"{label} (marker '{markers[s % len(markers)]}'):")
+        for b in range(len(counts)):
+            bar = markers[s % len(markers)] * int(
+                round(width * counts[b] / peak)
+            )
+            lines.append(
+                f"  [{edges[b]:6.2f}, {edges[b + 1]:6.2f}) "
+                f"{int(counts[b]):>4} |{bar}"
+            )
+    return lines

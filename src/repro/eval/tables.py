@@ -1,0 +1,60 @@
+"""Formatting of the paper's Table 3 (accuracy) and Table 4 (runtime)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import EvaluationError
+from .evaluate import EvaluationSummary
+
+
+def format_table3(dataset_name: str,
+                  summaries: Sequence[EvaluationSummary]) -> List[str]:
+    """Render Table 3 rows for one dataset.
+
+    Columns: method, EDE mean/std (nm), pixel accuracy, class accuracy,
+    mean IoU — exactly the paper's layout, plus the CD-error column the
+    text quotes (1.99 nm / 1.65 nm).
+    """
+    if not summaries:
+        raise EvaluationError("format_table3 requires at least one summary")
+    header = (
+        f"{'Dataset':<8} {'Method':<12} {'EDE (nm)':>9} {'Std.':>6} "
+        f"{'Pixel Acc.':>11} {'Class Acc.':>11} {'Mean IoU':>9} {'CD err':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for summary in summaries:
+        lines.append(
+            f"{dataset_name:<8} {summary.method:<12} "
+            f"{summary.ede_mean_nm:>9.2f} {summary.ede_std_nm:>6.2f} "
+            f"{summary.pixel_accuracy:>11.3f} {summary.class_accuracy:>11.3f} "
+            f"{summary.mean_iou:>9.3f} {summary.cd_error_mean_nm:>7.2f}"
+        )
+    return lines
+
+
+def table4_ratios(seconds_per_clip: Dict[str, float],
+                  reference: str = "LithoGAN") -> Dict[str, float]:
+    """Per-method runtime ratios relative to the fastest (ours) — Table 4."""
+    if reference not in seconds_per_clip:
+        raise EvaluationError(
+            f"reference method {reference!r} missing from timings "
+            f"{sorted(seconds_per_clip)}"
+        )
+    base = seconds_per_clip[reference]
+    if base <= 0:
+        raise EvaluationError("reference runtime must be positive")
+    return {name: value / base for name, value in seconds_per_clip.items()}
+
+
+def format_table4(seconds_per_clip: Dict[str, float],
+                  reference: str = "LithoGAN") -> List[str]:
+    """Render Table 4: per-clip runtime and ratio vs. the proposed model."""
+    ratios = table4_ratios(seconds_per_clip, reference=reference)
+    header = f"{'Method':<22} {'Time/clip (s)':>14} {'Ratio':>10}"
+    lines = [header, "-" * len(header)]
+    for name, seconds in seconds_per_clip.items():
+        lines.append(
+            f"{name:<22} {seconds:>14.4f} {ratios[name]:>10.1f}"
+        )
+    return lines

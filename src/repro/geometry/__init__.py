@@ -1,0 +1,24 @@
+"""Geometric primitives: rectangles, rasterization grids, and contours."""
+
+from .shapes import Point, Rect
+from .grid import Grid
+from .contours import (
+    bounding_box_of_mask,
+    extract_contours,
+    largest_contour,
+    mask_centroid,
+    polygon_area,
+    polygon_perimeter,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Grid",
+    "bounding_box_of_mask",
+    "extract_contours",
+    "largest_contour",
+    "mask_centroid",
+    "polygon_area",
+    "polygon_perimeter",
+]

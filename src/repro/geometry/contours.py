@@ -1,0 +1,182 @@
+"""Contour extraction and measurement on binary / grayscale images.
+
+The rigorous-simulation substrate and the EDE metric both need contours: the
+developer extracts the printed resist contour from a thresholded aerial
+image, and Definition 1 (EDE) compares bounding boxes of golden vs.
+predicted contours.  A small marching-squares implementation keeps the
+dependency surface at NumPy only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+
+# Marching-squares edge table: for each of the 16 cell configurations, the
+# (entry, exit) edges the iso-line crosses.  Edges are numbered
+# 0=top, 1=right, 2=bottom, 3=left of the 2x2 cell.
+_SEGMENTS = {
+    1: [(3, 2)],
+    2: [(2, 1)],
+    3: [(3, 1)],
+    4: [(0, 1)],
+    5: [(3, 0), (2, 1)],  # saddle
+    6: [(0, 2)],
+    7: [(3, 0)],
+    8: [(3, 0)],
+    9: [(0, 2)],
+    10: [(3, 2), (0, 1)],  # saddle
+    11: [(0, 1)],
+    12: [(3, 1)],
+    13: [(2, 1)],
+    14: [(3, 2)],
+}
+
+
+def _interp(level: float, a: float, b: float) -> float:
+    """Fractional crossing position of ``level`` between samples a and b."""
+    if a == b:
+        return 0.5
+    return float(np.clip((level - a) / (b - a), 0.0, 1.0))
+
+
+def extract_contours(image: np.ndarray, level: float = 0.5) -> List[np.ndarray]:
+    """Extract iso-contours of ``image`` at ``level`` via marching squares.
+
+    Returns a list of ``(N, 2)`` arrays of ``(row, col)`` vertices in pixel
+    coordinates.  Closed contours repeat their first vertex at the end.
+    The image is zero-padded by one pixel first, so patterns touching the
+    border still produce closed contours.
+    """
+    if image.ndim != 2:
+        raise GeometryError(f"expected a 2-D image, got shape {image.shape}")
+    padded = np.zeros((image.shape[0] + 2, image.shape[1] + 2), dtype=np.float64)
+    padded[1:-1, 1:-1] = image
+
+    rows, cols = padded.shape
+    # segments maps a start point to (end point, ...) for chaining.
+    segments: List[Tuple[Tuple[float, float], Tuple[float, float]]] = []
+    above = padded >= level
+
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            idx = (
+                (8 if above[r, c] else 0)
+                | (4 if above[r, c + 1] else 0)
+                | (2 if above[r + 1, c + 1] else 0)
+                | (1 if above[r + 1, c] else 0)
+            )
+            if idx in (0, 15):
+                continue
+            for e_in, e_out in _SEGMENTS[idx]:
+                pts = []
+                for edge in (e_in, e_out):
+                    if edge == 0:  # top: between (r, c) and (r, c+1)
+                        t = _interp(level, padded[r, c], padded[r, c + 1])
+                        pts.append((float(r), c + t))
+                    elif edge == 1:  # right
+                        t = _interp(level, padded[r, c + 1], padded[r + 1, c + 1])
+                        pts.append((r + t, float(c + 1)))
+                    elif edge == 2:  # bottom
+                        t = _interp(level, padded[r + 1, c], padded[r + 1, c + 1])
+                        pts.append((float(r + 1), c + t))
+                    else:  # left
+                        t = _interp(level, padded[r, c], padded[r + 1, c])
+                        pts.append((r + t, float(c)))
+                segments.append((pts[0], pts[1]))
+
+    contours = _chain_segments(segments)
+    # Undo the 1-pixel padding offset.
+    return [contour - 1.0 for contour in contours]
+
+
+def _chain_segments(segments) -> List[np.ndarray]:
+    """Chain unordered segments into polylines by matching endpoints."""
+
+    def key(p: Tuple[float, float]) -> Tuple[int, int]:
+        return (int(round(p[0] * 1024)), int(round(p[1] * 1024)))
+
+    # adjacency: endpoint key -> list of (segment index, other endpoint).
+    adjacency = {}
+    for i, (a, b) in enumerate(segments):
+        adjacency.setdefault(key(a), []).append((i, b))
+        adjacency.setdefault(key(b), []).append((i, a))
+
+    visited = set()
+    contours: List[np.ndarray] = []
+    for i, (a, b) in enumerate(segments):
+        if i in visited:
+            continue
+        visited.add(i)
+        chain = [a, b]
+        start_key = key(a)
+        current = b
+        while key(current) != start_key:
+            nxt = None
+            for j, other in adjacency.get(key(current), ()):
+                if j not in visited:
+                    nxt = (j, other)
+                    break
+            if nxt is None:
+                break
+            visited.add(nxt[0])
+            chain.append(nxt[1])
+            current = nxt[1]
+        contours.append(np.array(chain, dtype=np.float64))
+    return contours
+
+
+def largest_contour(image: np.ndarray, level: float = 0.5) -> Optional[np.ndarray]:
+    """The contour enclosing the largest absolute area, or None if empty."""
+    contours = extract_contours(image, level=level)
+    if not contours:
+        return None
+    return max(contours, key=lambda c: abs(polygon_area(c)))
+
+
+def polygon_area(contour: np.ndarray) -> float:
+    """Signed shoelace area of a closed polyline in pixel^2 units."""
+    if len(contour) < 3:
+        return 0.0
+    r = contour[:, 0]
+    c = contour[:, 1]
+    return 0.5 * float(np.sum(c[:-1] * r[1:] - c[1:] * r[:-1]))
+
+
+def polygon_perimeter(contour: np.ndarray) -> float:
+    """Total polyline length in pixels."""
+    if len(contour) < 2:
+        return 0.0
+    diffs = np.diff(contour, axis=0)
+    return float(np.sum(np.hypot(diffs[:, 0], diffs[:, 1])))
+
+
+def bounding_box_of_mask(mask: np.ndarray, level: float = 0.5):
+    """Tight bounding box ``(rlo, clo, rhi, chi)`` of pixels >= level.
+
+    Returns None when no pixel clears the level.  Bounds are half-open in
+    pixel index space (``rhi``/``chi`` are one past the last hot pixel), so
+    box width in pixels is ``chi - clo``.
+    """
+    hot = np.argwhere(mask >= level)
+    if hot.size == 0:
+        return None
+    rlo, clo = hot.min(axis=0)
+    rhi, chi = hot.max(axis=0) + 1
+    return (int(rlo), int(clo), int(rhi), int(chi))
+
+
+def mask_centroid(mask: np.ndarray, level: float = 0.5) -> Optional[Tuple[float, float]]:
+    """Intensity-weighted centroid ``(row, col)`` of pixels >= level."""
+    hot = mask * (mask >= level)
+    total = hot.sum()
+    if total <= 0:
+        return None
+    rows = np.arange(mask.shape[0], dtype=np.float64)
+    cols = np.arange(mask.shape[1], dtype=np.float64)
+    r = float((hot.sum(axis=1) * rows).sum() / total)
+    c = float((hot.sum(axis=0) * cols).sum() / total)
+    return (r, c)

@@ -1,0 +1,23 @@
+"""Mask-layout synthesis: contact arrays, SRAF insertion, OPC, encoding."""
+
+from .contacts import ArrayType, ContactClip, generate_clip, generate_clips
+from .sraf import SrafRules, insert_srafs
+from .opc import OpcRules, apply_rule_opc, ModelBasedOpc
+from .mask import MaskLayout, build_mask_layout
+from .coloring import render_mask_rgb, render_transmission
+
+__all__ = [
+    "ArrayType",
+    "ContactClip",
+    "generate_clip",
+    "generate_clips",
+    "SrafRules",
+    "insert_srafs",
+    "OpcRules",
+    "apply_rule_opc",
+    "ModelBasedOpc",
+    "MaskLayout",
+    "build_mask_layout",
+    "render_mask_rgb",
+    "render_transmission",
+]

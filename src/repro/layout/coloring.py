@@ -1,0 +1,64 @@
+"""Image encodings of a mask layout (Section 3.1 of the paper).
+
+Two renderings are needed:
+
+``render_mask_rgb``
+    The CGAN *input*: an RGB image where the target contact is drawn into
+    the green channel, neighboring contacts into red, and SRAFs into blue
+    (Figure 3(a)).  Channel-first ``(3, H, W)`` float32 in [0, 1], matching
+    the NN stack's layout.
+
+``render_transmission``
+    The *optical* view: a single-channel transmission map where every mask
+    opening (contacts and SRAFs alike) transmits light.  This feeds the
+    Hopkins imaging model that mints golden resist patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..geometry import Grid
+from .mask import MaskLayout
+
+#: channel indices of the Section 3.1 color encoding
+RED, GREEN, BLUE = 0, 1, 2
+
+
+def render_mask_rgb(layout: MaskLayout, image_px: int,
+                    binary: bool = False) -> np.ndarray:
+    """Render the color-encoded mask image of Figure 3(a).
+
+    Returns a ``(3, image_px, image_px)`` float32 array in [0, 1].  With
+    ``binary=True`` partial pixel coverage is snapped to {0, 1}.
+    """
+    if image_px < 8:
+        raise LayoutError(f"image_px must be >= 8, got {image_px}")
+    grid = Grid(size=image_px, extent_nm=layout.extent_nm)
+    image = np.zeros((3, image_px, image_px), dtype=np.float32)
+    image[GREEN] = grid.rasterize_rects([layout.target], binary=binary)
+    image[RED] = grid.rasterize_rects(layout.neighbors, binary=binary)
+    image[BLUE] = grid.rasterize_rects(layout.srafs, binary=binary)
+    return image
+
+
+def render_transmission(layout: MaskLayout, grid: Grid) -> np.ndarray:
+    """Render the scalar mask-transmission map for optical simulation.
+
+    All openings transmit with amplitude 1 (binary chrome-on-glass mask).
+    Area-weighted rasterization anti-aliases sub-pixel feature edges, which
+    matters because SRAF widths approach the simulation pixel size.
+    """
+    return grid.rasterize_rects(layout.all_features, binary=False)
+
+
+def decode_mask_rgb(image: np.ndarray):
+    """Split a rendered RGB mask back into per-class coverage maps.
+
+    Returns ``(target, neighbors, srafs)`` single-channel arrays; the inverse
+    of :func:`render_mask_rgb` up to rasterization.
+    """
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise LayoutError(f"expected a (3, H, W) image, got shape {image.shape}")
+    return image[GREEN], image[RED], image[BLUE]

@@ -1,0 +1,236 @@
+"""Contact-array clip synthesis.
+
+The paper's benchmarks are contact-layer clips from [12]: each clip is a
+2x2 um mask window cropped to 1x1 um so the *target* contact sits exactly at
+the clip center, surrounded by neighboring contacts.  Per Section 4.1 the
+dataset contains **three types of contact arrays**; we synthesize the three
+canonical contact-layer neighborhoods:
+
+``ISOLATED``
+    The target contact with zero to two distant neighbors.
+``DENSE_GRID``
+    A regular rectangular array on (jittered) minimum pitch with random
+    occupancy drop-out.
+``STAGGERED``
+    A checkerboard / staggered array where alternate rows shift by half a
+    pitch.
+
+All coordinates are nm with the clip spanning ``[0, cropped_clip_nm]^2`` and
+the target centered at the midpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import TechnologyConfig
+from ..errors import LayoutError
+from ..geometry import Point, Rect
+
+
+class ArrayType(enum.Enum):
+    """The three contact-neighborhood families present in the dataset."""
+
+    ISOLATED = "isolated"
+    DENSE_GRID = "dense_grid"
+    STAGGERED = "staggered"
+
+
+@dataclass(frozen=True)
+class ContactClip:
+    """A drawn (pre-RET) contact clip: target at center plus neighbors."""
+
+    tech: TechnologyConfig
+    array_type: ArrayType
+    target: Rect
+    neighbors: tuple
+    extent_nm: float
+
+    def __post_init__(self) -> None:
+        center = self.target.center
+        mid = self.extent_nm / 2.0
+        tolerance = max(1e-6, 4.0 * self.tech.registration_sigma_nm)
+        if abs(center.x - mid) > tolerance or abs(center.y - mid) > tolerance:
+            raise LayoutError(
+                f"target contact must sit within {tolerance} nm of the clip "
+                f"center ({mid}, {mid}), got ({center.x}, {center.y})"
+            )
+        for rect in self.neighbors:
+            if rect.intersects(self.target):
+                raise LayoutError("a neighbor contact overlaps the target")
+
+    @property
+    def all_contacts(self) -> List[Rect]:
+        return [self.target, *self.neighbors]
+
+    def min_neighbor_spacing(self) -> float:
+        """Smallest edge-to-edge spacing between any two contacts."""
+        contacts = self.all_contacts
+        if len(contacts) < 2:
+            return float("inf")
+        return min(
+            contacts[i].spacing_to(contacts[j])
+            for i in range(len(contacts))
+            for j in range(i + 1, len(contacts))
+        )
+
+
+def _clip_bounds(extent: float, size: float) -> Rect:
+    """Region inside which contact centers may legally fall."""
+    margin = size  # keep a full contact-width of clearance from the border
+    return Rect(margin, margin, extent - margin, extent - margin)
+
+
+def _place_grid(tech: TechnologyConfig, rng: np.random.Generator,
+                staggered: bool) -> List[Rect]:
+    """Place a (possibly staggered) array of neighbors around the center.
+
+    With 50% probability the target sits at an array *edge or corner*: a
+    random half-plane (or quadrant) of neighbor sites is removed.  Edge
+    contacts see a strongly one-sided optical neighborhood, which is what
+    drives the printed resist pattern off-center — the effect LithoGAN's
+    center CNN exists to capture.
+    """
+    extent = tech.cropped_clip_nm
+    mid = extent / 2.0
+    size = tech.contact_size_nm
+    pitch = tech.pitch_nm * float(rng.uniform(1.0, 1.6))
+    occupancy = float(rng.uniform(0.55, 0.95))
+    reach = int(rng.integers(1, 4))  # rows/cols of neighbors on each side
+    bounds = _clip_bounds(extent, size)
+
+    # Array-edge placement: drop sites in up to two random half-planes.
+    drop_right = drop_left = drop_up = drop_down = False
+    if rng.uniform() < 0.5:
+        drop_right, drop_left = rng.uniform() < 0.5, False
+        if not drop_right:
+            drop_left = rng.uniform() < 0.7
+        if rng.uniform() < 0.4:  # corner rather than edge
+            drop_up, drop_down = rng.uniform() < 0.5, False
+            if not drop_up:
+                drop_down = True
+
+    rects: List[Rect] = []
+    for i in range(-reach, reach + 1):
+        if (drop_up and i > 0) or (drop_down and i < 0):
+            continue
+        row_shift = (pitch / 2.0) if (staggered and i % 2) else 0.0
+        for j in range(-reach, reach + 1):
+            if (drop_right and j > 0) or (drop_left and j < 0):
+                continue
+            if i == 0 and j == 0 and not row_shift:
+                continue  # that position is the target itself
+            cx = mid + j * pitch + row_shift
+            cy = mid + i * pitch
+            if not bounds.contains_point(Point(cx, cy)):
+                continue
+            if rng.uniform() > occupancy:
+                continue
+            rect = Rect.from_center(cx, cy, size, size)
+            if rect.intersects(Rect.from_center(mid, mid, size, size)):
+                continue
+            rects.append(rect)
+    return rects
+
+
+def _place_isolated(tech: TechnologyConfig, rng: np.random.Generator) -> List[Rect]:
+    """Zero to two far-away neighbors, at least 2.5 pitches from center."""
+    extent = tech.cropped_clip_nm
+    mid = extent / 2.0
+    size = tech.contact_size_nm
+    bounds = _clip_bounds(extent, size)
+    count = int(rng.integers(0, 3))
+    rects: List[Rect] = []
+    attempts = 0
+    while len(rects) < count and attempts < 50:
+        attempts += 1
+        radius = float(rng.uniform(2.5, 5.0)) * tech.pitch_nm
+        angle = float(rng.uniform(0.0, 2.0 * np.pi))
+        cx = mid + radius * np.cos(angle)
+        cy = mid + radius * np.sin(angle)
+        if not bounds.contains_point(Point(cx, cy)):
+            continue
+        rect = Rect.from_center(cx, cy, size, size)
+        if any(rect.spacing_to(other) < tech.pitch_nm - size for other in rects):
+            continue
+        rects.append(rect)
+    return rects
+
+
+def _registration_jitter(tech: TechnologyConfig,
+                         rng: np.random.Generator) -> tuple:
+    """Per-feature mask placement error, truncated at 3 sigma per axis."""
+    sigma = tech.registration_sigma_nm
+    if sigma == 0:
+        return (0.0, 0.0)
+    dx, dy = rng.normal(0.0, sigma, size=2)
+    limit = 3.0 * sigma
+    return (float(np.clip(dx, -limit, limit)), float(np.clip(dy, -limit, limit)))
+
+
+def generate_clip(tech: TechnologyConfig, rng: np.random.Generator,
+                  array_type: Optional[ArrayType] = None) -> ContactClip:
+    """Synthesize one contact clip; the array type is drawn at random if None.
+
+    Every contact (target included) receives independent mask-registration
+    jitter.  The clip frame stays anchored at the target's *ideal* position,
+    matching how the golden resist window is cropped.
+    """
+    if array_type is None:
+        array_type = ArrayType(
+            rng.choice([t.value for t in ArrayType])
+        )
+    extent = tech.cropped_clip_nm
+    mid = extent / 2.0
+    jx, jy = _registration_jitter(tech, rng)
+    target = Rect.from_center(
+        mid + jx, mid + jy, tech.contact_size_nm, tech.contact_size_nm
+    )
+
+    if array_type is ArrayType.ISOLATED:
+        neighbors = _place_isolated(tech, rng)
+    elif array_type is ArrayType.DENSE_GRID:
+        neighbors = _place_grid(tech, rng, staggered=False)
+    elif array_type is ArrayType.STAGGERED:
+        neighbors = _place_grid(tech, rng, staggered=True)
+    else:  # pragma: no cover - enum is exhaustive
+        raise LayoutError(f"unknown array type {array_type}")
+
+    jittered = []
+    for rect in neighbors:
+        nx, ny = _registration_jitter(tech, rng)
+        moved = rect.translated(nx, ny)
+        if moved.intersects(target):
+            continue
+        jittered.append(moved)
+
+    return ContactClip(
+        tech=tech,
+        array_type=array_type,
+        target=target,
+        neighbors=tuple(jittered),
+        extent_nm=extent,
+    )
+
+
+def generate_clips(tech: TechnologyConfig, rng: np.random.Generator,
+                   count: Optional[int] = None,
+                   array_types: Optional[Sequence[ArrayType]] = None) -> List[ContactClip]:
+    """Synthesize ``count`` clips cycling through the three array types.
+
+    Cycling (rather than sampling) keeps the type mix balanced, matching the
+    paper's statement that all three array types appear in the benchmark.
+    """
+    if count is None:
+        count = tech.num_clips
+    if count < 1:
+        raise LayoutError(f"count must be >= 1, got {count}")
+    types = list(array_types) if array_types else list(ArrayType)
+    return [
+        generate_clip(tech, rng, array_type=types[i % len(types)])
+        for i in range(count)
+    ]

@@ -1,0 +1,69 @@
+"""The post-RET mask layout: OPC'd contacts plus SRAFs for one clip."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config import TechnologyConfig
+from ..errors import LayoutError
+from ..geometry import Rect
+from .contacts import ArrayType, ContactClip
+from .opc import OpcRules, apply_rule_opc
+from .sraf import SrafRules, insert_srafs
+
+
+@dataclass(frozen=True)
+class MaskLayout:
+    """Everything on the reticle for one clip, after SRAF insertion and OPC.
+
+    ``target`` is the OPC'd center contact (rendered green per Section 3.1),
+    ``neighbors`` are the other OPC'd contacts (red), ``srafs`` are the
+    assist bars (blue).  ``drawn_target`` keeps the pre-OPC rectangle for CD
+    targeting and metric reference.
+    """
+
+    tech: TechnologyConfig
+    array_type: ArrayType
+    target: Rect
+    neighbors: Tuple[Rect, ...]
+    srafs: Tuple[Rect, ...]
+    drawn_target: Rect
+    extent_nm: float
+
+    def __post_init__(self) -> None:
+        region = Rect(0.0, 0.0, self.extent_nm, self.extent_nm)
+        for name, rects in (
+            ("target", [self.target]),
+            ("neighbor", self.neighbors),
+            ("sraf", self.srafs),
+        ):
+            for rect in rects:
+                if not region.intersects(rect):
+                    raise LayoutError(f"a {name} rectangle lies outside the clip")
+
+    @property
+    def all_features(self) -> List[Rect]:
+        """Every transmitting mask opening (contacts then SRAFs)."""
+        return [self.target, *self.neighbors, *self.srafs]
+
+
+def build_mask_layout(clip: ContactClip,
+                      sraf_rules: Optional[SrafRules] = None,
+                      opc_rules: Optional[OpcRules] = None) -> MaskLayout:
+    """Run the RET flow (SRAF insertion, then rule-based OPC) on a clip.
+
+    SRAFs are placed against the *drawn* contacts (standard flow ordering),
+    then contacts are OPC-biased; assist bars are not re-biased.
+    """
+    srafs = insert_srafs(clip, rules=sraf_rules)
+    target_opc, neighbors_opc = apply_rule_opc(clip, rules=opc_rules)
+    return MaskLayout(
+        tech=clip.tech,
+        array_type=clip.array_type,
+        target=target_opc,
+        neighbors=tuple(neighbors_opc),
+        srafs=tuple(srafs),
+        drawn_target=clip.target,
+        extent_nm=clip.extent_nm,
+    )

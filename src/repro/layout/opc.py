@@ -1,0 +1,169 @@
+"""Optical proximity correction (OPC).
+
+Two engines are provided, mirroring the production split the paper relies on
+(Mentor Calibre supports both):
+
+``apply_rule_opc``
+    Rule-based per-edge biasing.  Each contact edge is biased outward by an
+    amount that grows with how *isolated* the edge is: proximity effects
+    shrink isolated features more, so their edges need more compensation.
+    Fast, deterministic, used for dataset minting.
+
+``ModelBasedOpc``
+    Model-based iterative correction: repeatedly simulates the printed
+    contour (through a caller-supplied simulation function, avoiding an
+    import cycle with :mod:`repro.sim`) and nudges the four target-contact
+    edge biases to drive the printed CD toward the drawn CD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import LayoutError
+from ..geometry import Rect
+from .contacts import ContactClip
+
+
+@dataclass(frozen=True)
+class OpcRules:
+    """Rule-based OPC parameters (nm)."""
+
+    base_bias_nm: float = 5.0
+    #: extra bias applied to a fully isolated edge
+    iso_bias_nm: float = 7.0
+    #: spacing at which an edge counts as fully isolated
+    iso_threshold_nm: float = 250.0
+    max_bias_nm: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.base_bias_nm < 0 or self.iso_bias_nm < 0:
+            raise LayoutError("OPC biases must be non-negative")
+        if self.iso_threshold_nm <= 0:
+            raise LayoutError("iso_threshold_nm must be positive")
+
+
+def _edge_spacing(contact: Rect, others: Sequence[Rect], direction: str) -> float:
+    """Spacing from one edge of ``contact`` to the nearest facing feature.
+
+    Only features overlapping the edge's projection corridor count; returns
+    infinity when the edge faces open space.
+    """
+    best = float("inf")
+    for other in others:
+        if direction == "left":
+            overlaps = other.ylo < contact.yhi and other.yhi > contact.ylo
+            if overlaps and other.xhi <= contact.xlo:
+                best = min(best, contact.xlo - other.xhi)
+        elif direction == "right":
+            overlaps = other.ylo < contact.yhi and other.yhi > contact.ylo
+            if overlaps and other.xlo >= contact.xhi:
+                best = min(best, other.xlo - contact.xhi)
+        elif direction == "bottom":
+            overlaps = other.xlo < contact.xhi and other.xhi > contact.xlo
+            if overlaps and other.yhi <= contact.ylo:
+                best = min(best, contact.ylo - other.yhi)
+        elif direction == "top":
+            overlaps = other.xlo < contact.xhi and other.xhi > contact.xlo
+            if overlaps and other.ylo >= contact.yhi:
+                best = min(best, other.ylo - contact.yhi)
+        else:  # pragma: no cover - internal call sites are fixed
+            raise LayoutError(f"unknown direction {direction!r}")
+    return best
+
+
+def _bias_for_spacing(spacing: float, rules: OpcRules) -> float:
+    """Bias grows linearly with spacing up to the isolation threshold."""
+    if spacing == float("inf"):
+        isolation = 1.0
+    else:
+        isolation = min(1.0, spacing / rules.iso_threshold_nm)
+    return min(rules.max_bias_nm, rules.base_bias_nm + rules.iso_bias_nm * isolation)
+
+
+def opc_contact(contact: Rect, others: Sequence[Rect],
+                rules: OpcRules) -> Rect:
+    """Apply per-edge rule-based bias to a single contact."""
+    return contact.biased(
+        left=_bias_for_spacing(_edge_spacing(contact, others, "left"), rules),
+        right=_bias_for_spacing(_edge_spacing(contact, others, "right"), rules),
+        bottom=_bias_for_spacing(_edge_spacing(contact, others, "bottom"), rules),
+        top=_bias_for_spacing(_edge_spacing(contact, others, "top"), rules),
+    )
+
+
+def apply_rule_opc(clip: ContactClip,
+                   rules: OpcRules = None) -> Tuple[Rect, List[Rect]]:
+    """Rule-based OPC for a whole clip.
+
+    Returns the biased target and the list of biased neighbors.  Each contact
+    is biased against every *other* contact in the clip.
+    """
+    if rules is None:
+        rules = OpcRules()
+    contacts = clip.all_contacts
+    corrected: List[Rect] = []
+    for i, contact in enumerate(contacts):
+        others = [c for j, c in enumerate(contacts) if j != i]
+        corrected.append(opc_contact(contact, others, rules))
+    return corrected[0], corrected[1:]
+
+
+class ModelBasedOpc:
+    """Iterative model-based OPC of the target contact's four edges.
+
+    Parameters
+    ----------
+    simulate_edges:
+        Callable mapping a target rectangle to the *printed* bounding box of
+        the resist contour, as a ``Rect`` in nm.  The caller closes over the
+        rest of the mask (neighbors, SRAFs) and the litho models.
+    gain:
+        Feedback gain applied to per-edge placement error each iteration.
+    max_iterations / tolerance_nm:
+        Convergence controls; iteration stops once the worst per-edge error
+        drops below the tolerance.
+    """
+
+    def __init__(self, simulate_edges: Callable[[Rect], Rect], *,
+                 gain: float = 0.6, max_iterations: int = 8,
+                 tolerance_nm: float = 0.75):
+        if not 0 < gain <= 1.5:
+            raise LayoutError(f"gain must lie in (0, 1.5], got {gain}")
+        if max_iterations < 1:
+            raise LayoutError("max_iterations must be >= 1")
+        self._simulate_edges = simulate_edges
+        self._gain = gain
+        self._max_iterations = max_iterations
+        self._tolerance_nm = tolerance_nm
+        self.history: List[float] = []
+
+    def correct(self, drawn: Rect, initial: Rect = None) -> Rect:
+        """Return an OPC'd rectangle whose printed image matches ``drawn``."""
+        current = initial if initial is not None else drawn
+        self.history = []
+        for _ in range(self._max_iterations):
+            printed = self._simulate_edges(current)
+            errors = (
+                printed.xlo - drawn.xlo,   # positive: printed edge too far right
+                drawn.xhi - printed.xhi,   # positive: printed edge too far left
+                printed.ylo - drawn.ylo,
+                drawn.yhi - printed.yhi,
+            )
+            worst = max(abs(e) for e in errors)
+            self.history.append(worst)
+            if worst <= self._tolerance_nm:
+                break
+            try:
+                current = current.biased(
+                    left=self._gain * errors[0],
+                    right=self._gain * errors[1],
+                    bottom=self._gain * errors[2],
+                    top=self._gain * errors[3],
+                )
+            except Exception as exc:
+                raise LayoutError(
+                    f"model-based OPC collapsed the contact: {exc}"
+                ) from exc
+        return current

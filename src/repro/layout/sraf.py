@@ -1,0 +1,116 @@
+"""Rule-based sub-resolution assist feature (SRAF) insertion.
+
+SRAFs ("scattering bars") are narrow mask features placed near isolated
+edges.  They are too small to print themselves but steepen the aerial-image
+slope at the main feature, improving process window.  Production tools
+(Mentor Calibre in the paper) use rule- or model-based placement; we
+implement the standard rule-based scheme:
+
+* for every contact, propose one bar per side at a fixed edge-to-edge offset;
+* drop bars that come too close to any contact or to an already-kept SRAF
+  (sub-resolution features must never merge with printing features).
+
+The rules are deliberately density-sensitive: contacts in dense arrays get
+their inward-facing bars pruned by the spacing rule, while isolated contacts
+keep all four — exactly the asymmetry the CGAN must learn to exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..config import TechnologyConfig
+from ..errors import LayoutError
+from ..geometry import Rect
+from .contacts import ContactClip
+
+
+@dataclass(frozen=True)
+class SrafRules:
+    """Placement rules for scattering bars, all lengths in nm."""
+
+    bar_width_nm: float = 24.0
+    bar_length_nm: float = 70.0
+    #: edge-to-edge offset from the contact to its assist bar
+    offset_nm: float = 70.0
+    min_space_to_contact_nm: float = 40.0
+    min_space_to_sraf_nm: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.bar_width_nm <= 0 or self.bar_length_nm <= 0:
+            raise LayoutError("SRAF bar dimensions must be positive")
+        if self.offset_nm <= 0:
+            raise LayoutError("SRAF offset must be positive")
+
+    @classmethod
+    def for_tech(cls, tech: TechnologyConfig) -> "SrafRules":
+        """Scale the default rules to a technology node's pitch."""
+        scale = tech.pitch_nm / 128.0
+        return cls(
+            bar_width_nm=24.0 * scale,
+            bar_length_nm=70.0 * scale,
+            offset_nm=70.0 * scale,
+            min_space_to_contact_nm=40.0 * scale,
+            min_space_to_sraf_nm=30.0 * scale,
+        )
+
+
+def _candidate_bars(contact: Rect, rules: SrafRules) -> List[Rect]:
+    """The four per-side assist-bar candidates for one contact."""
+    cx, cy = contact.center.x, contact.center.y
+    w, l, d = rules.bar_width_nm, rules.bar_length_nm, rules.offset_nm
+    return [
+        # left and right: vertical bars
+        Rect.from_center(contact.xlo - d - w / 2, cy, w, l),
+        Rect.from_center(contact.xhi + d + w / 2, cy, w, l),
+        # bottom and top: horizontal bars
+        Rect.from_center(cx, contact.ylo - d - w / 2, l, w),
+        Rect.from_center(cx, contact.yhi + d + w / 2, l, w),
+    ]
+
+
+def insert_srafs(clip: ContactClip, rules: SrafRules = None) -> List[Rect]:
+    """Insert scattering bars around every contact of a clip.
+
+    Returns the kept SRAF rectangles.  Placement is deterministic given the
+    clip, mirroring how a production rule deck behaves.
+    """
+    if rules is None:
+        rules = SrafRules.for_tech(clip.tech)
+
+    contacts = clip.all_contacts
+    clip_region = Rect(0.0, 0.0, clip.extent_nm, clip.extent_nm)
+    kept: List[Rect] = []
+    for contact in contacts:
+        for bar in _candidate_bars(contact, rules):
+            if not clip_region.contains_rect(bar):
+                continue
+            if any(
+                bar.spacing_to(c) < rules.min_space_to_contact_nm
+                for c in contacts
+            ):
+                continue
+            if any(
+                bar.spacing_to(s) < rules.min_space_to_sraf_nm for s in kept
+            ):
+                continue
+            kept.append(bar)
+    return kept
+
+
+def check_sraf_rules(srafs: Sequence[Rect], clip: ContactClip,
+                     rules: SrafRules) -> None:
+    """Validate a set of SRAFs against the rules; raises LayoutError on violation."""
+    for i, bar in enumerate(srafs):
+        for c in clip.all_contacts:
+            if bar.spacing_to(c) < rules.min_space_to_contact_nm - 1e-9:
+                raise LayoutError(
+                    f"SRAF {i} violates spacing to a contact: "
+                    f"{bar.spacing_to(c):.2f} nm < {rules.min_space_to_contact_nm} nm"
+                )
+        for j in range(i + 1, len(srafs)):
+            if bar.spacing_to(srafs[j]) < rules.min_space_to_sraf_nm - 1e-9:
+                raise LayoutError(
+                    f"SRAFs {i} and {j} violate SRAF-to-SRAF spacing"
+                )

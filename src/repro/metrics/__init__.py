@@ -1,0 +1,26 @@
+"""Evaluation metrics: EDE (Def. 1), segmentation (Defs. 2-4), CD, center."""
+
+from .ede import ede_nm, ede_per_edge_nm
+from .segmentation import (
+    class_accuracy,
+    mean_iou,
+    pixel_accuracy,
+    segmentation_metrics,
+)
+from .center import center_error_nm
+from .cd import cd_error_nm, measure_cd_nm
+from .epe import epe_at_edges, epe_nm
+
+__all__ = [
+    "ede_nm",
+    "ede_per_edge_nm",
+    "pixel_accuracy",
+    "class_accuracy",
+    "mean_iou",
+    "segmentation_metrics",
+    "center_error_nm",
+    "measure_cd_nm",
+    "cd_error_nm",
+    "epe_at_edges",
+    "epe_nm",
+]

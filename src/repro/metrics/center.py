@@ -1,0 +1,22 @@
+"""Center-prediction error (Section 4.1's CNN accuracy figure)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+def center_error_nm(golden_rc, predicted_rc, nm_per_px: float) -> float:
+    """Euclidean distance between golden and predicted centers, in nm."""
+    if nm_per_px <= 0:
+        raise EvaluationError(f"nm_per_px must be positive, got {nm_per_px}")
+    golden = np.asarray(golden_rc, dtype=np.float64)
+    predicted = np.asarray(predicted_rc, dtype=np.float64)
+    if golden.shape != predicted.shape or golden.shape[-1] != 2:
+        raise EvaluationError(
+            f"centers must be (..., 2): {golden.shape} vs {predicted.shape}"
+        )
+    return float(
+        np.mean(np.hypot(*(golden - predicted).reshape(-1, 2).T)) * nm_per_px
+    )

@@ -1,0 +1,61 @@
+"""Edge displacement error (Definition 1).
+
+EDE compares the bounding boxes of the golden and predicted contours: for
+each of the four box edges, the displacement is the distance between the
+golden edge and the predicted one.  We report the mean over the four edges,
+converted to nm.  (EPE would compare against the *design target*; EDE
+deliberately compares model vs. golden contours.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..geometry import bounding_box_of_mask
+
+
+def ede_per_edge_nm(golden: np.ndarray, predicted: np.ndarray,
+                    nm_per_px: float,
+                    empty_penalty_nm: Optional[float] = None
+                    ) -> Tuple[float, float, float, float]:
+    """Per-edge displacements (top, bottom, left, right) in nm.
+
+    If the predicted pattern is empty, ``empty_penalty_nm`` is returned for
+    every edge when given; otherwise an :class:`EvaluationError` is raised.
+    """
+    if golden.shape != predicted.shape:
+        raise EvaluationError(
+            f"image shape mismatch: {golden.shape} vs {predicted.shape}"
+        )
+    if nm_per_px <= 0:
+        raise EvaluationError(f"nm_per_px must be positive, got {nm_per_px}")
+    golden_box = bounding_box_of_mask(golden)
+    if golden_box is None:
+        raise EvaluationError("golden pattern is empty")
+    predicted_box = bounding_box_of_mask(predicted)
+    if predicted_box is None:
+        if empty_penalty_nm is None:
+            raise EvaluationError(
+                "predicted pattern is empty and no penalty was specified"
+            )
+        return (empty_penalty_nm,) * 4
+    g_rlo, g_clo, g_rhi, g_chi = golden_box
+    p_rlo, p_clo, p_rhi, p_chi = predicted_box
+    return (
+        abs(g_rlo - p_rlo) * nm_per_px,  # top edge
+        abs(g_rhi - p_rhi) * nm_per_px,  # bottom edge
+        abs(g_clo - p_clo) * nm_per_px,  # left edge
+        abs(g_chi - p_chi) * nm_per_px,  # right edge
+    )
+
+
+def ede_nm(golden: np.ndarray, predicted: np.ndarray, nm_per_px: float,
+           empty_penalty_nm: Optional[float] = None) -> float:
+    """Mean edge displacement error over the four bounding-box edges, nm."""
+    edges = ede_per_edge_nm(
+        golden, predicted, nm_per_px, empty_penalty_nm=empty_penalty_nm
+    )
+    return float(np.mean(edges))

@@ -1,0 +1,85 @@
+"""Semantic-segmentation metrics over monochrome pattern images.
+
+The paper treats the resist image as a two-class segmentation (pixel color 0
+or 1) and borrows the standard metrics from that literature (its reference
+[21]): pixel accuracy (Definition 2), class accuracy (Definition 3), and
+mean intersection-over-union (Definition 4).  All three are computed from
+the 2x2 confusion matrix ``p[i][j]`` = pixels of class i predicted as j.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+def _confusion(golden: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+    if golden.shape != predicted.shape:
+        raise EvaluationError(
+            f"image shape mismatch: {golden.shape} vs {predicted.shape}"
+        )
+    g = golden >= 0.5
+    p = predicted >= 0.5
+    matrix = np.empty((2, 2), dtype=np.float64)
+    matrix[0, 0] = np.count_nonzero(~g & ~p)
+    matrix[0, 1] = np.count_nonzero(~g & p)
+    matrix[1, 0] = np.count_nonzero(g & ~p)
+    matrix[1, 1] = np.count_nonzero(g & p)
+    return matrix
+
+
+def pixel_accuracy(golden: np.ndarray, predicted: np.ndarray) -> float:
+    """Fraction of pixels classified correctly (Definition 2)."""
+    matrix = _confusion(golden, predicted)
+    return float(np.trace(matrix) / matrix.sum())
+
+
+def class_accuracy(golden: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean of per-class recall over the two classes (Definition 3).
+
+    A class absent from the golden image contributes accuracy 1 if it was
+    never predicted either (vacuously perfect) and 0 otherwise.
+    """
+    matrix = _confusion(golden, predicted)
+    accuracies = []
+    for i in range(2):
+        total = matrix[i].sum()
+        if total == 0:
+            accuracies.append(1.0 if matrix[:, i].sum() == 0 else 0.0)
+        else:
+            accuracies.append(matrix[i, i] / total)
+    return float(np.mean(accuracies))
+
+
+def mean_iou(golden: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean intersection-over-union over the two classes (Definition 4)."""
+    matrix = _confusion(golden, predicted)
+    ious = []
+    for i in range(2):
+        union = matrix[i].sum() + matrix[:, i].sum() - matrix[i, i]
+        if union == 0:
+            ious.append(1.0)
+        else:
+            ious.append(matrix[i, i] / union)
+    return float(np.mean(ious))
+
+
+def segmentation_metrics(golden: np.ndarray,
+                         predicted: np.ndarray) -> Tuple[float, float, float]:
+    """(pixel accuracy, class accuracy, mean IoU) in one confusion pass."""
+    matrix = _confusion(golden, predicted)
+    pixel = float(np.trace(matrix) / matrix.sum())
+    class_accs, ious = [], []
+    for i in range(2):
+        row = matrix[i].sum()
+        col = matrix[:, i].sum()
+        if row == 0:
+            class_accs.append(1.0 if col == 0 else 0.0)
+        else:
+            class_accs.append(matrix[i, i] / row)
+        union = row + col - matrix[i, i]
+        ious.append(1.0 if union == 0 else matrix[i, i] / union)
+    return pixel, float(np.mean(class_accs)), float(np.mean(ious))

@@ -1,0 +1,13 @@
+"""Network architectures: Table 1 (CGAN) and Table 2 (center CNN)."""
+
+from .generator import build_generator
+from .discriminator import build_discriminator
+from .center_cnn import build_center_cnn
+from .threshold_cnn import build_threshold_cnn
+
+__all__ = [
+    "build_generator",
+    "build_discriminator",
+    "build_center_cnn",
+    "build_threshold_cnn",
+]

@@ -1,0 +1,66 @@
+"""The resist-center prediction CNN: Table 2.
+
+A plain regression CNN: a 7x7 stride-1 conv to 32 channels followed by 3x3
+convs to 64, each stage ending in 2x2 max pooling, until the feature map is
+8x8; then FC-64, ReLU + dropout, and FC-2 producing the normalized
+``(row, col)`` center of the resist pattern.  At ``image_size=256`` this is
+exactly Table 2 (five conv-pool stages, 8x8x64 before flattening).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from ..nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from ..nn.initializers import he_normal
+
+
+def center_cnn_stage_count(image_size: int) -> int:
+    """Conv-pool stages needed to reduce ``image_size`` to an 8x8 map."""
+    if image_size < 16 or image_size & (image_size - 1):
+        raise ConfigError(
+            f"image_size must be a power of two >= 16, got {image_size}"
+        )
+    return int(math.log2(image_size)) - 3
+
+
+def build_center_cnn(config: ModelConfig, rng: np.random.Generator) -> Sequential:
+    """Construct the Table 2 center-prediction CNN."""
+    stages = center_cnn_stage_count(config.image_size)
+    layers = []
+    in_channels = config.mask_channels
+    for i in range(stages):
+        width = config.center_first_filters if i == 0 else config.center_filters
+        kernel = 7 if i == 0 else 3
+        layers.append(
+            Conv2D(
+                in_channels, width, kernel, 1, rng,
+                weight_init=he_normal, name=f"cnn{i}",
+            )
+        )
+        layers.append(ReLU())
+        layers.append(BatchNorm(width, name=f"cnn{i}.bn"))
+        layers.append(MaxPool2D(2))
+        in_channels = width
+
+    layers.append(Flatten())
+    layers.append(
+        Dense(in_channels * 8 * 8, config.center_fc_units, rng, name="cnn_fc1")
+    )
+    layers.append(ReLU())
+    layers.append(Dropout(config.aux_dropout_rate, rng))
+    layers.append(Dense(config.center_fc_units, 2, rng, name="cnn_fc2"))
+    return Sequential(layers, name="center_cnn")

@@ -1,0 +1,54 @@
+"""The CGAN discriminator: Table 1's pair classifier.
+
+The discriminator sees the mask image and a resist image concatenated along
+channels (6 channels at paper scale) and emits one real/fake logit.  At 256
+px it matches Table 1: Conv-LReLU 64, then Conv-BN-LReLU 128/256/512 (each
+halving the resolution down to 16x16), then a fully connected layer to a
+single unit.  The sigmoid lives inside the BCE-with-logits loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from ..nn import BatchNorm, Conv2D, Dense, Flatten, LeakyReLU, Sequential
+
+
+def discriminator_input_channels(config: ModelConfig) -> int:
+    """Mask channels plus resist channels (the (x, y) pair)."""
+    return config.mask_channels + config.resist_channels
+
+
+def build_discriminator(config: ModelConfig,
+                        rng: np.random.Generator) -> Sequential:
+    """Construct the Table 1 discriminator for a model configuration.
+
+    Four stride-2 convolutions with widths (w, 2w, 4w, 8w) reduce the image
+    by 16x; the paper's 'Filter' column prints stride 1 for the last one but
+    its own output column shows 32x32 -> 16x16, so stride 2 is what the
+    shapes require and what we build.
+    """
+    if config.image_size < 16:
+        raise ConfigError(
+            f"image_size {config.image_size} is too small for the discriminator"
+        )
+    k = config.kernel_size
+    w = config.base_filters
+    widths = (w, 2 * w, 4 * w, 8 * w)
+    layers = []
+    in_channels = discriminator_input_channels(config)
+    for i, width in enumerate(widths):
+        layers.append(Conv2D(in_channels, width, k, 2, rng, name=f"disc{i}"))
+        if i > 0:
+            layers.append(BatchNorm(width, name=f"disc{i}.bn"))
+        layers.append(LeakyReLU(config.leaky_slope))
+        in_channels = width
+
+    final_spatial = config.image_size // 16
+    layers.append(Flatten())
+    layers.append(
+        Dense(in_channels * final_spatial * final_spatial, 1, rng, name="disc_fc")
+    )
+    return Sequential(layers, name="discriminator")

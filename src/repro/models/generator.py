@@ -1,0 +1,74 @@
+"""The CGAN generator: Table 1's encoder-decoder network.
+
+At ``image_size=256`` / ``base_filters=64`` the stack reproduces Table 1
+exactly: eight stride-2 5x5 convolutions down to a 1x1x512 bottleneck, then
+eight stride-2 5x5 deconvolutions back to 256x256x3, with dropout on the
+first two decoder stages and no skip connections (plain encoder-decoder, not
+U-Net).  Other sizes scale the depth (one stage per factor of two) and width
+while preserving the topology.
+
+A note on activations: the paper's text says the encoder uses LReLU and the
+decoder ReLU, while its Table 1 prints the opposite (``Conv-ReLU`` encoder
+rows, ``Deconv-BN-LReLU`` decoder rows).  We follow Table 1 literally, since
+that is the artifact the architecture tests verify against; the choice is
+immaterial to the results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from ..nn import (
+    BatchNorm,
+    Conv2D,
+    ConvTranspose2D,
+    Dropout,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+)
+
+
+def build_generator(config: ModelConfig, rng: np.random.Generator) -> Sequential:
+    """Construct the Table 1 generator for a model configuration."""
+    widths = config.encoder_widths()
+    if len(widths) < 2:
+        raise ConfigError(
+            f"image_size {config.image_size} is too small for the "
+            "encoder-decoder generator"
+        )
+    k = config.kernel_size
+    layers = []
+
+    # Encoder: Conv-ReLU then Conv-BN-ReLU down to the 1x1 bottleneck.
+    in_channels = config.mask_channels
+    for i, width in enumerate(widths):
+        layers.append(
+            Conv2D(in_channels, width, k, 2, rng, name=f"enc{i}")
+        )
+        if i > 0:
+            layers.append(BatchNorm(width, name=f"enc{i}.bn"))
+        layers.append(ReLU())
+        in_channels = width
+
+    # Decoder: Deconv-BN-LReLU (+Dropout on the first stages), then the
+    # final Deconv-LReLU to the output resolution.
+    for i, width in enumerate(config.decoder_widths()):
+        layers.append(
+            ConvTranspose2D(in_channels, width, k, 2, rng, name=f"dec{i}")
+        )
+        layers.append(BatchNorm(width, name=f"dec{i}.bn"))
+        layers.append(LeakyReLU(config.leaky_slope))
+        if i < config.decoder_dropout_layers:
+            layers.append(Dropout(config.dropout_rate, rng))
+        in_channels = width
+
+    layers.append(
+        ConvTranspose2D(
+            in_channels, config.resist_channels, k, 2, rng, name="dec_out"
+        )
+    )
+    layers.append(LeakyReLU(config.leaky_slope))
+    return Sequential(layers, name="generator")

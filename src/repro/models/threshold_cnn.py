@@ -1,0 +1,68 @@
+"""The baseline threshold-prediction CNN (the paper's references [10, 12]).
+
+The machine-learning baseline the paper compares against does *not* learn the
+resist pattern end-to-end: it runs optical simulation first, feeds the aerial
+image of the target window to a CNN that predicts **four slicing thresholds**
+(one per bounding-box edge), and finishes with contour processing.  This
+module provides that CNN; :mod:`repro.baselines.ref12` wires it into the full
+flow.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from ..nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from ..nn.initializers import he_normal
+
+#: number of predicted slicing thresholds (left, right, bottom, top edges)
+NUM_THRESHOLDS = 4
+
+
+def build_threshold_cnn(config: ModelConfig,
+                        rng: np.random.Generator) -> Sequential:
+    """CNN mapping a 1-channel aerial window to four slicing thresholds."""
+    if config.image_size < 16 or config.image_size & (config.image_size - 1):
+        raise ConfigError(
+            f"image_size must be a power of two >= 16, got {config.image_size}"
+        )
+    stages = int(math.log2(config.image_size)) - 3  # stop at an 8x8 map
+    layers = []
+    in_channels = 1
+    for i in range(stages):
+        width = config.center_first_filters if i == 0 else config.center_filters
+        kernel = 7 if i == 0 else 3
+        layers.append(
+            Conv2D(
+                in_channels, width, kernel, 1, rng,
+                weight_init=he_normal, name=f"thr{i}",
+            )
+        )
+        layers.append(ReLU())
+        layers.append(BatchNorm(width, name=f"thr{i}.bn"))
+        layers.append(MaxPool2D(2))
+        in_channels = width
+
+    layers.append(Flatten())
+    layers.append(
+        Dense(in_channels * 8 * 8, config.center_fc_units, rng, name="thr_fc1")
+    )
+    layers.append(ReLU())
+    layers.append(Dropout(config.aux_dropout_rate, rng))
+    layers.append(
+        Dense(config.center_fc_units, NUM_THRESHOLDS, rng, name="thr_fc2")
+    )
+    return Sequential(layers, name="threshold_cnn")

@@ -1,0 +1,67 @@
+"""A from-scratch NumPy deep-learning framework.
+
+The paper trains its networks with TensorFlow on a GPU; neither is available
+here, so this subpackage provides the full substrate: im2col-based strided
+convolutions and transposed convolutions, batch normalization, dropout,
+pooling, dense layers, activation layers, GAN-ready losses, SGD/Adam, and a
+``Sequential`` container with save/load and architecture summaries.
+
+Conventions
+-----------
+* Tensors are ``float32`` NumPy arrays, images channel-first ``(N, C, H, W)``.
+* Layers own :class:`Parameter` objects; gradients accumulate into
+  ``Parameter.grad`` during ``backward`` and optimizers consume them.
+* All randomness (init, dropout) flows through explicit
+  ``numpy.random.Generator`` instances.
+"""
+
+from .parameter import Parameter
+from .initializers import glorot_uniform, he_normal, dcgan_normal, zeros
+from .layers import (
+    BatchNorm,
+    Conv2D,
+    ConvTranspose2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .losses import (
+    bce_with_logits,
+    l1_loss,
+    mse_loss,
+)
+from .optim import SGD, Adam, Optimizer
+from .network import Sequential
+
+__all__ = [
+    "Parameter",
+    "glorot_uniform",
+    "he_normal",
+    "dcgan_normal",
+    "zeros",
+    "Layer",
+    "Conv2D",
+    "ConvTranspose2D",
+    "Dense",
+    "BatchNorm",
+    "Dropout",
+    "Flatten",
+    "MaxPool2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "bce_with_logits",
+    "l1_loss",
+    "mse_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+]

@@ -1,0 +1,46 @@
+"""Weight initializers.
+
+``dcgan_normal`` (N(0, 0.02)) is the GAN literature's standard and what the
+pix2pix lineage the paper builds on uses; Glorot/He are provided for the
+plain CNNs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _fans(shape) -> tuple:
+    """(fan_in, fan_out) for dense and conv weight shapes."""
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (out_ch or in_ch, ch, k, k)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ShapeError(f"cannot infer fans for weight shape {shape}")
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fin+fout))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)) — suited to ReLU stacks."""
+    fan_in, _ = _fans(shape)
+    return (rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)).astype(np.float32)
+
+
+def dcgan_normal(shape, rng: np.random.Generator,
+                 stddev: float = 0.02) -> np.ndarray:
+    """DCGAN-style N(0, 0.02) initialization."""
+    return rng.normal(0.0, stddev, size=shape).astype(np.float32)
+
+
+def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+    """All-zeros (biases)."""
+    return np.zeros(shape, dtype=np.float32)

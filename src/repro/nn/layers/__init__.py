@@ -1,0 +1,25 @@
+"""Neural-network layers with explicit forward/backward passes."""
+
+from .base import Layer
+from .conv import Conv2D, ConvTranspose2D
+from .dense import Dense
+from .norm import BatchNorm
+from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from .dropout import Dropout
+from .pooling import MaxPool2D
+from .reshape import Flatten
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "ConvTranspose2D",
+    "Dense",
+    "BatchNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "MaxPool2D",
+    "Flatten",
+]

@@ -1,0 +1,84 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..functional import sigmoid
+from .base import Layer
+
+
+class ReLU(Layer):
+    op_name = "ReLU"
+
+    def __init__(self):
+        self._mask = None
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(np.float32, copy=False)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        mask = self._require_cache(self._mask, "mask")
+        return grad * mask
+
+
+class LeakyReLU(Layer):
+    op_name = "LReLU"
+
+    def __init__(self, slope: float = 0.2):
+        if not 0 <= slope < 1:
+            raise ShapeError(f"leaky slope must lie in [0, 1), got {slope}")
+        self.slope = slope
+        self._mask = None
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.slope * x).astype(np.float32, copy=False)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        mask = self._require_cache(self._mask, "mask")
+        return np.where(mask, grad, self.slope * grad)
+
+
+class Sigmoid(Layer):
+    op_name = "Sigmoid"
+
+    def __init__(self):
+        self._out = None
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = sigmoid(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = self._require_cache(self._out, "output")
+        return grad * out * (1.0 - out)
+
+
+class Tanh(Layer):
+    op_name = "Tanh"
+
+    def __init__(self):
+        self._out = None
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = self._require_cache(self._out, "output")
+        return grad * (1.0 - out**2)

@@ -1,0 +1,49 @@
+"""Layer interface.
+
+A layer is a differentiable function with optional parameters.  ``forward``
+caches whatever the matching ``backward`` needs; calling ``backward`` without
+a preceding ``forward`` is an error.  Layers are single-use per step: each
+``forward`` overwrites the cache of the previous one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...errors import TrainingError
+from ..parameter import Parameter
+
+
+class Layer:
+    """Base class for all layers."""
+
+    #: human-readable op name used in architecture summaries ("Conv", ...)
+    op_name = "Layer"
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters of this layer (empty by default)."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        """Shape (without batch dim) this layer produces for an input shape."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """The 'Filter' column of the paper's architecture tables."""
+        return "-"
+
+    def _require_cache(self, value, what: str = "input"):
+        if value is None:
+            raise TrainingError(
+                f"{type(self).__name__}.backward called before forward "
+                f"(missing cached {what})"
+            )
+        return value

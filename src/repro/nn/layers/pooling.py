@@ -1,0 +1,52 @@
+"""Max pooling (2x2 stride 2 is what Table 2 uses; any equal size/stride works)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from .base import Layer
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling: ``size == stride``."""
+
+    op_name = "P"
+
+    def __init__(self, size: int = 2):
+        if size < 2:
+            raise ShapeError(f"pool size must be >= 2, got {size}")
+        self.size = size
+        self._cache = None
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        if h % self.size or w % self.size:
+            raise ShapeError(
+                f"input {h}x{w} is not divisible by pool size {self.size}"
+            )
+        return (c, h // self.size, w // self.size)
+
+    def describe(self) -> str:
+        return f"{self.size}x{self.size},{self.size}"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ShapeError(f"input {h}x{w} is not divisible by pool size {s}")
+        windows = x.reshape(n, c, h // s, s, w // s, s)
+        out = windows.max(axis=(3, 5))
+        # Gradient routing mask; ties split the gradient evenly.
+        expanded = out[:, :, :, None, :, None]
+        mask = (windows == expanded).astype(np.float32)
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        self._cache = (mask / counts, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        mask, x_shape = self._require_cache(self._cache)
+        n, c, h, w = x_shape
+        s = self.size
+        grad_windows = grad[:, :, :, None, :, None] * mask
+        return grad_windows.reshape(n, c, h, w)

@@ -1,0 +1,59 @@
+"""Loss functions.
+
+Each loss returns ``(value, grad)`` where ``grad`` is the gradient of the
+*mean* loss with respect to the first argument — ready to feed straight into
+``Sequential.backward``.
+
+``bce_with_logits`` is the GAN objective of Eqs. (1)-(2): the discriminator's
+final FC layer produces raw logits and the sigmoid is folded into the loss
+for numerical stability (the saturating ``log(1 - D)`` form the paper writes
+is implemented in its standard non-saturating equivalent: maximizing
+``log D(fake)`` for the generator).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .functional import sigmoid
+
+
+def _check_same_shape(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+def bce_with_logits(logits: np.ndarray,
+                    targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean binary cross-entropy on raw logits."""
+    _check_same_shape(logits, targets)
+    z = logits.astype(np.float64)
+    t = targets.astype(np.float64)
+    # max(z, 0) - z*t + log(1 + exp(-|z|)) is stable for both signs of z.
+    per_element = np.maximum(z, 0.0) - z * t + np.log1p(np.exp(-np.abs(z)))
+    value = float(per_element.mean())
+    grad = (sigmoid(z) - t) / z.size
+    return value, grad.astype(np.float32)
+
+
+def l1_loss(prediction: np.ndarray,
+            target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean absolute error — the pixel term of Eq. (2)."""
+    _check_same_shape(prediction, target)
+    diff = prediction.astype(np.float64) - target.astype(np.float64)
+    value = float(np.abs(diff).mean())
+    grad = np.sign(diff) / diff.size
+    return value, grad.astype(np.float32)
+
+
+def mse_loss(prediction: np.ndarray,
+             target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error — used by the center-CNN regression."""
+    _check_same_shape(prediction, target)
+    diff = prediction.astype(np.float64) - target.astype(np.float64)
+    value = float((diff**2).mean())
+    grad = 2.0 * diff / diff.size
+    return value, grad.astype(np.float32)

@@ -1,0 +1,149 @@
+"""Sequential network container with summaries and (de)serialization."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError, TrainingError
+from .layers.base import Layer
+from .parameter import Parameter
+
+
+class Sequential:
+    """A straight-line stack of layers.
+
+    ``forward`` feeds the input through every layer (caching intermediates in
+    the layers themselves); ``backward`` walks the stack in reverse and
+    returns the gradient with respect to the network input — which is how the
+    GAN loop pushes the discriminator's verdict back into the generator.
+    """
+
+    def __init__(self, layers: Sequence[Layer], name: str = "network"):
+        layer_list = list(layers)
+        if not layer_list:
+            raise TrainingError("Sequential requires at least one layer")
+        self.layers: List[Layer] = layer_list
+        self.name = name
+
+    # -- execution ----------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(self.layers):
+            out = layer.backward(out)
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    # -- parameters ----------------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- introspection --------------------------------------------------------
+
+    def summary(self, input_shape: Tuple[int, ...]) -> List[Dict[str, str]]:
+        """Architecture-table rows: layer ops, filter spec, output size.
+
+        Consecutive parameter-free layers (BN, activations, dropout, pooling)
+        are folded into the row of the preceding parametric layer, matching
+        the ``Conv-BN-ReLU``-style row labels of the paper's Tables 1 and 2.
+        """
+        rows: List[Dict[str, str]] = [
+            {
+                "layer": "Input",
+                "filter": "-",
+                "output": "x".join(str(d) for d in _hwc(input_shape)),
+            }
+        ]
+        shape = input_shape
+        current: Optional[Dict[str, str]] = None
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            starts_row = layer.op_name in (
+                "Conv", "Deconv", "FC", "Dropout", "Flatten",
+            )
+            if starts_row or current is None:
+                current = {
+                    "layer": layer.op_name,
+                    "filter": layer.describe(),
+                    "output": "x".join(str(d) for d in _hwc(shape)),
+                }
+                rows.append(current)
+            else:
+                current["layer"] += f"-{layer.op_name}"
+                current["output"] = "x".join(str(d) for d in _hwc(shape))
+        return rows
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameter values plus batch-norm running statistics."""
+        state: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.parameters()):
+                state[f"layer{i}.param{j}"] = param.value.copy()
+            if hasattr(layer, "running_mean"):
+                state[f"layer{i}.running_mean"] = layer.running_mean.copy()
+                state[f"layer{i}.running_var"] = layer.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.parameters()):
+                key = f"layer{i}.param{j}"
+                if key not in state:
+                    raise ShapeError(f"missing parameter {key} in state dict")
+                value = state[key]
+                if value.shape != param.value.shape:
+                    raise ShapeError(
+                        f"{key}: shape {value.shape} does not match "
+                        f"{param.value.shape}"
+                    )
+                param.value = value.astype(np.float32).copy()
+                param.zero_grad()
+            if hasattr(layer, "running_mean"):
+                layer.running_mean = state[f"layer{i}.running_mean"].copy()
+                layer.running_var = state[f"layer{i}.running_var"].copy()
+                if hasattr(layer, "_stats_seeded"):
+                    layer._stats_seeded = True
+
+    def save(self, path) -> None:
+        np.savez_compressed(path, **self.state_dict())
+
+    def load(self, path) -> None:
+        with np.load(path) as data:
+            self.load_state_dict({key: data[key] for key in data.files})
+
+
+def _hwc(shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Render (C, H, W) shapes as HxWxC like the paper's tables; pass others."""
+    if len(shape) == 3:
+        c, h, w = shape
+        return (h, w, c)
+    return shape

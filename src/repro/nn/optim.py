@@ -1,0 +1,95 @@
+"""Optimizers: mini-batch SGD and Adam (the paper's reference [24]).
+
+Each optimizer owns the parameter list it updates (so GAN training holds one
+Adam for the generator and one for the discriminator, stepping them
+alternately as Section 3.2 describes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import TrainingError
+from .parameter import Parameter
+
+
+class Optimizer:
+    """Base optimizer bound to a fixed parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning rate must be positive, got {learning_rate}")
+        params = list(parameters)
+        if not params:
+            raise TrainingError("optimizer received an empty parameter list")
+        self.parameters = params
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain mini-batch SGD with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float,
+                 momentum: float = 0.0):
+        super().__init__(parameters, learning_rate)
+        if not 0 <= momentum < 1:
+            raise TrainingError(f"momentum must lie in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if not param.trainable:
+                continue
+            if self.momentum:
+                velocity = self._velocity.setdefault(
+                    id(param), np.zeros_like(param.value)
+                )
+                velocity *= self.momentum
+                velocity -= self.learning_rate * param.grad
+                param.value += velocity
+            else:
+                param.value -= self.learning_rate * param.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments."""
+
+    def __init__(self, parameters: Sequence[Parameter],
+                 learning_rate: float = 2e-4, beta1: float = 0.5,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(parameters, learning_rate)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise TrainingError("Adam betas must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for param in self.parameters:
+            if not param.trainable:
+                continue
+            m = self._m.setdefault(id(param), np.zeros_like(param.value))
+            v = self._v.setdefault(id(param), np.zeros_like(param.value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,50 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Layers create parameters during construction; ``backward`` passes add to
+    ``grad`` (so gradients from multiple forward passes accumulate, which the
+    GAN training loop relies on), and optimizers read ``grad`` then call
+    :meth:`zero_grad`.
+    """
+
+    __slots__ = ("name", "value", "grad", "trainable")
+
+    def __init__(self, value: np.ndarray, name: str = "param",
+                 trainable: bool = True):
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def add_grad(self, grad: np.ndarray) -> None:
+        if grad.shape != self.value.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} with shape {self.value.shape}"
+            )
+        self.grad += grad.astype(np.float32, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.value.shape})"

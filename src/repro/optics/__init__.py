@@ -1,0 +1,21 @@
+"""Partially-coherent scalar optical imaging (Hopkins TCC + SOCS)."""
+
+from .source import SourceGrid, annular_source, conventional_source, quasar_source
+from .pupil import Pupil
+from .tcc import TccModel, compute_tcc_matrix
+from .socs import SocsKernels, decompose_tcc
+from .imaging import AerialImager, abbe_aerial_image
+
+__all__ = [
+    "SourceGrid",
+    "annular_source",
+    "conventional_source",
+    "quasar_source",
+    "Pupil",
+    "TccModel",
+    "compute_tcc_matrix",
+    "SocsKernels",
+    "decompose_tcc",
+    "AerialImager",
+    "abbe_aerial_image",
+]

@@ -1,0 +1,117 @@
+"""Aerial-image computation: cached SOCS imager and a reference Abbe path.
+
+:class:`AerialImager` is the production path: it builds the TCC once per
+(optical config, grid) pair, decomposes it into SOCS kernels, and then images
+masks with a few FFTs each.  :func:`abbe_aerial_image` is the slow source-
+point-by-source-point Abbe formulation kept as a physics cross-check — the
+two must agree when all TCC eigenvalues are retained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import OpticalConfig
+from ..errors import OpticsError
+from .pupil import Pupil
+from .socs import SocsKernels, decompose_tcc
+from .source import SourceGrid
+from .tcc import (
+    compute_tcc_matrix,
+    default_pupil,
+    default_source,
+    na_radius_in_samples,
+)
+
+
+class AerialImager:
+    """Partially-coherent imager for a fixed optical setup and grid.
+
+    Building the TCC + SOCS kernels is the expensive part and happens once
+    in the constructor; imaging a mask afterwards costs ``num_kernels`` FFT
+    round-trips.
+    """
+
+    def __init__(self, optical: OpticalConfig, extent_nm: float,
+                 grid_size: Optional[int] = None,
+                 source: Optional[SourceGrid] = None,
+                 pupil: Optional[Pupil] = None):
+        if extent_nm <= 0:
+            raise OpticsError(f"extent must be positive, got {extent_nm}")
+        self.optical = optical
+        self.extent_nm = float(extent_nm)
+        self.grid_size = int(grid_size if grid_size is not None else optical.grid_size)
+        tcc = compute_tcc_matrix(
+            optical, self.grid_size, self.extent_nm, source=source, pupil=pupil
+        )
+        self.kernels: SocsKernels = decompose_tcc(tcc, optical.num_kernels)
+
+    @property
+    def energy_captured(self) -> float:
+        """TCC energy fraction represented by the retained kernels."""
+        return self.kernels.energy_captured
+
+    def aerial_image(self, transmission: np.ndarray) -> np.ndarray:
+        """Aerial intensity (clear field ~ 1.0) for a transmission map."""
+        return self.kernels.aerial_image(transmission)
+
+    def clear_field_intensity(self) -> float:
+        """Intensity of a fully open mask — should approach 1.0."""
+        open_frame = np.ones((self.grid_size, self.grid_size))
+        return float(self.aerial_image(open_frame).mean())
+
+
+def abbe_aerial_image(transmission: np.ndarray, optical: OpticalConfig,
+                      extent_nm: float, source: Optional[SourceGrid] = None,
+                      pupil: Optional[Pupil] = None) -> np.ndarray:
+    """Reference Abbe-formulation image: loop over source points.
+
+    For each source point s the mask spectrum is passed through the pupil
+    shifted by s and the coherent intensities are weight-summed.  Exact (up
+    to source discretization) but ~num_source_points FFTs per mask.
+    """
+    n = transmission.shape[0]
+    if transmission.shape != (n, n):
+        raise OpticsError(f"expected a square mask, got {transmission.shape}")
+    if source is None:
+        source = default_source(optical)
+    if pupil is None:
+        pupil = default_pupil(optical)
+
+    radius = na_radius_in_samples(optical, extent_nm)
+    freqs = np.fft.fftfreq(n, d=1.0 / n)  # integer bin values
+    kx, ky = np.meshgrid(freqs, freqs)  # kx varies along columns (axis 1)
+    mask_spectrum = np.fft.fft2(transmission)
+
+    intensity = np.zeros((n, n), dtype=np.float64)
+    for sx, sy, weight in zip(source.fx, source.fy, source.weights):
+        transfer = pupil.evaluate(sx + kx / radius, sy + ky / radius)
+        field = np.fft.ifft2(mask_spectrum * transfer)
+        intensity += weight * np.abs(field) ** 2
+    return intensity
+
+
+# ---------------------------------------------------------------------------
+# Imager cache: dataset minting images hundreds of clips through the same
+# optical setup, so the TCC/SOCS construction must be shared.
+# ---------------------------------------------------------------------------
+
+_IMAGER_CACHE: Dict[Tuple, AerialImager] = {}
+
+
+def get_imager(optical: OpticalConfig, extent_nm: float,
+               grid_size: Optional[int] = None) -> AerialImager:
+    """Return a cached :class:`AerialImager` for this configuration."""
+    key = (optical, float(extent_nm), grid_size)
+    imager = _IMAGER_CACHE.get(key)
+    if imager is None:
+        imager = AerialImager(optical, extent_nm, grid_size=grid_size)
+        _IMAGER_CACHE[key] = imager
+    return imager
+
+
+def clear_imager_cache() -> None:
+    """Drop all cached imagers (used by tests to bound memory)."""
+    _IMAGER_CACHE.clear()

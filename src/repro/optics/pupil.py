@@ -1,0 +1,90 @@
+"""Projection-lens pupil function.
+
+The pupil is evaluated in normalized coordinates ``rho = f * wavelength / NA``
+(so the aperture edge sits at ``|rho| = 1``).  Defocus and low-order Zernike
+aberrations enter as phase terms; an ideal in-focus pupil is purely the
+circular aperture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..errors import OpticsError
+
+
+@dataclass(frozen=True)
+class Pupil:
+    """A scalar pupil with defocus and optional Zernike phase terms.
+
+    ``zernike`` maps (n, m) Zernike indices to coefficients in waves; only
+    the rotationally useful low orders are implemented (astigmatism, coma,
+    spherical).
+    """
+
+    wavelength_nm: float
+    numerical_aperture: float
+    defocus_nm: float = 0.0
+    zernike: Dict = field(default_factory=dict)
+
+    _SUPPORTED_ZERNIKE = {
+        (2, -2): "oblique astigmatism",
+        (2, 2): "vertical astigmatism",
+        (3, -1): "vertical coma",
+        (3, 1): "horizontal coma",
+        (4, 0): "primary spherical",
+    }
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0:
+            raise OpticsError("wavelength must be positive")
+        if self.numerical_aperture <= 0:
+            raise OpticsError("NA must be positive")
+        for index in self.zernike:
+            if index not in self._SUPPORTED_ZERNIKE:
+                raise OpticsError(
+                    f"unsupported Zernike index {index}; supported: "
+                    f"{sorted(self._SUPPORTED_ZERNIKE)}"
+                )
+
+    def evaluate(self, rho_x: np.ndarray, rho_y: np.ndarray) -> np.ndarray:
+        """Complex pupil value at normalized frequencies (broadcasting)."""
+        rho_sq = rho_x**2 + rho_y**2
+        aperture = (rho_sq <= 1.0 + 1e-12).astype(np.float64)
+        phase = np.zeros_like(rho_sq, dtype=np.float64)
+
+        if self.defocus_nm:
+            # Paraxial defocus phase: pi * defocus * NA^2 * rho^2 / wavelength.
+            phase += (
+                np.pi
+                * self.defocus_nm
+                * self.numerical_aperture**2
+                * rho_sq
+                / self.wavelength_nm
+            )
+        if self.zernike:
+            rho = np.sqrt(rho_sq)
+            theta = np.arctan2(rho_y, rho_x)
+            for (n, m), coeff in self.zernike.items():
+                phase += 2.0 * np.pi * coeff * _zernike_poly(n, m, rho, theta)
+
+        return aperture * np.exp(1j * phase)
+
+
+def _zernike_poly(n: int, m: int, rho: np.ndarray,
+                  theta: np.ndarray) -> np.ndarray:
+    """Low-order Zernike polynomials used by :class:`Pupil`."""
+    if (n, m) == (2, -2):
+        return rho**2 * np.sin(2 * theta)
+    if (n, m) == (2, 2):
+        return rho**2 * np.cos(2 * theta)
+    if (n, m) == (3, -1):
+        return (3 * rho**3 - 2 * rho) * np.sin(theta)
+    if (n, m) == (3, 1):
+        return (3 * rho**3 - 2 * rho) * np.cos(theta)
+    if (n, m) == (4, 0):
+        return 6 * rho**4 - 6 * rho**2 + 1
+    raise OpticsError(f"unsupported Zernike index {(n, m)}")  # pragma: no cover

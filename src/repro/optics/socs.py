@@ -1,0 +1,98 @@
+"""Sum-of-coherent-systems (SOCS) decomposition of the TCC.
+
+The Hermitian TCC matrix factors as ``T = sum_k w_k v_k v_k^H`` with
+``w_k >= 0``.  Each eigenvector ``v_k``, scattered back onto the FFT grid,
+is the transfer function of one *coherent* system; the partially coherent
+aerial image is then
+
+    I(x) = sum_k w_k | IFFT( FFT(mask) * H_k ) |^2 .
+
+Keeping the top-K eigenpairs (K = ``OpticalConfig.num_kernels``) is the
+standard compact-model speedup: the spectrum decays fast, so a handful of
+kernels captures nearly all the energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import OpticsError
+from .tcc import TccModel
+
+
+@dataclass(frozen=True)
+class SocsKernels:
+    """Truncated coherent-kernel set from one TCC eigendecomposition."""
+
+    #: (K, N, N) complex transfer functions on the FFT grid
+    spectra: np.ndarray
+    #: (K,) non-negative kernel weights (TCC eigenvalues), descending
+    weights: np.ndarray
+    grid_size: int
+    extent_nm: float
+    #: fraction of total TCC trace captured by the retained kernels
+    energy_captured: float
+
+    def __post_init__(self) -> None:
+        if self.spectra.ndim != 3:
+            raise OpticsError(f"spectra must be (K, N, N), got {self.spectra.shape}")
+        k, n, n2 = self.spectra.shape
+        if n != n2 or n != self.grid_size:
+            raise OpticsError("kernel spectra do not match the grid size")
+        if self.weights.shape != (k,):
+            raise OpticsError("weights must have one entry per kernel")
+        if np.any(self.weights < -1e-12):
+            raise OpticsError("kernel weights must be non-negative")
+        if np.any(np.diff(self.weights) > 1e-12):
+            raise OpticsError("kernel weights must be sorted descending")
+
+    @property
+    def num_kernels(self) -> int:
+        return int(self.weights.size)
+
+    def aerial_image(self, transmission: np.ndarray) -> np.ndarray:
+        """Aerial intensity for a scalar mask-transmission map."""
+        if transmission.shape != (self.grid_size, self.grid_size):
+            raise OpticsError(
+                f"transmission shape {transmission.shape} does not match "
+                f"grid size {self.grid_size}"
+            )
+        mask_spectrum = np.fft.fft2(transmission)
+        intensity = np.zeros_like(transmission, dtype=np.float64)
+        for weight, spectrum in zip(self.weights, self.spectra):
+            field = np.fft.ifft2(mask_spectrum * spectrum)
+            intensity += weight * np.abs(field) ** 2
+        return intensity
+
+
+def decompose_tcc(tcc: TccModel, num_kernels: int) -> SocsKernels:
+    """Eigendecompose a TCC matrix into its top-K coherent kernels."""
+    if num_kernels < 1:
+        raise OpticsError(f"num_kernels must be >= 1, got {num_kernels}")
+    eigenvalues, eigenvectors = np.linalg.eigh(tcc.matrix)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+
+    k = min(num_kernels, eigenvalues.size)
+    kept = np.clip(eigenvalues[:k], 0.0, None)
+    total = float(np.clip(eigenvalues, 0.0, None).sum())
+    energy = float(kept.sum() / total) if total > 0 else 0.0
+
+    n = tcc.grid_size
+    spectra = np.zeros((k, n, n), dtype=np.complex128)
+    kx = tcc.freq_indices[:, 0] % n
+    ky = tcc.freq_indices[:, 1] % n
+    for i in range(k):
+        # FFT convention: axis 0 is y (rows), axis 1 is x (columns).
+        spectra[i, ky, kx] = eigenvectors[:, i]
+
+    return SocsKernels(
+        spectra=spectra,
+        weights=kept,
+        grid_size=n,
+        extent_nm=tcc.extent_nm,
+        energy_captured=energy,
+    )

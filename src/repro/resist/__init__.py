@@ -1,0 +1,16 @@
+"""Resist models: diffusion, constant/variable thresholds, development."""
+
+from .diffusion import diffuse_aerial_image
+from .threshold import ConstantThresholdModel
+from .vtr import VariableThresholdModel, local_image_statistics
+from .develop import DevelopedPattern, develop, resist_window_image
+
+__all__ = [
+    "diffuse_aerial_image",
+    "ConstantThresholdModel",
+    "VariableThresholdModel",
+    "local_image_statistics",
+    "DevelopedPattern",
+    "develop",
+    "resist_window_image",
+]

@@ -1,0 +1,43 @@
+"""Constant-threshold resist (CTR) model.
+
+The simplest compact resist model: resist clears wherever the (diffused)
+aerial intensity exceeds a single calibrated threshold.  Serves both as the
+fallback development model and as the reference point for the variable-
+threshold model's perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ResistConfig
+from ..errors import ResistError
+
+
+@dataclass(frozen=True)
+class ConstantThresholdModel:
+    """Uniform slicing threshold over the whole image."""
+
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold < 1:
+            raise ResistError(
+                f"threshold must lie in (0, 1), got {self.threshold}"
+            )
+
+    @classmethod
+    def from_config(cls, config: ResistConfig) -> "ConstantThresholdModel":
+        return cls(threshold=config.base_threshold)
+
+    def threshold_map(self, aerial: np.ndarray) -> np.ndarray:
+        """Per-pixel threshold map (uniform for CTR)."""
+        if aerial.ndim != 2:
+            raise ResistError(f"expected a 2-D image, got shape {aerial.shape}")
+        return np.full_like(aerial, self.threshold, dtype=np.float64)
+
+    def printed(self, aerial: np.ndarray) -> np.ndarray:
+        """Binary printed pattern: 1 where the resist clears (contact holes)."""
+        return (aerial >= self.threshold_map(aerial)).astype(np.float64)

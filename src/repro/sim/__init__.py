@@ -1,0 +1,13 @@
+"""Rigorous lithography simulation pipeline (the golden-data path of Fig. 1)."""
+
+from .pipeline import LithographySimulator, SimulatedClip
+from .process_window import ProcessWindowResult, sweep_process_window
+from .runtime import StageTimer
+
+__all__ = [
+    "LithographySimulator",
+    "SimulatedClip",
+    "StageTimer",
+    "ProcessWindowResult",
+    "sweep_process_window",
+]

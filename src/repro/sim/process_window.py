@@ -1,0 +1,148 @@
+"""Process-window analysis: CD through dose and focus.
+
+Lithographers qualify a process by how much the printed CD moves as exposure
+dose and focus drift — the *process window*.  This module sweeps a mask
+layout over a (dose, defocus) grid using the same optical/resist substrate
+that mints the golden data, and extracts the classical summary numbers:
+
+* **Bossung curves** — CD vs. defocus, one curve per dose;
+* **depth of focus (DOF)** — the defocus range keeping CD within tolerance
+  at nominal dose;
+* **exposure latitude (EL)** — the dose range keeping CD within tolerance
+  at nominal focus.
+
+This is the evaluation the resist models exist to accelerate, and the
+natural extension experiment for the LithoGAN substrate (SRAF insertion is
+motivated by exactly these numbers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..errors import ResistError, EvaluationError
+from ..geometry import Grid, Point
+from ..layout import MaskLayout, render_transmission
+from ..metrics import measure_cd_nm
+from ..optics.imaging import get_imager
+from ..resist import develop, resist_window_image
+
+
+@dataclass(frozen=True)
+class ProcessWindowResult:
+    """CD (nm, mean of H/V) over a (dose, defocus) grid; NaN = no print."""
+
+    doses: np.ndarray
+    defocuses_nm: np.ndarray
+    #: (len(doses), len(defocuses)) matrix of printed CDs in nm
+    cd_nm: np.ndarray
+    nominal_cd_nm: float
+
+    def __post_init__(self) -> None:
+        expected = (len(self.doses), len(self.defocuses_nm))
+        if self.cd_nm.shape != expected:
+            raise EvaluationError(
+                f"CD matrix shape {self.cd_nm.shape} != {expected}"
+            )
+
+    def within_tolerance(self, tolerance: float = 0.10) -> np.ndarray:
+        """Boolean grid: CD within +/-tolerance of the nominal CD."""
+        lo = self.nominal_cd_nm * (1 - tolerance)
+        hi = self.nominal_cd_nm * (1 + tolerance)
+        with np.errstate(invalid="ignore"):
+            return (self.cd_nm >= lo) & (self.cd_nm <= hi)
+
+    def bossung_curve(self, dose: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(defocus, CD) series at the dose closest to ``dose``."""
+        index = int(np.argmin(np.abs(self.doses - dose)))
+        return self.defocuses_nm, self.cd_nm[index]
+
+    def depth_of_focus_nm(self, dose: float = 1.0,
+                          tolerance: float = 0.10) -> float:
+        """Contiguous defocus span (through best focus) within tolerance."""
+        index = int(np.argmin(np.abs(self.doses - dose)))
+        good = self.within_tolerance(tolerance)[index]
+        return _contiguous_span(self.defocuses_nm, good)
+
+    def exposure_latitude(self, defocus_nm: float = 0.0,
+                          tolerance: float = 0.10) -> float:
+        """Contiguous relative dose span within tolerance at a focus."""
+        index = int(np.argmin(np.abs(self.defocuses_nm - defocus_nm)))
+        good = self.within_tolerance(tolerance)[:, index]
+        return _contiguous_span(self.doses, good)
+
+
+def _contiguous_span(axis: np.ndarray, good: np.ndarray) -> float:
+    """Length of the longest contiguous True run, measured on ``axis``."""
+    best = 0.0
+    start: Optional[int] = None
+    for i, flag in enumerate(good):
+        if flag and start is None:
+            start = i
+        if (not flag or i == len(good) - 1) and start is not None:
+            end = i if flag else i - 1
+            best = max(best, float(axis[end] - axis[start]))
+            start = None
+    return best
+
+
+def sweep_process_window(layout: MaskLayout, config: ExperimentConfig,
+                         doses: Sequence[float] = (0.9, 0.95, 1.0, 1.05, 1.1),
+                         defocuses_nm: Sequence[float] = (
+                             -80.0, -40.0, 0.0, 40.0, 80.0),
+                         resist_model: str = "vtr") -> ProcessWindowResult:
+    """Sweep one layout over the (dose, defocus) grid.
+
+    Dose scales the aerial intensity (a unit-dose clear field is 1.0);
+    defocus rebuilds the imager (cached per defocus value).  A condition
+    where the target fails to print records NaN.
+    """
+    doses = np.asarray(list(doses), dtype=np.float64)
+    defocuses = np.asarray(list(defocuses_nm), dtype=np.float64)
+    if doses.size == 0 or defocuses.size == 0:
+        raise EvaluationError("dose and defocus grids must be non-empty")
+    if np.any(doses <= 0):
+        raise EvaluationError("doses must be positive")
+
+    grid = Grid(
+        size=config.optical.grid_size, extent_nm=config.tech.cropped_clip_nm
+    )
+    mid = config.tech.cropped_clip_nm / 2.0
+    center = Point(mid, mid)
+    window_px = config.image.resist_image_px
+    nm_per_px = config.tech.resist_window_nm / window_px
+    transmission = render_transmission(layout, grid)
+
+    cd = np.full((doses.size, defocuses.size), np.nan)
+    for j, defocus in enumerate(defocuses):
+        optical = dataclasses.replace(config.optical, defocus_nm=float(defocus))
+        imager = get_imager(optical, grid.extent_nm, grid.size)
+        aerial = imager.aerial_image(transmission)
+        for i, dose in enumerate(doses):
+            try:
+                pattern = develop(
+                    dose * aerial, grid, config.resist, model=resist_model
+                )
+                window = resist_window_image(
+                    pattern, center, config.tech.resist_window_nm, window_px
+                )
+                cd[i, j] = float(np.mean(measure_cd_nm(window, nm_per_px)))
+            except ResistError:
+                continue  # target failed to print at this condition
+
+    nominal_i = int(np.argmin(np.abs(doses - 1.0)))
+    nominal_j = int(np.argmin(np.abs(defocuses)))
+    nominal = cd[nominal_i, nominal_j]
+    if not np.isfinite(nominal):
+        raise EvaluationError(
+            "target does not print at nominal dose/focus; cannot anchor the "
+            "process window"
+        )
+    return ProcessWindowResult(
+        doses=doses, defocuses_nm=defocuses, cd_nm=cd, nominal_cd_nm=nominal
+    )

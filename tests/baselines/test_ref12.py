@@ -1,0 +1,111 @@
+"""The Ref-[12] optical-sim + threshold-CNN + contour baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Ref12Flow
+from repro.errors import EvaluationError, TrainingError
+
+
+@pytest.fixture(scope="module")
+def flow(tiny_config):
+    return Ref12Flow(tiny_config, np.random.default_rng(30))
+
+
+@pytest.fixture(scope="module")
+def aerial_windows(flow, tiny_dataset):
+    return flow.compute_aerial_windows(tiny_dataset.masks)
+
+
+class TestAerialReconstruction:
+    def test_window_shape(self, aerial_windows, tiny_config, tiny_dataset):
+        px = tiny_config.image.resist_image_px
+        assert aerial_windows.shape == (len(tiny_dataset), px, px)
+
+    def test_window_has_center_peak(self, aerial_windows):
+        """The target contact lights up the middle of each window."""
+        px = aerial_windows.shape[1]
+        lo, hi = px // 4, 3 * px // 4
+        for window in aerial_windows:
+            center_max = window[lo:hi, lo:hi].max()
+            assert center_max == pytest.approx(window.max(), rel=0.05)
+
+    def test_bad_mask_shape_rejected(self, flow):
+        with pytest.raises(EvaluationError):
+            flow.aerial_from_mask_image(np.zeros((1, 8, 8)))
+
+
+class TestGoldenThresholds:
+    def test_thresholds_lie_on_aerial_range(
+        self, flow, aerial_windows, tiny_dataset
+    ):
+        thresholds = flow.golden_thresholds(
+            aerial_windows[0], tiny_dataset.resists[0, 0]
+        )
+        assert thresholds.shape == (4,)
+        assert np.all(thresholds >= 0)
+        assert np.all(thresholds <= aerial_windows[0].max() + 1e-9)
+
+    def test_empty_golden_rejected(self, flow, aerial_windows):
+        with pytest.raises(TrainingError):
+            flow.golden_thresholds(
+                aerial_windows[0], np.zeros_like(aerial_windows[0])
+            )
+
+
+class TestThresholdMap:
+    def test_uniform_when_equal(self, flow):
+        tmap = flow.threshold_map(np.full(4, 0.3, dtype=np.float32), 16)
+        assert np.allclose(tmap, 0.3)
+
+    def test_gradient_between_edges(self, flow):
+        tmap = flow.threshold_map(
+            np.array([0.2, 0.2, 0.1, 0.3], dtype=np.float32), 16
+        )
+        assert tmap[8, 0] < tmap[8, -1]  # left lower than right
+
+    def test_wrong_count_rejected(self, flow):
+        with pytest.raises(EvaluationError):
+            flow.threshold_map(np.zeros(3, dtype=np.float32), 16)
+
+
+class TestContourProcessing:
+    def test_keeps_center_blob_only(self, flow):
+        from scipy import ndimage
+
+        aerial = np.zeros((32, 32))
+        aerial[14:18, 14:18] = 1.0  # center blob
+        aerial[2:5, 2:5] = 1.0      # stray corner blob
+        binary = flow.contour_processing(aerial, np.full((32, 32), 0.5))
+        _, count = ndimage.label(binary)
+        assert count == 1
+        assert binary[15, 15] == 1.0
+        assert binary[3, 3] == 0.0
+
+    def test_all_below_threshold_is_empty(self, flow):
+        binary = flow.contour_processing(
+            np.full((16, 16), 0.1), np.full((16, 16), 0.5)
+        )
+        assert binary.sum() == 0
+
+
+class TestEndToEnd:
+    def test_fit_and_predict(self, tiny_config, tiny_dataset):
+        rng = np.random.default_rng(31)
+        flow = Ref12Flow(tiny_config, rng)
+        history = flow.fit(tiny_dataset, rng)
+        assert len(history.loss) == tiny_config.training.aux_epochs
+        predictions = flow.predict_resist(tiny_dataset.masks[:3])
+        assert predictions.shape[0] == 3
+        assert set(np.unique(predictions)) <= {0.0, 1.0}
+        # The baseline sees the aerial image, so it should print something.
+        assert predictions.sum() > 0
+
+    def test_precomputed_windows_accepted(self, tiny_config, tiny_dataset):
+        rng = np.random.default_rng(32)
+        flow = Ref12Flow(tiny_config, rng)
+        windows = flow.compute_aerial_windows(tiny_dataset.masks)
+        flow.fit(tiny_dataset, rng, aerial_windows=windows)
+        a = flow.predict_resist(tiny_dataset.masks, aerial_windows=windows)
+        b = flow.predict_resist(tiny_dataset.masks)
+        assert np.array_equal(a, b)

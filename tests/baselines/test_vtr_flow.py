@@ -1,0 +1,48 @@
+"""The unlearned compact VTR flow."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CompactVtrFlow
+from repro.errors import EvaluationError
+from repro.metrics import mean_iou
+
+
+class TestCompactVtrFlow:
+    def test_reproduces_golden_with_true_coefficients(
+        self, tiny_config, tiny_dataset
+    ):
+        """With the minting coefficients the compact flow IS the golden flow."""
+        flow = CompactVtrFlow(tiny_config)
+        predictions = flow.predict_resist(tiny_dataset.masks[:4])
+        for i in range(4):
+            iou = mean_iou(tiny_dataset.resists[i, 0], predictions[i])
+            assert iou > 0.85
+
+    def test_threshold_offset_degrades_accuracy(self, tiny_config, tiny_dataset):
+        """An uncalibrated threshold prints the wrong CD — the compact-model
+        accuracy loss the paper's introduction describes."""
+        true_flow = CompactVtrFlow(tiny_config)
+        off_flow = CompactVtrFlow(tiny_config, threshold_offset=0.06)
+        masks = tiny_dataset.masks[:4]
+        golden = tiny_dataset.resists[:4, 0]
+        iou_true = np.mean(
+            [mean_iou(golden[i], p) for i, p in enumerate(true_flow.predict_resist(masks))]
+        )
+        iou_off = np.mean(
+            [mean_iou(golden[i], p) for i, p in enumerate(off_flow.predict_resist(masks))]
+        )
+        assert iou_off < iou_true
+
+    def test_higher_threshold_smaller_prints(self, tiny_config, tiny_dataset):
+        masks = tiny_dataset.masks[:3]
+        small = CompactVtrFlow(tiny_config, threshold_offset=0.05)
+        large = CompactVtrFlow(tiny_config, threshold_offset=-0.05)
+        assert (
+            small.predict_resist(masks).sum() < large.predict_resist(masks).sum()
+        )
+
+    def test_bad_input_shape_rejected(self, tiny_config):
+        flow = CompactVtrFlow(tiny_config)
+        with pytest.raises(EvaluationError):
+            flow.predict_resist(np.zeros((2, 1, 32, 32), dtype=np.float32))

@@ -1,0 +1,30 @@
+"""Shared fixtures: deterministic RNGs and session-scoped tiny datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import N10, tiny
+from repro.data import synthesize_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """The unit-test scale experiment configuration."""
+    return tiny(N10, num_clips=12, epochs=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_config):
+    """A small synthesized dataset shared across the test session.
+
+    Tests must treat it as read-only; anything mutating should copy.
+    """
+    return synthesize_dataset(tiny_config)

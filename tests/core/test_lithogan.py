@@ -1,0 +1,108 @@
+"""The LithoGAN dual-learning framework at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import LithoGan, PlainCgan
+from repro.data import bbox_center_rc
+from repro.errors import TrainingError
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_config, tiny_dataset):
+    """One trained LithoGAN shared by the read-only assertions below."""
+    rng = np.random.default_rng(10)
+    model = LithoGan(tiny_config, rng)
+    history = model.fit(tiny_dataset, rng)
+    return model, history
+
+
+class TestFit:
+    def test_history_contains_both_paths(self, trained, tiny_config):
+        _, history = trained
+        assert history.cgan.epochs_trained == tiny_config.training.epochs
+        assert len(history.center.loss) == tiny_config.training.aux_epochs
+
+    def test_center_loss_improves(self, trained):
+        """Best epoch must beat the first (tiny-scale training is noisy)."""
+        _, history = trained
+        assert min(history.center.loss) <= history.center.loss[0]
+
+    def test_resolution_mismatch_rejected(self, tiny_config, tiny_dataset):
+        bad_config = tiny_config.replace(
+            model=tiny_config.model.__class__(image_size=64, base_filters=4),
+            image=tiny_config.image.__class__(
+                mask_image_px=64, resist_image_px=64
+            ),
+        )
+        model = LithoGan(bad_config, np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            model.fit(tiny_dataset, np.random.default_rng(0))
+
+
+class TestPredict:
+    def test_predict_resist_is_binary(self, trained, tiny_dataset):
+        model, _ = trained
+        predictions = model.predict_resist(tiny_dataset.masks[:3])
+        assert predictions.shape == (
+            3, tiny_dataset.image_size, tiny_dataset.image_size
+        )
+        assert set(np.unique(predictions)) <= {0.0, 1.0}
+
+    def test_predicted_centers_in_image(self, trained, tiny_dataset):
+        model, _ = trained
+        centers = model.predict_centers(tiny_dataset.masks[:4])
+        assert centers.shape == (4, 2)
+        size = tiny_dataset.image_size
+        assert np.all(centers > -size) and np.all(centers < 2 * size)
+
+    def test_shapes_are_centered(self, trained, tiny_dataset):
+        """The CGAN path alone must produce approximately centered shapes."""
+        model, _ = trained
+        shapes = model.predict_shapes(tiny_dataset.masks[:4])
+        mid = (tiny_dataset.image_size - 1) / 2
+        for shape in shapes:
+            if shape.sum() == 0:
+                continue
+            center = bbox_center_rc(shape)
+            assert abs(center[0] - mid) < tiny_dataset.image_size / 4
+            assert abs(center[1] - mid) < tiny_dataset.image_size / 4
+
+    def test_final_output_placed_at_predicted_center(self, trained, tiny_dataset):
+        model, _ = trained
+        masks = tiny_dataset.masks[:3]
+        final = model.predict_resist(masks)
+        centers = model.predict_centers(masks)
+        for pattern, center in zip(final, centers):
+            if pattern.sum() == 0:
+                continue
+            placed = bbox_center_rc(pattern)
+            assert abs(placed[0] - center[0]) <= 1.0
+            assert abs(placed[1] - center[1]) <= 1.0
+
+
+class TestPlainCgan:
+    def test_fit_and_predict(self, tiny_config, tiny_dataset):
+        rng = np.random.default_rng(20)
+        model = PlainCgan(tiny_config, rng)
+        history = model.fit(tiny_dataset, rng)
+        assert history.epochs_trained == tiny_config.training.epochs
+        predictions = model.predict_resist(tiny_dataset.masks[:2])
+        assert set(np.unique(predictions)) <= {0.0, 1.0}
+
+
+class TestAugmentedTraining:
+    def test_fit_with_augmentation_runs(self, tiny_config, tiny_dataset):
+        import dataclasses
+
+        config = tiny_config.replace(
+            training=dataclasses.replace(
+                tiny_config.training, augment=True, epochs=1, aux_epochs=1
+            )
+        )
+        rng = np.random.default_rng(40)
+        model = LithoGan(config, rng)
+        history = model.fit(tiny_dataset, rng)
+        assert history.cgan.epochs_trained == 1
+        predictions = model.predict_resist(tiny_dataset.masks[:2])
+        assert predictions.shape[0] == 2

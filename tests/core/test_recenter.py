@@ -1,0 +1,58 @@
+"""Binarization and the Figure 5 placement adjustment."""
+
+import numpy as np
+import pytest
+
+from repro.core import binarize, recenter_to_predicted
+from repro.data import bbox_center_rc
+from repro.errors import DataError
+
+
+def blob(size=32, rlo=10, rhi=16, clo=8, chi=14):
+    image = np.zeros((size, size))
+    image[rlo:rhi, clo:chi] = 1.0
+    return image
+
+
+class TestBinarize:
+    def test_threshold(self):
+        image = np.array([[0.2, 0.5, 0.8]])
+        assert np.array_equal(binarize(image), [[0.0, 1.0, 1.0]])
+
+    def test_custom_threshold(self):
+        image = np.array([[0.2, 0.5, 0.8]])
+        assert np.array_equal(binarize(image, 0.7), [[0.0, 0.0, 1.0]])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(DataError):
+            binarize(np.zeros((2, 2)), 1.0)
+
+
+class TestRecenterToPredicted:
+    def test_lands_on_target(self):
+        pattern = blob()
+        target = np.array([20.0, 22.0])
+        moved = recenter_to_predicted(pattern, target)
+        center = bbox_center_rc(moved)
+        assert abs(center[0] - 20.0) <= 0.5
+        assert abs(center[1] - 22.0) <= 0.5
+
+    def test_preserves_mass_for_interior_moves(self):
+        pattern = blob()
+        moved = recenter_to_predicted(pattern, np.array([16.0, 16.0]))
+        assert moved.sum() == pattern.sum()
+
+    def test_empty_pattern_passthrough(self):
+        empty = np.zeros((16, 16))
+        out = recenter_to_predicted(empty, np.array([4.0, 4.0]))
+        assert out.sum() == 0
+        assert out is not empty
+
+    def test_noop_when_already_there(self):
+        pattern = blob()
+        center = np.array(bbox_center_rc(pattern))
+        assert np.array_equal(recenter_to_predicted(pattern, center), pattern)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(DataError):
+            recenter_to_predicted(np.zeros((2, 4, 4)), np.array([1.0, 1.0]))

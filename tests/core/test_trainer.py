@@ -1,0 +1,80 @@
+"""Shared regression trainer and batched inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import fit_regression, predict_in_batches
+from repro.errors import TrainingError
+from repro.nn import Dense, ReLU, Sequential
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(3, 16, rng), ReLU(), Dense(16, 1, rng)])
+
+
+def linear_data(count=64, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(count, 3)).astype(np.float32)
+    y = (x @ np.array([[1.0], [-2.0], [0.5]])).astype(np.float32)
+    return x, y
+
+
+class TestFitRegression:
+    def test_learns_linear_map(self):
+        net = make_net()
+        x, y = linear_data()
+        history = fit_regression(
+            net, x, y, epochs=200, batch_size=16,
+            rng=np.random.default_rng(2), learning_rate=1e-2,
+        )
+        assert history.final_loss < 0.05
+        assert history.loss[0] > history.final_loss
+
+    def test_count_mismatch_rejected(self):
+        net = make_net()
+        with pytest.raises(TrainingError):
+            fit_regression(
+                net,
+                np.zeros((4, 3), np.float32),
+                np.zeros((5, 1), np.float32),
+                epochs=1, batch_size=2, rng=np.random.default_rng(0),
+            )
+
+    def test_zero_epochs_rejected(self):
+        net = make_net()
+        x, y = linear_data(8)
+        with pytest.raises(TrainingError):
+            fit_regression(
+                net, x, y, epochs=0, batch_size=2, rng=np.random.default_rng(0)
+            )
+
+    def test_divergence_detected(self):
+        net = make_net()
+        x, y = linear_data(16)
+        y[0, 0] = np.nan  # poisons the loss on the first batch touching it
+        with pytest.raises(TrainingError):
+            fit_regression(
+                net, x, y, epochs=5, batch_size=16,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_empty_history_raises(self):
+        from repro.core import RegressionHistory
+
+        with pytest.raises(TrainingError):
+            RegressionHistory().final_loss
+
+
+class TestPredictInBatches:
+    def test_matches_single_pass(self):
+        net = make_net()
+        x, _ = linear_data(10)
+        batched = predict_in_batches(net, x, batch_size=3)
+        whole = net.forward(x)
+        assert np.allclose(batched, whole, atol=1e-6)
+
+    def test_bad_batch_size(self):
+        net = make_net()
+        with pytest.raises(TrainingError):
+            predict_in_batches(net, np.zeros((2, 3), np.float32), batch_size=0)

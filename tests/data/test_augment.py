@@ -1,0 +1,86 @@
+"""Dihedral-4 data augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import DIHEDRAL4, PairedDataset, augment_dataset, bbox_center_rc
+from repro.data.augment import _transform_center, _transform_image
+from repro.errors import DataError
+
+
+def asymmetric_dataset(count=4, size=16):
+    rng = np.random.default_rng(3)
+    masks = rng.uniform(size=(count, 3, size, size)).astype(np.float32)
+    resists = np.zeros((count, 1, size, size), dtype=np.float32)
+    for i in range(count):
+        r = 2 + i
+        resists[i, 0, r : r + 3, 4 : 4 + 5] = 1.0
+    return PairedDataset(masks, resists, tech_name="T")
+
+
+class TestTransformPrimitives:
+    @given(
+        rotations=st.integers(0, 3), flip=st.booleans(),
+        row=st.integers(0, 15), col=st.integers(0, 15),
+    )
+    @settings(deadline=None)
+    def test_center_tracks_pixel(self, rotations, flip, row, col):
+        """Transforming an image and its label keeps them consistent."""
+        image = np.zeros((16, 16))
+        image[row, col] = 1.0
+        moved = _transform_image(image, rotations, flip)
+        label = _transform_center(
+            np.array([row, col], dtype=np.float32), 16, rotations, flip
+        )
+        hot = np.argwhere(moved > 0.5)[0]
+        assert np.allclose(label, hot)
+
+    def test_four_rotations_identity(self):
+        image = np.random.default_rng(0).uniform(size=(8, 8))
+        assert np.allclose(_transform_image(image, 4 % 4, False), image)
+
+
+class TestAugmentDataset:
+    def test_multiplies_count(self):
+        ds = asymmetric_dataset(count=4)
+        augmented = augment_dataset(ds)
+        assert len(augmented) == 4 * len(DIHEDRAL4)
+
+    def test_identity_transform_first(self):
+        ds = asymmetric_dataset()
+        augmented = augment_dataset(ds, transforms=[(0, False)])
+        assert np.array_equal(augmented.masks, ds.masks)
+        assert np.array_equal(augmented.centers, ds.centers)
+
+    def test_centers_recomputed_consistently(self):
+        ds = asymmetric_dataset()
+        augmented = augment_dataset(ds)
+        for i in range(len(augmented)):
+            center = bbox_center_rc(augmented.resists[i, 0])
+            assert np.allclose(augmented.centers[i], center, atol=1e-5)
+
+    def test_transforms_are_distinct(self):
+        ds = asymmetric_dataset(count=1)
+        augmented = augment_dataset(ds)
+        images = [augmented.resists[i, 0] for i in range(len(augmented))]
+        distinct = {img.tobytes() for img in images}
+        assert len(distinct) == len(DIHEDRAL4)
+
+    def test_input_untouched(self):
+        ds = asymmetric_dataset()
+        before = ds.masks.copy()
+        augment_dataset(ds)
+        assert np.array_equal(ds.masks, before)
+
+    def test_array_types_repeat(self):
+        ds = asymmetric_dataset(count=2)
+        augmented = augment_dataset(ds, transforms=[(0, False), (1, False)])
+        assert len(augmented.array_types) == 4
+
+    def test_validation(self):
+        ds = asymmetric_dataset()
+        with pytest.raises(DataError):
+            augment_dataset(ds, transforms=[])
+        with pytest.raises(DataError):
+            augment_dataset(ds, transforms=[(5, False)])

@@ -1,0 +1,132 @@
+"""PairedDataset container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import PairedDataset
+from repro.data.encoding import bbox_center_rc
+from repro.errors import DataError
+
+
+def make_dataset(count=10, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    masks = rng.uniform(size=(count, 3, size, size)).astype(np.float32)
+    resists = np.zeros((count, 1, size, size), dtype=np.float32)
+    for i in range(count):
+        r = int(rng.integers(2, size - 6))
+        c = int(rng.integers(2, size - 6))
+        resists[i, 0, r : r + 4, c : c + 4] = 1.0
+    return PairedDataset(masks, resists, tech_name="T")
+
+
+class TestConstruction:
+    def test_centers_computed_when_missing(self):
+        ds = make_dataset()
+        for i in range(len(ds)):
+            assert tuple(ds.centers[i]) == pytest.approx(
+                bbox_center_rc(ds.resists[i, 0])
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(DataError):
+            PairedDataset(
+                np.zeros((2, 1, 8, 8), np.float32),
+                np.zeros((2, 1, 8, 8), np.float32),
+            )
+        with pytest.raises(DataError):
+            PairedDataset(
+                np.zeros((2, 3, 8, 8), np.float32),
+                np.zeros((3, 1, 8, 8), np.float32),
+            )
+        with pytest.raises(DataError):
+            PairedDataset(
+                np.zeros((2, 3, 8, 8), np.float32),
+                np.zeros((2, 1, 4, 4), np.float32),
+            )
+
+    def test_getitem(self):
+        ds = make_dataset()
+        sample = ds[3]
+        assert sample.mask.shape == (3, 16, 16)
+        assert sample.resist.shape == (1, 16, 16)
+        assert sample.array_type == "unknown"
+
+
+class TestRecentered:
+    def test_recentered_bboxes_at_middle(self):
+        ds = make_dataset()
+        recentered = ds.recentered_resists()
+        mid = (ds.image_size - 1) / 2
+        for i in range(len(ds)):
+            center = bbox_center_rc(recentered[i, 0])
+            assert abs(center[0] - mid) <= 0.5
+            assert abs(center[1] - mid) <= 0.5
+
+    def test_original_unmodified(self):
+        ds = make_dataset()
+        before = ds.resists.copy()
+        ds.recentered_resists()
+        assert np.array_equal(ds.resists, before)
+
+
+class TestSplit:
+    def test_partition(self):
+        ds = make_dataset(count=20)
+        train, test = ds.split(0.75, np.random.default_rng(1))
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_disjoint_and_complete(self):
+        ds = make_dataset(count=12)
+        train, test = ds.split(0.5, np.random.default_rng(2))
+        combined = np.concatenate([train.masks, test.masks])
+        assert combined.shape[0] == 12
+        # Every original sample appears exactly once.
+        matched = 0
+        for mask in ds.masks:
+            matched += int(
+                any(np.array_equal(mask, other) for other in combined)
+            )
+        assert matched == 12
+
+    def test_deterministic_given_generator_state(self):
+        ds = make_dataset(count=10)
+        a_train, _ = ds.split(0.7, np.random.default_rng(3))
+        b_train, _ = ds.split(0.7, np.random.default_rng(3))
+        assert np.array_equal(a_train.masks, b_train.masks)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DataError):
+            make_dataset().split(1.0, np.random.default_rng(0))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DataError):
+            make_dataset(count=1).split(0.5, np.random.default_rng(0))
+
+
+class TestBatches:
+    def test_covers_everything_once(self):
+        ds = make_dataset(count=10)
+        seen = 0
+        for masks, targets in ds.batches(3):
+            assert masks.shape[0] == targets.shape[0]
+            seen += masks.shape[0]
+        assert seen == 10
+
+    def test_custom_targets(self):
+        ds = make_dataset(count=6)
+        batches = list(ds.batches(2, targets=ds.centers))
+        assert batches[0][1].shape == (2, 2)
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset(count=10)
+        plain = np.concatenate([m for m, _ in ds.batches(10)])
+        shuffled = np.concatenate(
+            [m for m, _ in ds.batches(10, rng=np.random.default_rng(11))]
+        )
+        assert not np.array_equal(plain, shuffled)
+
+    def test_target_count_mismatch_rejected(self):
+        ds = make_dataset(count=4)
+        with pytest.raises(DataError):
+            list(ds.batches(2, targets=np.zeros((3, 2))))

@@ -1,0 +1,128 @@
+"""Re-centering transforms and image encodings, with hypothesis checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    bbox_center_rc,
+    denormalize_center,
+    normalize_center,
+    recenter_pattern,
+    resist_to_tensor,
+    shift_pattern,
+    tensor_to_mono,
+)
+from repro.errors import DataError
+
+
+def blob_image(size=32, rlo=10, rhi=16, clo=8, chi=14):
+    image = np.zeros((size, size))
+    image[rlo:rhi, clo:chi] = 1.0
+    return image
+
+
+class TestBboxCenter:
+    def test_known_center(self):
+        center = bbox_center_rc(blob_image())
+        assert center == (pytest.approx(12.5), pytest.approx(10.5))
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            bbox_center_rc(np.zeros((8, 8)))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(DataError):
+            bbox_center_rc(np.zeros((2, 8, 8)))
+
+
+class TestShiftPattern:
+    def test_shift_moves_content(self):
+        image = blob_image()
+        shifted = shift_pattern(image, 3, -2)
+        assert shifted[13:19, 6:12].sum() == image[10:16, 8:14].sum()
+
+    def test_shift_fills_zeros(self):
+        image = np.ones((8, 8))
+        shifted = shift_pattern(image, 2, 0)
+        assert np.all(shifted[:2] == 0)
+
+    def test_shift_off_image_empties(self):
+        assert shift_pattern(blob_image(), 100, 0).sum() == 0
+
+    @given(dr=st.integers(-8, 8), dc=st.integers(-8, 8))
+    @settings(deadline=None)
+    def test_shift_roundtrip_preserves_interior_blob(self, dr, dc):
+        image = blob_image()
+        back = shift_pattern(shift_pattern(image, dr, dc), -dr, -dc)
+        # The blob spans rows 10..16, cols 8..14 of a 32-image, so any shift
+        # of at most 8 px keeps it inside and the roundtrip is exact.
+        assert np.array_equal(back, image)
+
+
+class TestRecenter:
+    def test_recentered_bbox_is_at_image_center(self):
+        image = blob_image()
+        recentered, original = recenter_pattern(image)
+        new_center = bbox_center_rc(recentered)
+        mid = (image.shape[0] - 1) / 2
+        assert abs(new_center[0] - mid) <= 0.5
+        assert abs(new_center[1] - mid) <= 0.5
+        assert original == bbox_center_rc(image)
+
+    def test_mass_preserved(self):
+        image = blob_image()
+        recentered, _ = recenter_pattern(image)
+        assert recentered.sum() == image.sum()
+
+    @given(
+        rlo=st.integers(2, 20), clo=st.integers(2, 20),
+        height=st.integers(2, 8), width=st.integers(2, 8),
+    )
+    @settings(deadline=None)
+    def test_recenter_idempotent(self, rlo, clo, height, width):
+        image = np.zeros((32, 32))
+        image[rlo : rlo + height, clo : clo + width] = 1.0
+        once, _ = recenter_pattern(image)
+        twice, _ = recenter_pattern(once)
+        assert np.array_equal(once, twice)
+
+
+class TestCenterNormalization:
+    def test_center_maps_to_zero(self):
+        normalized = normalize_center(np.array([15.5, 15.5]), 32)
+        assert np.allclose(normalized, 0.0)
+
+    def test_corners_map_to_unit(self):
+        normalized = normalize_center(np.array([0.0, 31.0]), 32)
+        assert np.allclose(normalized, [-1.0, 1.0])
+
+    @given(
+        r=st.floats(0, 63, allow_nan=False), c=st.floats(0, 63, allow_nan=False)
+    )
+    def test_roundtrip(self, r, c):
+        rc = np.array([r, c])
+        back = denormalize_center(normalize_center(rc, 64), 64)
+        assert np.allclose(back, rc, atol=1e-3)
+
+
+class TestTensorConversions:
+    def test_resist_to_tensor_repeats_channels(self):
+        window = blob_image()
+        tensor = resist_to_tensor(window, channels=3)
+        assert tensor.shape == (3, 32, 32)
+        assert np.array_equal(tensor[0], tensor[2])
+
+    def test_tensor_to_mono_averages(self):
+        tensor = np.stack([np.zeros((4, 4)), np.ones((4, 4))])
+        assert np.allclose(tensor_to_mono(tensor), 0.5)
+
+    def test_roundtrip(self):
+        window = blob_image().astype(np.float32)
+        assert np.allclose(tensor_to_mono(resist_to_tensor(window, 3)), window)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            resist_to_tensor(np.zeros((2, 4, 4)))
+        with pytest.raises(DataError):
+            tensor_to_mono(np.zeros((4, 4)))

@@ -1,0 +1,66 @@
+"""Dataset minting and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.config import N10, tiny
+from repro.data import load_dataset, save_dataset, synthesize_dataset
+from repro.errors import DataError
+
+
+class TestSynthesis:
+    def test_tiny_dataset_shapes(self, tiny_config, tiny_dataset):
+        px = tiny_config.image.mask_image_px
+        assert len(tiny_dataset) == tiny_config.tech.num_clips
+        assert tiny_dataset.masks.shape == (len(tiny_dataset), 3, px, px)
+        assert tiny_dataset.resists.shape == (len(tiny_dataset), 1, px, px)
+        assert tiny_dataset.tech_name == "N10"
+
+    def test_every_golden_pattern_nonempty(self, tiny_dataset):
+        assert all(
+            tiny_dataset.resists[i].sum() > 0 for i in range(len(tiny_dataset))
+        )
+
+    def test_array_types_balanced(self, tiny_dataset):
+        values, counts = np.unique(tiny_dataset.array_types, return_counts=True)
+        assert set(values) == {"isolated", "dense_grid", "staggered"}
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic_given_seed(self, tiny_config):
+        a = synthesize_dataset(tiny_config)
+        b = synthesize_dataset(tiny_config)
+        assert np.array_equal(a.masks, b.masks)
+        assert np.array_equal(a.resists, b.resists)
+
+    def test_different_seed_differs(self, tiny_config, tiny_dataset):
+        other = synthesize_dataset(
+            tiny_config, rng=np.random.default_rng(999)
+        )
+        assert not np.array_equal(other.masks, tiny_dataset.masks)
+
+    def test_mask_channels_consistent_with_encoding(self, tiny_dataset):
+        # Green (target) must be present in every clip; blue (SRAFs) in most.
+        green = tiny_dataset.masks[:, 1].sum(axis=(1, 2))
+        assert np.all(green > 0)
+
+
+class TestIo:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        assert path.suffix == ".npz"
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.masks, tiny_dataset.masks)
+        assert np.array_equal(loaded.resists, tiny_dataset.resists)
+        assert np.array_equal(loaded.centers, tiny_dataset.centers)
+        assert list(loaded.array_types) == list(tiny_dataset.array_types)
+        assert loaded.tech_name == tiny_dataset.tech_name
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_non_dataset_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DataError):
+            load_dataset(path)

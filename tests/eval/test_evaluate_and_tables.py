@@ -1,0 +1,97 @@
+"""Evaluation sweep and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    EvaluationSummary,
+    evaluate_predictions,
+    format_table3,
+    format_table4,
+    table4_ratios,
+)
+
+
+def stack_of_boxes(shifts, size=32):
+    images = np.zeros((len(shifts), size, size))
+    for i, (dr, dc) in enumerate(shifts):
+        images[i, 12 + dr : 20 + dr, 12 + dc : 20 + dc] = 1.0
+    return images
+
+
+class TestEvaluatePredictions:
+    def test_perfect_prediction(self):
+        golden = stack_of_boxes([(0, 0), (1, 2)])
+        per_sample, summary = evaluate_predictions(
+            "perfect", golden, golden.copy(), 1.0
+        )
+        assert summary.ede_mean_nm == 0.0
+        assert summary.pixel_accuracy == 1.0
+        assert summary.mean_iou == 1.0
+        assert summary.num_samples == 2
+        assert len(per_sample) == 2
+
+    def test_shifted_prediction_scores_worse(self):
+        golden = stack_of_boxes([(0, 0)] * 3)
+        shifted = stack_of_boxes([(2, 0)] * 3)
+        _, summary = evaluate_predictions("shifted", golden, shifted, 1.0)
+        assert summary.ede_mean_nm == pytest.approx(1.0)  # 2 edges moved 2px
+        assert summary.pixel_accuracy < 1.0
+
+    def test_empty_prediction_penalized_not_fatal(self):
+        golden = stack_of_boxes([(0, 0)])
+        empty = np.zeros_like(golden)
+        _, summary = evaluate_predictions("empty", golden, empty, 1.0)
+        assert summary.ede_mean_nm == pytest.approx(16.0)  # half window
+
+    def test_center_error_attached(self):
+        golden = stack_of_boxes([(0, 0)])
+        _, summary = evaluate_predictions(
+            "c", golden, golden.copy(), 1.0,
+            golden_centers=np.array([[15.5, 15.5]]),
+            predicted_centers=np.array([[15.5, 19.5]]),
+        )
+        assert summary.center_error_nm == pytest.approx(4.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_predictions(
+                "bad", np.zeros((2, 8, 8)), np.zeros((2, 8, 9)), 1.0
+            )
+
+
+class TestTable3:
+    def test_format_contains_all_methods(self):
+        summaries = [
+            EvaluationSummary("Ref. [12]", 0.67, 0.55, 0.98, 0.99, 0.98, 0.5, 10),
+            EvaluationSummary("CGAN", 1.52, 0.95, 0.96, 0.97, 0.94, 1.2, 10),
+            EvaluationSummary("LithoGAN", 1.08, 0.88, 0.97, 0.98, 0.96, 0.9, 10),
+        ]
+        lines = format_table3("N10", summaries)
+        body = "\n".join(lines)
+        for method in ("Ref. [12]", "CGAN", "LithoGAN"):
+            assert method in body
+        assert "EDE (nm)" in lines[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            format_table3("N10", [])
+
+
+class TestTable4:
+    def test_ratios_relative_to_ours(self):
+        timings = {"Rigorous": 18.0, "Ref. [12]": 1.9, "LithoGAN": 0.01}
+        ratios = table4_ratios(timings)
+        assert ratios["LithoGAN"] == 1.0
+        assert ratios["Rigorous"] == pytest.approx(1800.0)
+        assert ratios["Ref. [12]"] == pytest.approx(190.0)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(EvaluationError):
+            table4_ratios({"Rigorous": 1.0})
+
+    def test_format_lines(self):
+        lines = format_table4({"Rigorous": 2.0, "LithoGAN": 0.5})
+        assert any("Rigorous" in line for line in lines)
+        assert any("4.0" in line for line in lines)

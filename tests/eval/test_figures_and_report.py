@@ -1,0 +1,150 @@
+"""Figure data series and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.cgan import CganHistory
+from repro.data import PairedDataset
+from repro.errors import EvaluationError
+from repro.eval import (
+    ascii_pattern,
+    figure6_panels,
+    figure7_histogram,
+    figure8_progression,
+    figure9_losses,
+    pick_panel_indices,
+    render_histogram,
+    side_by_side,
+)
+
+
+def small_dataset(count=6, size=16):
+    rng = np.random.default_rng(0)
+    masks = rng.uniform(size=(count, 3, size, size)).astype(np.float32)
+    resists = np.zeros((count, 1, size, size), dtype=np.float32)
+    resists[:, 0, 5:11, 5:11] = 1.0
+    types = np.array(
+        ["isolated", "dense_grid", "staggered"] * (count // 3)
+    )
+    return PairedDataset(masks, resists, array_types=types)
+
+
+class TestFigure6:
+    def test_panels_carry_all_images(self):
+        ds = small_dataset()
+        cgan = np.zeros((6, 16, 16))
+        litho = np.ones((6, 16, 16))
+        panels = figure6_panels(ds, cgan, litho, [0, 4])
+        assert len(panels) == 2
+        assert panels[1].index == 4
+        assert panels[0].mask.shape == (3, 16, 16)
+        assert panels[0].golden.sum() > 0
+
+    def test_out_of_range_rejected(self):
+        ds = small_dataset()
+        with pytest.raises(EvaluationError):
+            figure6_panels(ds, np.zeros((6, 16, 16)), np.zeros((6, 16, 16)), [9])
+
+    def test_pick_indices_covers_types(self):
+        ds = small_dataset()
+        indices = pick_panel_indices(ds)
+        types = {str(ds.array_types[i]) for i in indices}
+        assert types == {"isolated", "dense_grid", "staggered"}
+
+
+class TestFigure7:
+    def test_histogram_shapes(self):
+        golden = np.zeros((5, 16, 16))
+        golden[:, 6:10, 6:10] = 1.0
+        cgan = np.roll(golden, 3, axis=2)
+        litho = np.roll(golden, 1, axis=2)
+        edges, counts_cgan, counts_litho = figure7_histogram(
+            golden, cgan, litho, nm_per_px=1.0, bins=8
+        )
+        assert len(edges) == 9
+        assert counts_cgan.sum() == 5
+        assert counts_litho.sum() == 5
+
+    def test_lithogan_mass_left_of_cgan(self):
+        """The Figure 7 claim: LithoGAN's EDE distribution sits lower."""
+        golden = np.zeros((10, 16, 16))
+        golden[:, 6:10, 6:10] = 1.0
+        cgan = np.roll(golden, 4, axis=2)
+        litho = np.roll(golden, 1, axis=2)
+        edges, counts_cgan, counts_litho = figure7_histogram(
+            golden, cgan, litho, nm_per_px=1.0, bins=8
+        )
+        centers = (edges[:-1] + edges[1:]) / 2
+        mean_cgan = (centers * counts_cgan).sum() / counts_cgan.sum()
+        mean_litho = (centers * counts_litho).sum() / counts_litho.sum()
+        assert mean_litho < mean_cgan
+
+
+class TestFigures89:
+    def make_history(self):
+        history = CganHistory(
+            generator_loss=[10.0, 6.0, 4.0],
+            discriminator_loss=[1.0, 0.8, 0.9],
+            l1_loss=[0.1, 0.06, 0.04],
+            snapshots={
+                1: np.full((2, 3, 8, 8), 0.1, dtype=np.float32),
+                3: np.full((2, 3, 8, 8), 0.4, dtype=np.float32),
+            },
+        )
+        return history
+
+    def test_progression_ordered_and_scored(self):
+        history = self.make_history()
+        golden = np.ones((2, 1, 8, 8), dtype=np.float32)
+        entries = figure8_progression(history, golden)
+        assert [e.epoch for e in entries] == [1, 3]
+        # Later snapshot is closer to the all-ones golden image.
+        assert entries[1].l1_to_golden < entries[0].l1_to_golden
+
+    def test_progression_requires_snapshots(self):
+        history = CganHistory(generator_loss=[1.0])
+        with pytest.raises(EvaluationError):
+            figure8_progression(history, np.zeros((1, 1, 4, 4)))
+
+    def test_losses_series(self):
+        epochs, g_loss, d_loss = figure9_losses(self.make_history())
+        assert list(epochs) == [1, 2, 3]
+        assert g_loss[0] == 10.0
+        assert d_loss[-1] == 0.9
+
+    def test_losses_require_training(self):
+        with pytest.raises(EvaluationError):
+            figure9_losses(CganHistory())
+
+
+class TestReport:
+    def test_ascii_pattern(self):
+        image = np.zeros((16, 16))
+        image[4:12, 4:12] = 1.0
+        lines = ascii_pattern(image, width=16)
+        assert len(lines) == 16
+        assert "#" in lines[8]
+        assert lines[0] == "." * 16
+
+    def test_side_by_side(self):
+        block = ["##", ".."]
+        lines = side_by_side([block, block], ["a", "b"])
+        assert len(lines) == 3
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_side_by_side_label_mismatch(self):
+        with pytest.raises(EvaluationError):
+            side_by_side([["#"]], ["a", "b"])
+
+    def test_render_histogram(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        lines = render_histogram(
+            edges, np.array([3, 1]), np.array([0, 2]),
+            labels=["cgan", "litho"],
+        )
+        assert any("cgan" in line for line in lines)
+        assert any("###" in line.replace(" ", "") for line in lines)
+
+    def test_render_histogram_requires_series(self):
+        with pytest.raises(EvaluationError):
+            render_histogram(np.array([0.0, 1.0]))

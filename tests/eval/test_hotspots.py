@@ -1,0 +1,115 @@
+"""Hotspot screening."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.hotspots import (
+    HotspotCriteria,
+    ScreeningReport,
+    is_hotspot,
+    screen,
+    screening_report,
+)
+
+NM_PER_PX = 2.0
+SIZE = 64
+
+
+def window_with_contact(cd_px=30, offset=(0, 0)):
+    image = np.zeros((SIZE, SIZE))
+    mid = SIZE // 2
+    half = cd_px // 2
+    r0 = mid - half + offset[0]
+    c0 = mid - half + offset[1]
+    image[r0 : r0 + cd_px, c0 : c0 + cd_px] = 1.0
+    return image
+
+
+@pytest.fixture
+def criteria():
+    return HotspotCriteria(drawn_cd_nm=60.0)
+
+
+class TestIsHotspot:
+    def test_nominal_contact_passes(self, criteria):
+        # 30 px * 2 nm = 60 nm CD, centered: a clean print.
+        assert not is_hotspot(window_with_contact(30), criteria, NM_PER_PX)
+
+    def test_empty_window_is_hotspot(self, criteria):
+        assert is_hotspot(np.zeros((SIZE, SIZE)), criteria, NM_PER_PX)
+
+    def test_necked_contact_is_hotspot(self, criteria):
+        # 10 px = 20 nm: a third of the drawn CD.
+        assert is_hotspot(window_with_contact(10), criteria, NM_PER_PX)
+
+    def test_bloated_contact_is_hotspot(self, criteria):
+        assert is_hotspot(window_with_contact(56), criteria, NM_PER_PX)
+
+    def test_displaced_contact_is_hotspot(self, criteria):
+        # 10 px = 20 nm offset > 12 nm limit.
+        assert is_hotspot(
+            window_with_contact(30, offset=(10, 0)), criteria, NM_PER_PX
+        )
+
+    def test_small_displacement_tolerated(self, criteria):
+        assert not is_hotspot(
+            window_with_contact(30, offset=(2, 0)), criteria, NM_PER_PX
+        )
+
+    def test_criteria_validation(self):
+        with pytest.raises(EvaluationError):
+            HotspotCriteria(drawn_cd_nm=0.0)
+        with pytest.raises(EvaluationError):
+            HotspotCriteria(drawn_cd_nm=60.0, cd_tolerance=2.0)
+        with pytest.raises(EvaluationError):
+            HotspotCriteria(drawn_cd_nm=60.0, area_ratio_band=(2.0, 1.0))
+
+
+class TestScreen:
+    def test_labels_stack(self, criteria):
+        windows = np.stack(
+            [window_with_contact(30), window_with_contact(10)]
+        )
+        labels = screen(windows, criteria, NM_PER_PX)
+        assert labels.tolist() == [False, True]
+
+    def test_shape_validation(self, criteria):
+        with pytest.raises(EvaluationError):
+            screen(np.zeros((4, 4)), criteria, NM_PER_PX)
+
+
+class TestScreeningReport:
+    def test_perfect_screen(self, criteria):
+        golden = np.stack([window_with_contact(30), window_with_contact(10)])
+        report = screening_report(golden, golden.copy(), criteria, NM_PER_PX)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert report.accuracy == 1.0
+        assert report.total == 2
+
+    def test_missed_hotspot_counts_false_negative(self, criteria):
+        golden = np.stack([window_with_contact(10)])      # hotspot
+        predicted = np.stack([window_with_contact(30)])   # model says clean
+        report = screening_report(golden, predicted, criteria, NM_PER_PX)
+        assert report.false_negatives == 1
+        assert report.recall == 0.0
+
+    def test_false_alarm_counts_false_positive(self, criteria):
+        golden = np.stack([window_with_contact(30)])      # clean
+        predicted = np.stack([window_with_contact(10)])   # model says hotspot
+        report = screening_report(golden, predicted, criteria, NM_PER_PX)
+        assert report.false_positives == 1
+        assert report.precision == 0.0
+
+    def test_no_hotspots_recall_none(self, criteria):
+        golden = np.stack([window_with_contact(30)])
+        report = screening_report(golden, golden.copy(), criteria, NM_PER_PX)
+        assert report.recall is None
+        assert report.accuracy == 1.0
+
+    def test_shape_mismatch_rejected(self, criteria):
+        with pytest.raises(EvaluationError):
+            screening_report(
+                np.zeros((2, 8, 8)), np.zeros((3, 8, 8)), criteria, NM_PER_PX
+            )

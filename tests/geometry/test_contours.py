@@ -1,0 +1,105 @@
+"""Marching-squares contours, bounding boxes, centroids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    bounding_box_of_mask,
+    extract_contours,
+    largest_contour,
+    mask_centroid,
+    polygon_area,
+    polygon_perimeter,
+)
+
+
+def square_image(size=16, lo=5, hi=11):
+    image = np.zeros((size, size))
+    image[lo:hi, lo:hi] = 1.0
+    return image
+
+
+class TestExtractContours:
+    def test_single_square_one_closed_contour(self):
+        contours = extract_contours(square_image())
+        assert len(contours) == 1
+        contour = contours[0]
+        assert np.allclose(contour[0], contour[-1])  # closed
+
+    def test_contour_encloses_square_area(self):
+        image = square_image(16, 5, 11)  # 6x6 block
+        contour = largest_contour(image)
+        # Marching squares at level 0.5 puts edges half a pixel outside.
+        assert abs(polygon_area(contour)) == pytest.approx(36.0, rel=0.4)
+
+    def test_two_blobs_two_contours(self):
+        image = np.zeros((20, 20))
+        image[2:6, 2:6] = 1.0
+        image[12:17, 12:17] = 1.0
+        contours = extract_contours(image)
+        assert len(contours) == 2
+
+    def test_border_touching_pattern_still_closed(self):
+        image = np.zeros((8, 8))
+        image[0:4, 0:4] = 1.0
+        contours = extract_contours(image)
+        assert len(contours) == 1
+        assert np.allclose(contours[0][0], contours[0][-1])
+
+    def test_empty_image_no_contours(self):
+        assert extract_contours(np.zeros((8, 8))) == []
+
+    def test_largest_contour_picks_biggest(self):
+        image = np.zeros((20, 20))
+        image[2:4, 2:4] = 1.0
+        image[8:16, 8:16] = 1.0
+        contour = largest_contour(image)
+        rows = contour[:, 0]
+        assert rows.mean() > 6  # belongs to the big blob
+
+    def test_largest_contour_empty_returns_none(self):
+        assert largest_contour(np.zeros((8, 8))) is None
+
+
+class TestPolygonMeasures:
+    def test_perimeter_of_unit_square_path(self):
+        path = np.array([[0, 0], [0, 1], [1, 1], [1, 0], [0, 0]], dtype=float)
+        assert polygon_perimeter(path) == pytest.approx(4.0)
+
+    def test_area_sign_conventions(self):
+        path = np.array([[0, 0], [0, 2], [2, 2], [2, 0], [0, 0]], dtype=float)
+        assert abs(polygon_area(path)) == pytest.approx(4.0)
+
+    def test_degenerate_paths(self):
+        assert polygon_area(np.zeros((2, 2))) == 0.0
+        assert polygon_perimeter(np.zeros((1, 2))) == 0.0
+
+
+class TestBoundingBox:
+    def test_box_of_square(self):
+        assert bounding_box_of_mask(square_image(16, 5, 11)) == (5, 5, 11, 11)
+
+    def test_empty_returns_none(self):
+        assert bounding_box_of_mask(np.zeros((8, 8))) is None
+
+    @given(
+        rlo=st.integers(0, 10), clo=st.integers(0, 10),
+        height=st.integers(1, 5), width=st.integers(1, 5),
+    )
+    def test_box_matches_construction(self, rlo, clo, height, width):
+        image = np.zeros((16, 16))
+        image[rlo : rlo + height, clo : clo + width] = 1.0
+        assert bounding_box_of_mask(image) == (
+            rlo, clo, rlo + height, clo + width
+        )
+
+
+class TestCentroid:
+    def test_symmetric_centroid(self):
+        r, c = mask_centroid(square_image(17, 6, 11))
+        assert r == pytest.approx(8.0)
+        assert c == pytest.approx(8.0)
+
+    def test_empty_returns_none(self):
+        assert mask_centroid(np.zeros((4, 4))) is None

@@ -1,0 +1,114 @@
+"""Rect/Point primitives, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+
+
+def rects():
+    return st.builds(
+        Rect.from_center, finite, finite, positive, positive
+    )
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    @given(x=finite, y=finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+
+class TestRectConstruction:
+    def test_from_center(self):
+        rect = Rect.from_center(50, 50, 20, 10)
+        assert (rect.xlo, rect.ylo, rect.xhi, rect.yhi) == (40, 45, 60, 55)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 1)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(GeometryError):
+            Rect.from_center(0, 0, -5, 5)
+
+    @given(rects())
+    def test_center_and_area_roundtrip(self, rect):
+        center = rect.center
+        rebuilt = Rect.from_center(center.x, center.y, rect.width, rect.height)
+        assert rebuilt.area == pytest.approx(rect.area, rel=1e-9)
+
+
+class TestRectPredicates:
+    def test_intersects_overlapping(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(10, 0, 20, 10)
+        assert not a.intersects(b)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 100, 100)
+        inner = Rect(10, 10, 20, 20)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        overlap = a.intersection(b)
+        assert (overlap.xlo, overlap.ylo, overlap.xhi, overlap.yhi) == (5, 5, 10, 10)
+
+    def test_intersection_of_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6))
+
+    @given(rects(), rects())
+    def test_spacing_symmetry(self, a, b):
+        assert a.spacing_to(b) == pytest.approx(b.spacing_to(a))
+
+    @given(rects(), rects())
+    def test_spacing_zero_iff_touch_or_overlap(self, a, b):
+        spacing = a.spacing_to(b)
+        if a.intersects(b):
+            assert spacing == 0.0
+        else:
+            assert spacing >= 0.0
+
+
+class TestRectTransforms:
+    def test_biased_moves_edges_outward(self):
+        rect = Rect(10, 10, 20, 20).biased(left=1, right=2, bottom=3, top=4)
+        assert (rect.xlo, rect.ylo, rect.xhi, rect.yhi) == (9, 7, 22, 24)
+
+    def test_inflated(self):
+        rect = Rect(10, 10, 20, 20).inflated(5)
+        assert (rect.xlo, rect.ylo, rect.xhi, rect.yhi) == (5, 5, 25, 25)
+
+    def test_inflate_collapse_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 4, 4).inflated(-3)
+
+    @given(rects(), finite, finite)
+    def test_translation_preserves_size(self, rect, dx, dy):
+        moved = rect.translated(dx, dy)
+        assert moved.width == pytest.approx(rect.width)
+        assert moved.height == pytest.approx(rect.height)
+
+    def test_corners_order(self):
+        corners = list(Rect(0, 0, 2, 1).corners())
+        assert corners == [Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1)]

@@ -1,0 +1,142 @@
+"""Contact-clip synthesis: placement rules, array types, determinism."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import N10, N7
+from repro.errors import LayoutError
+from repro.geometry import Rect
+from repro.layout import ArrayType, ContactClip, generate_clip, generate_clips
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGenerateClip:
+    def test_target_near_center(self, rng):
+        clip = generate_clip(N10, rng)
+        mid = N10.cropped_clip_nm / 2
+        center = clip.target.center
+        tolerance = 4 * N10.registration_sigma_nm
+        assert abs(center.x - mid) <= tolerance
+        assert abs(center.y - mid) <= tolerance
+
+    def test_target_size(self, rng):
+        clip = generate_clip(N10, rng)
+        assert clip.target.width == pytest.approx(N10.contact_size_nm)
+        assert clip.target.height == pytest.approx(N10.contact_size_nm)
+
+    def test_no_neighbor_overlaps_target(self, rng):
+        for _ in range(20):
+            clip = generate_clip(N10, rng)
+            assert all(not n.intersects(clip.target) for n in clip.neighbors)
+
+    def test_all_types_generated(self, rng):
+        for array_type in ArrayType:
+            clip = generate_clip(N10, rng, array_type=array_type)
+            assert clip.array_type is array_type
+
+    def test_dense_grid_has_neighbors(self, rng):
+        counts = [
+            len(generate_clip(N10, rng, ArrayType.DENSE_GRID).neighbors)
+            for _ in range(10)
+        ]
+        assert max(counts) >= 3
+
+    def test_isolated_has_few_neighbors(self, rng):
+        counts = [
+            len(generate_clip(N10, rng, ArrayType.ISOLATED).neighbors)
+            for _ in range(10)
+        ]
+        assert max(counts) <= 2
+
+    def test_deterministic_given_seed(self):
+        a = generate_clip(N10, np.random.default_rng(7))
+        b = generate_clip(N10, np.random.default_rng(7))
+        assert a.target == b.target
+        assert a.neighbors == b.neighbors
+
+    def test_zero_registration_centers_exactly(self, rng):
+        tech = dataclasses.replace(N10, registration_sigma_nm=0.0)
+        clip = generate_clip(tech, rng)
+        mid = tech.cropped_clip_nm / 2
+        assert clip.target.center.x == pytest.approx(mid)
+        assert clip.target.center.y == pytest.approx(mid)
+
+
+class TestGenerateClips:
+    def test_count_defaults_to_tech(self, rng):
+        tech = dataclasses.replace(N10, num_clips=9)
+        clips = generate_clips(tech, rng)
+        assert len(clips) == 9
+
+    def test_type_mix_is_balanced(self, rng):
+        clips = generate_clips(N10, rng, count=9)
+        types = [c.array_type for c in clips]
+        for array_type in ArrayType:
+            assert types.count(array_type) == 3
+
+    def test_zero_count_rejected(self, rng):
+        with pytest.raises(LayoutError):
+            generate_clips(N10, rng, count=0)
+
+    def test_n7_uses_tighter_pitch(self, rng):
+        """N7 dense clips pack neighbors closer than N10's."""
+        n10 = [
+            generate_clip(N10, np.random.default_rng(s), ArrayType.DENSE_GRID)
+            for s in range(15)
+        ]
+        n7 = [
+            generate_clip(N7, np.random.default_rng(s), ArrayType.DENSE_GRID)
+            for s in range(15)
+        ]
+
+        def mean_spacing(clips):
+            values = [
+                c.min_neighbor_spacing() for c in clips if c.neighbors
+            ]
+            return np.mean(values)
+
+        assert mean_spacing(n7) < mean_spacing(n10)
+
+
+class TestContactClipValidation:
+    def test_overlapping_neighbor_rejected(self):
+        mid = N10.cropped_clip_nm / 2
+        target = Rect.from_center(mid, mid, 60, 60)
+        overlap = Rect.from_center(mid + 10, mid, 60, 60)
+        with pytest.raises(LayoutError):
+            ContactClip(
+                tech=N10,
+                array_type=ArrayType.ISOLATED,
+                target=target,
+                neighbors=(overlap,),
+                extent_nm=N10.cropped_clip_nm,
+            )
+
+    def test_off_center_target_rejected(self):
+        target = Rect.from_center(100, 100, 60, 60)
+        with pytest.raises(LayoutError):
+            ContactClip(
+                tech=N10,
+                array_type=ArrayType.ISOLATED,
+                target=target,
+                neighbors=(),
+                extent_nm=N10.cropped_clip_nm,
+            )
+
+    def test_min_spacing_infinite_when_alone(self, rng):
+        tech = dataclasses.replace(N10, registration_sigma_nm=0.0)
+        mid = tech.cropped_clip_nm / 2
+        clip = ContactClip(
+            tech=tech,
+            array_type=ArrayType.ISOLATED,
+            target=Rect.from_center(mid, mid, 60, 60),
+            neighbors=(),
+            extent_nm=tech.cropped_clip_nm,
+        )
+        assert clip.min_neighbor_spacing() == float("inf")

@@ -1,0 +1,56 @@
+"""Design-rule property tests over many random layouts (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import N7, N10
+from repro.layout import (
+    SrafRules,
+    build_mask_layout,
+    generate_clip,
+    insert_srafs,
+)
+from repro.layout.sraf import check_sraf_rules
+
+
+class TestClipInvariants:
+    @given(seed=st.integers(0, 500), tech=st.sampled_from([N10, N7]))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_clips_satisfy_drc(self, seed, tech):
+        clip = generate_clip(tech, np.random.default_rng(seed))
+        # Target near the clip center within the registration tolerance.
+        mid = tech.cropped_clip_nm / 2
+        tolerance = 4 * tech.registration_sigma_nm
+        assert abs(clip.target.center.x - mid) <= tolerance
+        assert abs(clip.target.center.y - mid) <= tolerance
+        # No neighbor overlaps the target, and all are inside the clip.
+        for neighbor in clip.neighbors:
+            assert not neighbor.intersects(clip.target)
+            assert 0 <= neighbor.xlo and neighbor.xhi <= tech.cropped_clip_nm
+            assert 0 <= neighbor.ylo and neighbor.yhi <= tech.cropped_clip_nm
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_srafs_always_rule_clean(self, seed):
+        clip = generate_clip(N10, np.random.default_rng(seed))
+        rules = SrafRules.for_tech(N10)
+        srafs = insert_srafs(clip, rules)
+        check_sraf_rules(srafs, clip, rules)  # raises on any violation
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_opc_never_shrinks_contacts(self, seed):
+        clip = generate_clip(N10, np.random.default_rng(seed))
+        layout = build_mask_layout(clip)
+        assert layout.target.width >= clip.target.width
+        assert layout.target.height >= clip.target.height
+        for drawn, corrected in zip(clip.neighbors, layout.neighbors):
+            assert corrected.width >= drawn.width
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_layout_deterministic_per_seed(self, seed):
+        a = build_mask_layout(generate_clip(N10, np.random.default_rng(seed)))
+        b = build_mask_layout(generate_clip(N10, np.random.default_rng(seed)))
+        assert a.target == b.target
+        assert a.srafs == b.srafs

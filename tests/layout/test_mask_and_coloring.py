@@ -1,0 +1,109 @@
+"""Mask layout assembly and the Section 3.1 RGB encoding."""
+
+import numpy as np
+import pytest
+
+from repro.config import N10
+from repro.errors import LayoutError
+from repro.geometry import Grid, Rect
+from repro.layout import (
+    ArrayType,
+    MaskLayout,
+    build_mask_layout,
+    generate_clip,
+    render_mask_rgb,
+    render_transmission,
+)
+from repro.layout.coloring import BLUE, GREEN, RED, decode_mask_rgb
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+@pytest.fixture
+def layout(rng):
+    clip = generate_clip(N10, rng, array_type=ArrayType.DENSE_GRID)
+    return build_mask_layout(clip)
+
+
+class TestBuildMaskLayout:
+    def test_keeps_drawn_target(self, rng):
+        clip = generate_clip(N10, rng)
+        layout = build_mask_layout(clip)
+        assert layout.drawn_target == clip.target
+
+    def test_opc_enlarges_target(self, layout):
+        assert layout.target.width > layout.drawn_target.width
+
+    def test_all_features_nonempty(self, layout):
+        assert len(layout.all_features) == 1 + len(layout.neighbors) + len(
+            layout.srafs
+        )
+
+    def test_validation_rejects_outside_feature(self, layout):
+        with pytest.raises(LayoutError):
+            MaskLayout(
+                tech=layout.tech,
+                array_type=layout.array_type,
+                target=layout.target,
+                neighbors=layout.neighbors,
+                srafs=(Rect(-500, -500, -400, -400),),
+                drawn_target=layout.drawn_target,
+                extent_nm=layout.extent_nm,
+            )
+
+
+class TestRenderMaskRgb:
+    def test_shape_and_range(self, layout):
+        image = render_mask_rgb(layout, 64)
+        assert image.shape == (3, 64, 64)
+        assert image.dtype == np.float32
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_target_in_green_channel(self, layout):
+        image = render_mask_rgb(layout, 64)
+        grid = Grid(size=64, extent_nm=layout.extent_nm)
+        row, col = grid.to_pixel(layout.target.center)
+        assert image[GREEN, int(round(row)), int(round(col))] > 0.5
+        assert image[RED, int(round(row)), int(round(col))] == 0.0
+
+    def test_srafs_in_blue_channel(self, layout):
+        image = render_mask_rgb(layout, 64)
+        assert image[BLUE].sum() > 0
+        # SRAFs are disjoint from contacts, so blue never overlaps green.
+        assert float((image[BLUE] * image[GREEN]).max()) == pytest.approx(0.0)
+
+    def test_neighbors_in_red_channel(self, layout):
+        image = render_mask_rgb(layout, 64)
+        assert (image[RED].sum() > 0) == (len(layout.neighbors) > 0)
+
+    def test_binary_mode(self, layout):
+        image = render_mask_rgb(layout, 64, binary=True)
+        assert set(np.unique(image)) <= {0.0, 1.0}
+
+    def test_decode_roundtrip(self, layout):
+        image = render_mask_rgb(layout, 64)
+        target, neighbors, srafs = decode_mask_rgb(image)
+        assert np.array_equal(target, image[GREEN])
+        assert np.array_equal(neighbors, image[RED])
+        assert np.array_equal(srafs, image[BLUE])
+
+    def test_small_image_rejected(self, layout):
+        with pytest.raises(LayoutError):
+            render_mask_rgb(layout, 4)
+
+
+class TestRenderTransmission:
+    def test_transmission_is_union_of_channels(self, layout):
+        grid = Grid(size=64, extent_nm=layout.extent_nm)
+        transmission = render_transmission(layout, grid)
+        image = render_mask_rgb(layout, 64)
+        union = np.clip(image.sum(axis=0), 0, 1)
+        assert np.allclose(transmission, union, atol=1e-6)
+
+    def test_range(self, layout):
+        grid = Grid(size=32, extent_nm=layout.extent_nm)
+        transmission = render_transmission(layout, grid)
+        assert transmission.min() >= 0.0 and transmission.max() <= 1.0

@@ -1,0 +1,108 @@
+"""Rule-based and model-based OPC."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import N10
+from repro.errors import LayoutError
+from repro.geometry import Rect
+from repro.layout import ArrayType, ModelBasedOpc, OpcRules, apply_rule_opc, generate_clip
+from repro.layout.opc import opc_contact
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+class TestOpcRules:
+    def test_defaults_valid(self):
+        OpcRules()
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(LayoutError):
+            OpcRules(base_bias_nm=-1.0)
+
+
+class TestRuleOpc:
+    def test_isolated_contact_biased_symmetrically(self):
+        rules = OpcRules()
+        contact = Rect.from_center(500, 500, 60, 60)
+        biased = opc_contact(contact, [], rules)
+        expected = 60 + 2 * (rules.base_bias_nm + rules.iso_bias_nm)
+        assert biased.width == pytest.approx(expected)
+        assert biased.center.x == pytest.approx(500)
+
+    def test_crowded_edge_gets_less_bias(self):
+        rules = OpcRules()
+        contact = Rect.from_center(500, 500, 60, 60)
+        close_right = Rect.from_center(600, 500, 60, 60)
+        biased = opc_contact(contact, [close_right], rules)
+        right_bias = biased.xhi - contact.xhi
+        left_bias = contact.xlo - biased.xlo
+        assert right_bias < left_bias
+
+    def test_bias_capped(self):
+        rules = OpcRules(base_bias_nm=10, iso_bias_nm=20, max_bias_nm=12)
+        contact = Rect.from_center(500, 500, 60, 60)
+        biased = opc_contact(contact, [], rules)
+        assert biased.xhi - contact.xhi == pytest.approx(12)
+
+    def test_whole_clip(self, rng):
+        clip = generate_clip(N10, rng, array_type=ArrayType.DENSE_GRID)
+        target, neighbors = apply_rule_opc(clip)
+        assert target.contains_rect(clip.target) or target.width > clip.target.width
+        assert len(neighbors) == len(clip.neighbors)
+
+
+class TestModelBasedOpc:
+    def test_converges_on_linear_model(self):
+        """A print model with uniform shrink is corrected in a few steps."""
+        shrink = 8.0
+
+        def simulate(candidate: Rect) -> Rect:
+            return candidate.inflated(-shrink)
+
+        drawn = Rect.from_center(0, 0, 60, 60)
+        engine = ModelBasedOpc(simulate, gain=1.0, tolerance_nm=0.1)
+        corrected = engine.correct(drawn)
+        printed = simulate(corrected)
+        assert printed.width == pytest.approx(60.0, abs=0.2)
+        assert engine.history[-1] <= 0.1
+
+    def test_asymmetric_error_correction(self):
+        def simulate(candidate: Rect) -> Rect:
+            # Printing shifts everything 3 nm to the right.
+            return candidate.translated(3.0, 0.0).inflated(-5.0)
+
+        drawn = Rect.from_center(0, 0, 60, 60)
+        engine = ModelBasedOpc(simulate, gain=0.8, max_iterations=20,
+                               tolerance_nm=0.2)
+        corrected = engine.correct(drawn)
+        printed = simulate(corrected)
+        assert printed.center.x == pytest.approx(0.0, abs=0.3)
+
+    def test_history_is_monotonically_improving_linear_case(self):
+        def simulate(candidate: Rect) -> Rect:
+            return candidate.inflated(-6.0)
+
+        engine = ModelBasedOpc(simulate, gain=0.6, max_iterations=10,
+                               tolerance_nm=0.01)
+        engine.correct(Rect.from_center(0, 0, 60, 60))
+        assert engine.history == sorted(engine.history, reverse=True)
+
+    def test_bad_gain_rejected(self):
+        with pytest.raises(LayoutError):
+            ModelBasedOpc(lambda r: r, gain=0.0)
+
+    def test_collapse_raises_layout_error(self):
+        def simulate(candidate: Rect) -> Rect:
+            # Pathological model: printed way larger than drawn, forcing
+            # huge negative biases that collapse the rectangle.
+            return candidate.inflated(200.0)
+
+        engine = ModelBasedOpc(simulate, gain=1.5, max_iterations=5)
+        with pytest.raises(LayoutError):
+            engine.correct(Rect.from_center(0, 0, 60, 60))

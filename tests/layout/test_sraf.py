@@ -1,0 +1,80 @@
+"""SRAF insertion rules."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import N10
+from repro.errors import LayoutError
+from repro.layout import ArrayType, SrafRules, generate_clip, insert_srafs
+from repro.layout.sraf import check_sraf_rules
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+@pytest.fixture
+def iso_clip(rng):
+    tech = dataclasses.replace(N10, registration_sigma_nm=0.0)
+    clip = generate_clip(tech, rng, array_type=ArrayType.ISOLATED)
+    return dataclasses.replace(clip, neighbors=())
+
+
+class TestSrafRules:
+    def test_defaults_valid(self):
+        SrafRules()
+
+    def test_for_tech_scales_with_pitch(self):
+        rules = SrafRules.for_tech(N10)
+        assert rules.offset_nm == pytest.approx(70.0 * N10.pitch_nm / 128.0)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(LayoutError):
+            SrafRules(bar_width_nm=-1.0)
+        with pytest.raises(LayoutError):
+            SrafRules(offset_nm=0.0)
+
+
+class TestInsertSrafs:
+    def test_isolated_contact_gets_four_bars(self, iso_clip):
+        srafs = insert_srafs(iso_clip)
+        assert len(srafs) == 4
+
+    def test_bars_do_not_print_region(self, iso_clip):
+        """Bars sit at the rule offset from the contact edge."""
+        rules = SrafRules.for_tech(iso_clip.tech)
+        for bar in insert_srafs(iso_clip, rules):
+            spacing = bar.spacing_to(iso_clip.target)
+            assert spacing == pytest.approx(rules.offset_nm, abs=1e-6)
+
+    def test_rules_respected_on_dense_clips(self, rng):
+        rules = SrafRules.for_tech(N10)
+        for _ in range(10):
+            clip = generate_clip(N10, rng, array_type=ArrayType.DENSE_GRID)
+            srafs = insert_srafs(clip, rules)
+            check_sraf_rules(srafs, clip, rules)  # raises on violation
+
+    def test_dense_arrays_prune_inner_bars(self, rng):
+        """Dense neighborhoods must carry fewer SRAFs per contact."""
+        iso_counts, dense_counts = [], []
+        for seed in range(10):
+            gen = np.random.default_rng(seed)
+            iso = generate_clip(N10, gen, array_type=ArrayType.ISOLATED)
+            iso_counts.append(len(insert_srafs(iso)) / len(iso.all_contacts))
+            gen = np.random.default_rng(seed)
+            dense = generate_clip(N10, gen, array_type=ArrayType.DENSE_GRID)
+            dense_counts.append(
+                len(insert_srafs(dense)) / len(dense.all_contacts)
+            )
+        assert np.mean(dense_counts) < np.mean(iso_counts)
+
+    def test_check_detects_violation(self, iso_clip):
+        rules = SrafRules.for_tech(iso_clip.tech)
+        bad_bar = iso_clip.target.translated(
+            iso_clip.target.width + 1.0, 0.0
+        )
+        with pytest.raises(LayoutError):
+            check_sraf_rules([bad_bar], iso_clip, rules)

@@ -1,0 +1,76 @@
+"""Critical-dimension and center-error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.metrics import cd_error_nm, center_error_nm, measure_cd_nm
+
+
+def contact(size=32, half=5, center=(16, 16)):
+    image = np.zeros((size, size))
+    r, c = center
+    image[r - half : r + half, c - half : c + half] = 1.0
+    return image
+
+
+class TestMeasureCd:
+    def test_square_contact(self):
+        image = contact(half=5)
+        cd_h, cd_v = measure_cd_nm(image, 2.0)
+        assert cd_h == pytest.approx(20.0)
+        assert cd_v == pytest.approx(20.0)
+
+    def test_rectangular_contact(self):
+        image = np.zeros((32, 32))
+        image[10:20, 8:16] = 1.0  # 10 rows x 8 cols
+        cd_h, cd_v = measure_cd_nm(image, 1.0)
+        assert cd_h == pytest.approx(8.0)
+        assert cd_v == pytest.approx(10.0)
+
+    def test_ignores_disjoint_blobs_on_cutline(self):
+        image = contact(half=4)
+        image[16, 28:31] = 1.0  # separate blob on the same row
+        cd_h, _ = measure_cd_nm(image, 1.0)
+        assert cd_h == pytest.approx(8.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            measure_cd_nm(np.zeros((8, 8)), 1.0)
+
+
+class TestCdError:
+    def test_zero_for_identical(self):
+        image = contact()
+        assert cd_error_nm(image, image.copy(), 1.0) == 0.0
+
+    def test_dilation_error(self):
+        golden = contact(half=5)
+        predicted = contact(half=6)
+        assert cd_error_nm(golden, predicted, 1.0) == pytest.approx(2.0)
+
+    def test_empty_prediction_costs_full_cd(self):
+        golden = contact(half=5)
+        assert cd_error_nm(golden, np.zeros_like(golden), 1.0) == pytest.approx(
+            10.0
+        )
+
+
+class TestCenterError:
+    def test_zero_for_identical(self):
+        assert center_error_nm([3.0, 4.0], [3.0, 4.0], 1.0) == 0.0
+
+    def test_euclidean(self):
+        assert center_error_nm([0.0, 0.0], [3.0, 4.0], 1.0) == pytest.approx(5.0)
+
+    def test_nm_scaling(self):
+        assert center_error_nm([0.0, 0.0], [3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_batched_mean(self):
+        golden = np.array([[0.0, 0.0], [1.0, 1.0]])
+        predicted = np.array([[3.0, 4.0], [1.0, 1.0]])
+        assert center_error_nm(golden, predicted, 1.0) == pytest.approx(2.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            center_error_nm([0.0, 0.0, 0.0], [1.0, 1.0], 1.0)

@@ -1,0 +1,78 @@
+"""Edge displacement error (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.metrics import ede_nm, ede_per_edge_nm
+
+
+def box(size=32, rlo=10, rhi=20, clo=12, chi=22):
+    image = np.zeros((size, size))
+    image[rlo:rhi, clo:chi] = 1.0
+    return image
+
+
+class TestEdePerEdge:
+    def test_identical_is_zero(self):
+        golden = box()
+        assert ede_per_edge_nm(golden, golden.copy(), 0.5) == (0, 0, 0, 0)
+
+    def test_single_edge_displacement(self):
+        golden = box(rlo=10, rhi=20)
+        predicted = box(rlo=12, rhi=20)  # top edge moved 2 px
+        top, bottom, left, right = ede_per_edge_nm(golden, predicted, 0.5)
+        assert top == pytest.approx(1.0)  # 2 px * 0.5 nm
+        assert bottom == left == right == 0.0
+
+    def test_uniform_dilation(self):
+        golden = box(rlo=10, rhi=20, clo=10, chi=20)
+        predicted = box(rlo=9, rhi=21, clo=9, chi=21)
+        edges = ede_per_edge_nm(golden, predicted, 2.0)
+        assert all(e == pytest.approx(2.0) for e in edges)
+
+    def test_pure_shift(self):
+        golden = box(rlo=10, rhi=20, clo=10, chi=20)
+        predicted = box(rlo=13, rhi=23, clo=10, chi=20)
+        edges = ede_per_edge_nm(golden, predicted, 1.0)
+        assert edges[0] == edges[1] == pytest.approx(3.0)  # top and bottom
+
+    def test_empty_prediction_with_penalty(self):
+        golden = box()
+        empty = np.zeros_like(golden)
+        edges = ede_per_edge_nm(golden, empty, 1.0, empty_penalty_nm=16.0)
+        assert edges == (16.0,) * 4
+
+    def test_empty_prediction_without_penalty_raises(self):
+        with pytest.raises(EvaluationError):
+            ede_per_edge_nm(box(), np.zeros((32, 32)), 1.0)
+
+    def test_empty_golden_raises(self):
+        with pytest.raises(EvaluationError):
+            ede_per_edge_nm(np.zeros((32, 32)), box(), 1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            ede_per_edge_nm(box(32), box(16, 2, 8, 2, 8), 1.0)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(EvaluationError):
+            ede_per_edge_nm(box(), box(), 0.0)
+
+
+class TestEdeMean:
+    def test_mean_of_edges(self):
+        golden = box(rlo=10, rhi=20, clo=10, chi=20)
+        predicted = box(rlo=12, rhi=20, clo=10, chi=20)
+        assert ede_nm(golden, predicted, 1.0) == pytest.approx(0.5)
+
+    def test_scale_linearity(self):
+        golden = box()
+        predicted = box(rlo=11)
+        assert ede_nm(golden, predicted, 2.0) == pytest.approx(
+            2 * ede_nm(golden, predicted, 1.0)
+        )
+
+    def test_symmetry(self):
+        a, b = box(rlo=10), box(rlo=13)
+        assert ede_nm(a, b, 1.0) == pytest.approx(ede_nm(b, a, 1.0))

@@ -1,0 +1,78 @@
+"""Edge placement error against the design target."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.geometry import Rect
+from repro.metrics import epe_at_edges, epe_nm
+
+EXTENT = 128.0  # nm
+SIZE = 64       # px -> 2 nm/px
+
+
+def printed(rect: Rect) -> np.ndarray:
+    """Rasterize a printed rectangle into the window image (binary)."""
+    image = np.zeros((SIZE, SIZE))
+    nm = EXTENT / SIZE
+    clo = int(round(rect.xlo / nm))
+    chi = int(round(rect.xhi / nm))
+    rlo = int(round((EXTENT - rect.yhi) / nm))
+    rhi = int(round((EXTENT - rect.ylo) / nm))
+    image[rlo:rhi, clo:chi] = 1.0
+    return image
+
+
+class TestEpeAtEdges:
+    def test_exact_print_is_subpixel(self):
+        target = Rect.from_center(64, 64, 32, 32)
+        edges = epe_at_edges(printed(target), target, EXTENT)
+        assert all(abs(e) <= 1.1 for e in edges)  # within rasterization
+
+    def test_uniform_overprint_positive(self):
+        target = Rect.from_center(64, 64, 32, 32)
+        bigger = target.inflated(6.0)
+        edges = epe_at_edges(printed(bigger), target, EXTENT)
+        assert all(e > 3.0 for e in edges)
+
+    def test_uniform_underprint_negative(self):
+        target = Rect.from_center(64, 64, 40, 40)
+        smaller = target.inflated(-8.0)
+        edges = epe_at_edges(printed(smaller), target, EXTENT)
+        assert all(e < -4.0 for e in edges)
+
+    def test_single_edge_shift(self):
+        target = Rect.from_center(64, 64, 32, 32)
+        shifted = target.biased(right=8.0)
+        left, right, bottom, top = epe_at_edges(printed(shifted), target, EXTENT)
+        assert right > 5.0
+        assert abs(left) <= 1.1 and abs(bottom) <= 1.1 and abs(top) <= 1.1
+
+    def test_origin_offset(self):
+        """Windows not anchored at (0, 0) measure identically."""
+        target = Rect.from_center(64, 64, 32, 32)
+        image = printed(target.inflated(4.0))
+        shifted_target = target.translated(500.0, 500.0)
+        edges = epe_at_edges(
+            image, shifted_target, EXTENT, origin_nm=(500.0, 500.0)
+        )
+        reference = epe_at_edges(image, target, EXTENT)
+        assert np.allclose(edges, reference)
+
+    def test_validation(self):
+        target = Rect.from_center(64, 64, 32, 32)
+        with pytest.raises(EvaluationError):
+            epe_at_edges(np.zeros((4, 8)), target, EXTENT)
+        with pytest.raises(EvaluationError):
+            epe_at_edges(np.zeros((8, 8)), target, 0.0)
+
+
+class TestEpeMean:
+    def test_mean_of_absolute_edges(self):
+        target = Rect.from_center(64, 64, 32, 32)
+        value = epe_nm(printed(target.inflated(6.0)), target, EXTENT)
+        assert value == pytest.approx(6.0, abs=1.5)
+
+    def test_zero_for_perfect_print(self):
+        target = Rect.from_center(64, 64, 32, 32)
+        assert epe_nm(printed(target), target, EXTENT) <= 1.1

@@ -1,0 +1,105 @@
+"""Pixel/class accuracy and mean IoU (Definitions 2-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.metrics import (
+    class_accuracy,
+    mean_iou,
+    pixel_accuracy,
+    segmentation_metrics,
+)
+
+
+def random_pair(seed, size=16):
+    rng = np.random.default_rng(seed)
+    return (
+        (rng.uniform(size=(size, size)) > 0.5).astype(float),
+        (rng.uniform(size=(size, size)) > 0.5).astype(float),
+    )
+
+
+class TestPixelAccuracy:
+    def test_identical(self):
+        golden, _ = random_pair(0)
+        assert pixel_accuracy(golden, golden.copy()) == 1.0
+
+    def test_inverted(self):
+        golden, _ = random_pair(1)
+        assert pixel_accuracy(golden, 1 - golden) == 0.0
+
+    def test_half_wrong(self):
+        golden = np.zeros((4, 4))
+        predicted = np.zeros((4, 4))
+        predicted[:2] = 1.0
+        assert pixel_accuracy(golden, predicted) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            pixel_accuracy(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestClassAccuracy:
+    def test_identical(self):
+        golden, _ = random_pair(2)
+        assert class_accuracy(golden, golden.copy()) == 1.0
+
+    def test_penalizes_minority_class_errors(self):
+        """Missing a small blob hurts class accuracy more than pixel accuracy."""
+        golden = np.zeros((10, 10))
+        golden[0, 0] = 1.0
+        predicted = np.zeros((10, 10))
+        assert pixel_accuracy(golden, predicted) == 0.99
+        assert class_accuracy(golden, predicted) == 0.5
+
+    def test_absent_class_vacuous(self):
+        golden = np.zeros((4, 4))
+        assert class_accuracy(golden, np.zeros((4, 4))) == 1.0
+
+    def test_absent_class_predicted_penalized(self):
+        golden = np.zeros((4, 4))
+        predicted = np.zeros((4, 4))
+        predicted[0, 0] = 1.0
+        assert class_accuracy(golden, predicted) < 1.0
+
+
+class TestMeanIou:
+    def test_identical(self):
+        golden, _ = random_pair(3)
+        assert mean_iou(golden, golden.copy()) == 1.0
+
+    def test_known_overlap(self):
+        golden = np.zeros((4, 4))
+        golden[:, :2] = 1.0  # 8 pixels
+        predicted = np.zeros((4, 4))
+        predicted[:, 1:3] = 1.0  # 8 pixels, 4 shared
+        # Class 1: IoU = 4 / 12; class 0: IoU = 4 / 12.
+        assert mean_iou(golden, predicted) == pytest.approx(1 / 3)
+
+    @given(st.integers(0, 100))
+    @settings(deadline=None)
+    def test_bounded(self, seed):
+        golden, predicted = random_pair(seed)
+        value = mean_iou(golden, predicted)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(0, 50))
+    @settings(deadline=None)
+    def test_iou_never_exceeds_pixel_accuracy(self, seed):
+        golden, predicted = random_pair(seed)
+        assert mean_iou(golden, predicted) <= pixel_accuracy(
+            golden, predicted
+        ) + 1e-12
+
+
+class TestCombined:
+    @given(st.integers(0, 30))
+    @settings(deadline=None)
+    def test_matches_individual_functions(self, seed):
+        golden, predicted = random_pair(seed)
+        pixel, class_acc, iou = segmentation_metrics(golden, predicted)
+        assert pixel == pytest.approx(pixel_accuracy(golden, predicted))
+        assert class_acc == pytest.approx(class_accuracy(golden, predicted))
+        assert iou == pytest.approx(mean_iou(golden, predicted))

@@ -1,0 +1,169 @@
+"""The paper's Tables 1 and 2, verified layer by layer at paper scale.
+
+These tests construct the 256x256 paper-scale networks and assert the
+summary rows match the published tables: ops, filter specs, and output sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.models import (
+    build_center_cnn,
+    build_discriminator,
+    build_generator,
+    build_threshold_cnn,
+)
+from repro.models.discriminator import discriminator_input_channels
+
+
+@pytest.fixture(scope="module")
+def paper_model_config():
+    return ModelConfig()  # 256 px, base 64 — the paper's setting
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTable1Generator:
+    def test_encoder_rows(self, paper_model_config, rng):
+        """Table 1 generator encoder column."""
+        generator = build_generator(paper_model_config, rng)
+        rows = generator.summary((3, 256, 256))
+        assert rows[0] == {"layer": "Input", "filter": "-", "output": "256x256x3"}
+        expected_encoder = [
+            ("Conv-ReLU", "128x128x64"),
+            ("Conv-BN-ReLU", "64x64x128"),
+            ("Conv-BN-ReLU", "32x32x256"),
+            ("Conv-BN-ReLU", "16x16x512"),
+            ("Conv-BN-ReLU", "8x8x512"),
+            ("Conv-BN-ReLU", "4x4x512"),
+            ("Conv-BN-ReLU", "2x2x512"),
+            ("Conv-BN-ReLU", "1x1x512"),
+        ]
+        for i, (layer, output) in enumerate(expected_encoder):
+            assert rows[1 + i]["layer"] == layer
+            assert rows[1 + i]["filter"] == "5x5,2"
+            assert rows[1 + i]["output"] == output
+
+    def test_decoder_rows(self, paper_model_config, rng):
+        """Table 1 generator decoder column, including the two dropouts."""
+        generator = build_generator(paper_model_config, rng)
+        rows = generator.summary((3, 256, 256))
+        decoder = rows[9:]
+        expected = [
+            ("Deconv-BN-LReLU", "2x2x512"),
+            ("Dropout", "2x2x512"),
+            ("Deconv-BN-LReLU", "4x4x512"),
+            ("Dropout", "4x4x512"),
+            ("Deconv-BN-LReLU", "8x8x512"),
+            ("Deconv-BN-LReLU", "16x16x512"),
+            ("Deconv-BN-LReLU", "32x32x256"),
+            ("Deconv-BN-LReLU", "64x64x128"),
+            ("Deconv-BN-LReLU", "128x128x64"),
+            ("Deconv-LReLU", "256x256x3"),
+        ]
+        assert len(decoder) == len(expected)
+        for row, (layer, output) in zip(decoder, expected):
+            assert row["layer"] == layer
+            assert row["output"] == output
+
+    def test_forward_shape_paper_scale(self, paper_model_config, rng):
+        generator = build_generator(paper_model_config, rng)
+        assert generator.output_shape((3, 256, 256)) == (3, 256, 256)
+
+    def test_reduced_scale_topology(self, rng):
+        config = ModelConfig(image_size=64, base_filters=16)
+        generator = build_generator(config, rng)
+        assert generator.output_shape((3, 64, 64)) == (3, 64, 64)
+
+
+class TestTable1Discriminator:
+    def test_rows(self, paper_model_config, rng):
+        discriminator = build_discriminator(paper_model_config, rng)
+        rows = discriminator.summary((6, 256, 256))
+        assert rows[0]["output"] == "256x256x6"
+        expected = [
+            ("Conv-LReLU", "128x128x64"),
+            ("Conv-BN-LReLU", "64x64x128"),
+            ("Conv-BN-LReLU", "32x32x256"),
+            ("Conv-BN-LReLU", "16x16x512"),
+        ]
+        for i, (layer, output) in enumerate(expected):
+            assert rows[1 + i]["layer"] == layer
+            assert rows[1 + i]["output"] == output
+        assert rows[5] == {
+            "layer": "Flatten", "filter": "-", "output": "131072"
+        }
+        assert rows[-1]["layer"].startswith("FC")
+        assert rows[-1]["output"] == "1"
+
+    def test_input_channels(self, paper_model_config):
+        assert discriminator_input_channels(paper_model_config) == 6
+
+    def test_single_logit(self, paper_model_config, rng):
+        discriminator = build_discriminator(paper_model_config, rng)
+        assert discriminator.output_shape((6, 256, 256)) == (1,)
+
+
+class TestTable2CenterCnn:
+    def test_rows(self, paper_model_config, rng):
+        cnn = build_center_cnn(paper_model_config, rng)
+        rows = cnn.summary((3, 256, 256))
+        assert rows[0]["output"] == "256x256x3"
+        expected = [
+            ("Conv-ReLU-BN-P", "7x7,1", "128x128x32"),
+            ("Conv-ReLU-BN-P", "3x3,1", "64x64x64"),
+            ("Conv-ReLU-BN-P", "3x3,1", "32x32x64"),
+            ("Conv-ReLU-BN-P", "3x3,1", "16x16x64"),
+            ("Conv-ReLU-BN-P", "3x3,1", "8x8x64"),
+        ]
+        for i, (layer, filt, output) in enumerate(expected):
+            assert rows[1 + i]["layer"] == layer
+            assert rows[1 + i]["filter"] == filt
+            assert rows[1 + i]["output"] == output
+        assert rows[6]["layer"] == "Flatten"
+        # FC-64, ReLU+Dropout, FC-2 tail.
+        assert rows[-3]["layer"] == "FC-ReLU"
+        assert rows[-3]["output"] == "64"
+        assert rows[-2]["layer"] == "Dropout"
+        assert rows[-1]["layer"] == "FC"
+        assert rows[-1]["output"] == "2"
+
+    def test_output_is_two_coordinates(self, paper_model_config, rng):
+        cnn = build_center_cnn(paper_model_config, rng)
+        assert cnn.output_shape((3, 256, 256)) == (2,)
+
+    def test_reduced_scale_ends_at_8x8(self, rng):
+        config = ModelConfig(image_size=64, base_filters=16)
+        cnn = build_center_cnn(config, rng)
+        rows = cnn.summary((3, 64, 64))
+        conv_rows = [r for r in rows if r["layer"].startswith("Conv")]
+        assert conv_rows[-1]["output"] == "8x8x64"
+
+
+class TestThresholdCnn:
+    def test_four_outputs(self, paper_model_config, rng):
+        cnn = build_threshold_cnn(paper_model_config, rng)
+        assert cnn.output_shape((1, 256, 256)) == (4,)
+
+    def test_single_channel_input(self, paper_model_config, rng):
+        cnn = build_threshold_cnn(paper_model_config, rng)
+        x = np.zeros((2, 1, 256, 256), dtype=np.float32)
+        assert cnn.forward(x).shape == (2, 4)
+
+
+class TestParameterCounts:
+    def test_generator_parameter_count_is_stable(self, paper_model_config, rng):
+        """Architecture regression guard: the paper-scale generator size."""
+        generator = build_generator(paper_model_config, rng)
+        count = generator.num_parameters()
+        # 16 (de)conv layers of 5x5 kernels between 3..512 channels.
+        assert 50_000_000 < count < 90_000_000
+
+    def test_reduced_generator_much_smaller(self, rng):
+        config = ModelConfig(image_size=64, base_filters=16)
+        generator = build_generator(config, rng)
+        assert generator.num_parameters() < 4_000_000

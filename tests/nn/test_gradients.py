@@ -1,0 +1,162 @@
+"""Numerical gradient verification for every parametric layer.
+
+These are the load-bearing tests of the NN substrate: each layer's backward
+pass is checked against central finite differences, both for the input
+gradient and for every parameter gradient.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    ConvTranspose2D,
+    Dense,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+EPS = 1e-3
+TOL = 2e-2
+
+
+def _loss_through(layer, x, g_out, training):
+    return float((layer.forward(x, training=training) * g_out).sum())
+
+
+def check_input_gradient(layer, x_shape, training=True, samples=4):
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=x_shape).astype(np.float32)
+    out = layer.forward(x, training=training)
+    g_out = rng.normal(size=out.shape).astype(np.float32)
+    for p in layer.parameters():
+        p.zero_grad()
+    g_in = layer.backward(g_out)
+    assert g_in.shape == x.shape
+    for _ in range(samples):
+        idx = tuple(int(rng.integers(0, s)) for s in x_shape)
+        original = x[idx]
+        x[idx] = original + EPS
+        f_plus = _loss_through(layer, x, g_out, training)
+        x[idx] = original - EPS
+        f_minus = _loss_through(layer, x, g_out, training)
+        x[idx] = original
+        numeric = (f_plus - f_minus) / (2 * EPS)
+        analytic = float(g_in[idx])
+        scale = max(1e-3, abs(numeric) + abs(analytic))
+        assert abs(numeric - analytic) / scale < TOL, (
+            f"input grad mismatch at {idx}: numeric={numeric}, "
+            f"analytic={analytic}"
+        )
+
+
+def check_parameter_gradients(layer, x_shape, training=True, samples=3):
+    rng = np.random.default_rng(13)
+    x = rng.normal(size=x_shape).astype(np.float32)
+    out = layer.forward(x, training=training)
+    g_out = rng.normal(size=out.shape).astype(np.float32)
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.backward(g_out)
+    for param in layer.parameters():
+        flat = param.value.ravel()
+        grads = param.grad.ravel()
+        for _ in range(samples):
+            i = int(rng.integers(0, flat.size))
+            original = flat[i]
+            flat[i] = original + EPS
+            f_plus = _loss_through(layer, x, g_out, training)
+            flat[i] = original - EPS
+            f_minus = _loss_through(layer, x, g_out, training)
+            flat[i] = original
+            numeric = (f_plus - f_minus) / (2 * EPS)
+            analytic = float(grads[i])
+            scale = max(1e-3, abs(numeric) + abs(analytic))
+            assert abs(numeric - analytic) / scale < TOL, (
+                f"{param.name}[{i}]: numeric={numeric}, analytic={analytic}"
+            )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestLayerGradients:
+    def test_conv2d(self, rng):
+        layer = Conv2D(3, 4, 5, 2, rng)
+        check_input_gradient(layer, (2, 3, 8, 8))
+        check_parameter_gradients(layer, (2, 3, 8, 8))
+
+    def test_conv2d_stride1(self, rng):
+        layer = Conv2D(2, 3, 3, 1, rng)
+        check_input_gradient(layer, (2, 2, 6, 6))
+        check_parameter_gradients(layer, (2, 2, 6, 6))
+
+    def test_conv_transpose(self, rng):
+        layer = ConvTranspose2D(3, 4, 5, 2, rng)
+        check_input_gradient(layer, (2, 3, 4, 4))
+        check_parameter_gradients(layer, (2, 3, 4, 4))
+
+    def test_dense(self, rng):
+        layer = Dense(6, 3, rng)
+        check_input_gradient(layer, (4, 6))
+        check_parameter_gradients(layer, (4, 6))
+
+    def test_batchnorm_4d(self, rng):
+        layer = BatchNorm(3)
+        check_input_gradient(layer, (4, 3, 5, 5))
+        check_parameter_gradients(layer, (4, 3, 5, 5))
+
+    def test_batchnorm_2d(self, rng):
+        layer = BatchNorm(4)
+        check_input_gradient(layer, (8, 4))
+
+    def test_batchnorm_eval_mode(self, rng):
+        layer = BatchNorm(3)
+        # Populate running stats first.
+        layer.forward(
+            rng.normal(size=(8, 3, 4, 4)).astype(np.float32), training=True
+        )
+        check_input_gradient(layer, (4, 3, 4, 4), training=False)
+
+    def test_maxpool(self, rng):
+        check_input_gradient(MaxPool2D(2), (2, 3, 8, 8))
+
+    def test_activations(self, rng):
+        for layer in (ReLU(), LeakyReLU(0.2), Sigmoid(), Tanh()):
+            check_input_gradient(layer, (3, 7))
+
+
+class TestStackedGradient:
+    def test_small_encoder_decoder(self, rng):
+        """Gradient flows correctly through a full conv-BN-act stack."""
+        net = Sequential(
+            [
+                Conv2D(2, 4, 3, 2, rng),
+                BatchNorm(4),
+                ReLU(),
+                ConvTranspose2D(4, 2, 3, 2, rng),
+                LeakyReLU(0.2),
+            ]
+        )
+        x = rng.normal(size=(2, 2, 8, 8)).astype(np.float32)
+        out = net.forward(x, training=True)
+        g_out = rng.normal(size=out.shape).astype(np.float32)
+        net.zero_grad()
+        g_in = net.backward(g_out)
+
+        idx = (1, 0, 3, 5)
+
+        def total(xv):
+            xc = x.copy()
+            xc[idx] = xv
+            return float((net.forward(xc, training=True) * g_out).sum())
+
+        numeric = (total(x[idx] + EPS) - total(x[idx] - EPS)) / (2 * EPS)
+        assert abs(numeric - float(g_in[idx])) / max(1e-3, abs(numeric)) < TOL

@@ -1,0 +1,57 @@
+"""Weight initializers: scales, determinism, shape handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import dcgan_normal, glorot_uniform, he_normal, zeros
+
+
+class TestGlorotUniform:
+    def test_dense_limit(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((100, 200), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert w.max() <= limit and w.min() >= -limit
+        assert w.dtype == np.float32
+
+    def test_conv_fans(self):
+        rng = np.random.default_rng(1)
+        w = glorot_uniform((16, 8, 3, 3), rng)
+        limit = np.sqrt(6.0 / (8 * 9 + 16 * 9))
+        assert np.abs(w).max() <= limit
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            glorot_uniform((4,), np.random.default_rng(0))
+
+
+class TestHeNormal:
+    def test_std_matches_fan_in(self):
+        rng = np.random.default_rng(2)
+        w = he_normal((1000, 50), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+
+class TestDcganNormal:
+    def test_std(self):
+        rng = np.random.default_rng(3)
+        w = dcgan_normal((64, 64, 5, 5), rng)
+        assert w.std() == pytest.approx(0.02, rel=0.05)
+        assert abs(w.mean()) < 0.001
+
+    def test_custom_std(self):
+        rng = np.random.default_rng(4)
+        w = dcgan_normal((100, 100), rng, stddev=0.1)
+        assert w.std() == pytest.approx(0.1, rel=0.1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = dcgan_normal((8, 8), np.random.default_rng(7))
+        b = dcgan_normal((8, 8), np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_zeros(self):
+        assert np.all(zeros((3, 4)) == 0)
+        assert zeros((3, 4)).dtype == np.float32

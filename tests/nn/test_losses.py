@@ -1,0 +1,96 @@
+"""Loss values and gradients, including numerical checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import bce_with_logits, l1_loss, mse_loss
+
+
+def numeric_grad(loss_fn, x, target, eps=1e-5):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    out = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus, _ = loss_fn(x, target)
+        flat[i] = original - eps
+        f_minus, _ = loss_fn(x, target)
+        flat[i] = original
+        out[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+class TestBceWithLogits:
+    def test_perfect_confidence_is_near_zero(self):
+        logits = np.array([[20.0], [-20.0]])
+        targets = np.array([[1.0], [0.0]])
+        value, _ = bce_with_logits(logits, targets)
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_wrong_confidence_is_large(self):
+        logits = np.array([[20.0]])
+        targets = np.array([[0.0]])
+        value, _ = bce_with_logits(logits, targets)
+        assert value == pytest.approx(20.0, rel=1e-3)
+
+    def test_symmetric_at_zero(self):
+        logits = np.zeros((4, 1))
+        value, _ = bce_with_logits(logits, np.ones((4, 1)))
+        assert value == pytest.approx(np.log(2))
+
+    def test_extreme_logits_finite(self):
+        logits = np.array([[1e4], [-1e4]])
+        value, grad = bce_with_logits(logits, np.array([[0.0], [1.0]]))
+        assert np.isfinite(value)
+        assert np.all(np.isfinite(grad))
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 2))
+        targets = (rng.uniform(size=(3, 2)) > 0.5).astype(float)
+        _, grad = bce_with_logits(logits, targets)
+        assert np.allclose(
+            grad, numeric_grad(bce_with_logits, logits, targets), atol=1e-6
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            bce_with_logits(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestL1Loss:
+    def test_value(self):
+        value, _ = l1_loss(np.array([1.0, 3.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(2.0)
+
+    def test_gradient_is_scaled_sign(self):
+        pred = np.array([2.0, -1.0, 5.0])
+        target = np.array([0.0, 0.0, 5.0])
+        _, grad = l1_loss(pred, target)
+        assert np.allclose(grad, np.array([1.0, -1.0, 0.0]) / 3)
+
+    @given(st.integers(1, 6))
+    @settings(deadline=None)
+    def test_zero_at_target(self, n):
+        x = np.linspace(-1, 1, n)
+        value, grad = l1_loss(x, x.copy())
+        assert value == 0.0
+        assert np.allclose(grad, 0.0)
+
+
+class TestMseLoss:
+    def test_value(self):
+        value, _ = mse_loss(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(2.5)
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(2)
+        pred = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 3))
+        _, grad = mse_loss(pred, target)
+        assert np.allclose(
+            grad, numeric_grad(mse_loss, pred, target), atol=1e-5
+        )

@@ -1,0 +1,100 @@
+"""Optimizers: SGD and Adam convergence and bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import SGD, Adam, Parameter
+
+
+def quadratic_grad(param, target):
+    """Gradient of 0.5 * ||p - target||^2."""
+    return param.value - target
+
+
+class TestSGD:
+    def test_single_step(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = SGD([param], learning_rate=0.1)
+        param.add_grad(np.array([2.0], dtype=np.float32))
+        optimizer.step()
+        assert param.value[0] == pytest.approx(0.8)
+
+    def test_momentum_accelerates(self):
+        target = np.array([3.0], dtype=np.float32)
+        plain = Parameter(np.zeros(1, dtype=np.float32))
+        momentum = Parameter(np.zeros(1, dtype=np.float32))
+        opt_plain = SGD([plain], 0.05)
+        opt_momentum = SGD([momentum], 0.05, momentum=0.9)
+        for _ in range(20):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                opt.zero_grad()
+                param.add_grad(quadratic_grad(param, target))
+                opt.step()
+        assert abs(momentum.value[0] - 3) < abs(plain.value[0] - 3)
+
+    def test_skips_frozen_params(self):
+        param = Parameter(np.ones(1, dtype=np.float32), trainable=False)
+        optimizer = SGD([param], 0.5)
+        param.add_grad(np.ones(1, dtype=np.float32))
+        optimizer.step()
+        assert param.value[0] == 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD([], 0.1)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD([Parameter(np.zeros(1))], 0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([2.0, -1.0], dtype=np.float32)
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        optimizer = Adam([param], learning_rate=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            param.add_grad(quadratic_grad(param, target))
+            optimizer.step()
+        assert np.allclose(param.value, target, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        """First Adam step moves by ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            param = Parameter(np.zeros(1, dtype=np.float32))
+            optimizer = Adam([param], learning_rate=0.01)
+            param.add_grad(np.array([scale], dtype=np.float32))
+            optimizer.step()
+            assert abs(param.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_paper_betas_accepted(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        Adam([param], learning_rate=2e-4, beta1=0.5, beta2=0.999)
+
+    def test_bad_betas_rejected(self):
+        with pytest.raises(TrainingError):
+            Adam([Parameter(np.zeros(1))], 0.1, beta1=1.0)
+
+    def test_zero_grad_clears(self):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        optimizer = Adam([param], 0.1)
+        param.add_grad(np.ones(3, dtype=np.float32))
+        optimizer.zero_grad()
+        assert np.array_equal(param.grad, np.zeros(3))
+
+
+class TestParameter:
+    def test_add_grad_accumulates(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.add_grad(np.ones(2, dtype=np.float32))
+        param.add_grad(np.ones(2, dtype=np.float32))
+        assert np.array_equal(param.grad, 2 * np.ones(2))
+
+    def test_add_grad_shape_checked(self):
+        from repro.errors import ShapeError
+
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        with pytest.raises(ShapeError):
+            param.add_grad(np.ones(3, dtype=np.float32))

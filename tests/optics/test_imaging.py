@@ -1,0 +1,170 @@
+"""TCC / SOCS / imaging: physics cross-checks.
+
+The key test is SOCS-vs-Abbe agreement: with all eigenpairs retained the
+two formulations compute the same partially coherent image, which validates
+the entire TCC pipeline end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import OpticalConfig
+from repro.errors import OpticsError
+from repro.geometry import Grid, Rect
+from repro.optics import (
+    AerialImager,
+    abbe_aerial_image,
+    compute_tcc_matrix,
+    decompose_tcc,
+)
+from repro.optics.imaging import clear_imager_cache, get_imager
+from repro.optics.tcc import collect_passband_bins, na_radius_in_samples
+
+EXTENT = 1000.0
+GRID = 64
+
+
+@pytest.fixture
+def optical():
+    return OpticalConfig(grid_size=GRID, num_kernels=8)
+
+
+@pytest.fixture
+def contact_mask():
+    grid = Grid(size=GRID, extent_nm=EXTENT)
+    return grid.rasterize_rects(
+        [
+            Rect.from_center(500, 500, 72, 72),
+            Rect.from_center(628, 500, 72, 72),
+            Rect.from_center(500, 628, 72, 72),
+        ]
+    )
+
+
+class TestTcc:
+    def test_na_radius(self, optical):
+        radius = na_radius_in_samples(optical, EXTENT)
+        assert radius == pytest.approx(1.35 * EXTENT / 193.0)
+
+    def test_passband_bins_within_cutoff(self, optical):
+        bins = collect_passband_bins(optical, GRID, EXTENT)
+        radius = na_radius_in_samples(optical, EXTENT)
+        cutoff = radius * (1 + optical.sigma_outer) + 1
+        assert np.all(np.hypot(bins[:, 0], bins[:, 1]) <= cutoff)
+
+    def test_matrix_is_hermitian_psd(self, optical):
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        eigenvalues = np.linalg.eigvalsh(tcc.matrix)
+        assert eigenvalues.min() > -1e-10
+
+    def test_dc_entry_is_clear_field(self, optical):
+        """TCC(0,0) = total source energy inside the pupil = 1."""
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        dc = np.where(
+            (tcc.freq_indices[:, 0] == 0) & (tcc.freq_indices[:, 1] == 0)
+        )[0][0]
+        assert tcc.matrix[dc, dc].real == pytest.approx(1.0, abs=1e-9)
+
+    def test_coarse_grid_rejected(self, optical):
+        with pytest.raises(OpticsError):
+            collect_passband_bins(optical, 8, EXTENT)
+
+
+class TestSocs:
+    def test_weights_descending_nonnegative(self, optical):
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        kernels = decompose_tcc(tcc, 6)
+        assert np.all(kernels.weights >= 0)
+        assert np.all(np.diff(kernels.weights) <= 1e-12)
+
+    def test_energy_increases_with_kernels(self, optical):
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        few = decompose_tcc(tcc, 2)
+        many = decompose_tcc(tcc, 12)
+        assert many.energy_captured > few.energy_captured
+        assert many.energy_captured <= 1.0 + 1e-9
+
+    def test_zero_kernels_rejected(self, optical):
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        with pytest.raises(OpticsError):
+            decompose_tcc(tcc, 0)
+
+
+class TestImaging:
+    def test_socs_matches_abbe(self, contact_mask):
+        """Full-rank SOCS must reproduce the Abbe reference image."""
+        optical = OpticalConfig(grid_size=GRID, num_kernels=64)
+        imager = AerialImager(optical, EXTENT)
+        socs_image = imager.aerial_image(contact_mask)
+        abbe_image = abbe_aerial_image(contact_mask, optical, EXTENT)
+        assert np.abs(socs_image - abbe_image).max() < 5e-3
+
+    def test_clear_field_near_unity(self, optical):
+        imager = AerialImager(optical, EXTENT)
+        assert imager.clear_field_intensity() == pytest.approx(1.0, abs=0.05)
+
+    def test_dark_field_is_dark(self, optical):
+        imager = AerialImager(optical, EXTENT)
+        intensity = imager.aerial_image(np.zeros((GRID, GRID)))
+        assert intensity.max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_intensity_nonnegative(self, optical, contact_mask):
+        imager = AerialImager(optical, EXTENT)
+        assert imager.aerial_image(contact_mask).min() >= 0.0
+
+    def test_larger_contact_brighter(self, optical):
+        grid = Grid(size=GRID, extent_nm=EXTENT)
+        imager = AerialImager(optical, EXTENT)
+        small = imager.aerial_image(
+            grid.rasterize_rects([Rect.from_center(500, 500, 50, 50)])
+        )
+        large = imager.aerial_image(
+            grid.rasterize_rects([Rect.from_center(500, 500, 90, 90)])
+        )
+        assert large.max() > small.max()
+
+    def test_shift_invariance(self, optical):
+        """Shifting the mask by whole pixels shifts the image identically."""
+        grid = Grid(size=GRID, extent_nm=EXTENT)
+        px = grid.nm_per_px
+        imager = AerialImager(optical, EXTENT)
+        base = imager.aerial_image(
+            grid.rasterize_rects([Rect.from_center(500, 500, 70, 70)])
+        )
+        shifted = imager.aerial_image(
+            grid.rasterize_rects(
+                [Rect.from_center(500 + 4 * px, 500, 70, 70)]
+            )
+        )
+        assert np.abs(np.roll(base, 4, axis=1) - shifted).max() < 1e-9
+
+    def test_defocus_blurs(self, contact_mask):
+        sharp = AerialImager(
+            OpticalConfig(grid_size=GRID, num_kernels=12), EXTENT
+        ).aerial_image(contact_mask)
+        blurred = AerialImager(
+            OpticalConfig(grid_size=GRID, num_kernels=12, defocus_nm=120.0),
+            EXTENT,
+        ).aerial_image(contact_mask)
+        assert blurred.max() < sharp.max()
+
+    def test_wrong_mask_shape_rejected(self, optical):
+        imager = AerialImager(optical, EXTENT)
+        with pytest.raises(OpticsError):
+            imager.aerial_image(np.zeros((GRID, GRID + 1)))
+
+
+class TestImagerCache:
+    def test_cache_returns_same_instance(self, optical):
+        clear_imager_cache()
+        a = get_imager(optical, EXTENT, GRID)
+        b = get_imager(optical, EXTENT, GRID)
+        assert a is b
+
+    def test_cache_distinguishes_configs(self, optical):
+        clear_imager_cache()
+        a = get_imager(optical, EXTENT, GRID)
+        b = get_imager(
+            OpticalConfig(grid_size=GRID, num_kernels=4), EXTENT, GRID
+        )
+        assert a is not b

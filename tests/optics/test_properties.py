@@ -1,0 +1,104 @@
+"""Physics property tests of the optical model (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import OpticalConfig
+from repro.geometry import Grid, Rect
+from repro.optics import compute_tcc_matrix, decompose_tcc
+from repro.optics.imaging import get_imager
+from repro.optics.tcc import collect_passband_bins
+
+EXTENT = 1000.0
+GRID = 64
+
+sigmas = st.tuples(
+    st.floats(0.1, 0.6), st.floats(0.65, 0.95)
+)
+
+
+class TestTccProperties:
+    @given(sigmas)
+    @settings(max_examples=8, deadline=None)
+    def test_tcc_hermitian_psd_for_random_sources(self, pair):
+        inner, outer = pair
+        optical = OpticalConfig(
+            sigma_inner=inner, sigma_outer=outer, grid_size=GRID
+        )
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        assert np.abs(tcc.matrix - tcc.matrix.conj().T).max() < 1e-10
+        assert np.linalg.eigvalsh(tcc.matrix).min() > -1e-10
+
+    def test_passband_grows_with_sigma(self):
+        small = collect_passband_bins(
+            OpticalConfig(sigma_inner=0.3, sigma_outer=0.5, grid_size=GRID),
+            GRID, EXTENT,
+        )
+        large = collect_passband_bins(
+            OpticalConfig(sigma_inner=0.6, sigma_outer=0.9, grid_size=GRID),
+            GRID, EXTENT,
+        )
+        assert large.shape[0] > small.shape[0]
+
+    def test_energy_monotone_in_kernel_count(self):
+        optical = OpticalConfig(grid_size=GRID)
+        tcc = compute_tcc_matrix(optical, GRID, EXTENT)
+        energies = [
+            decompose_tcc(tcc, k).energy_captured for k in (1, 2, 4, 8, 16)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(energies, energies[1:]))
+
+
+def _shared_imager():
+    return get_imager(
+        OpticalConfig(grid_size=GRID, num_kernels=8), EXTENT, GRID
+    )
+
+
+def _two_contact_mask():
+    grid = Grid(size=GRID, extent_nm=EXTENT)
+    return grid.rasterize_rects(
+        [Rect.from_center(500, 500, 72, 72),
+         Rect.from_center(640, 500, 72, 72)]
+    )
+
+
+class TestImagingProperties:
+    @pytest.fixture(scope="class")
+    def imager(self):
+        return _shared_imager()
+
+    @pytest.fixture(scope="class")
+    def mask(self):
+        return _two_contact_mask()
+
+    @given(st.floats(0.1, 1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_intensity_quadratic_in_amplitude(self, scale):
+        """Scaling mask amplitude by a scales intensity by a^2 (coherent
+        fields superpose linearly; intensity is |field|^2)."""
+        imager = _shared_imager()
+        mask = _two_contact_mask()
+        base = imager.aerial_image(mask)
+        scaled = imager.aerial_image(scale * mask)
+        assert np.allclose(scaled, scale**2 * base, atol=1e-10)
+
+    def test_mirror_symmetry(self, imager):
+        """A symmetric source images a mirrored mask into the mirrored image."""
+        grid = Grid(size=GRID, extent_nm=EXTENT)
+        mask = grid.rasterize_rects([Rect.from_center(400, 500, 72, 72)])
+        mirrored = mask[:, ::-1].copy()
+        image = imager.aerial_image(mask)
+        image_mirrored = imager.aerial_image(mirrored)
+        assert np.abs(image[:, ::-1] - image_mirrored).max() < 1e-9
+
+    def test_superposition_fails_for_intensity(self, imager, mask):
+        """Partially coherent imaging is bilinear, NOT linear in the mask:
+        I(m1 + m2) != I(m1) + I(m2) in general (interference)."""
+        grid = Grid(size=GRID, extent_nm=EXTENT)
+        m1 = grid.rasterize_rects([Rect.from_center(470, 500, 72, 72)])
+        m2 = grid.rasterize_rects([Rect.from_center(560, 500, 72, 72)])
+        combined = imager.aerial_image(np.clip(m1 + m2, 0, 1))
+        summed = imager.aerial_image(m1) + imager.aerial_image(m2)
+        assert np.abs(combined - summed).max() > 1e-3

@@ -1,0 +1,70 @@
+"""Pupil function: aperture, defocus, Zernike terms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OpticsError
+from repro.optics import Pupil
+
+
+@pytest.fixture
+def pupil():
+    return Pupil(wavelength_nm=193.0, numerical_aperture=1.35)
+
+
+class TestAperture:
+    def test_inside_is_unity(self, pupil):
+        values = pupil.evaluate(np.array([0.0, 0.5]), np.array([0.0, 0.5]))
+        assert np.allclose(np.abs(values), [1.0, 1.0])
+
+    def test_outside_is_zero(self, pupil):
+        assert pupil.evaluate(np.array([1.2]), np.array([0.0]))[0] == 0.0
+
+    def test_in_focus_is_real(self, pupil):
+        values = pupil.evaluate(np.linspace(-1, 1, 11), np.zeros(11))
+        assert np.allclose(values.imag, 0.0)
+
+
+class TestDefocus:
+    def test_defocus_adds_quadratic_phase(self):
+        pupil = Pupil(193.0, 1.35, defocus_nm=50.0)
+        v_center = pupil.evaluate(np.array([0.0]), np.array([0.0]))[0]
+        v_edge = pupil.evaluate(np.array([0.9]), np.array([0.0]))[0]
+        assert np.angle(v_center) == pytest.approx(0.0)
+        assert abs(np.angle(v_edge)) > 0.1
+
+    def test_defocus_preserves_magnitude(self):
+        pupil = Pupil(193.0, 1.35, defocus_nm=100.0)
+        values = pupil.evaluate(np.linspace(0, 0.99, 7), np.zeros(7))
+        assert np.allclose(np.abs(values), 1.0)
+
+
+class TestZernike:
+    def test_supported_terms(self):
+        Pupil(193.0, 1.35, zernike={(3, 1): 0.05, (4, 0): 0.02})
+
+    def test_unsupported_term_rejected(self):
+        with pytest.raises(OpticsError):
+            Pupil(193.0, 1.35, zernike={(5, 5): 0.1})
+
+    def test_coma_is_antisymmetric(self):
+        pupil = Pupil(193.0, 1.35, zernike={(3, 1): 0.05})
+        plus = pupil.evaluate(np.array([0.8]), np.array([0.0]))[0]
+        minus = pupil.evaluate(np.array([-0.8]), np.array([0.0]))[0]
+        assert np.angle(plus) == pytest.approx(-np.angle(minus), rel=1e-6)
+
+    def test_spherical_is_rotation_invariant(self):
+        pupil = Pupil(193.0, 1.35, zernike={(4, 0): 0.05})
+        a = pupil.evaluate(np.array([0.7]), np.array([0.0]))[0]
+        b = pupil.evaluate(np.array([0.0]), np.array([0.7]))[0]
+        assert np.angle(a) == pytest.approx(np.angle(b), rel=1e-9)
+
+
+class TestValidation:
+    def test_bad_wavelength(self):
+        with pytest.raises(OpticsError):
+            Pupil(0.0, 1.35)
+
+    def test_bad_na(self):
+        with pytest.raises(OpticsError):
+            Pupil(193.0, -1.0)

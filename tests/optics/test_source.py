@@ -1,0 +1,79 @@
+"""Illumination source discretizations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OpticsError
+from repro.optics import annular_source, conventional_source, quasar_source
+from repro.optics.source import SourceGrid
+
+
+class TestConventional:
+    def test_weights_sum_to_one(self):
+        source = conventional_source(0.7)
+        assert source.weights.sum() == pytest.approx(1.0)
+
+    def test_points_inside_disk(self):
+        source = conventional_source(0.5, samples=31)
+        assert np.all(np.hypot(source.fx, source.fy) <= 0.5 + 1e-9)
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(OpticsError):
+            conventional_source(0.0)
+        with pytest.raises(OpticsError):
+            conventional_source(1.5)
+
+
+class TestAnnular:
+    def test_points_in_ring(self):
+        source = annular_source(0.6, 0.9, samples=31)
+        radius = np.hypot(source.fx, source.fy)
+        assert radius.min() >= 0.6 - 1e-9
+        assert radius.max() <= 0.9 + 1e-9
+
+    def test_finer_sampling_more_points(self):
+        coarse = annular_source(0.6, 0.9, samples=15)
+        fine = annular_source(0.6, 0.9, samples=41)
+        assert fine.num_points > coarse.num_points
+
+    def test_inverted_ring_rejected(self):
+        with pytest.raises(OpticsError):
+            annular_source(0.9, 0.6)
+
+    def test_degenerate_sampling_rejected(self):
+        with pytest.raises(OpticsError):
+            annular_source(0.6, 0.9, samples=2)
+
+
+class TestQuasar:
+    def test_four_fold_symmetry(self):
+        source = quasar_source(0.6, 0.9, opening_deg=30, samples=41)
+        # Every point's 90-degree rotation is also a source point.
+        points = {(round(x, 6), round(y, 6)) for x, y in zip(source.fx, source.fy)}
+        rotated = {(round(-y, 6), round(x, 6)) for x, y in points}
+        assert rotated == points
+
+    def test_fewer_points_than_annulus(self):
+        annulus = annular_source(0.6, 0.9, samples=41)
+        quasar = quasar_source(0.6, 0.9, opening_deg=30, samples=41)
+        assert quasar.num_points < annulus.num_points
+
+    def test_bad_opening_rejected(self):
+        with pytest.raises(OpticsError):
+            quasar_source(0.6, 0.9, opening_deg=90)
+
+
+class TestSourceGridValidation:
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(OpticsError):
+            SourceGrid(
+                fx=np.zeros(3), fy=np.zeros(3), weights=np.ones(3)
+            )  # weights sum to 3
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(OpticsError):
+            SourceGrid(
+                fx=np.zeros(2),
+                fy=np.zeros(2),
+                weights=np.array([1.5, -0.5]),
+            )

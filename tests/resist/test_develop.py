@@ -1,0 +1,113 @@
+"""Development and golden-window extraction."""
+
+import numpy as np
+import pytest
+
+from repro.config import N10, ResistConfig, reduced
+from repro.errors import ResistError
+from repro.geometry import Grid, Point
+from repro.layout import build_mask_layout, generate_clip, render_transmission
+from repro.optics.imaging import get_imager
+from repro.resist import develop, resist_window_image
+from repro.resist.develop import make_resist_model
+
+
+@pytest.fixture(scope="module")
+def developed():
+    """A developed pattern from a real simulated clip."""
+    config = reduced(N10, num_clips=1)
+    rng = np.random.default_rng(9)
+    clip = generate_clip(config.tech, rng)
+    layout = build_mask_layout(clip)
+    grid = Grid(size=config.optical.grid_size, extent_nm=config.tech.cropped_clip_nm)
+    imager = get_imager(config.optical, grid.extent_nm, grid.size)
+    aerial = imager.aerial_image(render_transmission(layout, grid))
+    return develop(aerial, grid, config.resist), config
+
+
+class TestDevelop:
+    def test_printed_is_binary(self, developed):
+        pattern, _ = developed
+        assert set(np.unique(pattern.printed)) <= {0.0, 1.0}
+
+    def test_target_blob_is_connected_subset(self, developed):
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        blob = pattern.target_blob(Point(mid, mid))
+        assert blob.sum() > 0
+        assert np.all(blob <= pattern.printed)
+
+    def test_target_bbox_contains_center(self, developed):
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        bbox = pattern.target_bbox_nm(Point(mid, mid))
+        assert bbox.xlo < mid < bbox.xhi
+        assert bbox.ylo < mid < bbox.yhi
+
+    def test_bbox_size_is_contact_scale(self, developed):
+        """Printed contact CD should be within 2x of the drawn 60 nm."""
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        bbox = pattern.target_bbox_nm(Point(mid, mid))
+        assert 30 < bbox.width < 130
+        assert 30 < bbox.height < 130
+
+    def test_empty_printed_raises(self):
+        grid = Grid(size=32, extent_nm=1000.0)
+        pattern = develop(np.zeros((32, 32)), grid, ResistConfig())
+        with pytest.raises(ResistError):
+            pattern.target_blob(Point(500, 500))
+
+    def test_shape_mismatch_rejected(self):
+        grid = Grid(size=32, extent_nm=1000.0)
+        with pytest.raises(ResistError):
+            develop(np.zeros((16, 16)), grid, ResistConfig())
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ResistError):
+            make_resist_model(ResistConfig(), model="magic")
+
+
+class TestResistWindow:
+    def test_window_shape_and_binarity(self, developed):
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        window = resist_window_image(pattern, Point(mid, mid), 128.0, 64)
+        assert window.shape == (64, 64)
+        assert set(np.unique(window)) <= {0.0, 1.0}
+
+    def test_window_keeps_single_blob(self, developed):
+        from scipy import ndimage
+
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        window = resist_window_image(pattern, Point(mid, mid), 128.0, 64)
+        _, count = ndimage.label(window)
+        assert count == 1
+
+    def test_keep_center_blob_false_keeps_everything(self, developed):
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        all_blobs = resist_window_image(
+            pattern, Point(mid, mid), 128.0, 64, keep_center_blob=False
+        )
+        center_only = resist_window_image(pattern, Point(mid, mid), 128.0, 64)
+        assert all_blobs.sum() >= center_only.sum()
+
+    def test_fine_resolution_refines_contour(self, developed):
+        """Window area should converge as resolution rises (subpixel sampling)."""
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        coarse = resist_window_image(pattern, Point(mid, mid), 128.0, 32)
+        fine = resist_window_image(pattern, Point(mid, mid), 128.0, 128)
+        area_coarse = coarse.mean()
+        area_fine = fine.mean()
+        assert area_fine == pytest.approx(area_coarse, rel=0.2)
+
+    def test_validation(self, developed):
+        pattern, config = developed
+        mid = config.tech.cropped_clip_nm / 2
+        with pytest.raises(ResistError):
+            resist_window_image(pattern, Point(mid, mid), 128.0, 4)
+        with pytest.raises(ResistError):
+            resist_window_image(pattern, Point(mid, mid), -5.0, 64)

@@ -1,0 +1,66 @@
+"""Acid-diffusion blur."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResistError
+from repro.resist import diffuse_aerial_image
+
+
+def delta_image(size=64):
+    image = np.zeros((size, size))
+    image[size // 2, size // 2] = 1.0
+    return image
+
+
+class TestDiffusion:
+    def test_zero_length_is_identity(self):
+        image = delta_image()
+        out = diffuse_aerial_image(image, 0.0, 1.0)
+        assert np.array_equal(out, image)
+        assert out is not image  # must copy
+
+    def test_conserves_energy(self):
+        image = delta_image()
+        out = diffuse_aerial_image(image, 5.0, 1.0)
+        assert out.sum() == pytest.approx(image.sum(), rel=1e-9)
+
+    def test_spreads_peak(self):
+        image = delta_image()
+        out = diffuse_aerial_image(image, 5.0, 1.0)
+        assert out.max() < image.max()
+        assert out[32, 35] > 0  # neighborhood received intensity
+
+    def test_longer_diffusion_blurs_more(self):
+        image = delta_image()
+        a = diffuse_aerial_image(image, 2.0, 1.0)
+        b = diffuse_aerial_image(image, 8.0, 1.0)
+        assert b.max() < a.max()
+
+    def test_gaussian_profile(self):
+        """The blurred delta matches the analytic Gaussian radius."""
+        sigma = 4.0
+        out = diffuse_aerial_image(delta_image(), sigma, 1.0)
+        # Ratio of the value one sigma away to the center: exp(-0.5).
+        ratio = out[32, 32 + 4] / out[32, 32]
+        assert ratio == pytest.approx(np.exp(-0.5), rel=0.05)
+
+    def test_nm_per_px_scales_blur(self):
+        image = delta_image()
+        fine = diffuse_aerial_image(image, 8.0, 1.0)   # 8 px blur
+        coarse = diffuse_aerial_image(image, 8.0, 4.0)  # 2 px blur
+        assert coarse.max() > fine.max()
+
+    def test_output_nonnegative(self):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(size=(32, 32))
+        out = diffuse_aerial_image(image, 3.0, 1.0)
+        assert out.min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ResistError):
+            diffuse_aerial_image(delta_image(), -1.0, 1.0)
+        with pytest.raises(ResistError):
+            diffuse_aerial_image(delta_image(), 1.0, 0.0)
+        with pytest.raises(ResistError):
+            diffuse_aerial_image(np.zeros((4, 5)), 1.0, 1.0)

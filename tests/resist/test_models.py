@@ -1,0 +1,94 @@
+"""Constant and variable threshold resist models."""
+
+import numpy as np
+import pytest
+
+from repro.config import ResistConfig
+from repro.errors import ResistError
+from repro.resist import (
+    ConstantThresholdModel,
+    VariableThresholdModel,
+    local_image_statistics,
+)
+
+
+@pytest.fixture
+def gaussian_spot():
+    """A smooth aerial-image-like intensity bump."""
+    coords = np.linspace(-1, 1, 64)
+    xx, yy = np.meshgrid(coords, coords)
+    return 0.5 * np.exp(-((xx**2 + yy**2) / 0.08))
+
+
+class TestConstantThreshold:
+    def test_threshold_map_is_uniform(self, gaussian_spot):
+        model = ConstantThresholdModel(0.25)
+        tmap = model.threshold_map(gaussian_spot)
+        assert np.all(tmap == 0.25)
+
+    def test_printed_pattern(self, gaussian_spot):
+        model = ConstantThresholdModel(0.25)
+        printed = model.printed(gaussian_spot)
+        assert set(np.unique(printed)) <= {0.0, 1.0}
+        assert printed[32, 32] == 1.0
+        assert printed[0, 0] == 0.0
+
+    def test_higher_threshold_smaller_print(self, gaussian_spot):
+        low = ConstantThresholdModel(0.15).printed(gaussian_spot)
+        high = ConstantThresholdModel(0.4).printed(gaussian_spot)
+        assert high.sum() < low.sum()
+
+    def test_from_config(self):
+        config = ResistConfig(base_threshold=0.3)
+        assert ConstantThresholdModel.from_config(config).threshold == 0.3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ResistError):
+            ConstantThresholdModel(1.5)
+
+
+class TestLocalStatistics:
+    def test_extrema_bracket_image(self, gaussian_spot):
+        imax, imin, slope = local_image_statistics(gaussian_spot, 5)
+        assert np.all(imax >= gaussian_spot - 1e-12)
+        assert np.all(imin <= gaussian_spot + 1e-12)
+        assert np.all(slope >= 0)
+
+    def test_window_one_is_identity(self, gaussian_spot):
+        imax, imin, _ = local_image_statistics(gaussian_spot, 1)
+        assert np.allclose(imax, gaussian_spot)
+        assert np.allclose(imin, gaussian_spot)
+
+    def test_bad_window_rejected(self, gaussian_spot):
+        with pytest.raises(ResistError):
+            local_image_statistics(gaussian_spot, 0)
+
+
+class TestVariableThreshold:
+    def test_threshold_varies_spatially(self, gaussian_spot):
+        model = VariableThresholdModel(config=ResistConfig())
+        tmap = model.threshold_map(gaussian_spot)
+        assert tmap.std() > 0
+
+    def test_threshold_clipped_to_physical_range(self, gaussian_spot):
+        config = ResistConfig(
+            base_threshold=0.9, vtr_imax_coeff=5.0, vtr_imin_coeff=5.0
+        )
+        tmap = VariableThresholdModel(config=config).threshold_map(
+            gaussian_spot * 2
+        )
+        assert tmap.min() >= 0.02 and tmap.max() <= 0.98
+
+    def test_zero_coefficients_reduce_to_constant(self, gaussian_spot):
+        config = ResistConfig(
+            vtr_imax_coeff=0.0, vtr_imin_coeff=0.0, vtr_slope_coeff=0.0
+        )
+        tmap = VariableThresholdModel(config=config).threshold_map(gaussian_spot)
+        assert np.allclose(tmap, config.base_threshold)
+
+    def test_printed_differs_from_constant_model(self, gaussian_spot):
+        config = ResistConfig()
+        vtr = VariableThresholdModel(config=config).printed(gaussian_spot)
+        ctr = ConstantThresholdModel.from_config(config).printed(gaussian_spot)
+        # Same blob topology but different edge placement.
+        assert vtr.sum() != ctr.sum()

@@ -1,0 +1,110 @@
+"""Process-window analysis: Bossung curves, DOF, exposure latitude."""
+
+import numpy as np
+import pytest
+
+from repro.config import N10, reduced
+from repro.errors import EvaluationError
+from repro.layout import ArrayType, build_mask_layout, generate_clip
+from repro.sim import ProcessWindowResult, sweep_process_window
+from repro.sim.process_window import _contiguous_span
+
+
+@pytest.fixture(scope="module")
+def config():
+    return reduced(N10, num_clips=1)
+
+
+@pytest.fixture(scope="module")
+def layout(config):
+    clip = generate_clip(
+        config.tech, np.random.default_rng(5), array_type=ArrayType.ISOLATED
+    )
+    return build_mask_layout(clip)
+
+
+@pytest.fixture(scope="module")
+def window(layout, config):
+    return sweep_process_window(
+        layout,
+        config,
+        doses=(0.85, 1.0, 1.15),
+        defocuses_nm=(-80.0, 0.0, 80.0),
+    )
+
+
+class TestSweep:
+    def test_matrix_shape(self, window):
+        assert window.cd_nm.shape == (3, 3)
+
+    def test_nominal_cd_is_contact_scale(self, window):
+        assert 30 < window.nominal_cd_nm < 130
+
+    def test_dose_monotonicity(self, window):
+        """More dose clears more resist: CD grows with dose at best focus."""
+        cds = window.cd_nm[:, 1]
+        finite = cds[np.isfinite(cds)]
+        assert np.all(np.diff(finite) > 0)
+
+    def test_defocus_shrinks_cd(self, window):
+        """Defocus lowers peak intensity, shrinking the printed contact."""
+        nominal = window.cd_nm[1, 1]
+        defocused = window.cd_nm[1, 0]
+        if np.isfinite(defocused):
+            assert defocused < nominal
+
+    def test_bossung_curve(self, window):
+        defocus, cds = window.bossung_curve(1.0)
+        assert len(defocus) == len(cds) == 3
+        assert np.array_equal(defocus, window.defocuses_nm)
+
+    def test_validation(self, layout, config):
+        with pytest.raises(EvaluationError):
+            sweep_process_window(layout, config, doses=())
+        with pytest.raises(EvaluationError):
+            sweep_process_window(layout, config, doses=(0.0, 1.0))
+
+
+class TestWindowMetrics:
+    def test_within_tolerance_center_true(self, window):
+        good = window.within_tolerance(0.10)
+        assert good[1, 1]  # nominal condition is within its own tolerance
+
+    def test_depth_of_focus_nonnegative(self, window):
+        dof = window.depth_of_focus_nm(dose=1.0, tolerance=0.10)
+        assert dof >= 0.0
+
+    def test_wider_tolerance_wider_window(self, window):
+        narrow = window.within_tolerance(0.02).sum()
+        wide = window.within_tolerance(0.25).sum()
+        assert wide >= narrow
+
+    def test_exposure_latitude(self, window):
+        latitude = window.exposure_latitude(defocus_nm=0.0, tolerance=0.25)
+        assert latitude >= 0.0
+
+    def test_result_shape_validation(self):
+        with pytest.raises(EvaluationError):
+            ProcessWindowResult(
+                doses=np.array([1.0]),
+                defocuses_nm=np.array([0.0, 10.0]),
+                cd_nm=np.zeros((2, 2)),
+                nominal_cd_nm=60.0,
+            )
+
+
+class TestContiguousSpan:
+    def test_full_run(self):
+        axis = np.array([0.0, 1.0, 2.0, 3.0])
+        assert _contiguous_span(axis, np.array([True] * 4)) == 3.0
+
+    def test_split_runs_take_longest(self):
+        axis = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        good = np.array([True, True, False, True, True, True])
+        assert _contiguous_span(axis, good) == 2.0
+
+    def test_no_good_points(self):
+        assert _contiguous_span(np.array([0.0, 1.0]), np.array([False, False])) == 0.0
+
+    def test_single_point(self):
+        assert _contiguous_span(np.array([0.0, 1.0]), np.array([True, False])) == 0.0

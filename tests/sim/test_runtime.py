@@ -1,0 +1,50 @@
+"""Stage-timer bookkeeping."""
+
+import time
+
+from repro.sim import StageTimer
+
+
+class TestStageTimer:
+    def test_accumulates(self):
+        timer = StageTimer()
+        for _ in range(3):
+            with timer.stage("work"):
+                time.sleep(0.001)
+        assert timer.count("work") == 3
+        assert timer.total("work") >= 0.003
+        assert timer.mean("work") == timer.total("work") / 3
+
+    def test_missing_stage_is_zero(self):
+        timer = StageTimer()
+        assert timer.total("nothing") == 0.0
+        assert timer.count("nothing") == 0
+        assert timer.mean("nothing") == 0.0
+
+    def test_records_on_exception(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("risky"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert timer.count("risky") == 1
+
+    def test_merge(self):
+        a = StageTimer()
+        b = StageTimer()
+        with a.stage("x"):
+            pass
+        with b.stage("x"):
+            pass
+        with b.stage("y"):
+            pass
+        a.merge(b)
+        assert a.count("x") == 2
+        assert a.count("y") == 1
+
+    def test_as_dict(self):
+        timer = StageTimer()
+        with timer.stage("only"):
+            pass
+        assert set(timer.as_dict()) == {"only"}

@@ -1,0 +1,100 @@
+"""The repro-litho command-line interface, exercised end to end at tiny scale.
+
+The CLI hard-codes the ``reduced()`` (64x64) preset, so these tests mint a
+real 64x64 dataset with very few clips and 1-2 epochs — slowish but a true
+end-to-end pass through mint -> train -> evaluate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mint_defaults(self):
+        args = build_parser().parse_args(["mint", "--out", "x.npz"])
+        assert args.node == "N10"
+        assert args.clips == 120
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestMintTrainEvaluate:
+    @pytest.fixture(scope="class")
+    def dataset_path(self, workspace):
+        path = workspace / "tiny_n10.npz"
+        code = main([
+            "mint", "--node", "N10", "--clips", "8",
+            "--seed", "1", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_mint_writes_loadable_dataset(self, dataset_path):
+        dataset = load_dataset(dataset_path)
+        assert len(dataset) == 8
+        assert dataset.tech_name == "N10"
+        assert dataset.image_size == 64  # the CLI's reduced preset
+
+    @pytest.fixture(scope="class")
+    def model_dir(self, workspace, dataset_path):
+        out = workspace / "model"
+        code = main([
+            "train", "--dataset", str(dataset_path), "--epochs", "1",
+            "--seed", "1", "--out", str(out),
+        ])
+        assert code == 0
+        return out
+
+    def test_train_saves_all_artifacts(self, model_dir):
+        for name in (
+            "generator.npz",
+            "discriminator.npz",
+            "center_cnn.npz",
+            "center_scaling.npz",
+            "history.json",
+        ):
+            assert (model_dir / name).exists(), name
+
+    def test_evaluate_runs(self, dataset_path, model_dir, capsys):
+        code = main([
+            "evaluate", "--dataset", str(dataset_path),
+            "--model", str(model_dir), "--epochs", "1", "--seed", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "LithoGAN" in output
+        assert "EDE" in output
+
+    def test_missing_dataset_reports_error(self, workspace, capsys):
+        code = main([
+            "train", "--dataset", str(workspace / "absent.npz"),
+            "--out", str(workspace / "m2"),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestProcessWindow:
+    def test_runs_and_reports(self, capsys):
+        code = main([
+            "process-window", "--node", "N10", "--seed", "4",
+            "--array-type", "isolated",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "nominal CD" in output
+        assert "depth of focus" in output

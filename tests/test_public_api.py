@@ -1,0 +1,63 @@
+"""Public-API surface: every exported name is importable and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.geometry",
+    "repro.layout",
+    "repro.optics",
+    "repro.resist",
+    "repro.sim",
+    "repro.nn",
+    "repro.data",
+    "repro.models",
+    "repro.core",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+class TestPublicApi:
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_callables_documented(self, module_name):
+        """Every exported class/function carries a docstring."""
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), (
+                    f"{module_name}.{name} has no docstring"
+                )
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(part.isdigit() for part in parts)
+
+
+def test_exceptions_form_one_hierarchy():
+    import repro
+    from repro.errors import ReproError
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            assert issubclass(obj, ReproError) or obj is ReproError
