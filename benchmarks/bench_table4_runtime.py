@@ -18,7 +18,7 @@ gaps are the reproduced result.
 
 from __future__ import annotations
 
-import time
+import json
 
 import numpy as np
 import pytest
@@ -27,13 +27,18 @@ from conftest import write_artifact
 from repro.eval import format_table4, table4_ratios
 from repro.layout import generate_clip
 from repro.sim import LithographySimulator
+from repro.telemetry import Tracer
+
+#: one tracer shared by the three flows; its spans are the timing substrate
+FLOW_TRACER = Tracer()
 
 
-def _time_per_clip(fn, repeats: int) -> float:
-    start = time.perf_counter()
+def _time_per_clip(tracer: Tracer, flow: str, fn, repeats: int) -> float:
+    """Mean seconds per call of ``fn``, measured as tracer spans."""
     for _ in range(repeats):
-        fn()
-    return (time.perf_counter() - start) / repeats
+        with tracer.span(flow):
+            fn()
+    return tracer.mean(flow)
 
 
 @pytest.fixture(scope="module")
@@ -55,17 +60,19 @@ def timings(bundle_n10):
         source_samples=51,
         rigorous_grid_size=2 * config.optical.grid_size,
         focus_planes_nm=(-40.0, -20.0, 0.0, 20.0, 40.0),
+        tracer=FLOW_TRACER,
     )
     clip_rng = np.random.default_rng(123)
     clips = [generate_clip(config.tech, clip_rng) for _ in range(2)]
     rigorous_time = _time_per_clip(
-        lambda: [rigorous.simulate_clip(c) for c in clips], 1
+        FLOW_TRACER, "Rigorous",
+        lambda: [rigorous.simulate_clip(c) for c in clips], 1,
     ) / len(clips)
 
     # Ref-[12] flow: accurate (Abbe) optical sim + threshold CNN + contours.
     ref12 = bundle_n10.ref12
     baseline_optics = LithographySimulator(
-        config, rigorous=True, source_samples=41
+        config, rigorous=True, source_samples=41, tracer=FLOW_TRACER
     )
 
     def ref12_flow():
@@ -81,12 +88,13 @@ def timings(bundle_n10):
         )
 
     ref12_flow()  # warm-up
-    ref12_time = _time_per_clip(ref12_flow, 3)
+    ref12_time = _time_per_clip(FLOW_TRACER, "Ref. [12]", ref12_flow, 3)
 
     lithogan = bundle_n10.lithogan
     lithogan.predict_resist(masks[:1])  # warm-up
     lithogan_time = _time_per_clip(
-        lambda: lithogan.predict_resist(masks[:1]), 3
+        FLOW_TRACER, "LithoGAN",
+        lambda: lithogan.predict_resist(masks[:1]), 3,
     )
 
     return {
@@ -105,6 +113,18 @@ def test_table4(timings, artifact_dir, benchmark, bundle_n10):
     write_artifact(artifact_dir, "table4.txt", lines + ["", paper_note])
 
     ratios = table4_ratios(timings)
+    # Machine-readable artifact for the perf trajectory: flow timings plus
+    # the per-stage span breakdown the shared tracer collected underneath.
+    (artifact_dir / "BENCH_table4.json").write_text(json.dumps({
+        "schema_version": 1,
+        "seconds_per_clip": timings,
+        "ratios": ratios,
+        "stage_totals_s": FLOW_TRACER.totals(),
+        "stage_counts": {
+            name: FLOW_TRACER.count(name) for name in FLOW_TRACER.totals()
+        },
+        "paper_ratios": {"Rigorous": 1800.0, "Ref. [12]": 190.0},
+    }, indent=2) + "\n")
     assert ratios["Rigorous"] > ratios["Ref. [12]"] > 1.0, (
         f"runtime ordering violated: {ratios}"
     )

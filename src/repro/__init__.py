@@ -17,6 +17,7 @@ Subpackages
 ``repro.baselines``  conventional VTR flow and the Ref-[12] threshold-CNN flow
 ``repro.metrics``    EDE, pixel/class accuracy, mean IoU, CD and center error
 ``repro.eval``       Table 3/4 and Figure 6-9 regeneration harness
+``repro.telemetry``  metrics registry, span tracing, structured run logs
 """
 
 from . import config
@@ -27,6 +28,7 @@ from .config import (
     OpticalConfig,
     ResistConfig,
     TechnologyConfig,
+    TelemetryConfig,
     TrainingConfig,
     N10,
     N7,
@@ -45,6 +47,7 @@ from .errors import (
     ReproError,
     ResistError,
     ShapeError,
+    TelemetryError,
     TrainingError,
 )
 
@@ -58,6 +61,7 @@ __all__ = [
     "OpticalConfig",
     "ResistConfig",
     "TechnologyConfig",
+    "TelemetryConfig",
     "TrainingConfig",
     "N10",
     "N7",
@@ -75,5 +79,6 @@ __all__ = [
     "ShapeError",
     "TrainingError",
     "EvaluationError",
+    "TelemetryError",
     "__version__",
 ]

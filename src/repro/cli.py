@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -33,8 +34,14 @@ from .config import ExperimentConfig, N7, N10, reduced
 from .core import LithoGan
 from .data import load_dataset, save_dataset, synthesize_dataset
 from .errors import ReproError
-from .eval import evaluate_predictions, format_table3, render_table
+from .eval import (
+    evaluate_predictions,
+    format_table3,
+    render_table,
+    table3_row_dict,
+)
 from .layout import ArrayType
+from .telemetry import MetricsRegistry, RunLogger, RunLoggerHook, Tracer
 
 
 def _tech(name: str):
@@ -49,35 +56,106 @@ def _config_for(args, num_clips: int) -> ExperimentConfig:
 
 
 # ---------------------------------------------------------------------------
+# Telemetry plumbing
+# ---------------------------------------------------------------------------
+
+
+class _RunTelemetry:
+    """Per-invocation observability bundle behind the CLI telemetry flags.
+
+    Owns the optional JSONL :class:`RunLogger` (``--log-json``), a
+    :class:`MetricsRegistry` (exported by ``--metrics-out``), and a
+    :class:`Tracer` for phase/stage spans.  ``finish()`` drains the tracer
+    into events + metrics, writes the exports, and prints the one-line run
+    summary every command ends with.
+    """
+
+    def __init__(self, command: str, args) -> None:
+        self.command = command
+        self.metrics_path = getattr(args, "metrics_out", None)
+        log_path = getattr(args, "log_json", None)
+        self.logger = RunLogger(log_path) if log_path else None
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self._start = time.perf_counter()
+        if self.logger is not None:
+            self.logger.run_start(
+                command=command,
+                node=getattr(args, "node", None),
+                seed=getattr(args, "seed", None),
+            )
+
+    def hook(self):
+        """A training hook, or None when no telemetry sink is active."""
+        if self.logger is None and self.metrics_path is None:
+            return None
+        return RunLoggerHook(logger=self.logger, registry=self.registry)
+
+    @property
+    def run_id(self):
+        return self.logger.run_id if self.logger is not None else None
+
+    def finish(self, status: str = "ok", **summary) -> None:
+        seconds = time.perf_counter() - self._start
+        self.tracer.record_into(self.registry)
+        if self.logger is not None:
+            for stage, total in sorted(self.tracer.totals().items()):
+                self.logger.stage_end(
+                    stage, total, count=self.tracer.count(stage)
+                )
+            self.logger.run_end(status=status, seconds=seconds, **summary)
+            self.logger.close()
+        if self.metrics_path:
+            self.registry.gauge("run_seconds").set(seconds)
+            Path(self.metrics_path).write_text(
+                json.dumps(self.registry.to_dict(), indent=2) + "\n"
+            )
+        detail = " ".join(f"{key}={value}" for key, value in summary.items())
+        run_part = f" run_id={self.run_id}" if self.run_id else ""
+        print(
+            f"run summary: command={self.command} seconds={seconds:.2f}"
+            f"{run_part}{' ' + detail if detail else ''}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
 
 
 def cmd_mint(args) -> int:
+    telemetry = args.telemetry
     config = _config_for(args, args.clips)
     print(f"minting {args.clips} {args.node} clips (seed {args.seed}) ...")
-    dataset = synthesize_dataset(config)
+    dataset = synthesize_dataset(config, tracer=telemetry.tracer)
     path = save_dataset(dataset, args.out)
+    telemetry.registry.counter("clips_processed_total").inc(len(dataset))
     print(f"wrote {len(dataset)} samples to {path}")
+    telemetry.finish(clips=len(dataset), out=str(path))
     return 0
 
 
 def cmd_train(args) -> int:
+    telemetry = args.telemetry
     dataset = load_dataset(args.dataset)
     config = _config_for(args, len(dataset))
     if dataset.image_size != config.model.image_size:
-        print(
-            f"error: dataset resolution {dataset.image_size} does not match "
-            f"the reduced-model resolution {config.model.image_size}",
-            file=sys.stderr,
+        message = (
+            f"dataset resolution {dataset.image_size} does not match "
+            f"the reduced-model resolution {config.model.image_size}"
         )
+        print(f"error: {message}", file=sys.stderr)
+        telemetry.finish(status="error", error=message)
         return 2
     rng = np.random.default_rng(args.seed)
     train, test = dataset.split(config.training.train_fraction, rng)
     print(f"training LithoGAN on {len(train)} samples, "
           f"{config.training.epochs} epochs ...")
     model = LithoGan(config, rng)
-    history = model.fit(train, rng)
+    history = model.fit(
+        train, rng, hook=telemetry.hook(), tracer=telemetry.tracer
+    )
+    telemetry.registry.counter("clips_processed_total").inc(len(train))
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -93,16 +171,24 @@ def cmd_train(args) -> int:
         "generator_loss": history.cgan.generator_loss,
         "discriminator_loss": history.cgan.discriminator_loss,
         "l1_loss": history.cgan.l1_loss,
+        "epoch_seconds": history.cgan.seconds,
         "center_loss": history.center.loss,
+        "center_epoch_seconds": history.center.seconds,
         "seed": args.seed,
         "node": args.node,
     }, indent=2))
     print(f"saved weights and history to {out}/ "
           f"(final L1 {history.cgan.l1_loss[-1]:.3f})")
+    telemetry.finish(
+        epochs=history.cgan.epochs_trained,
+        final_l1=round(history.cgan.l1_loss[-1], 4),
+        samples=len(train),
+    )
     return 0
 
 
 def cmd_evaluate(args) -> int:
+    telemetry = args.telemetry
     dataset = load_dataset(args.dataset)
     config = _config_for(args, len(dataset))
     rng = np.random.default_rng(args.seed)
@@ -117,16 +203,30 @@ def cmd_evaluate(args) -> int:
         model._center_mean = data["mean"]
         model._center_std = data["std"]
 
-    predictions = model.predict_resist(test.masks)
+    with telemetry.tracer.span("predict", samples=len(test)):
+        predictions = model.predict_resist(test.masks)
     nm_per_px = config.image.resist_nm_per_px(config.tech)
-    _, summary = evaluate_predictions(
-        "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
-        golden_centers=test.centers,
-        predicted_centers=model.predict_centers(test.masks),
+    with telemetry.tracer.span("score", samples=len(test)):
+        _, summary = evaluate_predictions(
+            "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
+            golden_centers=test.centers,
+            predicted_centers=model.predict_centers(test.masks),
+        )
+    telemetry.registry.counter("eval_samples_total").inc(len(test))
+    row = table3_row_dict(dataset.tech_name or args.node, summary)
+    if telemetry.logger is not None:
+        telemetry.logger.eval_end(**row)
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(render_table(
+            format_table3(dataset.tech_name or args.node, [summary])
+        ))
+        if summary.center_error_nm is not None:
+            print(f"center-prediction error: {summary.center_error_nm:.2f} nm")
+    telemetry.finish(
+        samples=len(test), ede_mean_nm=round(summary.ede_mean_nm, 4)
     )
-    print(render_table(format_table3(dataset.tech_name or args.node, [summary])))
-    if summary.center_error_nm is not None:
-        print(f"center-prediction error: {summary.center_error_nm:.2f} nm")
     return 0
 
 
@@ -134,13 +234,16 @@ def cmd_process_window(args) -> int:
     from .layout import build_mask_layout, generate_clip
     from .sim import sweep_process_window
 
+    telemetry = args.telemetry
     config = _config_for(args, 1)
     rng = np.random.default_rng(args.seed)
     clip = generate_clip(
         config.tech, rng, array_type=ArrayType(args.array_type)
     )
     layout = build_mask_layout(clip)
-    window = sweep_process_window(layout, config)
+    with telemetry.tracer.span("sweep", array_type=args.array_type):
+        window = sweep_process_window(layout, config)
+    telemetry.registry.counter("clips_processed_total").inc()
     print(f"nominal CD: {window.nominal_cd_nm:.1f} nm")
     defocus, cds = window.bossung_curve(1.0)
     for d, cd in zip(defocus, cds):
@@ -150,12 +253,24 @@ def cmd_process_window(args) -> int:
           f"{window.depth_of_focus_nm():.0f} nm")
     print(f"exposure latitude (+/-10% CD): "
           f"{100 * window.exposure_latitude():.0f} %")
+    telemetry.finish(nominal_cd_nm=round(window.nominal_cd_nm, 2))
     return 0
 
 
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
+
+
+def _add_telemetry_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--log-json", dest="log_json", metavar="PATH", default=None,
+        help="append schema-versioned JSONL run events to PATH",
+    )
+    sub.add_argument(
+        "--metrics-out", dest="metrics_out", metavar="PATH", default=None,
+        help="write the run's metrics registry as JSON to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     mint.add_argument("--clips", type=int, default=120)
     mint.add_argument("--seed", type=int, default=0)
     mint.add_argument("--out", required=True, help="output .npz path")
+    _add_telemetry_flags(mint)
     mint.set_defaults(func=cmd_mint)
 
     train = sub.add_parser("train", help="train LithoGAN on a dataset")
@@ -178,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", required=True, help="output weight directory")
+    _add_telemetry_flags(train)
     train.set_defaults(func=cmd_train)
 
     evaluate = sub.add_parser("evaluate", help="score saved weights")
@@ -186,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--node", choices=("N10", "N7"), default="N10")
     evaluate.add_argument("--epochs", type=int, default=10)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--json", action="store_true",
+        help="print the Table 3 row as machine-readable JSON",
+    )
+    _add_telemetry_flags(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     window = sub.add_parser(
@@ -199,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="array_type",
     )
     window.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flags(window)
     window.set_defaults(func=cmd_process_window)
     return parser
 
@@ -207,9 +330,15 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        args.telemetry = _RunTelemetry(args.command, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        args.telemetry.finish(status="error", error=str(exc))
         return 1
 
 

@@ -11,6 +11,7 @@ as in the pix2pix lineage.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ from ..config import ModelConfig, TrainingConfig
 from ..errors import TrainingError
 from ..models import build_discriminator, build_generator
 from ..nn import Adam, Sequential, bce_with_logits, l1_loss
+from ..telemetry.hooks import TelemetryHook
 from .trainer import predict_in_batches
 
 
@@ -30,6 +32,8 @@ class CganHistory:
     generator_loss: List[float] = field(default_factory=list)
     discriminator_loss: List[float] = field(default_factory=list)
     l1_loss: List[float] = field(default_factory=list)
+    #: per-epoch wall-clock seconds (time-to-quality for Figure 9 plots)
+    seconds: List[float] = field(default_factory=list)
     #: epoch -> generated images for the tracked snapshot inputs
     snapshots: Dict[int, np.ndarray] = field(default_factory=dict)
 
@@ -121,12 +125,17 @@ class CganModel:
 
     def fit(self, masks: np.ndarray, resists: np.ndarray,
             rng: np.random.Generator,
-            snapshot_inputs: Optional[np.ndarray] = None) -> CganHistory:
+            snapshot_inputs: Optional[np.ndarray] = None,
+            hook: Optional[TelemetryHook] = None) -> CganHistory:
         """Train for ``training_config.epochs`` epochs.
 
         ``snapshot_inputs`` (a small stack of mask images) enables Figure 8:
         after each epoch in ``training_config.snapshot_epochs`` the
         generator's eval-mode predictions for those inputs are recorded.
+
+        With ``hook`` attached, ``hook.on_epoch_end(epoch, d_loss, g_loss,
+        l1, seconds)`` fires with the epoch-mean losses after every epoch;
+        the default ``hook=None`` adds no per-batch work whatsoever.
         """
         targets = self.expand_targets(resists)
         count = masks.shape[0]
@@ -135,21 +144,37 @@ class CganModel:
         snapshot_epochs = set(self.training_config.snapshot_epochs)
 
         for epoch in range(1, self.training_config.epochs + 1):
+            epoch_start = time.perf_counter()
             order = rng.permutation(count)
             d_losses, g_losses, l1_losses = [], [], []
-            for start in range(0, count, batch):
+            for batch_index, start in enumerate(range(0, count, batch)):
                 idx = order[start : start + batch]
-                d_loss, g_gan, l1_value = self.train_step(
-                    masks[idx], targets[idx]
-                )
+                try:
+                    d_loss, g_gan, l1_value = self.train_step(
+                        masks[idx], targets[idx]
+                    )
+                except TrainingError as exc:
+                    raise TrainingError(
+                        f"epoch {epoch}, batch {batch_index}: {exc}"
+                    ) from exc
                 d_losses.append(d_loss)
                 g_losses.append(
                     g_gan + self.training_config.lambda_l1 * l1_value
                 )
                 l1_losses.append(l1_value)
+            epoch_seconds = time.perf_counter() - epoch_start
             history.discriminator_loss.append(float(np.mean(d_losses)))
             history.generator_loss.append(float(np.mean(g_losses)))
             history.l1_loss.append(float(np.mean(l1_losses)))
+            history.seconds.append(epoch_seconds)
+            if hook is not None:
+                hook.on_epoch_end(
+                    epoch,
+                    history.discriminator_loss[-1],
+                    history.generator_loss[-1],
+                    history.l1_loss[-1],
+                    epoch_seconds,
+                )
             if snapshot_inputs is not None and epoch in snapshot_epochs:
                 history.snapshots[epoch] = self.generate(snapshot_inputs)
         return history

@@ -19,6 +19,8 @@ from typing import Optional
 import numpy as np
 
 from ..config import ExperimentConfig
+from ..telemetry.hooks import TelemetryHook
+from ..telemetry.trace import Tracer
 from ..data.augment import augment_dataset
 from ..data.dataset import PairedDataset
 from ..data.encoding import denormalize_center, normalize_center
@@ -55,39 +57,54 @@ class LithoGan:
 
     def fit(self, dataset: PairedDataset,
             rng: np.random.Generator,
-            snapshot_inputs: Optional[np.ndarray] = None) -> LithoGanHistory:
+            snapshot_inputs: Optional[np.ndarray] = None,
+            hook: Optional[TelemetryHook] = None,
+            tracer: Optional[Tracer] = None) -> LithoGanHistory:
         """Train both paths on a (training) dataset.
 
         With ``config.training.augment`` set, the training set is expanded
         with its dihedral-4 transforms first (lithography under a 4-fold
         symmetric source is equivariant to them).
+
+        ``hook`` receives per-epoch callbacks from both paths; ``tracer``
+        records the two phases as spans (``cgan``, ``center-cnn``).  Both
+        default to off and add no per-batch work.
         """
         if dataset.image_size != self.config.model.image_size:
             raise TrainingError(
                 f"dataset resolution {dataset.image_size} does not match "
                 f"model image_size {self.config.model.image_size}"
             )
+        if tracer is None:
+            tracer = Tracer()
         if self.config.training.augment:
             dataset = augment_dataset(dataset)
-        recentered = dataset.recentered_resists()
-        cgan_history = self.cgan.fit(
-            dataset.masks, recentered, rng, snapshot_inputs=snapshot_inputs
-        )
-        center_targets = normalize_center(dataset.centers, dataset.image_size)
-        self._center_mean = center_targets.mean(axis=0).astype(np.float32)
-        std = center_targets.std(axis=0)
-        self._center_std = np.where(std > 1e-6, std, 1.0).astype(np.float32)
-        standardized = (
-            (center_targets - self._center_mean) / self._center_std
-        ).astype(np.float32)
-        center_history = fit_regression(
-            self.center_cnn,
-            dataset.masks,
-            standardized,
-            epochs=self.config.training.aux_epochs,
-            batch_size=max(self.config.training.batch_size, 8),
-            rng=rng,
-        )
+        with tracer.span("cgan", samples=len(dataset)):
+            recentered = dataset.recentered_resists()
+            cgan_history = self.cgan.fit(
+                dataset.masks, recentered, rng,
+                snapshot_inputs=snapshot_inputs, hook=hook,
+            )
+        with tracer.span("center-cnn", samples=len(dataset)):
+            center_targets = normalize_center(
+                dataset.centers, dataset.image_size
+            )
+            self._center_mean = center_targets.mean(axis=0).astype(np.float32)
+            std = center_targets.std(axis=0)
+            self._center_std = np.where(std > 1e-6, std, 1.0).astype(np.float32)
+            standardized = (
+                (center_targets - self._center_mean) / self._center_std
+            ).astype(np.float32)
+            center_history = fit_regression(
+                self.center_cnn,
+                dataset.masks,
+                standardized,
+                epochs=self.config.training.aux_epochs,
+                batch_size=max(self.config.training.batch_size, 8),
+                rng=rng,
+                hook=hook,
+                phase="center-cnn",
+            )
         self._trained = True
         return LithoGanHistory(cgan=cgan_history, center=center_history)
 
@@ -127,9 +144,11 @@ class PlainCgan:
         self.cgan = CganModel(config.model, config.training, rng)
 
     def fit(self, dataset: PairedDataset, rng: np.random.Generator,
-            snapshot_inputs: Optional[np.ndarray] = None) -> CganHistory:
+            snapshot_inputs: Optional[np.ndarray] = None,
+            hook: Optional[TelemetryHook] = None) -> CganHistory:
         return self.cgan.fit(
-            dataset.masks, dataset.resists, rng, snapshot_inputs=snapshot_inputs
+            dataset.masks, dataset.resists, rng,
+            snapshot_inputs=snapshot_inputs, hook=hook,
         )
 
     def predict_resist(self, masks: np.ndarray) -> np.ndarray:

@@ -6,6 +6,7 @@ both plain supervised regressors; they share this loop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -13,6 +14,7 @@ import numpy as np
 
 from ..errors import TrainingError
 from ..nn import Adam, Sequential, mse_loss
+from ..telemetry.hooks import TelemetryHook
 
 
 @dataclass
@@ -20,6 +22,8 @@ class RegressionHistory:
     """Per-epoch mean training loss of a supervised regression."""
 
     loss: List[float] = field(default_factory=list)
+    #: per-epoch wall-clock seconds (time-to-quality for Figure 9 plots)
+    seconds: List[float] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -44,11 +48,16 @@ def predict_in_batches(net: Sequential, inputs: np.ndarray,
 def fit_regression(net: Sequential, inputs: np.ndarray, targets: np.ndarray,
                    *, epochs: int, batch_size: int,
                    rng: np.random.Generator, learning_rate: float = 1e-3,
-                   optimizer: Optional[Adam] = None) -> RegressionHistory:
+                   optimizer: Optional[Adam] = None,
+                   hook: Optional[TelemetryHook] = None,
+                   phase: str = "regression") -> RegressionHistory:
     """Train a network on an MSE objective with Adam.
 
-    Returns the per-epoch loss history.  Raises :class:`TrainingError` if the
-    loss becomes non-finite (divergence), rather than silently continuing.
+    Returns the per-epoch loss (and wall-clock) history.  Raises
+    :class:`TrainingError` if the loss becomes non-finite (divergence),
+    rather than silently continuing.  With ``hook`` attached,
+    ``hook.on_aux_epoch_end(epoch, loss, seconds, phase=phase)`` fires after
+    every epoch; without one the loop does no telemetry work at all.
     """
     if inputs.shape[0] != targets.shape[0]:
         raise TrainingError(
@@ -61,20 +70,28 @@ def fit_regression(net: Sequential, inputs: np.ndarray, targets: np.ndarray,
 
     history = RegressionHistory()
     count = inputs.shape[0]
-    for _ in range(epochs):
+    for epoch in range(1, epochs + 1):
+        epoch_start = time.perf_counter()
         order = rng.permutation(count)
         epoch_losses = []
-        for start in range(0, count, batch_size):
+        for batch_index, start in enumerate(range(0, count, batch_size)):
             idx = order[start : start + batch_size]
             optimizer.zero_grad()
             prediction = net.forward(inputs[idx], training=True)
             value, grad = mse_loss(prediction, targets[idx])
             if not np.isfinite(value):
                 raise TrainingError(
-                    f"regression training diverged (loss={value})"
+                    f"regression training diverged (loss={value}) at "
+                    f"epoch {epoch}, batch {batch_index}"
                 )
             net.backward(grad)
             optimizer.step()
             epoch_losses.append(value)
+        epoch_seconds = time.perf_counter() - epoch_start
         history.loss.append(float(np.mean(epoch_losses)))
+        history.seconds.append(epoch_seconds)
+        if hook is not None:
+            hook.on_aux_epoch_end(
+                epoch, history.loss[-1], epoch_seconds, phase=phase
+            )
     return history

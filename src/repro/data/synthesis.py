@@ -16,6 +16,7 @@ from ..config import ExperimentConfig
 from ..errors import DataError, ResistError
 from ..layout import ArrayType, generate_clip, render_mask_rgb
 from ..sim import LithographySimulator
+from ..telemetry.trace import Tracer
 from .dataset import PairedDataset
 from .encoding import bbox_center_rc
 
@@ -23,16 +24,22 @@ from .encoding import bbox_center_rc
 def synthesize_dataset(config: ExperimentConfig,
                        rng: Optional[np.random.Generator] = None,
                        resist_model: str = "vtr",
-                       model_based_opc: bool = False) -> PairedDataset:
+                       model_based_opc: bool = False,
+                       tracer: Optional[Tracer] = None) -> PairedDataset:
     """Mint a full paired dataset for one technology node.
 
     Clips whose target contact fails to print (possible for extreme random
     neighborhoods) are skipped and replaced, so the returned dataset always
     has ``config.tech.num_clips`` samples.
+
+    ``tracer`` (optional) collects the simulator's per-stage spans
+    (rasterize/optical/resist/contour) across the whole mint.
     """
     if rng is None:
         rng = np.random.default_rng(config.training.seed)
-    simulator = LithographySimulator(config, resist_model=resist_model)
+    simulator = LithographySimulator(
+        config, resist_model=resist_model, tracer=tracer
+    )
 
     count = config.tech.num_clips
     image_px = config.image.mask_image_px

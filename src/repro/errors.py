@@ -46,3 +46,7 @@ class TrainingError(ReproError):
 
 class EvaluationError(ReproError):
     """Metric computation or report generation failed."""
+
+
+class TelemetryError(ReproError):
+    """Metrics, tracing, or run-log recording/validation failed."""

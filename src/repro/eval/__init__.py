@@ -1,7 +1,7 @@
 """Evaluation harness: Table 3/4 rows and Figure 6-9 data series."""
 
 from .evaluate import EvaluationSummary, SampleMetrics, evaluate_predictions
-from .tables import format_table3, format_table4, table4_ratios
+from .tables import format_table3, format_table4, table3_row_dict, table4_ratios
 from .figures import (
     figure6_panels,
     figure7_histogram,
@@ -24,6 +24,7 @@ __all__ = [
     "evaluate_predictions",
     "format_table3",
     "format_table4",
+    "table3_row_dict",
     "table4_ratios",
     "figure6_panels",
     "figure7_histogram",

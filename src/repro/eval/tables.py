@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Sequence
 
 from ..errors import EvaluationError
 from .evaluate import EvaluationSummary
+
+
+def table3_row_dict(dataset_name: str, summary: EvaluationSummary) -> dict:
+    """One Table 3 row as a JSON-serializable dict (``evaluate --json``)."""
+    row = {"dataset": dataset_name}
+    row.update(dataclasses.asdict(summary))
+    return row
 
 
 def format_table3(dataset_name: str,

@@ -2,12 +2,13 @@
 
 from .pipeline import LithographySimulator, SimulatedClip
 from .process_window import ProcessWindowResult, sweep_process_window
-from .runtime import StageTimer
+from .runtime import StageTimer, Tracer
 
 __all__ = [
     "LithographySimulator",
     "SimulatedClip",
     "StageTimer",
+    "Tracer",
     "ProcessWindowResult",
     "sweep_process_window",
 ]

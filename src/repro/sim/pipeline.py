@@ -33,7 +33,7 @@ from ..optics import abbe_aerial_image
 from ..optics.imaging import get_imager
 from ..optics.source import annular_source
 from ..resist import DevelopedPattern, develop, resist_window_image
-from .runtime import StageTimer
+from .runtime import StageTimer, Tracer
 
 
 @dataclass(frozen=True)
@@ -53,8 +53,13 @@ class LithographySimulator:
     def __init__(self, config: ExperimentConfig, resist_model: str = "vtr",
                  rigorous: bool = False, source_samples: int = 41,
                  rigorous_grid_size: Optional[int] = None,
-                 focus_planes_nm: Optional[tuple] = None):
+                 focus_planes_nm: Optional[tuple] = None,
+                 tracer: Optional[Tracer] = None):
         """``rigorous=True`` switches to reference-fidelity settings.
+
+        ``tracer`` lets a caller share one span tracer across simulators
+        (e.g. the CLI aggregating per-stage latency over a whole mint run);
+        by default each simulator records into its own.
 
         A rigorous simulator does not use the compact SOCS shortcut: it
         integrates the discretized source directly (Abbe), typically on a
@@ -75,7 +80,8 @@ class LithographySimulator:
             size=grid_size,
             extent_nm=config.tech.cropped_clip_nm,
         )
-        self.timer = StageTimer()
+        self.timer = StageTimer(tracer=tracer)
+        self.tracer = self.timer.tracer
         if rigorous:
             self._fine_source = annular_source(
                 config.optical.sigma_inner,

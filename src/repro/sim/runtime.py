@@ -1,43 +1,13 @@
-"""Wall-clock accounting for the Table 4 runtime comparison."""
+"""Wall-clock accounting for the Table 4 runtime comparison.
+
+:class:`StageTimer` historically lived here as a standalone dict of totals;
+it is now implemented on top of :class:`repro.telemetry.trace.Tracer` (one
+measurement substrate for Table 4 accounting and span tracing alike) and
+re-exported from this module so existing imports keep working.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator
+from ..telemetry.trace import StageTimer, Tracer
 
-
-class StageTimer:
-    """Accumulates wall-clock seconds per named pipeline stage."""
-
-    def __init__(self):
-        self._totals: Dict[str, float] = {}
-        self._counts: Dict[str, int] = {}
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
-            self._counts[name] = self._counts.get(name, 0) + 1
-
-    def total(self, name: str) -> float:
-        return self._totals.get(name, 0.0)
-
-    def count(self, name: str) -> int:
-        return self._counts.get(name, 0)
-
-    def mean(self, name: str) -> float:
-        count = self._counts.get(name, 0)
-        return self._totals[name] / count if count else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self._totals)
-
-    def merge(self, other: "StageTimer") -> None:
-        for name, total in other._totals.items():
-            self._totals[name] = self._totals.get(name, 0.0) + total
-            self._counts[name] = self._counts.get(name, 0) + other._counts[name]
+__all__ = ["StageTimer", "Tracer"]

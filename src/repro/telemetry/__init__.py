@@ -1,0 +1,60 @@
+"""Dependency-free observability: metrics, span tracing, run logs, hooks.
+
+The measurement substrate behind the Table 4 runtime accounting and every
+future performance claim.  Four pieces:
+
+``repro.telemetry.metrics``
+    ``Counter`` / ``Gauge`` / ``Histogram`` and the labeled
+    :class:`MetricsRegistry` with JSON export.
+``repro.telemetry.trace``
+    Nested context-manager :class:`Span` tracing via :class:`Tracer`;
+    backs the re-exported :class:`~repro.sim.runtime.StageTimer`.
+``repro.telemetry.events``
+    Schema-versioned JSONL :class:`RunLogger` (crash-tolerant, incremental).
+``repro.telemetry.hooks``
+    The :class:`TelemetryHook` callback protocol threaded through training.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import Span, SpanRecord, StageTimer, Tracer
+from .events import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    RunLogger,
+    next_run_id,
+    read_run_log,
+    split_runs,
+    validate_run_log,
+)
+from .hooks import NULL_HOOK, CompositeHook, RunLoggerHook, TelemetryHook
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "Span",
+    "SpanRecord",
+    "StageTimer",
+    "Tracer",
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "RunLogger",
+    "next_run_id",
+    "read_run_log",
+    "split_runs",
+    "validate_run_log",
+    "NULL_HOOK",
+    "CompositeHook",
+    "RunLoggerHook",
+    "TelemetryHook",
+]

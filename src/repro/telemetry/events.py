@@ -1,0 +1,241 @@
+"""Structured run logging: schema-versioned JSONL event streams.
+
+A :class:`RunLogger` appends one JSON object per line to a log file, flushing
+after every event so a killed run still leaves a readable prefix.  Events are
+schema-versioned and carry a monotonically-assigned run ID plus a per-run
+sequence number, so multiple runs can share one log file and still be teased
+apart afterwards.
+
+The canonical event vocabulary (see DESIGN.md "Observability"):
+
+``run_start``
+    First event of a run; carries the command/config fingerprint.
+``epoch_end``
+    One per training epoch: losses and wall-clock seconds.
+``stage_end``
+    One per completed pipeline stage/phase span.
+``eval_end``
+    Evaluation summary (a machine-readable Table 3 row).
+``run_end``
+    Last event; carries status and total seconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from ..errors import TelemetryError
+
+#: bump when the event record layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: event types a well-formed run log may contain
+EVENT_TYPES = ("run_start", "epoch_end", "stage_end", "eval_end", "run_end")
+
+#: process-wide monotonic run-ID source
+_RUN_COUNTER = itertools.count(1)
+
+
+def next_run_id() -> str:
+    """A monotonically increasing run identifier.
+
+    The counter gives ordering within a process; the PID salt keeps IDs
+    from colliding when several processes append to one shared log file.
+    """
+    return f"run-{os.getpid()}-{next(_RUN_COUNTER):04d}"
+
+
+class RunLogger:
+    """Incremental JSONL event writer for one run.
+
+    Opens the file in append mode and flushes every record, so concurrent
+    tails and post-crash reads both see a valid prefix of the stream.
+    Usable as a context manager; closing does *not* implicitly emit
+    ``run_end`` — a missing terminal event is the signature of a killed run.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 run_id: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.run_id = run_id if run_id is not None else next_run_id()
+        self._seq = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot open run log {self.path}: {exc}"
+            ) from exc
+        self._handle = handle
+
+    # -- core ---------------------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event record and flush; returns the record."""
+        if self._handle is None:
+            raise TelemetryError(
+                f"RunLogger for {self.path} is closed (run {self.run_id})"
+            )
+        if event not in EVENT_TYPES:
+            raise TelemetryError(
+                f"unknown event type {event!r}; expected one of {EVENT_TYPES}"
+            )
+        record: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "seq": self._seq,
+            "time_unix": time.time(),
+            "event": event,
+        }
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+        self._handle.flush()
+        self._seq += 1
+        return record
+
+    # -- event vocabulary ---------------------------------------------------
+
+    def run_start(self, **fields: Any) -> Dict[str, Any]:
+        return self.emit("run_start", **fields)
+
+    def epoch_end(self, epoch: int, *, seconds: Optional[float] = None,
+                  **losses: Any) -> Dict[str, Any]:
+        return self.emit("epoch_end", epoch=epoch, seconds=seconds, **losses)
+
+    def stage_end(self, stage: str, seconds: float,
+                  **fields: Any) -> Dict[str, Any]:
+        return self.emit("stage_end", stage=stage, seconds=seconds, **fields)
+
+    def eval_end(self, **fields: Any) -> Dict[str, Any]:
+        return self.emit("eval_end", **fields)
+
+    def run_end(self, status: str = "ok", **fields: Any) -> Dict[str, Any]:
+        return self.emit("run_end", status=status, **fields)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL run log, tolerating a truncated final line.
+
+    A run killed mid-write leaves at most one torn record at the end of the
+    file; that trailing garbage is dropped, but corruption anywhere *else*
+    raises :class:`TelemetryError` (it means something other than a crash
+    mangled the log).
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    events: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn final write from a killed run
+            raise TelemetryError(
+                f"corrupt run log {path}: undecodable line {index + 1}"
+            )
+        if not isinstance(record, dict):
+            raise TelemetryError(
+                f"corrupt run log {path}: line {index + 1} is not an object"
+            )
+        events.append(record)
+    return events
+
+
+def split_runs(events: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+    """Group a (possibly multi-run) event stream into per-run event lists.
+
+    A new run begins at every ``run_start``; events before the first
+    ``run_start`` (the tail of a previously truncated run) form their own
+    leading group.
+    """
+    runs: List[List[Dict[str, Any]]] = []
+    for record in events:
+        if record.get("event") == "run_start" or not runs:
+            runs.append([])
+        runs[-1].append(record)
+    return runs
+
+
+def validate_run_log(events: List[Dict[str, Any]],
+                     require_run_end: bool = True) -> None:
+    """Check that an event list is a well-formed single-run stream.
+
+    Verifies: non-empty, consistent schema version and run ID, strictly
+    increasing ``seq``, ``run_start`` first, strictly increasing epochs, and
+    (unless ``require_run_end=False``, for crash-truncated logs) a terminal
+    ``run_end``.  Raises :class:`TelemetryError` on the first violation.
+    """
+    if not events:
+        raise TelemetryError("run log contains no events")
+    first = events[0]
+    if first.get("event") != "run_start":
+        raise TelemetryError(
+            f"run log must open with run_start, got {first.get('event')!r}"
+        )
+    run_id = first.get("run_id")
+    last_seq = -1
+    last_epoch: Dict[str, int] = {}
+    for index, record in enumerate(events):
+        for key in ("schema_version", "run_id", "seq", "event", "time_unix"):
+            if key not in record:
+                raise TelemetryError(f"event {index} missing {key!r}: {record}")
+        if record["schema_version"] != SCHEMA_VERSION:
+            raise TelemetryError(
+                f"event {index} has schema_version {record['schema_version']}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        if record["run_id"] != run_id:
+            raise TelemetryError(
+                f"event {index} belongs to run {record['run_id']!r}, "
+                f"expected {run_id!r}"
+            )
+        if record["event"] not in EVENT_TYPES:
+            raise TelemetryError(
+                f"event {index} has unknown type {record['event']!r}"
+            )
+        if record["seq"] <= last_seq:
+            raise TelemetryError(
+                f"event {index} seq {record['seq']} not after {last_seq}"
+            )
+        last_seq = record["seq"]
+        if record["event"] == "epoch_end":
+            phase = str(record.get("phase", ""))
+            epoch = record.get("epoch")
+            if not isinstance(epoch, int):
+                raise TelemetryError(f"epoch_end {index} has bad epoch {epoch!r}")
+            if epoch <= last_epoch.get(phase, 0):
+                raise TelemetryError(
+                    f"epoch_end {index} epoch {epoch} does not increase "
+                    f"within phase {phase!r}"
+                )
+            last_epoch[phase] = epoch
+        if record["event"] == "run_end" and index != len(events) - 1:
+            raise TelemetryError("run_end must be the final event")
+    if require_run_end and events[-1]["event"] != "run_end":
+        raise TelemetryError(
+            f"run log ends with {events[-1]['event']!r}, expected run_end "
+            "(pass require_run_end=False for crash-truncated logs)"
+        )

@@ -1,0 +1,152 @@
+"""Training/simulation callback protocol.
+
+:class:`TelemetryHook` is the null object: every method is a no-op, so hot
+loops can call ``hook.on_epoch_end(...)`` unconditionally once a hook is
+attached, while code paths with *no* hook attached (``hook=None``, the
+default everywhere) skip even the call — telemetry is zero-cost when off.
+
+:class:`RunLoggerHook` is the standard bridge: it forwards callbacks into a
+:class:`~repro.telemetry.events.RunLogger` (JSONL events) and a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (latency histograms and
+epoch counters).  :class:`CompositeHook` fans one callback stream out to
+several hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .events import RunLogger
+from .metrics import MetricsRegistry
+
+
+class TelemetryHook:
+    """Base hook: all callbacks are no-ops.  Subclass what you need."""
+
+    def on_run_start(self, **fields: Any) -> None:
+        """A run (training job, CLI invocation) began."""
+
+    def on_epoch_end(self, epoch: int, d_loss: float, g_loss: float,
+                     l1: float, seconds: float) -> None:
+        """One CGAN training epoch finished (losses are epoch means)."""
+
+    def on_aux_epoch_end(self, epoch: int, loss: float, seconds: float,
+                         phase: str = "regression") -> None:
+        """One supervised-regression epoch finished (center/threshold CNN)."""
+
+    def on_phase_end(self, phase: str, seconds: float) -> None:
+        """A named training/simulation phase span finished."""
+
+    def on_stage_end(self, stage: str, seconds: float) -> None:
+        """A pipeline stage (rasterize/optical/resist/contour) finished."""
+
+    def on_eval_end(self, **fields: Any) -> None:
+        """An evaluation pass produced its summary metrics."""
+
+    def on_run_end(self, status: str = "ok", **fields: Any) -> None:
+        """The run finished (or failed, per ``status``)."""
+
+
+#: shared stateless null hook, for callers that want a non-None default
+NULL_HOOK = TelemetryHook()
+
+
+class CompositeHook(TelemetryHook):
+    """Fans every callback out to each child hook, in order."""
+
+    def __init__(self, hooks: Iterable[TelemetryHook]) -> None:
+        self.hooks = tuple(hooks)
+
+    def on_run_start(self, **fields: Any) -> None:
+        for hook in self.hooks:
+            hook.on_run_start(**fields)
+
+    def on_epoch_end(self, epoch: int, d_loss: float, g_loss: float,
+                     l1: float, seconds: float) -> None:
+        for hook in self.hooks:
+            hook.on_epoch_end(epoch, d_loss, g_loss, l1, seconds)
+
+    def on_aux_epoch_end(self, epoch: int, loss: float, seconds: float,
+                         phase: str = "regression") -> None:
+        for hook in self.hooks:
+            hook.on_aux_epoch_end(epoch, loss, seconds, phase=phase)
+
+    def on_phase_end(self, phase: str, seconds: float) -> None:
+        for hook in self.hooks:
+            hook.on_phase_end(phase, seconds)
+
+    def on_stage_end(self, stage: str, seconds: float) -> None:
+        for hook in self.hooks:
+            hook.on_stage_end(stage, seconds)
+
+    def on_eval_end(self, **fields: Any) -> None:
+        for hook in self.hooks:
+            hook.on_eval_end(**fields)
+
+    def on_run_end(self, status: str = "ok", **fields: Any) -> None:
+        for hook in self.hooks:
+            hook.on_run_end(status=status, **fields)
+
+
+class RunLoggerHook(TelemetryHook):
+    """Bridges hook callbacks into a run log and/or a metrics registry."""
+
+    def __init__(self, logger: Optional[RunLogger] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.logger = logger
+        self.registry = registry
+
+    def on_run_start(self, **fields: Any) -> None:
+        if self.logger is not None:
+            self.logger.run_start(**fields)
+
+    def on_epoch_end(self, epoch: int, d_loss: float, g_loss: float,
+                     l1: float, seconds: float) -> None:
+        if self.logger is not None:
+            self.logger.epoch_end(
+                epoch, seconds=seconds, phase="cgan",
+                d_loss=d_loss, g_loss=g_loss, l1=l1,
+            )
+        if self.registry is not None:
+            labels = {"phase": "cgan"}
+            self.registry.histogram(
+                "train_epoch_seconds", labels=labels).observe(seconds)
+            self.registry.counter(
+                "train_epochs_total", labels=labels).inc()
+
+    def on_aux_epoch_end(self, epoch: int, loss: float, seconds: float,
+                         phase: str = "regression") -> None:
+        if self.logger is not None:
+            self.logger.epoch_end(
+                epoch, seconds=seconds, phase=phase, loss=loss,
+            )
+        if self.registry is not None:
+            labels = {"phase": phase}
+            self.registry.histogram(
+                "train_epoch_seconds", labels=labels).observe(seconds)
+            self.registry.counter(
+                "train_epochs_total", labels=labels).inc()
+
+    def on_phase_end(self, phase: str, seconds: float) -> None:
+        if self.logger is not None:
+            self.logger.stage_end(phase, seconds, kind="phase")
+        if self.registry is not None:
+            self.registry.histogram(
+                "stage_seconds", labels={"stage": phase}).observe(seconds)
+
+    def on_stage_end(self, stage: str, seconds: float) -> None:
+        if self.logger is not None:
+            self.logger.stage_end(stage, seconds)
+        if self.registry is not None:
+            self.registry.histogram(
+                "stage_seconds", labels={"stage": stage}).observe(seconds)
+
+    def on_eval_end(self, **fields: Any) -> None:
+        if self.logger is not None:
+            self.logger.eval_end(**fields)
+        if self.registry is not None:
+            self.registry.counter("evals_total").inc()
+
+    def on_run_end(self, status: str = "ok", **fields: Any) -> None:
+        if self.logger is not None:
+            self.logger.run_end(status=status, **fields)

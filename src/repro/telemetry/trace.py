@@ -1,0 +1,161 @@
+"""Span tracing: nested wall-clock measurement of pipeline phases.
+
+A :class:`Tracer` hands out context-manager :class:`Span`\\ s.  Spans nest
+(the tracer keeps an active stack, so each finished record knows its depth
+and parent), carry arbitrary metadata, and accumulate into per-name totals —
+which is exactly the accounting the Table 4 runtime comparison needs, so the
+historical :class:`StageTimer` API is now a thin veneer over a ``Tracer`` and
+is re-exported unchanged from :mod:`repro.sim.runtime`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, in completion order."""
+
+    name: str
+    seconds: float
+    depth: int
+    parent: Optional[str]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.metadata:
+            record["metadata"] = dict(self.metadata)
+        return record
+
+
+class Span:
+    """Live handle yielded by :meth:`Tracer.span`; annotate via :meth:`note`."""
+
+    __slots__ = ("name", "metadata", "_start")
+
+    def __init__(self, name: str, metadata: Dict[str, Any]) -> None:
+        self.name = name
+        self.metadata = metadata
+        self._start = 0.0
+
+    def note(self, **metadata: Any) -> None:
+        """Attach metadata to the span while it is running."""
+        self.metadata.update(metadata)
+
+
+class Tracer:
+    """Collects finished :class:`SpanRecord`\\ s and per-name aggregates."""
+
+    def __init__(self) -> None:
+        self._records: List[SpanRecord] = []
+        self._stack: List[Span] = []
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str, **metadata: Any) -> Iterator[Span]:
+        handle = Span(name, dict(metadata))
+        parent = self._stack[-1].name if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(handle)
+        handle._start = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            elapsed = time.perf_counter() - handle._start
+            self._stack.pop()
+            self._records.append(
+                SpanRecord(
+                    name=name, seconds=elapsed, depth=depth,
+                    parent=parent, metadata=handle.metadata,
+                )
+            )
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[SpanRecord, ...]:
+        return tuple(self._records)
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        count = self._counts.get(name, 0)
+        return self._totals[name] / count if count else 0.0
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's finished spans into this one."""
+        self._records.extend(other._records)
+        for name, total in other._totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + total
+            self._counts[name] = self._counts.get(name, 0) + other._counts[name]
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": [record.to_dict() for record in self._records],
+            "totals": self.totals(),
+            "counts": dict(self._counts),
+        }
+
+    def record_into(self, registry: MetricsRegistry,
+                    histogram: str = "stage_seconds",
+                    counter: str = "stages_total",
+                    label: str = "stage") -> None:
+        """Export finished spans as labeled latency histograms + counters."""
+        for record in self._records:
+            labels = {label: record.name}
+            registry.histogram(histogram, labels=labels).observe(record.seconds)
+            registry.counter(counter, labels=labels).inc()
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named pipeline stage.
+
+    Historically a standalone dict-of-totals; now backed by a :class:`Tracer`
+    so Table 4 accounting and span tracing share one measurement substrate.
+    The public API is unchanged from the original.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        with self.tracer.span(name):
+            yield
+
+    def total(self, name: str) -> float:
+        return self.tracer.total(name)
+
+    def count(self, name: str) -> int:
+        return self.tracer.count(name)
+
+    def mean(self, name: str) -> float:
+        return self.tracer.mean(name)
+
+    def as_dict(self) -> Dict[str, float]:
+        return self.tracer.totals()
+
+    def merge(self, other: "StageTimer") -> None:
+        self.tracer.merge(other.tracer)

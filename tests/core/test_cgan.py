@@ -78,6 +78,56 @@ class TestFit:
         )
         assert history.l1_loss[-1] < history.l1_loss[0] + 1e-6
 
+    def test_records_per_epoch_seconds(self, tiny_config, tiny_dataset):
+        cgan = CganModel(
+            tiny_config.model, tiny_config.training, np.random.default_rng(7)
+        )
+        history = cgan.fit(
+            tiny_dataset.masks, tiny_dataset.resists, np.random.default_rng(8)
+        )
+        assert len(history.seconds) == history.epochs_trained
+        assert all(s > 0 for s in history.seconds)
+
+    def test_hook_receives_epoch_callbacks(self, tiny_config, tiny_dataset):
+        from repro.telemetry import TelemetryHook
+
+        class Recorder(TelemetryHook):
+            def __init__(self):
+                self.calls = []
+
+            def on_epoch_end(self, epoch, d_loss, g_loss, l1, seconds):
+                self.calls.append((epoch, d_loss, g_loss, l1, seconds))
+
+        cgan = CganModel(
+            tiny_config.model, tiny_config.training, np.random.default_rng(9)
+        )
+        hook = Recorder()
+        history = cgan.fit(
+            tiny_dataset.masks, tiny_dataset.resists,
+            np.random.default_rng(10), hook=hook,
+        )
+        assert [c[0] for c in hook.calls] == list(
+            range(1, history.epochs_trained + 1)
+        )
+        assert [c[3] for c in hook.calls] == history.l1_loss
+        assert [c[4] for c in hook.calls] == history.seconds
+
+    def test_divergence_error_names_epoch_and_batch(
+            self, tiny_config, tiny_dataset, monkeypatch):
+        cgan = CganModel(
+            tiny_config.model, tiny_config.training, np.random.default_rng(11)
+        )
+
+        def diverge(masks, targets):
+            raise TrainingError("GAN training diverged (d_loss=nan)")
+
+        monkeypatch.setattr(cgan, "train_step", diverge)
+        with pytest.raises(TrainingError, match=r"epoch 1, batch 0.*diverged"):
+            cgan.fit(
+                tiny_dataset.masks, tiny_dataset.resists,
+                np.random.default_rng(12),
+            )
+
     def test_snapshots_recorded(self, tiny_config, tiny_dataset):
         cgan = CganModel(
             tiny_config.model, tiny_config.training, np.random.default_rng(5)

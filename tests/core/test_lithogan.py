@@ -23,6 +23,42 @@ class TestFit:
         assert history.cgan.epochs_trained == tiny_config.training.epochs
         assert len(history.center.loss) == tiny_config.training.aux_epochs
 
+    def test_histories_record_epoch_seconds(self, trained, tiny_config):
+        _, history = trained
+        assert len(history.cgan.seconds) == tiny_config.training.epochs
+        assert len(history.center.seconds) == tiny_config.training.aux_epochs
+
+    def test_tracer_records_phase_spans(self, tiny_config, tiny_dataset):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        rng = np.random.default_rng(20)
+        LithoGan(tiny_config, rng).fit(tiny_dataset, rng, tracer=tracer)
+        assert tracer.count("cgan") == 1
+        assert tracer.count("center-cnn") == 1
+        assert tracer.total("cgan") > 0
+
+    def test_hook_sees_both_training_paths(self, tiny_config, tiny_dataset):
+        from repro.telemetry import TelemetryHook
+
+        class Recorder(TelemetryHook):
+            def __init__(self):
+                self.cgan_epochs = 0
+                self.aux_phases = set()
+
+            def on_epoch_end(self, epoch, d_loss, g_loss, l1, seconds):
+                self.cgan_epochs += 1
+
+            def on_aux_epoch_end(self, epoch, loss, seconds,
+                                 phase="regression"):
+                self.aux_phases.add(phase)
+
+        hook = Recorder()
+        rng = np.random.default_rng(21)
+        LithoGan(tiny_config, rng).fit(tiny_dataset, rng, hook=hook)
+        assert hook.cgan_epochs == tiny_config.training.epochs
+        assert hook.aux_phases == {"center-cnn"}
+
     def test_center_loss_improves(self, trained):
         """Best epoch must beat the first (tiny-scale training is noisy)."""
         _, history = trained

@@ -59,6 +59,48 @@ class TestFitRegression:
                 rng=np.random.default_rng(0),
             )
 
+    def test_divergence_error_names_epoch_and_batch(self):
+        net = make_net()
+        x, y = linear_data(16)
+        y[:, 0] = np.nan  # every batch diverges, so it dies immediately
+        with pytest.raises(TrainingError, match=r"epoch 1, batch 0"):
+            fit_regression(
+                net, x, y, epochs=5, batch_size=16,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_records_per_epoch_seconds(self):
+        net = make_net()
+        x, y = linear_data(16)
+        history = fit_regression(
+            net, x, y, epochs=3, batch_size=8, rng=np.random.default_rng(0)
+        )
+        assert len(history.seconds) == len(history.loss) == 3
+        assert all(s > 0 for s in history.seconds)
+
+    def test_hook_receives_aux_epoch_callbacks(self):
+        from repro.telemetry import TelemetryHook
+
+        class Recorder(TelemetryHook):
+            def __init__(self):
+                self.calls = []
+
+            def on_aux_epoch_end(self, epoch, loss, seconds,
+                                 phase="regression"):
+                self.calls.append((epoch, loss, seconds, phase))
+
+        net = make_net()
+        x, y = linear_data(16)
+        hook = Recorder()
+        history = fit_regression(
+            net, x, y, epochs=2, batch_size=8,
+            rng=np.random.default_rng(0), hook=hook, phase="center-cnn",
+        )
+        assert [c[0] for c in hook.calls] == [1, 2]
+        assert [c[1] for c in hook.calls] == history.loss
+        assert [c[2] for c in hook.calls] == history.seconds
+        assert all(c[3] == "center-cnn" for c in hook.calls)
+
     def test_empty_history_raises(self):
         from repro.core import RegressionHistory
 

@@ -2,7 +2,9 @@
 
 import time
 
-from repro.sim import StageTimer
+import pytest
+
+from repro.sim import StageTimer, Tracer
 
 
 class TestStageTimer:
@@ -48,3 +50,68 @@ class TestStageTimer:
         with timer.stage("only"):
             pass
         assert set(timer.as_dict()) == {"only"}
+
+    def test_merge_disjoint_stage_names(self):
+        a, b = StageTimer(), StageTimer()
+        with a.stage("optical"):
+            pass
+        with b.stage("resist"):
+            pass
+        a.merge(b)
+        assert set(a.as_dict()) == {"optical", "resist"}
+        assert a.count("optical") == 1 and a.count("resist") == 1
+        # the merge source is untouched
+        assert set(b.as_dict()) == {"resist"}
+
+    def test_merge_overlapping_stage_names_sums_totals(self):
+        a, b = StageTimer(), StageTimer()
+        with a.stage("optical"):
+            time.sleep(0.001)
+        with b.stage("optical"):
+            time.sleep(0.001)
+        total_a, total_b = a.total("optical"), b.total("optical")
+        a.merge(b)
+        assert a.count("optical") == 2
+        assert a.total("optical") == pytest.approx(total_a + total_b)
+
+    def test_merge_empty_timer_is_a_noop(self):
+        timer = StageTimer()
+        with timer.stage("x"):
+            pass
+        before = timer.as_dict()
+        timer.merge(StageTimer())
+        assert timer.as_dict() == before
+
+    def test_mean_of_untimed_stage_is_zero_not_an_error(self):
+        timer = StageTimer()
+        with timer.stage("timed"):
+            pass
+        assert timer.mean("never-ran") == 0.0
+
+    def test_nested_stage_contexts_both_accumulate(self):
+        timer = StageTimer()
+        with timer.stage("outer"):
+            with timer.stage("inner"):
+                time.sleep(0.001)
+        assert timer.count("outer") == 1
+        assert timer.count("inner") == 1
+        # the outer stage's clock covers the inner one
+        assert timer.total("outer") >= timer.total("inner")
+        inner = next(
+            r for r in timer.tracer.records if r.name == "inner"
+        )
+        assert inner.parent == "outer" and inner.depth == 1
+
+    def test_nested_same_name_counts_twice(self):
+        timer = StageTimer()
+        with timer.stage("s"):
+            with timer.stage("s"):
+                pass
+        assert timer.count("s") == 2
+
+    def test_is_backed_by_a_shared_tracer(self):
+        tracer = Tracer()
+        timer = StageTimer(tracer=tracer)
+        with timer.stage("s"):
+            pass
+        assert tracer.count("s") == 1

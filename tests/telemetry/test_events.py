@@ -1,0 +1,156 @@
+"""Run-log JSONL: round-trip, crash tolerance, sequence validation."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    RunLogger,
+    next_run_id,
+    read_run_log,
+    split_runs,
+    validate_run_log,
+)
+
+
+def _write_run(path, epochs=2):
+    with RunLogger(path) as logger:
+        logger.run_start(command="train", node="N10")
+        for epoch in range(1, epochs + 1):
+            logger.epoch_end(
+                epoch, seconds=0.5, phase="cgan",
+                d_loss=1.0, g_loss=2.0, l1=0.3,
+            )
+        logger.stage_end("cgan", 1.0)
+        logger.eval_end(ede_mean_nm=1.5)
+        logger.run_end(status="ok", seconds=2.0)
+        return logger.run_id
+
+
+class TestRunLogger:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_id = _write_run(path)
+        events = read_run_log(path)
+        assert [e["event"] for e in events] == [
+            "run_start", "epoch_end", "epoch_end",
+            "stage_end", "eval_end", "run_end",
+        ]
+        assert all(e["run_id"] == run_id for e in events)
+        assert all(e["schema_version"] == SCHEMA_VERSION for e in events)
+        assert [e["seq"] for e in events] == list(range(6))
+        validate_run_log(events)
+
+    def test_epoch_end_carries_losses_and_seconds(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path, epochs=1)
+        epoch = read_run_log(path)[1]
+        assert epoch["epoch"] == 1
+        assert epoch["d_loss"] == 1.0
+        assert epoch["g_loss"] == 2.0
+        assert epoch["l1"] == 0.3
+        assert epoch["seconds"] == 0.5
+
+    def test_run_ids_are_monotonic(self):
+        first, second = next_run_id(), next_run_id()
+        assert first != second
+        assert int(first.rsplit("-", 1)[1]) < int(second.rsplit("-", 1)[1])
+
+    def test_rejects_unknown_event_type(self, tmp_path):
+        with RunLogger(tmp_path / "run.jsonl") as logger:
+            with pytest.raises(TelemetryError):
+                logger.emit("mystery_event")
+
+    def test_emit_after_close_raises(self, tmp_path):
+        logger = RunLogger(tmp_path / "run.jsonl")
+        logger.close()
+        assert logger.closed
+        with pytest.raises(TelemetryError):
+            logger.run_start()
+
+    def test_append_mode_preserves_prior_runs(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        _write_run(path, epochs=1)
+        _write_run(path, epochs=1)
+        runs = split_runs(read_run_log(path))
+        assert len(runs) == 2
+        for run in runs:
+            validate_run_log(run)
+        assert runs[0][0]["run_id"] != runs[1][0]["run_id"]
+
+
+class TestCrashTolerance:
+    def test_partial_log_readable_after_simulated_crash(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(path)
+        logger.run_start(command="train")
+        logger.epoch_end(1, seconds=0.1, phase="cgan",
+                         d_loss=1.0, g_loss=2.0, l1=0.3)
+        # crash: process dies mid-write of the next record; the flushed
+        # prefix plus torn garbage is what remains on disk
+        with open(path, "a") as handle:
+            handle.write('{"schema_version": 1, "run_id": "run-')
+        events = read_run_log(path)
+        assert [e["event"] for e in events] == ["run_start", "epoch_end"]
+        validate_run_log(events, require_run_end=False)
+        with pytest.raises(TelemetryError):
+            validate_run_log(events)  # missing run_end is flagged by default
+
+    def test_corruption_in_the_middle_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path)
+        lines = path.read_text().splitlines()
+        lines[2] = "not json at all"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TelemetryError):
+            read_run_log(path)
+
+
+class TestValidation:
+    def _events(self, path, tmp_path=None):
+        _write_run(path)
+        return read_run_log(path)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(TelemetryError):
+            validate_run_log([])
+
+    def test_must_open_with_run_start(self, tmp_path):
+        events = self._events(tmp_path / "r.jsonl")
+        with pytest.raises(TelemetryError):
+            validate_run_log(events[1:], require_run_end=True)
+
+    def test_non_monotonic_seq_rejected(self, tmp_path):
+        events = self._events(tmp_path / "r.jsonl")
+        events[2]["seq"] = events[1]["seq"]
+        with pytest.raises(TelemetryError):
+            validate_run_log(events)
+
+    def test_non_increasing_epoch_rejected(self, tmp_path):
+        events = self._events(tmp_path / "r.jsonl")
+        events[2]["epoch"] = events[1]["epoch"]
+        with pytest.raises(TelemetryError):
+            validate_run_log(events)
+
+    def test_mixed_run_ids_rejected(self, tmp_path):
+        events = self._events(tmp_path / "r.jsonl")
+        events[3]["run_id"] = "run-999-9999"
+        with pytest.raises(TelemetryError):
+            validate_run_log(events)
+
+    def test_run_end_must_be_terminal(self, tmp_path):
+        events = self._events(tmp_path / "r.jsonl")
+        reordered = events[:-2] + [events[-1], events[-2]]
+        # keep seq increasing so only the placement rule fires
+        for seq, record in enumerate(reordered):
+            record["seq"] = seq
+        with pytest.raises(TelemetryError):
+            validate_run_log(reordered)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        events = self._events(tmp_path / "r.jsonl")
+        events[1]["schema_version"] = 99
+        with pytest.raises(TelemetryError):
+            validate_run_log(events)

@@ -1,0 +1,104 @@
+"""Hook protocol: null-object default, composition, logger/registry bridge."""
+
+from repro.telemetry import (
+    NULL_HOOK,
+    CompositeHook,
+    MetricsRegistry,
+    RunLogger,
+    RunLoggerHook,
+    TelemetryHook,
+    read_run_log,
+)
+
+
+class RecordingHook(TelemetryHook):
+    def __init__(self):
+        self.calls = []
+
+    def on_run_start(self, **fields):
+        self.calls.append(("run_start", fields))
+
+    def on_epoch_end(self, epoch, d_loss, g_loss, l1, seconds):
+        self.calls.append(("epoch_end", epoch))
+
+    def on_aux_epoch_end(self, epoch, loss, seconds, phase="regression"):
+        self.calls.append(("aux_epoch_end", epoch, phase))
+
+    def on_run_end(self, status="ok", **fields):
+        self.calls.append(("run_end", status))
+
+
+class TestNullHook:
+    def test_every_callback_is_a_noop(self):
+        NULL_HOOK.on_run_start(command="x")
+        NULL_HOOK.on_epoch_end(1, 0.1, 0.2, 0.3, 0.4)
+        NULL_HOOK.on_aux_epoch_end(1, 0.5, 0.1, phase="center-cnn")
+        NULL_HOOK.on_phase_end("cgan", 1.0)
+        NULL_HOOK.on_stage_end("optical", 0.5)
+        NULL_HOOK.on_eval_end(ede_mean_nm=1.0)
+        NULL_HOOK.on_run_end(status="ok")
+
+
+class TestCompositeHook:
+    def test_fans_out_in_order(self):
+        first, second = RecordingHook(), RecordingHook()
+        hook = CompositeHook([first, second])
+        hook.on_epoch_end(3, 0.1, 0.2, 0.3, 0.4)
+        hook.on_aux_epoch_end(1, 0.5, 0.1, phase="center-cnn")
+        hook.on_run_end()
+        expected = [
+            ("epoch_end", 3), ("aux_epoch_end", 1, "center-cnn"),
+            ("run_end", "ok"),
+        ]
+        assert first.calls == expected
+        assert second.calls == expected
+
+
+class TestRunLoggerHook:
+    def test_bridges_epochs_to_events_and_metrics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        registry = MetricsRegistry()
+        with RunLogger(path) as logger:
+            hook = RunLoggerHook(logger=logger, registry=registry)
+            hook.on_run_start(command="train")
+            hook.on_epoch_end(1, 1.0, 2.0, 0.3, 0.25)
+            hook.on_aux_epoch_end(1, 0.4, 0.1, phase="center-cnn")
+            hook.on_stage_end("optical", 0.05)
+            hook.on_eval_end(ede_mean_nm=1.2)
+            hook.on_run_end(status="ok")
+
+        events = read_run_log(path)
+        assert [e["event"] for e in events] == [
+            "run_start", "epoch_end", "epoch_end",
+            "stage_end", "eval_end", "run_end",
+        ]
+        cgan_epoch = events[1]
+        assert cgan_epoch["phase"] == "cgan"
+        assert cgan_epoch["d_loss"] == 1.0
+        aux_epoch = events[2]
+        assert aux_epoch["phase"] == "center-cnn"
+        assert aux_epoch["loss"] == 0.4
+
+        snapshot = registry.snapshot()
+        epoch_series = {
+            tuple(s["labels"].items()): s
+            for s in snapshot["train_epoch_seconds"]["series"]
+        }
+        assert epoch_series[(("phase", "cgan"),)]["count"] == 1
+        assert epoch_series[(("phase", "center-cnn"),)]["count"] == 1
+        assert snapshot["evals_total"]["series"][0]["value"] == 1.0
+
+    def test_metrics_only_bridge_writes_no_file(self, tmp_path):
+        registry = MetricsRegistry()
+        hook = RunLoggerHook(registry=registry)
+        hook.on_epoch_end(1, 1.0, 2.0, 0.3, 0.25)
+        hook.on_run_end()
+        assert "train_epochs_total" in registry
+
+    def test_logger_only_bridge_needs_no_registry(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path) as logger:
+            hook = RunLoggerHook(logger=logger)
+            hook.on_run_start(command="train")
+            hook.on_run_end()
+        assert len(read_run_log(path)) == 2

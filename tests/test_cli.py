@@ -5,16 +5,30 @@ real 64x64 dataset with very few clips and 1-2 epochs — slowish but a true
 end-to-end pass through mint -> train -> evaluate.
 """
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
 from repro.data import load_dataset
+from repro.telemetry import read_run_log, split_runs, validate_run_log
 
 
 @pytest.fixture(scope="module")
 def workspace(tmp_path_factory):
     return tmp_path_factory.mktemp("cli")
+
+
+@pytest.fixture(scope="module")
+def dataset_path(workspace):
+    path = workspace / "tiny_n10.npz"
+    code = main([
+        "mint", "--node", "N10", "--clips", "8",
+        "--seed", "1", "--out", str(path),
+    ])
+    assert code == 0
+    return path
 
 
 class TestParser:
@@ -33,16 +47,6 @@ class TestParser:
 
 
 class TestMintTrainEvaluate:
-    @pytest.fixture(scope="class")
-    def dataset_path(self, workspace):
-        path = workspace / "tiny_n10.npz"
-        code = main([
-            "mint", "--node", "N10", "--clips", "8",
-            "--seed", "1", "--out", str(path),
-        ])
-        assert code == 0
-        return path
-
     def test_mint_writes_loadable_dataset(self, dataset_path):
         dataset = load_dataset(dataset_path)
         assert len(dataset) == 8
@@ -86,6 +90,154 @@ class TestMintTrainEvaluate:
         ])
         assert code == 1
         assert "error" in capsys.readouterr().err.lower()
+
+
+class TestTelemetryFlags:
+    """The ISSUE acceptance path: train with --log-json / --metrics-out."""
+
+    @pytest.fixture(scope="class")
+    def telemetry_run(self, workspace, dataset_path):
+        log = workspace / "run.jsonl"
+        metrics = workspace / "metrics.json"
+        out = workspace / "model_telemetry"
+        code = main([
+            "train", "--dataset", str(dataset_path), "--epochs", "2",
+            "--seed", "1", "--out", str(out),
+            "--log-json", str(log), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        return log, metrics, out
+
+    def test_run_log_parses_and_is_well_formed(self, telemetry_run):
+        log, _, _ = telemetry_run
+        events = read_run_log(log)
+        validate_run_log(events)
+
+    def test_event_sequence(self, telemetry_run):
+        log, _, _ = telemetry_run
+        events = read_run_log(log)
+        assert events[0]["event"] == "run_start"
+        assert events[0]["command"] == "train"
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "ok"
+        assert events[-1]["seconds"] > 0
+
+    def test_one_epoch_end_per_epoch_with_losses_and_seconds(
+            self, telemetry_run):
+        log, _, _ = telemetry_run
+        cgan_epochs = [
+            e for e in read_run_log(log)
+            if e["event"] == "epoch_end" and e.get("phase") == "cgan"
+        ]
+        assert [e["epoch"] for e in cgan_epochs] == [1, 2]
+        for event in cgan_epochs:
+            for key in ("d_loss", "g_loss", "l1"):
+                assert np.isfinite(event[key])
+            assert event["seconds"] > 0
+
+    def test_phase_spans_logged_as_stage_end(self, telemetry_run):
+        log, _, _ = telemetry_run
+        stages = {
+            e["stage"] for e in read_run_log(log)
+            if e["event"] == "stage_end"
+        }
+        assert {"cgan", "center-cnn"} <= stages
+
+    def test_metrics_json_has_counters_and_latency_histograms(
+            self, telemetry_run):
+        _, metrics, _ = telemetry_run
+        payload = json.loads(metrics.read_text())
+        assert payload["schema_version"] == 1
+        families = payload["metrics"]
+        clips = families["clips_processed_total"]["series"][0]
+        assert clips["type"] == "counter" and clips["value"] > 0
+        stage_series = families["stage_seconds"]["series"]
+        stage_labels = {s["labels"]["stage"] for s in stage_series}
+        assert {"cgan", "center-cnn"} <= stage_labels
+        for series in stage_series:
+            assert series["type"] == "histogram"
+            assert series["count"] >= 1
+        epoch_series = families["train_epoch_seconds"]["series"]
+        phases = {s["labels"]["phase"] for s in epoch_series}
+        assert "cgan" in phases
+
+    def test_history_json_gains_epoch_seconds(self, telemetry_run):
+        _, _, out = telemetry_run
+        history = json.loads((out / "history.json").read_text())
+        assert len(history["epoch_seconds"]) == 2
+        assert all(s > 0 for s in history["epoch_seconds"])
+
+    def test_mint_and_evaluate_share_a_log_file(self, workspace, dataset_path,
+                                                telemetry_run):
+        log = workspace / "shared.jsonl"
+        path = workspace / "mint_telemetry.npz"
+        code = main([
+            "mint", "--clips", "4", "--seed", "3",
+            "--out", str(path), "--log-json", str(log),
+        ])
+        assert code == 0
+        _, _, model_dir = telemetry_run
+        code = main([
+            "evaluate", "--dataset", str(dataset_path),
+            "--model", str(model_dir), "--epochs", "2", "--seed", "1",
+            "--log-json", str(log),
+        ])
+        assert code == 0
+        runs = split_runs(read_run_log(log))
+        assert len(runs) == 2
+        for run in runs:
+            validate_run_log(run)
+        mint_stages = {
+            e["stage"] for e in runs[0] if e["event"] == "stage_end"
+        }
+        assert {"rasterize", "optical", "resist", "contour"} <= mint_stages
+        assert any(e["event"] == "eval_end" for e in runs[1])
+
+    def test_evaluate_json_flag_prints_table3_row(self, dataset_path,
+                                                  telemetry_run, capsys):
+        _, _, model_dir = telemetry_run
+        code = main([
+            "evaluate", "--dataset", str(dataset_path),
+            "--model", str(model_dir), "--epochs", "2", "--seed", "1",
+            "--json",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        row = json.loads(stdout[: stdout.rindex("}") + 1])
+        assert row["method"] == "LithoGAN"
+        assert row["dataset"] == "N10"
+        for key in ("ede_mean_nm", "pixel_accuracy", "mean_iou",
+                    "cd_error_mean_nm", "num_samples"):
+            assert key in row
+
+    def test_failed_run_emits_run_end_error(self, workspace, capsys):
+        log = workspace / "err.jsonl"
+        code = main([
+            "train", "--dataset", str(workspace / "absent.npz"),
+            "--out", str(workspace / "m_err"), "--log-json", str(log),
+        ])
+        assert code == 1
+        capsys.readouterr()
+        events = read_run_log(log)
+        validate_run_log(events)
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "error"
+        assert "not found" in events[-1]["error"]
+
+    def test_log_json_creates_parent_directories(self, workspace, capsys):
+        log = workspace / "deep" / "nested" / "run.jsonl"
+        code = main([
+            "process-window", "--node", "N10", "--seed", "4",
+            "--log-json", str(log),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        validate_run_log(read_run_log(log))
+
+    def test_run_summary_line_printed_without_flags(self, capsys):
+        code = main(["process-window", "--node", "N10", "--seed", "4"])
+        assert code == 0
+        assert "run summary: command=process-window" in capsys.readouterr().out
 
 
 class TestProcessWindow:

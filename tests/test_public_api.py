@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.metrics",
     "repro.eval",
+    "repro.telemetry",
 ]
 
 
