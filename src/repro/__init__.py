@@ -18,6 +18,7 @@ Subpackages
 ``repro.metrics``    EDE, pixel/class accuracy, mean IoU, CD and center error
 ``repro.eval``       Table 3/4 and Figure 6-9 regeneration harness
 ``repro.telemetry``  metrics registry, span tracing, structured run logs
+``repro.runtime``    fault tolerance: checkpoints, recovery, fault injection
 """
 
 from . import config
@@ -26,6 +27,7 @@ from .config import (
     ImageConfig,
     ModelConfig,
     OpticalConfig,
+    RecoveryConfig,
     ResistConfig,
     TechnologyConfig,
     TelemetryConfig,
@@ -38,6 +40,7 @@ from .config import (
     tiny,
 )
 from .errors import (
+    CheckpointError,
     ConfigError,
     DataError,
     EvaluationError,
@@ -59,6 +62,7 @@ __all__ = [
     "ImageConfig",
     "ModelConfig",
     "OpticalConfig",
+    "RecoveryConfig",
     "ResistConfig",
     "TechnologyConfig",
     "TelemetryConfig",
@@ -70,6 +74,7 @@ __all__ = [
     "reduced",
     "tiny",
     "ReproError",
+    "CheckpointError",
     "ConfigError",
     "GeometryError",
     "LayoutError",

@@ -41,6 +41,7 @@ from .eval import (
     table3_row_dict,
 )
 from .layout import ArrayType
+from .runtime import CheckpointManager, FaultPlan, RecoveryPolicy
 from .telemetry import MetricsRegistry, RunLogger, RunLoggerHook, Tracer
 
 
@@ -135,8 +136,45 @@ def cmd_mint(args) -> int:
     return 0
 
 
+def _parse_fault_site(spec: str):
+    """Parse a ``[PHASE:]EPOCH[:BATCH]`` fault-site spec (phase: cgan)."""
+    parts = spec.split(":")
+    phase = "cgan"
+    if parts and not parts[0].lstrip("-").isdigit():
+        phase = parts.pop(0)
+    try:
+        epoch = int(parts[0])
+        batch = int(parts[1]) if len(parts) > 1 else 0
+    except (IndexError, ValueError):
+        raise ReproError(
+            f"bad fault site {spec!r}; expected [PHASE:]EPOCH[:BATCH]"
+        ) from None
+    return phase, epoch, batch
+
+
+def _build_fault_plan(args):
+    """A FaultPlan from --inject-nan/--inject-interrupt, or None."""
+    nan_specs = getattr(args, "inject_nan", None) or []
+    kill_specs = getattr(args, "inject_interrupt", None) or []
+    if not nan_specs and not kill_specs:
+        return None
+    plan = FaultPlan(seed=args.seed)
+    for spec in nan_specs:
+        phase, epoch, batch = _parse_fault_site(spec)
+        plan.inject_nan(phase, epoch, batch=batch)
+    for spec in kill_specs:
+        phase, epoch, batch = _parse_fault_site(spec)
+        plan.inject_interrupt(phase, epoch, batch=batch)
+    return plan
+
+
 def cmd_train(args) -> int:
     telemetry = args.telemetry
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        telemetry.finish(status="error", error="--resume without --checkpoint-dir")
+        return 2
+    faults = _build_fault_plan(args)
     dataset = load_dataset(args.dataset)
     config = _config_for(args, len(dataset))
     if dataset.image_size != config.model.image_size:
@@ -152,8 +190,23 @@ def cmd_train(args) -> int:
     print(f"training LithoGAN on {len(train)} samples, "
           f"{config.training.epochs} epochs ...")
     model = LithoGan(config, rng)
+    checkpoints = None
+    recovery = None
+    if args.checkpoint_dir:
+        rec = config.recovery
+        checkpoints = CheckpointManager(
+            args.checkpoint_dir, keep_last=rec.keep_last,
+            keep_best=rec.keep_best,
+        )
+        recovery = RecoveryPolicy(rec)
+        print(f"checkpointing every {args.checkpoint_every} epoch(s) "
+              f"to {args.checkpoint_dir}"
+              + (" (resuming)" if args.resume else ""))
     history = model.fit(
-        train, rng, hook=telemetry.hook(), tracer=telemetry.tracer
+        train, rng, hook=telemetry.hook(), tracer=telemetry.tracer,
+        checkpoints=checkpoints, checkpoint_every=args.checkpoint_every,
+        resume_from=True if args.resume else None,
+        recovery=recovery, faults=faults,
     )
     telemetry.registry.counter("clips_processed_total").inc(len(train))
 
@@ -294,6 +347,30 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", required=True, help="output weight directory")
+    train.add_argument(
+        "--checkpoint-dir", dest="checkpoint_dir", metavar="DIR", default=None,
+        help="write atomic per-epoch training checkpoints under DIR",
+    )
+    train.add_argument(
+        "--checkpoint-every", dest="checkpoint_every", type=int, default=1,
+        metavar="N", help="checkpoint every N epochs (default: 1)",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="resume bit-exactly from the latest checkpoint in "
+             "--checkpoint-dir",
+    )
+    train.add_argument(
+        "--inject-nan", dest="inject_nan", action="append", metavar="SITE",
+        default=None,
+        help="fault drill: poison batch [PHASE:]EPOCH[:BATCH] with NaNs "
+             "(phase defaults to cgan)",
+    )
+    train.add_argument(
+        "--inject-interrupt", dest="inject_interrupt", action="append",
+        metavar="SITE", default=None,
+        help="fault drill: simulate a kill at [PHASE:]EPOCH[:BATCH]",
+    )
     _add_telemetry_flags(train)
     train.set_defaults(func=cmd_train)
 
@@ -336,6 +413,11 @@ def main(argv=None) -> int:
         return 1
     try:
         return args.func(args)
+    except KeyboardInterrupt as exc:
+        detail = str(exc) or "interrupted"
+        print(f"interrupted: {detail}", file=sys.stderr)
+        args.telemetry.finish(status="interrupted", error=detail)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))

@@ -293,6 +293,54 @@ class TrainingConfig:
 
 
 # ---------------------------------------------------------------------------
+# Fault tolerance
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Fault-tolerance knobs: checkpoint cadence/retention and divergence
+    recovery.
+
+    ``checkpoint_every`` sets the epoch cadence of on-disk snapshots;
+    retention keeps the last ``keep_last`` checkpoints plus (with
+    ``keep_best``) the lowest-loss one.  When training hits a non-finite
+    loss, the :class:`~repro.runtime.RecoveryPolicy` rolls back to the last
+    good state, multiplies the learning rate by ``lr_backoff`` (never below
+    ``min_learning_rate``), and retries up to ``max_retries`` consecutive
+    times before giving up.
+    """
+
+    checkpoint_every: int = 1
+    keep_last: int = 3
+    keep_best: bool = True
+    max_retries: int = 2
+    lr_backoff: float = 0.5
+    min_learning_rate: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.keep_last < 1:
+            raise ConfigError(f"keep_last must be >= 1, got {self.keep_last}")
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not 0 < self.lr_backoff <= 1:
+            raise ConfigError(
+                f"lr_backoff must lie in (0, 1], got {self.lr_backoff}"
+            )
+        if self.min_learning_rate <= 0:
+            raise ConfigError(
+                "min_learning_rate must be positive, got "
+                f"{self.min_learning_rate}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
 
@@ -345,6 +393,7 @@ class ExperimentConfig:
     model: ModelConfig = field(default_factory=ModelConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

@@ -14,7 +14,8 @@ CNN-predicted center, producing the final resist pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
@@ -27,9 +28,14 @@ from ..data.encoding import denormalize_center, normalize_center
 from ..errors import TrainingError
 from ..models import build_center_cnn
 from ..nn import Sequential
-from .cgan import CganHistory, CganModel
+from ..runtime.checkpoint import CheckpointManager
+from ..runtime.faults import FaultPlan
+from ..runtime.recovery import RecoveryPolicy
+from .cgan import CGAN_PHASE, CganHistory, CganModel
 from .recenter import binarize, recenter_to_predicted
 from .trainer import RegressionHistory, fit_regression, predict_in_batches
+
+CENTER_PHASE = "center-cnn"
 
 
 @dataclass
@@ -55,11 +61,39 @@ class LithoGan:
         self._center_std = np.ones(2, dtype=np.float32)
         self._trained = False
 
+    def _checkpoint_manager(
+            self,
+            checkpoints: Optional[Union[CheckpointManager, str, Path]],
+            resume_from: Optional[Union[str, Path, bool]],
+    ) -> Optional[CheckpointManager]:
+        """Resolve the fault-tolerance arguments to one root manager.
+
+        Accepts an existing :class:`CheckpointManager` or a directory path;
+        with ``checkpoints=None`` but a directory-like ``resume_from``, that
+        directory doubles as the manager root (resume-only usage).
+        """
+        source = checkpoints
+        if source is None and isinstance(resume_from, (str, Path)) \
+                and str(resume_from) not in ("latest",):
+            if Path(resume_from).suffix != ".npz":
+                source = resume_from
+        if source is None or isinstance(source, CheckpointManager):
+            return source
+        rec = self.config.recovery
+        return CheckpointManager(
+            source, keep_last=rec.keep_last, keep_best=rec.keep_best,
+        )
+
     def fit(self, dataset: PairedDataset,
             rng: np.random.Generator,
             snapshot_inputs: Optional[np.ndarray] = None,
             hook: Optional[TelemetryHook] = None,
-            tracer: Optional[Tracer] = None) -> LithoGanHistory:
+            tracer: Optional[Tracer] = None,
+            checkpoints: Optional[Union[CheckpointManager, str, Path]] = None,
+            checkpoint_every: Optional[int] = None,
+            resume_from: Optional[Union[str, Path, bool]] = None,
+            recovery: Optional[RecoveryPolicy] = None,
+            faults: Optional[FaultPlan] = None) -> LithoGanHistory:
         """Train both paths on a (training) dataset.
 
         With ``config.training.augment`` set, the training set is expanded
@@ -69,6 +103,15 @@ class LithoGan:
         ``hook`` receives per-epoch callbacks from both paths; ``tracer``
         records the two phases as spans (``cgan``, ``center-cnn``).  Both
         default to off and add no per-batch work.
+
+        Fault tolerance: ``checkpoints`` (a :class:`CheckpointManager` or a
+        directory) snapshots each phase every ``checkpoint_every`` epochs
+        (default ``config.recovery.checkpoint_every``) under phase-scoped
+        subdirectories (``cgan/``, ``center-cnn/``).  ``resume_from`` — a
+        checkpoint directory, or ``True``/``"latest"`` with ``checkpoints``
+        set — continues each phase bit-exactly from its latest snapshot;
+        phases that already finished are restored, not re-trained.
+        ``recovery`` and ``faults`` are threaded into both phases.
         """
         if dataset.image_size != self.config.model.image_size:
             raise TrainingError(
@@ -79,11 +122,30 @@ class LithoGan:
             tracer = Tracer()
         if self.config.training.augment:
             dataset = augment_dataset(dataset)
+
+        manager = self._checkpoint_manager(checkpoints, resume_from)
+        if resume_from is not None and manager is None:
+            raise TrainingError(
+                "LithoGan.fit resume_from requires a checkpoint directory "
+                f"(or checkpoints=); got {resume_from!r}"
+            )
+        every = (checkpoint_every if checkpoint_every is not None
+                 else self.config.recovery.checkpoint_every)
+        cgan_mgr = manager.scoped(CGAN_PHASE) if manager is not None else None
+        center_mgr = (manager.scoped(CENTER_PHASE)
+                      if manager is not None else None)
+        resuming = resume_from is not None
+
         with tracer.span("cgan", samples=len(dataset)):
             recentered = dataset.recentered_resists()
+            cgan_resume = None
+            if resuming and cgan_mgr is not None and cgan_mgr.has_checkpoints():
+                cgan_resume = "latest"
             cgan_history = self.cgan.fit(
                 dataset.masks, recentered, rng,
                 snapshot_inputs=snapshot_inputs, hook=hook,
+                checkpoints=cgan_mgr, checkpoint_every=every,
+                resume_from=cgan_resume, recovery=recovery, faults=faults,
             )
         with tracer.span("center-cnn", samples=len(dataset)):
             center_targets = normalize_center(
@@ -95,6 +157,10 @@ class LithoGan:
             standardized = (
                 (center_targets - self._center_mean) / self._center_std
             ).astype(np.float32)
+            center_resume = None
+            if resuming and center_mgr is not None \
+                    and center_mgr.has_checkpoints():
+                center_resume = "latest"
             center_history = fit_regression(
                 self.center_cnn,
                 dataset.masks,
@@ -103,7 +169,9 @@ class LithoGan:
                 batch_size=max(self.config.training.batch_size, 8),
                 rng=rng,
                 hook=hook,
-                phase="center-cnn",
+                phase=CENTER_PHASE,
+                checkpoints=center_mgr, checkpoint_every=every,
+                resume_from=center_resume, recovery=recovery, faults=faults,
             )
         self._trained = True
         return LithoGanHistory(cgan=cgan_history, center=center_history)

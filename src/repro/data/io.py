@@ -1,51 +1,75 @@
-"""Dataset persistence as compressed ``.npz`` archives."""
+"""Dataset persistence as compressed ``.npz`` archives.
+
+Writes are atomic (temp file + fsync + ``os.replace``) so a killed process
+never leaves a truncated archive, and reads fail closed: any unreadable,
+truncated, or key-incomplete archive raises :class:`~repro.errors.DataError`
+naming the offending path instead of leaking a raw ``KeyError``/``ValueError``.
+"""
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
 from ..errors import DataError
+from ..runtime.atomic import atomic_savez
 from .dataset import PairedDataset
 
 _REQUIRED_KEYS = ("masks", "resists", "centers", "array_types")
 
 
 def save_dataset(dataset: PairedDataset, path: Union[str, Path]) -> Path:
-    """Write a dataset to ``path`` (a ``.npz`` suffix is added if missing)."""
+    """Write a dataset to ``path`` (a ``.npz`` suffix is added if missing).
+
+    The archive is written atomically: readers observe either the previous
+    complete file or the new one, never a torn intermediate.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        masks=dataset.masks,
-        resists=dataset.resists,
-        centers=dataset.centers,
-        array_types=dataset.array_types.astype(str),
-        tech_name=np.array(dataset.tech_name),
-    )
+    atomic_savez(path, {
+        "masks": dataset.masks,
+        "resists": dataset.resists,
+        "centers": dataset.centers,
+        "array_types": dataset.array_types.astype(str),
+        "tech_name": np.array(dataset.tech_name),
+    })
     return path
 
 
 def load_dataset(path: Union[str, Path]) -> PairedDataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Raises :class:`DataError` (naming the path, and the missing keys where
+    applicable) for absent files, non-dataset archives, and corrupt or
+    truncated files.
+    """
     path = Path(path)
     if not path.exists():
         raise DataError(f"dataset file not found: {path}")
-    with np.load(path, allow_pickle=False) as data:
-        missing = [key for key in _REQUIRED_KEYS if key not in data.files]
-        if missing:
-            raise DataError(
-                f"{path} is not a dataset archive (missing {missing})"
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            missing = [key for key in _REQUIRED_KEYS if key not in data.files]
+            if missing:
+                raise DataError(
+                    f"{path} is not a dataset archive (missing {missing})"
+                )
+            tech_name = str(data["tech_name"]) if "tech_name" in data.files else ""
+            return PairedDataset(
+                data["masks"],
+                data["resists"],
+                data["centers"],
+                data["array_types"],
+                tech_name=tech_name,
             )
-        tech_name = str(data["tech_name"]) if "tech_name" in data.files else ""
-        return PairedDataset(
-            data["masks"],
-            data["resists"],
-            data["centers"],
-            data["array_types"],
-            tech_name=tech_name,
-        )
+    except DataError:
+        raise
+    except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile,
+            zlib.error) as exc:
+        raise DataError(
+            f"unreadable dataset archive {path}: {exc}"
+        ) from exc

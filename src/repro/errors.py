@@ -44,6 +44,10 @@ class TrainingError(ReproError):
     """Model training diverged or was configured inconsistently."""
 
 
+class CheckpointError(ReproError):
+    """A training checkpoint could not be written, found, or validated."""
+
+
 class EvaluationError(ReproError):
     """Metric computation or report generation failed."""
 

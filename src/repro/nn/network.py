@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import zipfile
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError, TrainingError
+from ..errors import CheckpointError, ShapeError, TrainingError
 from .layers.base import Layer
 from .parameter import Parameter
 
@@ -128,17 +130,53 @@ class Sequential:
                 param.value = value.astype(np.float32).copy()
                 param.zero_grad()
             if hasattr(layer, "running_mean"):
+                for stat in ("running_mean", "running_var"):
+                    if f"layer{i}.{stat}" not in state:
+                        raise ShapeError(
+                            f"missing layer{i}.{stat} in state dict"
+                        )
                 layer.running_mean = state[f"layer{i}.running_mean"].copy()
                 layer.running_var = state[f"layer{i}.running_var"].copy()
                 if hasattr(layer, "_stats_seeded"):
                     layer._stats_seeded = True
 
     def save(self, path) -> None:
-        np.savez_compressed(path, **self.state_dict())
+        """Atomically persist :meth:`state_dict` as a compressed ``.npz``.
+
+        The archive is written to a temp file, fsynced, and renamed into
+        place, so a process killed mid-save never leaves a truncated weight
+        file where a good one should be.
+        """
+        from ..runtime.atomic import atomic_savez
+
+        path = Path(path)
+        if path.suffix != ".npz":  # match np.savez's suffix behavior
+            path = path.with_name(path.name + ".npz")
+        atomic_savez(path, self.state_dict())
 
     def load(self, path) -> None:
-        with np.load(path) as data:
-            self.load_state_dict({key: data[key] for key in data.files})
+        """Load weights saved by :meth:`save`, failing closed.
+
+        Missing files, unreadable/truncated archives, absent keys, and
+        shape mismatches all raise :class:`~repro.errors.CheckpointError`
+        naming the offending path (and key, where applicable) — never a raw
+        ``KeyError``/``ValueError``.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise CheckpointError(f"weight file not found: {path}")
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                state = {key: data[key] for key in data.files}
+        except (OSError, ValueError, EOFError, KeyError,
+                zipfile.BadZipFile) as exc:
+            raise CheckpointError(
+                f"unreadable weight file {path}: {exc}"
+            ) from exc
+        try:
+            self.load_state_dict(state)
+        except ShapeError as exc:
+            raise CheckpointError(f"{path}: {exc}") from exc
 
 
 def _hwc(shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -34,6 +34,28 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Checkpointable optimizer state, keyed by parameter position."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict` onto the same
+        parameter list."""
+        raise NotImplementedError
+
+    def _checked_slot(self, state: Dict[str, np.ndarray], key: str,
+                      param: Parameter) -> np.ndarray:
+        """Fetch a per-parameter slot, validating presence and shape."""
+        if key not in state:
+            raise TrainingError(f"optimizer state dict missing {key!r}")
+        value = np.asarray(state[key])
+        if value.shape != param.value.shape:
+            raise TrainingError(
+                f"optimizer state {key!r}: shape {value.shape} does not "
+                f"match parameter shape {param.value.shape}"
+            )
+        return value.astype(np.float32, copy=True)
+
 
 class SGD(Optimizer):
     """Plain mini-batch SGD with optional momentum."""
@@ -59,6 +81,27 @@ class SGD(Optimizer):
                 param.value += velocity
             else:
                 param.value -= self.learning_rate * param.grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Learning rate plus any accumulated momentum buffers."""
+        state: Dict[str, np.ndarray] = {
+            "learning_rate": np.asarray(self.learning_rate, dtype=np.float64),
+        }
+        for i, param in enumerate(self.parameters):
+            if id(param) in self._velocity:
+                state[f"velocity{i}"] = self._velocity[id(param)].copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "learning_rate" in state:
+            self.learning_rate = float(np.asarray(state["learning_rate"]))
+        self._velocity.clear()
+        for i, param in enumerate(self.parameters):
+            key = f"velocity{i}"
+            if key in state:
+                self._velocity[id(param)] = self._checked_slot(
+                    state, key, param
+                )
 
 
 class Adam(Optimizer):
@@ -93,3 +136,29 @@ class Adam(Optimizer):
             m_hat = m / correction1
             v_hat = v / correction2
             param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Step count, learning rate, and bias-corrected moment buffers."""
+        state: Dict[str, np.ndarray] = {
+            "t": np.asarray(self._t, dtype=np.int64),
+            "learning_rate": np.asarray(self.learning_rate, dtype=np.float64),
+        }
+        for i, param in enumerate(self.parameters):
+            if id(param) in self._m:
+                state[f"m{i}"] = self._m[id(param)].copy()
+                state[f"v{i}"] = self._v[id(param)].copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise TrainingError("Adam state dict missing 't'")
+        self._t = int(np.asarray(state["t"]))
+        if "learning_rate" in state:
+            self.learning_rate = float(np.asarray(state["learning_rate"]))
+        self._m.clear()
+        self._v.clear()
+        for i, param in enumerate(self.parameters):
+            if f"m{i}" not in state and f"v{i}" not in state:
+                continue  # parameter had no accumulated moments at save time
+            self._m[id(param)] = self._checked_slot(state, f"m{i}", param)
+            self._v[id(param)] = self._checked_slot(state, f"v{i}", param)

@@ -1,0 +1,64 @@
+"""Fault-tolerant training runtime: checkpoints, recovery, fault injection.
+
+Long adversarial training runs die in three ways: the process is killed, the
+loss goes non-finite, or an artifact on disk is truncated/corrupted.  This
+subsystem makes all three survivable — and, crucially, *injectable*, so the
+recovery paths are provable rather than aspirational:
+
+``repro.runtime.atomic``
+    write-tmp → fsync → ``os.replace`` helpers behind every durable artifact.
+``repro.runtime.checkpoint``
+    :class:`CheckpointManager` — versioned, checksummed, retention-pruned
+    snapshots of network/optimizer/RNG/history state, with manifest
+    validation on load and bit-exact resume.
+``repro.runtime.recovery``
+    :class:`RecoveryPolicy` — rollback-to-last-good plus learning-rate
+    backoff with bounded retries when training diverges.
+``repro.runtime.faults``
+    :class:`FaultPlan` — deterministic NaN / interrupt / file-corruption
+    injection used by tests, CI drills, and the CLI's ``--inject-*`` flags.
+"""
+
+from ..config import RecoveryConfig
+from ..errors import CheckpointError
+from .atomic import (
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointManager,
+    capture_rng_states,
+    collect_rngs,
+    extract_extras,
+    load_checkpoint_source,
+    pack_state,
+    read_checkpoint,
+    restore_rng_states,
+    unpack_state,
+)
+from .faults import FaultPlan
+from .recovery import RecoveryPolicy
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointManager",
+    "FaultPlan",
+    "RecoveryConfig",
+    "RecoveryPolicy",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "capture_rng_states",
+    "collect_rngs",
+    "extract_extras",
+    "load_checkpoint_source",
+    "pack_state",
+    "read_checkpoint",
+    "restore_rng_states",
+    "unpack_state",
+]

@@ -1,0 +1,108 @@
+"""Atomic file persistence: write-tmp -> fsync -> ``os.replace``.
+
+Every durable artifact in the repo (weights, datasets, checkpoints,
+manifests) goes through these helpers so a killed process can never leave a
+truncated or half-written file behind: readers either see the previous
+complete version or the new complete one, never a torn intermediate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+PathLike = Union[str, Path]
+
+
+def _tmp_path(path: Path) -> Path:
+    """A same-directory temp name (``os.replace`` must not cross devices)."""
+    return path.with_name(f"{path.name}.{os.getpid()}.tmp")
+
+
+def _fsync_directory(path: Path) -> None:
+    """Best-effort fsync of ``path``'s directory so the rename is durable."""
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that cannot open directories
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write {path}: {exc}") from exc
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    _fsync_directory(path)
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> Path:
+    """Serialize ``payload`` as indented JSON and write it atomically."""
+    try:
+        text = json.dumps(payload, indent=2, sort_keys=False)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"payload for {path} is not JSON-serializable: {exc}"
+        ) from exc
+    return atomic_write_text(path, text + "\n")
+
+
+def atomic_savez(path: PathLike, arrays: Dict[str, np.ndarray],
+                 compressed: bool = True) -> Path:
+    """Write an ``.npz`` archive atomically; returns the final path.
+
+    Unlike ``np.savez``, the target name is used exactly as given (no
+    implicit ``.npz`` suffix), because the archive is streamed through an
+    open temp-file handle before being renamed into place.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    writer = np.savez_compressed if compressed else np.savez
+    try:
+        with open(tmp, "wb") as handle:
+            writer(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write archive {path}: {exc}") from exc
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    _fsync_directory(path)
+    return path

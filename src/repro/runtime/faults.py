@@ -1,0 +1,143 @@
+"""Deterministic fault injection for recovery drills.
+
+Nothing in a fault-tolerance story is real until the faults can be produced
+on demand.  A :class:`FaultPlan` schedules faults at exact
+``(phase, epoch, batch)`` coordinates — or samples them from a seeded RNG —
+and the training loops consult it at every batch boundary:
+
+* **NaN injection** poisons that batch's targets with NaN, so the loss goes
+  non-finite through the *genuine* arithmetic path and trips the same
+  divergence detection a real blow-up would.
+* **Interrupt injection** raises :class:`KeyboardInterrupt` mid-epoch,
+  standing in for a SIGINT/kill at an arbitrary point; tests then resume
+  from checkpoints exactly as an operator would.
+* **File corruption helpers** (:meth:`FaultPlan.truncate_file`,
+  :meth:`FaultPlan.corrupt_file`) damage on-disk artifacts to prove that
+  loads fail closed.
+
+Each scheduled fault fires once (unless ``repeat=True``), so a recovered
+retry of the same epoch proceeds cleanly — mirroring transient real-world
+failures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+
+PathLike = Union[str, Path]
+
+_Site = Tuple[str, int, int]
+
+
+class FaultPlan:
+    """A deterministic, seed-driven schedule of training faults."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._nan: Dict[_Site, bool] = {}
+        self._interrupt: Dict[_Site, bool] = {}
+        #: chronological record of fired faults: (kind, phase, epoch, batch)
+        self.fired: List[Tuple[str, str, int, int]] = []
+
+    # -- scheduling ----------------------------------------------------------
+
+    @staticmethod
+    def _site(phase: str, epoch: int, batch: int) -> _Site:
+        if epoch < 1:
+            raise ConfigError(f"fault epoch must be >= 1, got {epoch}")
+        if batch < 0:
+            raise ConfigError(f"fault batch must be >= 0, got {batch}")
+        return (str(phase), int(epoch), int(batch))
+
+    def inject_nan(self, phase: str, epoch: int, batch: int = 0,
+                   repeat: bool = False) -> "FaultPlan":
+        """Poison one batch's targets with NaN at the given site."""
+        self._nan[self._site(phase, epoch, batch)] = repeat
+        return self
+
+    def inject_interrupt(self, phase: str, epoch: int, batch: int = 0,
+                         repeat: bool = False) -> "FaultPlan":
+        """Raise ``KeyboardInterrupt`` (a simulated kill) at the given site."""
+        self._interrupt[self._site(phase, epoch, batch)] = repeat
+        return self
+
+    def inject_random_nans(self, phase: str, *, epochs: int,
+                           batches_per_epoch: int,
+                           count: int = 1) -> "FaultPlan":
+        """Schedule ``count`` NaN faults at seed-determined distinct sites."""
+        total = epochs * batches_per_epoch
+        if count > total:
+            raise ConfigError(
+                f"cannot place {count} faults in {total} batch slots"
+            )
+        slots = self._rng.choice(total, size=count, replace=False)
+        for slot in np.sort(slots):
+            epoch = 1 + int(slot) // batches_per_epoch
+            batch = int(slot) % batches_per_epoch
+            self.inject_nan(phase, epoch, batch)
+        return self
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled faults that have not fired yet."""
+        return len(self._nan) + len(self._interrupt)
+
+    # -- runtime hooks (called by the training loops) ------------------------
+
+    def on_batch_start(self, phase: str, epoch: int, batch: int) -> None:
+        """Fire a scheduled interrupt for this site, if any."""
+        site = (phase, epoch, batch)
+        if site in self._interrupt:
+            if not self._interrupt[site]:
+                del self._interrupt[site]
+            self.fired.append(("interrupt", *site))
+            raise KeyboardInterrupt(
+                f"fault injection: simulated kill at {phase} "
+                f"epoch {epoch}, batch {batch}"
+            )
+
+    def poison(self, phase: str, epoch: int, batch: int,
+               array: np.ndarray) -> np.ndarray:
+        """Return ``array``, NaN-poisoned if a NaN fault is scheduled here."""
+        site = (phase, epoch, batch)
+        if site not in self._nan:
+            return array
+        if not self._nan[site]:
+            del self._nan[site]
+        self.fired.append(("nan", *site))
+        return np.full_like(np.asarray(array, dtype=np.float32), np.nan)
+
+    # -- artifact corruption (used by tests and drills) ----------------------
+
+    @staticmethod
+    def truncate_file(path: PathLike, keep_bytes: int = 16) -> Path:
+        """Chop a file down to its first ``keep_bytes`` bytes."""
+        path = Path(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:keep_bytes])
+        return path
+
+    @staticmethod
+    def corrupt_file(path: PathLike, seed: int = 0,
+                     span: int = 64) -> Path:
+        """Overwrite a span in the middle of a file with deterministic junk.
+
+        The file keeps its size, so corruption models bit rot rather than
+        truncation; loaders must catch it via checksums or parse failures.
+        """
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            return path
+        rng = np.random.default_rng(seed)
+        span = min(span, len(data))
+        start = (len(data) - span) // 2
+        junk = rng.integers(0, 256, size=span, dtype=np.uint8).tobytes()
+        data[start:start + span] = junk
+        path.write_bytes(bytes(data))
+        return path

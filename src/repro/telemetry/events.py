@@ -12,6 +12,11 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
     First event of a run; carries the command/config fingerprint.
 ``epoch_end``
     One per training epoch: losses and wall-clock seconds.
+``checkpoint``
+    A training checkpoint was written (phase, epoch, path, loss).
+``rollback``
+    Divergence recovery rolled state back to a last-good epoch (carries the
+    failed epoch, restored epoch, retry count, and backed-off LR).
 ``stage_end``
     One per completed pipeline stage/phase span.
 ``eval_end``
@@ -35,7 +40,10 @@ from ..errors import TelemetryError
 SCHEMA_VERSION = 1
 
 #: event types a well-formed run log may contain
-EVENT_TYPES = ("run_start", "epoch_end", "stage_end", "eval_end", "run_end")
+EVENT_TYPES = (
+    "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
+    "eval_end", "run_end",
+)
 
 #: process-wide monotonic run-ID source
 _RUN_COUNTER = itertools.count(1)
@@ -106,6 +114,12 @@ class RunLogger:
     def epoch_end(self, epoch: int, *, seconds: Optional[float] = None,
                   **losses: Any) -> Dict[str, Any]:
         return self.emit("epoch_end", epoch=epoch, seconds=seconds, **losses)
+
+    def checkpoint(self, **fields: Any) -> Dict[str, Any]:
+        return self.emit("checkpoint", **fields)
+
+    def rollback(self, **fields: Any) -> Dict[str, Any]:
+        return self.emit("rollback", **fields)
 
     def stage_end(self, stage: str, seconds: float,
                   **fields: Any) -> Dict[str, Any]:
@@ -184,9 +198,11 @@ def validate_run_log(events: List[Dict[str, Any]],
     """Check that an event list is a well-formed single-run stream.
 
     Verifies: non-empty, consistent schema version and run ID, strictly
-    increasing ``seq``, ``run_start`` first, strictly increasing epochs, and
-    (unless ``require_run_end=False``, for crash-truncated logs) a terminal
-    ``run_end``.  Raises :class:`TelemetryError` on the first violation.
+    increasing ``seq``, ``run_start`` first, strictly increasing epochs
+    (except across a ``rollback`` event, which legitimately rewinds its
+    phase's epoch counter), and (unless ``require_run_end=False``, for
+    crash-truncated logs) a terminal ``run_end``.  Raises
+    :class:`TelemetryError` on the first violation.
     """
     if not events:
         raise TelemetryError("run log contains no events")
@@ -232,6 +248,12 @@ def validate_run_log(events: List[Dict[str, Any]],
                     f"within phase {phase!r}"
                 )
             last_epoch[phase] = epoch
+        if record["event"] == "rollback":
+            # Recovery rewound this phase; later epoch_end events may repeat
+            # epochs after the restored one.
+            phase = str(record.get("phase", ""))
+            restored = record.get("epoch", 0)
+            last_epoch[phase] = restored if isinstance(restored, int) else 0
         if record["event"] == "run_end" and index != len(events) - 1:
             raise TelemetryError("run_end must be the final event")
     if require_run_end and events[-1]["event"] != "run_end":

@@ -34,6 +34,15 @@ class TelemetryHook:
                          phase: str = "regression") -> None:
         """One supervised-regression epoch finished (center/threshold CNN)."""
 
+    def on_checkpoint(self, phase: str, epoch: int, path: str,
+                      loss: Optional[float] = None) -> None:
+        """A training checkpoint was written to ``path``."""
+
+    def on_rollback(self, phase: str, epoch: int, failed_epoch: int,
+                    retries: int, learning_rate: float,
+                    reason: str) -> None:
+        """Divergence recovery rolled state back to ``epoch``."""
+
     def on_phase_end(self, phase: str, seconds: float) -> None:
         """A named training/simulation phase span finished."""
 
@@ -70,6 +79,18 @@ class CompositeHook(TelemetryHook):
                          phase: str = "regression") -> None:
         for hook in self.hooks:
             hook.on_aux_epoch_end(epoch, loss, seconds, phase=phase)
+
+    def on_checkpoint(self, phase: str, epoch: int, path: str,
+                      loss: Optional[float] = None) -> None:
+        for hook in self.hooks:
+            hook.on_checkpoint(phase, epoch, path, loss=loss)
+
+    def on_rollback(self, phase: str, epoch: int, failed_epoch: int,
+                    retries: int, learning_rate: float,
+                    reason: str) -> None:
+        for hook in self.hooks:
+            hook.on_rollback(phase, epoch, failed_epoch, retries,
+                             learning_rate, reason)
 
     def on_phase_end(self, phase: str, seconds: float) -> None:
         for hook in self.hooks:
@@ -126,6 +147,28 @@ class RunLoggerHook(TelemetryHook):
                 "train_epoch_seconds", labels=labels).observe(seconds)
             self.registry.counter(
                 "train_epochs_total", labels=labels).inc()
+
+    def on_checkpoint(self, phase: str, epoch: int, path: str,
+                      loss: Optional[float] = None) -> None:
+        if self.logger is not None:
+            self.logger.checkpoint(
+                phase=phase, epoch=epoch, path=path, loss=loss,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "checkpoints_total", labels={"phase": phase}).inc()
+
+    def on_rollback(self, phase: str, epoch: int, failed_epoch: int,
+                    retries: int, learning_rate: float,
+                    reason: str) -> None:
+        if self.logger is not None:
+            self.logger.rollback(
+                phase=phase, epoch=epoch, failed_epoch=failed_epoch,
+                retries=retries, learning_rate=learning_rate, reason=reason,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "rollbacks_total", labels={"phase": phase}).inc()
 
     def on_phase_end(self, phase: str, seconds: float) -> None:
         if self.logger is not None:

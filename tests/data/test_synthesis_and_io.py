@@ -64,3 +64,21 @@ class TestIo:
         np.savez(path, stuff=np.zeros(3))
         with pytest.raises(DataError):
             load_dataset(path)
+
+    def test_truncated_archive_fails_closed(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        path.write_bytes(path.read_bytes()[:64])
+        with pytest.raises(DataError, match="unreadable"):
+            load_dataset(path)
+
+    def test_corrupt_archive_names_the_path(self, tiny_dataset, tmp_path):
+        from repro.runtime.faults import FaultPlan
+
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        FaultPlan.corrupt_file(path, seed=2)
+        with pytest.raises(DataError, match=str(path)):
+            load_dataset(path)
+
+    def test_save_is_atomic_leaves_no_temp(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "ds")
+        assert [p.name for p in tmp_path.iterdir()] == ["ds.npz"]

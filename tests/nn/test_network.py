@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ShapeError, TrainingError
+from repro.errors import CheckpointError, ShapeError, TrainingError
 from repro.nn import (
     BatchNorm,
     Conv2D,
@@ -105,8 +105,35 @@ class TestPersistence:
         path = tmp_path / "net.npz"
         small_net.save(path)
         wrong = Sequential([Dense(3, 2, rng)])
-        with pytest.raises(ShapeError):
+        with pytest.raises(CheckpointError, match=str(path)):
             wrong.load(path)
+
+    def test_load_state_dict_still_raises_shape_error(self, small_net, rng):
+        wrong = Sequential([Dense(3, 2, rng)])
+        with pytest.raises(ShapeError):
+            wrong.load_state_dict(small_net.state_dict())
+
+    def test_load_missing_file_fails_closed(self, small_net, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            small_net.load(tmp_path / "nothing.npz")
+
+    def test_load_corrupt_file_fails_closed(self, small_net, tmp_path):
+        path = tmp_path / "net.npz"
+        small_net.save(path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(CheckpointError, match="unreadable"):
+            small_net.load(path)
+
+    def test_load_non_archive_fails_closed(self, small_net, tmp_path):
+        path = tmp_path / "net.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError, match=str(path)):
+            small_net.load(path)
+
+    def test_save_is_atomic_leaves_no_temp(self, small_net, tmp_path):
+        small_net.save(tmp_path / "net.npz")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "net.npz"]
+        assert leftovers == []
 
     def test_zero_grad_clears_all(self, small_net, rng):
         x = rng.normal(size=(2, 1, 8, 8)).astype(np.float32)

@@ -98,3 +98,73 @@ class TestParameter:
         param = Parameter(np.zeros(2, dtype=np.float32))
         with pytest.raises(ShapeError):
             param.add_grad(np.ones(3, dtype=np.float32))
+
+
+class TestOptimizerState:
+    def _params(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            Parameter(rng.normal(size=(3, 2)).astype(np.float32)),
+            Parameter(rng.normal(size=(2,)).astype(np.float32)),
+        ]
+
+    def _step(self, opt, params, seed):
+        rng = np.random.default_rng(seed)
+        for p in params:
+            p.zero_grad()
+            p.add_grad(rng.normal(size=p.value.shape).astype(np.float32))
+        opt.step()
+
+    def test_adam_roundtrip_continues_identically(self):
+        params_a = self._params()
+        params_b = self._params()
+        a = Adam(params_a, learning_rate=1e-2)
+        b = Adam(params_b, learning_rate=5.0)  # wrong lr, to be overwritten
+        self._step(a, params_a, 1)
+        self._step(a, params_a, 2)
+        b.load_state_dict(a.state_dict())
+        for pa, pb in zip(params_a, params_b):
+            pb.value[:] = pa.value
+        assert b.learning_rate == a.learning_rate
+        self._step(a, params_a, 3)
+        self._step(b, params_b, 3)
+        for pa, pb in zip(params_a, params_b):
+            assert np.array_equal(pa.value, pb.value)
+
+    def test_adam_state_requires_step_count(self):
+        params = self._params()
+        opt = Adam(params)
+        with pytest.raises(TrainingError, match="'t'"):
+            opt.load_state_dict({})
+
+    def test_adam_shape_mismatch_rejected(self):
+        params = self._params()
+        opt = Adam(params)
+        self._step(opt, params, 1)
+        state = opt.state_dict()
+        state["m0"] = np.zeros((9, 9))
+        with pytest.raises(TrainingError, match="shape"):
+            Adam(self._params()).load_state_dict(state)
+
+    def test_sgd_momentum_roundtrip(self):
+        params_a = self._params()
+        params_b = self._params()
+        a = SGD(params_a, learning_rate=1e-2, momentum=0.9)
+        b = SGD(params_b, learning_rate=1e-2, momentum=0.9)
+        self._step(a, params_a, 1)
+        b.load_state_dict(a.state_dict())
+        for pa, pb in zip(params_a, params_b):
+            pb.value[:] = pa.value
+        self._step(a, params_a, 2)
+        self._step(b, params_b, 2)
+        for pa, pb in zip(params_a, params_b):
+            assert np.array_equal(pa.value, pb.value)
+
+    def test_sgd_missing_velocity_key_rejected(self):
+        params = self._params()
+        opt = SGD(params, learning_rate=1e-2, momentum=0.9)
+        self._step(opt, params, 1)
+        state = opt.state_dict()
+        state["velocity0"] = np.zeros((7,))
+        with pytest.raises(TrainingError, match="shape"):
+            SGD(self._params(), 1e-2, momentum=0.9).load_state_dict(state)

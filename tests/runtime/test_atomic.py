@@ -1,0 +1,90 @@
+"""Atomic persistence: torn writes must be impossible."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.atomic import (
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicBytes:
+    def test_roundtrip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "blob.bin", b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "a" / "b" / "c.bin", b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_no_temp_leftover(self, tmp_path):
+        atomic_write_bytes(tmp_path / "blob.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+    def test_failed_replace_keeps_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"original")
+
+        def boom(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(CheckpointError, match="blob.bin"):
+            atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"original"
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+
+class TestAtomicTextJson:
+    def test_text_roundtrip(self, tmp_path):
+        path = atomic_write_text(tmp_path / "note.txt", "héllo")
+        assert path.read_text("utf-8") == "héllo"
+
+    def test_json_roundtrip(self, tmp_path):
+        import json
+
+        path = atomic_write_json(tmp_path / "m.json", {"a": [1, 2]})
+        assert json.loads(path.read_text("utf-8")) == {"a": [1, 2]}
+
+    def test_unserializable_payload_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="JSON"):
+            atomic_write_json(tmp_path / "m.json", {"bad": object()})
+        assert not (tmp_path / "m.json").exists()
+
+
+class TestAtomicSavez:
+    def test_roundtrip(self, tmp_path):
+        arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = atomic_savez(tmp_path / "state.npz", arrays)
+        with np.load(path) as data:
+            assert sorted(data.files) == ["b", "w"]
+            assert np.array_equal(data["w"], arrays["w"])
+
+    def test_exact_path_no_suffix_magic(self, tmp_path):
+        path = atomic_savez(tmp_path / "state.ckpt", {"x": np.ones(1)})
+        assert path.name == "state.ckpt"
+        assert path.exists()
+
+    def test_no_temp_leftover(self, tmp_path):
+        atomic_savez(tmp_path / "state.npz", {"x": np.ones(1)})
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+    def test_failed_replace_keeps_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "state.npz"
+        atomic_savez(path, {"x": np.zeros(2)})
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("quota")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(CheckpointError, match="state.npz"):
+            atomic_savez(path, {"x": np.ones(2)})
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]

@@ -1,0 +1,90 @@
+"""Fault injection: deterministic, site-addressed, fire-once."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.faults import FaultPlan
+
+
+class TestNanInjection:
+    def test_fires_once_at_the_scheduled_site(self):
+        plan = FaultPlan().inject_nan("cgan", 2, batch=1)
+        clean = np.ones((3, 2), dtype=np.float32)
+        assert np.array_equal(plan.poison("cgan", 1, 1, clean), clean)
+        assert np.array_equal(plan.poison("cgan", 2, 0, clean), clean)
+        poisoned = plan.poison("cgan", 2, 1, clean)
+        assert np.all(np.isnan(poisoned))
+        assert poisoned.shape == clean.shape
+        # retry of the same site proceeds cleanly
+        assert np.array_equal(plan.poison("cgan", 2, 1, clean), clean)
+        assert plan.fired == [("nan", "cgan", 2, 1)]
+        assert plan.pending == 0
+
+    def test_repeat_fault_keeps_firing(self):
+        plan = FaultPlan().inject_nan("p", 1, repeat=True)
+        clean = np.zeros(4, dtype=np.float32)
+        for _ in range(3):
+            assert np.all(np.isnan(plan.poison("p", 1, 0, clean)))
+        assert plan.pending == 1
+
+    def test_original_array_untouched(self):
+        plan = FaultPlan().inject_nan("p", 1)
+        clean = np.ones(4, dtype=np.float32)
+        plan.poison("p", 1, 0, clean)
+        assert np.all(np.isfinite(clean))
+
+
+class TestInterruptInjection:
+    def test_raises_keyboard_interrupt(self):
+        plan = FaultPlan().inject_interrupt("cgan", 3, batch=2)
+        plan.on_batch_start("cgan", 3, 1)  # wrong batch: no fire
+        with pytest.raises(KeyboardInterrupt, match="epoch 3, batch 2"):
+            plan.on_batch_start("cgan", 3, 2)
+        plan.on_batch_start("cgan", 3, 2)  # fired once, now clear
+        assert plan.fired == [("interrupt", "cgan", 3, 2)]
+
+
+class TestScheduling:
+    def test_site_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().inject_nan("p", 0)
+        with pytest.raises(ConfigError):
+            FaultPlan().inject_interrupt("p", 1, batch=-1)
+
+    def test_random_sites_are_seed_deterministic(self):
+        a = FaultPlan(seed=11).inject_random_nans(
+            "p", epochs=4, batches_per_epoch=5, count=3
+        )
+        b = FaultPlan(seed=11).inject_random_nans(
+            "p", epochs=4, batches_per_epoch=5, count=3
+        )
+        assert a._nan.keys() == b._nan.keys()
+        assert len(a._nan) == 3
+        for _, epoch, batch in a._nan:
+            assert 1 <= epoch <= 4 and 0 <= batch < 5
+
+    def test_random_sites_overflow_rejected(self):
+        with pytest.raises(ConfigError, match="slots"):
+            FaultPlan().inject_random_nans(
+                "p", epochs=1, batches_per_epoch=2, count=3
+            )
+
+
+class TestFileDamage:
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(bytes(range(200)))
+        FaultPlan.truncate_file(path, keep_bytes=10)
+        assert path.read_bytes() == bytes(range(10))
+
+    def test_corrupt_preserves_size_and_is_deterministic(self, tmp_path):
+        original = bytes(range(256)) * 4
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        a.write_bytes(original)
+        b.write_bytes(original)
+        FaultPlan.corrupt_file(a, seed=5)
+        FaultPlan.corrupt_file(b, seed=5)
+        assert a.read_bytes() == b.read_bytes()
+        assert len(a.read_bytes()) == len(original)
+        assert a.read_bytes() != original

@@ -250,3 +250,60 @@ class TestProcessWindow:
         output = capsys.readouterr().out
         assert "nominal CD" in output
         assert "depth of focus" in output
+
+
+class TestCrashRecovery:
+    """Kill a training run mid-schedule, then resume it from checkpoints."""
+
+    def test_resume_without_checkpoint_dir_is_an_error(self, workspace,
+                                                       dataset_path, capsys):
+        code = main([
+            "train", "--dataset", str(dataset_path),
+            "--out", str(workspace / "m3"), "--resume",
+        ])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_interrupt_then_resume_completes(self, workspace, dataset_path,
+                                             capsys):
+        out = workspace / "recovered_model"
+        ckpts = workspace / "ckpts"
+        log = workspace / "recovery.jsonl"
+
+        code = main([
+            "train", "--dataset", str(dataset_path), "--epochs", "1",
+            "--seed", "1", "--out", str(out),
+            "--checkpoint-dir", str(ckpts), "--log-json", str(log),
+            "--inject-interrupt", "center-cnn:5:0",
+        ])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+        assert not (out / "generator.npz").exists()
+        assert (ckpts / "cgan" / "manifest.json").exists()
+        assert (ckpts / "center-cnn" / "manifest.json").exists()
+
+        code = main([
+            "train", "--dataset", str(dataset_path), "--epochs", "1",
+            "--seed", "1", "--out", str(out),
+            "--checkpoint-dir", str(ckpts), "--log-json", str(log),
+            "--resume",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert (out / "generator.npz").exists()
+
+        runs = split_runs(read_run_log(log))
+        assert len(runs) == 2
+        statuses = [run[-1].get("status") for run in runs]
+        assert statuses == ["interrupted", "ok"]
+        validate_run_log(runs[-1])
+        resumed_events = [record["event"] for record in runs[-1]]
+        assert "checkpoint" in resumed_events
+        # cgan finished before the kill: the resumed run re-trains only the
+        # center CNN, so it must not emit any cgan epoch_end events
+        cgan_epochs = [
+            record for record in runs[-1]
+            if record["event"] == "epoch_end"
+            and record.get("phase") == "cgan"
+        ]
+        assert cgan_epochs == []

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.metrics",
     "repro.eval",
     "repro.telemetry",
+    "repro.runtime",
 ]
 
 
