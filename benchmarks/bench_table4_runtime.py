@@ -26,6 +26,7 @@ from conftest import write_artifact
 
 from repro.eval import format_table4, table4_ratios
 from repro.layout import generate_clip
+from repro.serving import InferenceService, serve_latency_quantiles
 from repro.sim import LithographySimulator
 from repro.telemetry import Tracer
 
@@ -113,6 +114,17 @@ def test_table4(timings, artifact_dir, benchmark, bundle_n10):
     write_artifact(artifact_dir, "table4.txt", lines + ["", paper_note])
 
     ratios = table4_ratios(timings)
+
+    # Serving-path latency: run the same test masks through the hardened
+    # InferenceService so the artifact also tracks what a *served* clip
+    # costs (admission + forward + guard + any fallback), as quantiles of
+    # the tracer's per-clip serve_clip spans.
+    service = InferenceService(
+        bundle_n10.lithogan, bundle_n10.config, tracer=FLOW_TRACER
+    )
+    serve_report = service.serve_batch(bundle_n10.test.masks)
+    serve_quantiles = serve_latency_quantiles(FLOW_TRACER)
+
     # Machine-readable artifact for the perf trajectory: flow timings plus
     # the per-stage span breakdown the shared tracer collected underneath.
     (artifact_dir / "BENCH_table4.json").write_text(json.dumps({
@@ -123,8 +135,13 @@ def test_table4(timings, artifact_dir, benchmark, bundle_n10):
         "stage_counts": {
             name: FLOW_TRACER.count(name) for name in FLOW_TRACER.totals()
         },
+        "serve_clip_latency_s": serve_quantiles,
+        "serve_clips": serve_report.admitted,
+        "serve_fallbacks": serve_report.fallbacks,
         "paper_ratios": {"Rigorous": 1800.0, "Ref. [12]": 190.0},
     }, indent=2) + "\n")
+    assert serve_report.admitted == len(bundle_n10.test.masks)
+    assert set(serve_quantiles) == {"p50", "p90", "p99"}
     assert ratios["Rigorous"] > ratios["Ref. [12]"] > 1.0, (
         f"runtime ordering violated: {ratios}"
     )

@@ -19,6 +19,7 @@ Subpackages
 ``repro.eval``       Table 3/4 and Figure 6-9 regeneration harness
 ``repro.telemetry``  metrics registry, span tracing, structured run logs
 ``repro.runtime``    fault tolerance: checkpoints, recovery, fault injection
+``repro.serving``    hardened batch inference: admission, guards, fallback
 """
 
 from . import config

@@ -9,6 +9,9 @@ drive the whole reproduction without writing Python:
     Train LithoGAN on a saved dataset; saves model weights and the split.
 ``evaluate``
     Score saved LithoGAN weights on the held-out split (Table 3-style row).
+``predict``
+    Hardened batch inference through the serving ladder: admission, output
+    guards, retries, and physics-simulator fallback (``repro.serving``).
 ``process-window``
     Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
 
@@ -17,15 +20,21 @@ Example session::
     repro-litho mint --node N10 --clips 120 --out n10.npz
     repro-litho train --dataset n10.npz --epochs 10 --out model/
     repro-litho evaluate --dataset n10.npz --model model/
+    repro-litho predict --dataset n10.npz --model model/ --report serve.json
     repro-litho process-window --node N10 --seed 7
+
+Exit codes: 0 success, 1 pipeline error, 2 usage error, 3 missing or
+corrupted model weights (fail-closed), 130 interrupted.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -33,7 +42,7 @@ import numpy as np
 from .config import ExperimentConfig, N7, N10, reduced
 from .core import LithoGan
 from .data import load_dataset, save_dataset, synthesize_dataset
-from .errors import ReproError
+from .errors import CheckpointError, ReproError
 from .eval import (
     evaluate_predictions,
     format_table3,
@@ -240,6 +249,44 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _load_lithogan(model_dir, config: ExperimentConfig,
+                   seed: int) -> LithoGan:
+    """Restore saved LithoGAN weights, failing closed.
+
+    Every load problem — a missing directory, an absent or truncated weight
+    file, a mangled scaling archive — surfaces as a
+    :class:`~repro.errors.CheckpointError` naming the offending path, which
+    :func:`main` maps to exit code 3.  A model that cannot be fully restored
+    must never serve or score.
+    """
+    model = LithoGan(config, np.random.default_rng(seed))
+    model_dir = Path(model_dir)
+    model.cgan.generator.load(model_dir / "generator.npz")
+    model.cgan.discriminator.load(model_dir / "discriminator.npz")
+    model.center_cnn.load(model_dir / "center_cnn.npz")
+    scaling_path = model_dir / "center_scaling.npz"
+    try:
+        with np.load(scaling_path, allow_pickle=False) as data:
+            mean, std = data["mean"], data["std"]
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"weight file not found: {scaling_path}"
+        ) from None
+    except (OSError, ValueError, EOFError, KeyError,
+            zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"unreadable weight file {scaling_path}: {exc}"
+        ) from exc
+    if mean.shape != (2,) or std.shape != (2,):
+        raise CheckpointError(
+            f"{scaling_path}: center scaling must be two (mean, std) pairs, "
+            f"got shapes {mean.shape} and {std.shape}"
+        )
+    model._center_mean = mean.astype(np.float32)
+    model._center_std = std.astype(np.float32)
+    return model
+
+
 def cmd_evaluate(args) -> int:
     telemetry = args.telemetry
     dataset = load_dataset(args.dataset)
@@ -247,14 +294,7 @@ def cmd_evaluate(args) -> int:
     rng = np.random.default_rng(args.seed)
     _, test = dataset.split(config.training.train_fraction, rng)
 
-    model = LithoGan(config, np.random.default_rng(args.seed))
-    model_dir = Path(args.model)
-    model.cgan.generator.load(model_dir / "generator.npz")
-    model.cgan.discriminator.load(model_dir / "discriminator.npz")
-    model.center_cnn.load(model_dir / "center_cnn.npz")
-    with np.load(model_dir / "center_scaling.npz") as data:
-        model._center_mean = data["mean"]
-        model._center_std = data["std"]
+    model = _load_lithogan(args.model, config, args.seed)
 
     with telemetry.tracer.span("predict", samples=len(test)):
         predictions = model.predict_resist(test.masks)
@@ -279,6 +319,90 @@ def cmd_evaluate(args) -> int:
             print(f"center-prediction error: {summary.center_error_nm:.2f} nm")
     telemetry.finish(
         samples=len(test), ede_mean_nm=round(summary.ede_mean_nm, 4)
+    )
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Hardened batch inference: every admitted clip is answered."""
+    from .serving import InferenceService, serve_latency_quantiles
+
+    telemetry = args.telemetry
+    if args.inject_degenerate is not None and not (
+            0.0 <= args.inject_degenerate <= 1.0):
+        print(
+            f"error: --inject-degenerate must lie in [0, 1], got "
+            f"{args.inject_degenerate}", file=sys.stderr,
+        )
+        telemetry.finish(status="error", error="bad --inject-degenerate")
+        return 2
+    dataset = load_dataset(args.dataset)
+    config = _config_for(args, len(dataset))
+    if args.no_fallback:
+        config = dataclasses.replace(
+            config,
+            serving=dataclasses.replace(
+                config.serving, fallback_enabled=False
+            ),
+        )
+    model = _load_lithogan(args.model, config, args.seed)
+
+    masks = dataset.masks
+    if args.limit is not None:
+        masks = masks[:args.limit]
+
+    faults = None
+    injected = ()
+    if args.inject_degenerate is not None:
+        faults = FaultPlan(seed=args.seed)
+        injected = faults.inject_random_degenerate(
+            len(masks), args.inject_degenerate
+        )
+        print(f"fault drill: degrading {len(injected)} of {len(masks)} "
+              f"generator outputs (clips {list(injected)})")
+
+    service = InferenceService(
+        model, config, hook=telemetry.hook(), tracer=telemetry.tracer,
+    )
+    print(f"serving {len(masks)} clips "
+          f"(micro-batch {config.serving.micro_batch}, fallback "
+          f"{'on' if config.serving.fallback_enabled else 'off'}) ...")
+    serve_kwargs = {"faults": faults}
+    if args.deadline is not None:
+        serve_kwargs["deadline_s"] = args.deadline
+    report = service.serve_batch(masks, **serve_kwargs)
+
+    verdicts = report.verdicts()
+    print(f"served {report.admitted}/{len(masks)} clips "
+          f"({report.rejected} rejected, {report.sanitized} sanitized)")
+    print(f"  verdicts: " + ", ".join(
+        f"{name}={count}" for name, count in sorted(verdicts.items())
+    ))
+    print(f"  fallbacks: {report.fallbacks} {report.fallbacks_by_cause()}")
+    print(f"  breaker: {report.breaker_state} "
+          f"({len(report.breaker_transitions)} transitions)")
+    if report.deadline_exceeded:
+        print("  deadline exceeded: retries and fallback were skipped for "
+              "late clips")
+    quantiles = serve_latency_quantiles(telemetry.tracer)
+    if quantiles:
+        print("  per-clip latency: " + ", ".join(
+            f"{name}={seconds * 1e3:.2f}ms"
+            for name, seconds in quantiles.items()
+        ))
+
+    if args.report:
+        payload = report.to_dict()
+        payload["requested"] = len(masks)
+        payload["injected_degenerate"] = list(injected)
+        payload["latency_quantiles_s"] = quantiles
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote serve report to {args.report}")
+
+    telemetry.registry.counter("clips_processed_total").inc(report.admitted)
+    telemetry.finish(
+        served=report.admitted, rejected=report.rejected,
+        fallbacks=report.fallbacks, breaker=report.breaker_state,
     )
     return 0
 
@@ -387,6 +511,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
+    predict = sub.add_parser(
+        "predict", help="hardened batch inference with graceful degradation"
+    )
+    predict.add_argument("--dataset", required=True)
+    predict.add_argument("--model", required=True)
+    predict.add_argument("--node", choices=("N10", "N7"), default="N10")
+    predict.add_argument("--epochs", type=int, default=10)
+    predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="serve only the first N clips of the dataset",
+    )
+    predict.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-batch deadline; once exceeded, retries and fallback are "
+             "skipped and late clips are served best-effort",
+    )
+    predict.add_argument(
+        "--no-fallback", dest="no_fallback", action="store_true",
+        help="disable the physics-simulator fallback (degenerate outputs "
+             "are served flagged instead)",
+    )
+    predict.add_argument(
+        "--inject-degenerate", dest="inject_degenerate", type=float,
+        default=None, metavar="FRACTION",
+        help="fault drill: deterministically zero this fraction of "
+             "generator outputs before the guard (seeded by --seed)",
+    )
+    predict.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full per-clip serve report as JSON to PATH",
+    )
+    _add_telemetry_flags(predict)
+    predict.set_defaults(func=cmd_predict)
+
     window = sub.add_parser(
         "process-window", help="dose/defocus sweep of one clip"
     )
@@ -418,6 +577,13 @@ def main(argv=None) -> int:
         print(f"interrupted: {detail}", file=sys.stderr)
         args.telemetry.finish(status="interrupted", error=detail)
         return 130
+    except CheckpointError as exc:
+        # Fail closed: a model that cannot be restored must not serve or
+        # score, and scripted callers need to tell this apart from pipeline
+        # errors — hence the dedicated exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        args.telemetry.finish(status="error", error=str(exc))
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))

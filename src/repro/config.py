@@ -341,6 +341,100 @@ class RecoveryConfig:
 
 
 # ---------------------------------------------------------------------------
+# Serving
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Hardened-inference knobs: admission, output guards, degradation.
+
+    The guard bounds are *ratios against the technology node*: a generated
+    resist window is plausible when its area lies within
+    ``[min_area_ratio, max_area_ratio]`` times the drawn contact area and its
+    bounding-box CD within ``[min_cd_ratio, max_cd_ratio]`` times the drawn
+    contact size (both converted to pixels through the image geometry), its
+    bounding-box center lands within ``center_tolerance_px`` of the
+    CNN-predicted center, and it consists of at most ``max_components``
+    connected components.  Deliberately permissive: the guard exists to catch
+    *degenerate* GAN outputs (empty, shattered, absurdly sized, misplaced),
+    not mild blur — golden simulator windows must always pass.
+
+    ``queue_capacity`` bounds how many admitted clips one batch may carry
+    (backpressure: overflow clips are rejected with ``overload``);
+    ``micro_batch`` sets the generator forward-pass width.  ``deadline_s``
+    is the default per-batch deadline (None = no deadline): once exceeded,
+    degenerate outputs are served best-effort instead of entering the
+    retry/fallback ladder.  The circuit breaker trips to simulator-only
+    mode after ``breaker_threshold`` consecutive clip-level guard failures
+    and half-opens a model probe after ``breaker_probe_after`` further
+    clips.
+    """
+
+    queue_capacity: int = 256
+    micro_batch: int = 8
+    deadline_s: Optional[float] = None
+    fallback_enabled: bool = True
+    #: alternative binarization thresholds tried on a degenerate output
+    retry_thresholds: Tuple[float, ...] = (0.35, 0.65)
+    min_area_ratio: float = 0.2
+    max_area_ratio: float = 6.0
+    min_cd_ratio: float = 0.3
+    max_cd_ratio: float = 3.0
+    center_tolerance_px: float = 3.0
+    max_components: int = 1
+    breaker_threshold: int = 3
+    breaker_probe_after: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.micro_batch < 1:
+            raise ConfigError(
+                f"micro_batch must be >= 1, got {self.micro_batch}"
+            )
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ConfigError(
+                f"deadline_s must be >= 0 or None, got {self.deadline_s}"
+            )
+        for threshold in self.retry_thresholds:
+            if not 0 < threshold < 1:
+                raise ConfigError(
+                    f"retry thresholds must lie in (0, 1), got {threshold}"
+                )
+        if not 0 < self.min_area_ratio < self.max_area_ratio:
+            raise ConfigError(
+                "area ratios must satisfy 0 < min < max, got "
+                f"({self.min_area_ratio}, {self.max_area_ratio})"
+            )
+        if not 0 < self.min_cd_ratio < self.max_cd_ratio:
+            raise ConfigError(
+                "CD ratios must satisfy 0 < min < max, got "
+                f"({self.min_cd_ratio}, {self.max_cd_ratio})"
+            )
+        if self.center_tolerance_px <= 0:
+            raise ConfigError(
+                "center_tolerance_px must be positive, got "
+                f"{self.center_tolerance_px}"
+            )
+        if self.max_components < 1:
+            raise ConfigError(
+                f"max_components must be >= 1, got {self.max_components}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_probe_after < 1:
+            raise ConfigError(
+                "breaker_probe_after must be >= 1, got "
+                f"{self.breaker_probe_after}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
 
@@ -394,6 +488,7 @@ class ExperimentConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

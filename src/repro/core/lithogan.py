@@ -184,6 +184,17 @@ class LithoGan:
         normalized = standardized * self._center_std + self._center_mean
         return denormalize_center(normalized, masks.shape[2])
 
+    def predict_raw(self, masks: np.ndarray):
+        """Raw generator outputs and predicted centers, pre-binarization.
+
+        Returns ``(mono, centers)`` where ``mono`` is the (N, H, W)
+        continuous generator output in [0, 1] and ``centers`` the (N, 2)
+        pixel-space center predictions.  The serving layer consumes this
+        form so degenerate outputs can be re-thresholded and re-placed
+        without a second forward pass.
+        """
+        return self.cgan.predict_mono(masks), self.predict_centers(masks)
+
     def predict_shapes(self, masks: np.ndarray) -> np.ndarray:
         """Centered binary shape predictions from the CGAN path, (N, H, W)."""
         return binarize(self.cgan.predict_mono(masks))

@@ -54,3 +54,30 @@ class EvaluationError(ReproError):
 
 class TelemetryError(ReproError):
     """Metrics, tracing, or run-log recording/validation failed."""
+
+
+class ServingError(ReproError):
+    """Batch-inference serving failed (admission, guarding, or overload).
+
+    Subclasses carry the offending clip index (``clip``, where one exists)
+    and a short machine-readable ``reason`` tag alongside the human message,
+    so serving reports and telemetry can aggregate failures without parsing
+    message strings.
+    """
+
+    def __init__(self, message: str, clip=None, reason: str = ""):
+        super().__init__(message)
+        self.clip = clip
+        self.reason = reason
+
+
+class AdmissionError(ServingError):
+    """An input clip (or batch container) was rejected before inference."""
+
+
+class OverloadError(ServingError):
+    """The serving work queue is full; the caller must shed load."""
+
+
+class DeadlineError(ServingError):
+    """A serving batch ran past its deadline."""

@@ -4,7 +4,10 @@ from .shapes import Point, Rect
 from .grid import Grid
 from .contours import (
     bounding_box_of_mask,
+    count_components,
     extract_contours,
+    keep_largest_component,
+    label_components,
     largest_contour,
     mask_centroid,
     polygon_area,
@@ -16,7 +19,10 @@ __all__ = [
     "Rect",
     "Grid",
     "bounding_box_of_mask",
+    "count_components",
     "extract_contours",
+    "keep_largest_component",
+    "label_components",
     "largest_contour",
     "mask_centroid",
     "polygon_area",

@@ -4,7 +4,7 @@ from .contacts import ArrayType, ContactClip, generate_clip, generate_clips
 from .sraf import SrafRules, insert_srafs
 from .opc import OpcRules, apply_rule_opc, ModelBasedOpc
 from .mask import MaskLayout, build_mask_layout
-from .coloring import render_mask_rgb, render_transmission
+from .coloring import decode_mask_rgb, render_mask_rgb, render_transmission
 
 __all__ = [
     "ArrayType",
@@ -18,6 +18,7 @@ __all__ = [
     "ModelBasedOpc",
     "MaskLayout",
     "build_mask_layout",
+    "decode_mask_rgb",
     "render_mask_rgb",
     "render_transmission",
 ]

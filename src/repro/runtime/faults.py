@@ -14,6 +14,10 @@ and the training loops consult it at every batch boundary:
 * **File corruption helpers** (:meth:`FaultPlan.truncate_file`,
   :meth:`FaultPlan.corrupt_file`) damage on-disk artifacts to prove that
   loads fail closed.
+* **Degenerate-output injection** (:meth:`FaultPlan.inject_degenerate`,
+  :meth:`FaultPlan.degrade_output`) blanks the generator's output for
+  scheduled clip indices, so serving drills can prove the output guards and
+  the fallback ladder fire — deterministically, per clip.
 
 Each scheduled fault fires once (unless ``repeat=True``), so a recovered
 retry of the same epoch proceeds cleanly — mirroring transient real-world
@@ -41,6 +45,7 @@ class FaultPlan:
         self._rng = np.random.default_rng(seed)
         self._nan: Dict[_Site, bool] = {}
         self._interrupt: Dict[_Site, bool] = {}
+        self._degenerate: Dict[int, bool] = {}
         #: chronological record of fired faults: (kind, phase, epoch, batch)
         self.fired: List[Tuple[str, str, int, int]] = []
 
@@ -82,10 +87,42 @@ class FaultPlan:
             self.inject_nan(phase, epoch, batch)
         return self
 
+    def inject_degenerate(self, clip: int, repeat: bool = False) -> "FaultPlan":
+        """Blank the generator's output for serving clip index ``clip``."""
+        if clip < 0:
+            raise ConfigError(f"fault clip index must be >= 0, got {clip}")
+        self._degenerate[int(clip)] = repeat
+        return self
+
+    def inject_random_degenerate(self, total: int,
+                                 fraction: float) -> Tuple[int, ...]:
+        """Schedule degenerate outputs for ``round(fraction * total)`` clips.
+
+        Clip indices are drawn without replacement from the plan's seeded
+        RNG; the chosen (sorted) indices are returned so drills can assert
+        an exact fallback count.
+        """
+        if total < 1:
+            raise ConfigError(f"total must be >= 1, got {total}")
+        if not 0 <= fraction <= 1:
+            raise ConfigError(
+                f"fraction must lie in [0, 1], got {fraction}"
+            )
+        count = int(round(fraction * total))
+        chosen = np.sort(self._rng.choice(total, size=count, replace=False))
+        for clip in chosen:
+            self.inject_degenerate(int(clip))
+        return tuple(int(clip) for clip in chosen)
+
+    @property
+    def degenerate_clips(self) -> Tuple[int, ...]:
+        """Sorted clip indices with a degenerate-output fault still pending."""
+        return tuple(sorted(self._degenerate))
+
     @property
     def pending(self) -> int:
         """Number of scheduled faults that have not fired yet."""
-        return len(self._nan) + len(self._interrupt)
+        return len(self._nan) + len(self._interrupt) + len(self._degenerate)
 
     # -- runtime hooks (called by the training loops) ------------------------
 
@@ -111,6 +148,21 @@ class FaultPlan:
             del self._nan[site]
         self.fired.append(("nan", *site))
         return np.full_like(np.asarray(array, dtype=np.float32), np.nan)
+
+    def degrade_output(self, clip: int, array: np.ndarray) -> np.ndarray:
+        """Return ``array``, blanked if a degenerate fault is scheduled here.
+
+        Called by the serving layer on each generator output; an all-zero
+        window is unconditionally degenerate (empty pattern), so the guard
+        and fallback ladder exercise their real code paths.
+        """
+        clip = int(clip)
+        if clip not in self._degenerate:
+            return array
+        if not self._degenerate[clip]:
+            del self._degenerate[clip]
+        self.fired.append(("degenerate", "serve", clip, 0))
+        return np.zeros_like(np.asarray(array, dtype=np.float32))
 
     # -- artifact corruption (used by tests and drills) ----------------------
 

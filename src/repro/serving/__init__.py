@@ -1,0 +1,77 @@
+"""Hardened batch-inference serving for trained LithoGAN models.
+
+The research pipeline trusts its own tensors; a serving boundary cannot.
+This package wraps the trained model in three defensive layers:
+
+* :mod:`repro.serving.admission` — typed validation of incoming mask
+  encodings; malformed clips become :class:`~repro.errors.AdmissionError`
+  rejections and never reach the generator.
+* :mod:`repro.serving.guards` — geometry sanity checks on generated resist
+  windows (component count, area/CD plausibility, center agreement),
+  classifying each output ``ok`` / ``suspect`` / ``degenerate``.
+* :mod:`repro.serving.overload` — deadlines, a bounded work queue, and a
+  circuit breaker that benches a misbehaving model in favor of the physics
+  simulator.
+
+:class:`~repro.serving.service.InferenceService` ties them into the
+graceful-degradation ladder: every admitted clip is answered, with per-clip
+provenance recording whether the model or the simulator produced it.
+"""
+
+from .admission import (
+    AdmittedBatch,
+    RANGE_TOLERANCE,
+    Rejection,
+    admit_masks,
+)
+from .guards import (
+    GuardReport,
+    OutputGuard,
+    VERDICT_DEGENERATE,
+    VERDICT_OK,
+    VERDICT_SUSPECT,
+)
+from .overload import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BoundedWorkQueue,
+    CircuitBreaker,
+    Deadline,
+)
+from .service import (
+    BatchReport,
+    CAUSE_BREAKER,
+    CAUSE_DEGENERATE,
+    InferenceService,
+    PROVENANCE_FALLBACK,
+    PROVENANCE_MODEL,
+    ServedClip,
+    serve_latency_quantiles,
+)
+
+__all__ = [
+    "AdmittedBatch",
+    "RANGE_TOLERANCE",
+    "Rejection",
+    "admit_masks",
+    "GuardReport",
+    "OutputGuard",
+    "VERDICT_DEGENERATE",
+    "VERDICT_OK",
+    "VERDICT_SUSPECT",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BoundedWorkQueue",
+    "CircuitBreaker",
+    "Deadline",
+    "BatchReport",
+    "CAUSE_BREAKER",
+    "CAUSE_DEGENERATE",
+    "InferenceService",
+    "PROVENANCE_FALLBACK",
+    "PROVENANCE_MODEL",
+    "ServedClip",
+    "serve_latency_quantiles",
+]

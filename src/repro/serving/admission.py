@@ -1,0 +1,195 @@
+"""Input admission: typed validation of mask encodings before inference.
+
+The serving boundary trusts nothing: every clip is checked against the
+Section 3.1 contract — a ``(3, H, W)`` float tensor at the model resolution,
+finite, in [0, 1], whose green channel carries exactly one target contact —
+before it may reach the generator.  Violations never crash a batch: each bad
+clip becomes a :class:`Rejection` carrying a typed
+:class:`~repro.errors.AdmissionError` that names the clip and a
+machine-readable reason tag, while the healthy remainder proceeds.
+
+Mild damage is *sanitized* rather than rejected: values that strayed
+slightly outside [0, 1] (resampling ringing, lossy round-trips) are clipped
+back, and non-float dtypes are cast.  Anything the sanitizer cannot make
+contract-true is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..errors import AdmissionError, OverloadError, ServingError
+from ..geometry import count_components
+
+#: how far outside [0, 1] a value may stray and still be sanitized by clipping
+RANGE_TOLERANCE = 0.05
+
+#: machine-readable rejection reason tags
+REASON_SHAPE = "shape"
+REASON_DTYPE = "dtype"
+REASON_NON_FINITE = "non-finite"
+REASON_RANGE = "range"
+REASON_NO_TARGET = "no-target"
+REASON_MULTI_TARGET = "multi-target"
+REASON_OVERLOAD = "overload"
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One clip turned away at the serving boundary."""
+
+    clip: int
+    reason: str
+    error: ServingError
+
+    def to_dict(self) -> dict:
+        return {
+            "clip": self.clip,
+            "reason": self.reason,
+            "error": str(self.error),
+        }
+
+
+@dataclass(frozen=True)
+class AdmittedBatch:
+    """The admission verdict for one serving batch.
+
+    ``masks`` holds only the admitted (sanitized, float32) clips, in input
+    order; ``indices[i]`` is the original batch position of ``masks[i]``.
+    """
+
+    masks: np.ndarray
+    indices: Tuple[int, ...]
+    rejections: Tuple[Rejection, ...]
+    sanitized: int
+
+    @property
+    def admitted(self) -> int:
+        return len(self.indices)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.rejections)
+
+
+def _reject(clip: int, reason: str, detail: str,
+            error_type=AdmissionError) -> Rejection:
+    return Rejection(
+        clip=clip,
+        reason=reason,
+        error=error_type(
+            f"clip {clip} rejected ({reason}): {detail}",
+            clip=clip, reason=reason,
+        ),
+    )
+
+
+def _admit_clip(clip: int, mask, image_size: int):
+    """Validate/sanitize one clip; returns (array | None, rejection | None,
+    sanitized_flag)."""
+    try:
+        array = np.asarray(mask)
+    except Exception as exc:  # non-array input (e.g. ragged nested lists)
+        return None, _reject(clip, REASON_DTYPE, str(exc)), False
+    if array.dtype.kind not in "fiub":
+        return None, _reject(
+            clip, REASON_DTYPE, f"dtype {array.dtype} is not numeric"
+        ), False
+    expected = (3, image_size, image_size)
+    if array.shape != expected:
+        return None, _reject(
+            clip, REASON_SHAPE,
+            f"expected {expected}, got {array.shape}"
+        ), False
+    array = array.astype(np.float32, copy=True)
+    if not np.all(np.isfinite(array)):
+        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+        return None, _reject(
+            clip, REASON_NON_FINITE, f"{bad} non-finite values"
+        ), False
+    sanitized = False
+    lo, hi = float(array.min()), float(array.max())
+    if lo < 0.0 or hi > 1.0:
+        if lo < -RANGE_TOLERANCE or hi > 1.0 + RANGE_TOLERANCE:
+            return None, _reject(
+                clip, REASON_RANGE,
+                f"values span [{lo:.3g}, {hi:.3g}], outside [0, 1]"
+            ), False
+        np.clip(array, 0.0, 1.0, out=array)
+        sanitized = True
+    # Channel semantics: the green channel is the target contact and the
+    # whole framework predicts *its* resist window — a clip without exactly
+    # one is a different problem than this model solves.
+    targets = count_components(array[1], level=0.5)
+    if targets == 0:
+        return None, _reject(
+            clip, REASON_NO_TARGET, "green channel carries no target contact"
+        ), False
+    if targets > 1:
+        return None, _reject(
+            clip, REASON_MULTI_TARGET,
+            f"green channel carries {targets} target contacts, expected 1"
+        ), False
+    return array, None, sanitized
+
+
+def admit_masks(masks: Union[np.ndarray, Sequence[np.ndarray]],
+                config: ExperimentConfig,
+                capacity: Optional[int] = None) -> AdmittedBatch:
+    """Admit, sanitize, or reject every clip of a serving batch.
+
+    ``masks`` is either a stacked ``(N, 3, H, W)`` array or a sequence of
+    per-clip arrays (which may be heterogeneous — each is judged alone).
+    ``capacity`` bounds how many clips may be admitted: overflow clips are
+    rejected with the ``overload`` reason (queue backpressure), never
+    silently dropped.
+
+    Raises :class:`AdmissionError` only when the *batch container* itself is
+    malformed (not indexable into clips at all); per-clip problems always
+    come back as :class:`Rejection` entries.
+    """
+    image_size = config.model.image_size
+    if isinstance(masks, np.ndarray):
+        if masks.ndim != 4:
+            raise AdmissionError(
+                f"batch must be (N, 3, H, W) or a sequence of clips, got "
+                f"shape {masks.shape}", reason=REASON_SHAPE,
+            )
+        clips: Sequence = list(masks)
+    else:
+        clips = list(masks)
+
+    admitted_arrays: List[np.ndarray] = []
+    indices: List[int] = []
+    rejections: List[Rejection] = []
+    sanitized = 0
+    for clip, mask in enumerate(clips):
+        if capacity is not None and len(indices) >= capacity:
+            rejections.append(_reject(
+                clip, REASON_OVERLOAD,
+                f"work queue full ({capacity} clips); shed load and retry",
+                error_type=OverloadError,
+            ))
+            continue
+        array, rejection, was_sanitized = _admit_clip(clip, mask, image_size)
+        if rejection is not None:
+            rejections.append(rejection)
+            continue
+        admitted_arrays.append(array)
+        indices.append(clip)
+        sanitized += int(was_sanitized)
+
+    if admitted_arrays:
+        stacked = np.stack(admitted_arrays)
+    else:
+        stacked = np.empty((0, 3, image_size, image_size), dtype=np.float32)
+    return AdmittedBatch(
+        masks=stacked,
+        indices=tuple(indices),
+        rejections=tuple(rejections),
+        sanitized=sanitized,
+    )

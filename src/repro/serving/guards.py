@@ -1,0 +1,141 @@
+"""Output sanity guards: geometry checks on generated resist windows.
+
+The failure mode LithoGAN's dual-learning re-centering exists to mitigate —
+a GAN output that is empty, shattered into fragments, absurdly sized, or
+placed away from the predicted center — silently corrupts downstream EDE/CD
+metrics if served.  :class:`OutputGuard` classifies each generated window as
+
+``ok``
+    Geometrically plausible; serve it.
+``suspect``
+    Plausible but flagged (e.g. the shape touches the window border, so it
+    may be clipped); served, but counted for monitoring.
+``degenerate``
+    Implausible; the serving ladder retries and then falls back to the
+    physics simulator.
+
+All plausibility bounds derive from the technology node through
+:class:`~repro.config.ServingConfig` ratios — the guard is calibrated so
+golden simulator windows always pass (enforced by a property test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..geometry import bounding_box_of_mask, count_components
+
+#: guard verdicts, in increasing order of distrust
+VERDICT_OK = "ok"
+VERDICT_SUSPECT = "suspect"
+VERDICT_DEGENERATE = "degenerate"
+
+
+@dataclass(frozen=True)
+class GuardReport:
+    """The guard's verdict on one generated window, with its evidence."""
+
+    verdict: str
+    reasons: Tuple[str, ...]
+    components: int
+    area_px: float
+    cd_px: Tuple[float, float]
+    center_error_px: Optional[float]
+
+    @property
+    def degenerate(self) -> bool:
+        return self.verdict == VERDICT_DEGENERATE
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "reasons": list(self.reasons),
+            "components": self.components,
+            "area_px": self.area_px,
+            "cd_px": list(self.cd_px),
+            "center_error_px": self.center_error_px,
+        }
+
+
+class OutputGuard:
+    """Geometry plausibility checks derived from one experiment config."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        serving = config.serving
+        nm_per_px = config.image.resist_nm_per_px(config.tech)
+        contact_px = config.tech.contact_size_nm / nm_per_px
+        #: drawn contact edge length at the window resolution, pixels
+        self.contact_px = contact_px
+        self.min_area_px = serving.min_area_ratio * contact_px ** 2
+        self.max_area_px = serving.max_area_ratio * contact_px ** 2
+        self.min_cd_px = serving.min_cd_ratio * contact_px
+        self.max_cd_px = serving.max_cd_ratio * contact_px
+        self.center_tolerance_px = serving.center_tolerance_px
+        self.max_components = serving.max_components
+
+    def check(self, window: np.ndarray,
+              expected_center: Optional[np.ndarray] = None) -> GuardReport:
+        """Classify one (H, W) resist window; see the module docstring.
+
+        ``expected_center`` is the CNN-predicted (row, col) the shape was
+        shifted to; when given, a bounding-box center that disagrees beyond
+        the tolerance marks the output degenerate (the placement step
+        failed, usually because the shape ran off the window edge).
+        """
+        window = np.asarray(window)
+        reasons = []
+        suspect_reasons = []
+
+        hot = window >= 0.5
+        area = float(np.count_nonzero(hot))
+        box = bounding_box_of_mask(window)
+        if box is None:
+            return GuardReport(
+                verdict=VERDICT_DEGENERATE, reasons=("empty",),
+                components=0, area_px=0.0, cd_px=(0.0, 0.0),
+                center_error_px=None,
+            )
+        components = count_components(window)
+        rlo, clo, rhi, chi = box
+        cd = (float(rhi - rlo), float(chi - clo))
+
+        if components > self.max_components:
+            reasons.append("fragmented")
+        if not self.min_area_px <= area <= self.max_area_px:
+            reasons.append("area")
+        if not all(self.min_cd_px <= c <= self.max_cd_px for c in cd):
+            reasons.append("cd")
+
+        center_error = None
+        if expected_center is not None:
+            center = ((rlo + rhi - 1) / 2.0, (clo + chi - 1) / 2.0)
+            center_error = float(np.hypot(
+                center[0] - float(expected_center[0]),
+                center[1] - float(expected_center[1]),
+            ))
+            if center_error > self.center_tolerance_px:
+                reasons.append("off-center")
+
+        size = window.shape[0]
+        if rlo == 0 or clo == 0 or rhi == size or chi == window.shape[1]:
+            suspect_reasons.append("clipped")
+
+        if reasons:
+            verdict = VERDICT_DEGENERATE
+        elif suspect_reasons:
+            verdict = VERDICT_SUSPECT
+        else:
+            verdict = VERDICT_OK
+        return GuardReport(
+            verdict=verdict,
+            reasons=tuple(reasons) + tuple(suspect_reasons),
+            components=components,
+            area_px=area,
+            cd_px=cd,
+            center_error_px=center_error,
+        )

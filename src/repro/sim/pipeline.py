@@ -27,6 +27,7 @@ from ..layout import (
     MaskLayout,
     ModelBasedOpc,
     build_mask_layout,
+    decode_mask_rgb,
     render_transmission,
 )
 from ..optics import abbe_aerial_image
@@ -101,6 +102,10 @@ class LithographySimulator:
         """Optical-model stage: transmission map to aerial intensity."""
         with self.timer.stage("rasterize"):
             transmission = render_transmission(layout, self.grid)
+        return self._image_transmission(transmission)
+
+    def _image_transmission(self, transmission: np.ndarray) -> np.ndarray:
+        """Aerial intensity of an already-rasterized transmission map."""
         with self.timer.stage("optical"):
             if self.rigorous:
                 intensity = np.zeros_like(transmission, dtype=np.float64)
@@ -139,6 +144,57 @@ class LithographySimulator:
                 self.config.tech.resist_window_nm,
                 self.config.image.resist_image_px,
             )
+
+    def transmission_from_mask_image(self, mask_rgb: np.ndarray) -> np.ndarray:
+        """Mask transmission on the simulation grid from a rendered RGB mask.
+
+        The serving fallback enters the simulator holding only the
+        Section 3.1 color encoding, not the source :class:`MaskLayout`; all
+        three feature classes transmit on a binary mask, so the channel sum
+        (clipped to 1) recovers the transmission map to within one image
+        pixel of rasterization error.
+        """
+        mask_rgb = np.asarray(mask_rgb, dtype=np.float64)
+        target, neighbors, srafs = decode_mask_rgb(mask_rgb)
+        coverage = np.clip(target + neighbors + srafs, 0.0, 1.0)
+        size = self.grid.size
+        if coverage.shape == (size, size):
+            return coverage
+        # Resample the image raster onto the simulation grid (area-average
+        # when shrinking by an integer factor, bilinear otherwise).
+        in_size = coverage.shape[0]
+        if coverage.shape[0] != coverage.shape[1]:
+            raise ResistError(
+                f"mask image must be square, got {coverage.shape}"
+            )
+        if in_size % size == 0:
+            factor = in_size // size
+            return coverage.reshape(
+                size, factor, size, factor
+            ).mean(axis=(1, 3))
+        from scipy import ndimage
+
+        scale = in_size / size
+        centers = (np.arange(size) + 0.5) * scale - 0.5
+        rows, cols = np.meshgrid(centers, centers, indexing="ij")
+        return ndimage.map_coordinates(
+            coverage, [rows, cols], order=1, mode="nearest"
+        )
+
+    def simulate_mask_image(self, mask_rgb: np.ndarray) -> np.ndarray:
+        """Golden-window simulation entering at a rendered mask image.
+
+        This is the serving degradation path: when the GAN fails a clip, the
+        rigorous substrate answers it from the same ``(3, H, W)`` encoding
+        the model consumed.  Returns the binary resist window at the
+        training resolution; raises :class:`ResistError` when the target
+        fails to print (the caller decides how to degrade further).
+        """
+        with self.timer.stage("rasterize"):
+            transmission = self.transmission_from_mask_image(mask_rgb)
+        aerial = self._image_transmission(transmission)
+        pattern = self.develop_pattern(aerial)
+        return self.golden_window(pattern)
 
     # -- whole-clip entry points ------------------------------------------------
 

@@ -25,6 +25,8 @@ from .metrics import (
 )
 from .trace import Span, SpanRecord, StageTimer, Tracer
 from .events import (
+    BREAKER_STATES,
+    BREAKER_TRANSITIONS,
     EVENT_TYPES,
     SCHEMA_VERSION,
     RunLogger,
@@ -46,6 +48,8 @@ __all__ = [
     "SpanRecord",
     "StageTimer",
     "Tracer",
+    "BREAKER_STATES",
+    "BREAKER_TRANSITIONS",
     "EVENT_TYPES",
     "SCHEMA_VERSION",
     "RunLogger",

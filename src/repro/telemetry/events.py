@@ -21,6 +21,13 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
     One per completed pipeline stage/phase span.
 ``eval_end``
     Evaluation summary (a machine-readable Table 3 row).
+``admission``
+    Serve-phase batch admission summary (admitted/rejected/sanitized counts).
+``fallback``
+    One served clip degraded to the physics simulator (carries the clip
+    index and the machine-readable cause).
+``breaker``
+    The serving circuit breaker changed state (``from_state``/``to_state``).
 ``run_end``
     Last event; carries status and total seconds.
 """
@@ -42,7 +49,16 @@ SCHEMA_VERSION = 1
 #: event types a well-formed run log may contain
 EVENT_TYPES = (
     "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
-    "eval_end", "run_end",
+    "eval_end", "admission", "fallback", "breaker", "run_end",
+)
+
+#: circuit-breaker states and the transitions a valid serve log may record
+BREAKER_STATES = ("closed", "open", "half_open")
+BREAKER_TRANSITIONS = (
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "closed"),
+    ("half_open", "open"),
 )
 
 #: process-wide monotonic run-ID source
@@ -128,6 +144,21 @@ class RunLogger:
     def eval_end(self, **fields: Any) -> Dict[str, Any]:
         return self.emit("eval_end", **fields)
 
+    def admission(self, admitted: int, rejected: int,
+                  **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "admission", admitted=admitted, rejected=rejected, **fields
+        )
+
+    def fallback(self, clip: int, cause: str, **fields: Any) -> Dict[str, Any]:
+        return self.emit("fallback", clip=clip, cause=cause, **fields)
+
+    def breaker(self, from_state: str, to_state: str,
+                **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "breaker", from_state=from_state, to_state=to_state, **fields
+        )
+
     def run_end(self, status: str = "ok", **fields: Any) -> Dict[str, Any]:
         return self.emit("run_end", status=status, **fields)
 
@@ -200,8 +231,11 @@ def validate_run_log(events: List[Dict[str, Any]],
     Verifies: non-empty, consistent schema version and run ID, strictly
     increasing ``seq``, ``run_start`` first, strictly increasing epochs
     (except across a ``rollback`` event, which legitimately rewinds its
-    phase's epoch counter), and (unless ``require_run_end=False``, for
-    crash-truncated logs) a terminal ``run_end``.  Raises
+    phase's epoch counter), well-formed serve-phase events (``admission``
+    counts are non-negative integers, ``fallback`` names a clip and cause,
+    ``breaker`` transitions follow the closed/open/half-open state machine
+    from an initially closed breaker), and (unless ``require_run_end=False``,
+    for crash-truncated logs) a terminal ``run_end``.  Raises
     :class:`TelemetryError` on the first violation.
     """
     if not events:
@@ -214,6 +248,7 @@ def validate_run_log(events: List[Dict[str, Any]],
     run_id = first.get("run_id")
     last_seq = -1
     last_epoch: Dict[str, int] = {}
+    breaker_state = "closed"  # a serve run always starts with a closed breaker
     for index, record in enumerate(events):
         for key in ("schema_version", "run_id", "seq", "event", "time_unix"):
             if key not in record:
@@ -254,6 +289,34 @@ def validate_run_log(events: List[Dict[str, Any]],
             phase = str(record.get("phase", ""))
             restored = record.get("epoch", 0)
             last_epoch[phase] = restored if isinstance(restored, int) else 0
+        if record["event"] == "admission":
+            for key in ("admitted", "rejected"):
+                value = record.get(key)
+                if not isinstance(value, int) or value < 0:
+                    raise TelemetryError(
+                        f"admission {index} has bad {key} count {value!r}"
+                    )
+        if record["event"] == "fallback":
+            if not isinstance(record.get("clip"), int):
+                raise TelemetryError(
+                    f"fallback {index} has bad clip {record.get('clip')!r}"
+                )
+            if not record.get("cause"):
+                raise TelemetryError(f"fallback {index} is missing a cause")
+        if record["event"] == "breaker":
+            source = record.get("from_state")
+            target = record.get("to_state")
+            if (source, target) not in BREAKER_TRANSITIONS:
+                raise TelemetryError(
+                    f"breaker {index} records illegal transition "
+                    f"{source!r} -> {target!r}"
+                )
+            if source != breaker_state:
+                raise TelemetryError(
+                    f"breaker {index} transitions from {source!r} but the "
+                    f"breaker was {breaker_state!r}"
+                )
+            breaker_state = target
         if record["event"] == "run_end" and index != len(events) - 1:
             raise TelemetryError("run_end must be the final event")
     if require_run_end and events[-1]["event"] != "run_end":

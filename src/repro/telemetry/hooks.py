@@ -52,6 +52,21 @@ class TelemetryHook:
     def on_eval_end(self, **fields: Any) -> None:
         """An evaluation pass produced its summary metrics."""
 
+    def on_admission(self, admitted: int, rejected: int,
+                     sanitized: int = 0) -> None:
+        """A serving batch finished input admission."""
+
+    def on_clip_served(self, clip: int, provenance: str, verdict: str,
+                       seconds: float) -> None:
+        """One serving clip was answered (model or fallback path)."""
+
+    def on_fallback(self, clip: int, cause: str) -> None:
+        """A served clip degraded to the physics-simulator fallback."""
+
+    def on_breaker(self, from_state: str, to_state: str,
+                   reason: str = "") -> None:
+        """The serving circuit breaker changed state."""
+
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         """The run finished (or failed, per ``status``)."""
 
@@ -103,6 +118,25 @@ class CompositeHook(TelemetryHook):
     def on_eval_end(self, **fields: Any) -> None:
         for hook in self.hooks:
             hook.on_eval_end(**fields)
+
+    def on_admission(self, admitted: int, rejected: int,
+                     sanitized: int = 0) -> None:
+        for hook in self.hooks:
+            hook.on_admission(admitted, rejected, sanitized=sanitized)
+
+    def on_clip_served(self, clip: int, provenance: str, verdict: str,
+                       seconds: float) -> None:
+        for hook in self.hooks:
+            hook.on_clip_served(clip, provenance, verdict, seconds)
+
+    def on_fallback(self, clip: int, cause: str) -> None:
+        for hook in self.hooks:
+            hook.on_fallback(clip, cause)
+
+    def on_breaker(self, from_state: str, to_state: str,
+                   reason: str = "") -> None:
+        for hook in self.hooks:
+            hook.on_breaker(from_state, to_state, reason=reason)
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         for hook in self.hooks:
@@ -189,6 +223,41 @@ class RunLoggerHook(TelemetryHook):
             self.logger.eval_end(**fields)
         if self.registry is not None:
             self.registry.counter("evals_total").inc()
+
+    def on_admission(self, admitted: int, rejected: int,
+                     sanitized: int = 0) -> None:
+        if self.logger is not None:
+            self.logger.admission(admitted, rejected, sanitized=sanitized)
+        if self.registry is not None:
+            self.registry.counter("serve_admitted_total").inc(admitted)
+            self.registry.counter("serve_rejected_total").inc(rejected)
+
+    def on_clip_served(self, clip: int, provenance: str, verdict: str,
+                       seconds: float) -> None:
+        if self.registry is not None:
+            labels = {"provenance": provenance}
+            self.registry.counter("serve_clips_total", labels=labels).inc()
+            self.registry.histogram("serve_clip_seconds").observe(seconds)
+
+    def on_fallback(self, clip: int, cause: str) -> None:
+        if self.logger is not None:
+            self.logger.fallback(clip, cause)
+        if self.registry is not None:
+            self.registry.counter(
+                "serve_fallbacks_total", labels={"cause": cause}).inc()
+
+    def on_breaker(self, from_state: str, to_state: str,
+                   reason: str = "") -> None:
+        if self.logger is not None:
+            self.logger.breaker(from_state, to_state, reason=reason)
+        if self.registry is not None:
+            state_code = {"closed": 0, "half_open": 1, "open": 2}
+            self.registry.gauge("serve_breaker_state").set(
+                state_code.get(to_state, -1)
+            )
+            self.registry.counter(
+                "serve_breaker_transitions_total",
+                labels={"to_state": to_state}).inc()
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         if self.logger is not None:

@@ -85,6 +85,24 @@ class Tracer:
             self._totals[name] = self._totals.get(name, 0.0) + elapsed
             self._counts[name] = self._counts.get(name, 0) + 1
 
+    def add_record(self, name: str, seconds: float,
+                   **metadata: Any) -> SpanRecord:
+        """Record an externally timed span without sampling the clock.
+
+        For latencies assembled from parts (e.g. a served clip's share of a
+        batched forward pass plus its own post-processing) that still belong
+        in the same per-name aggregates as context-manager spans.
+        """
+        record = SpanRecord(
+            name=name, seconds=float(seconds), depth=len(self._stack),
+            parent=self._stack[-1].name if self._stack else None,
+            metadata=dict(metadata),
+        )
+        self._records.append(record)
+        self._totals[name] = self._totals.get(name, 0.0) + record.seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+        return record
+
     # -- aggregates ---------------------------------------------------------
 
     @property

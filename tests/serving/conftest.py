@@ -1,0 +1,62 @@
+"""Serving-test fixtures: a deterministic golden-playback model.
+
+Serving drills must be able to attribute every fallback to an *injected*
+fault, which a freshly trained tiny model cannot guarantee (its natural
+outputs may fail the guard too).  :class:`GoldenModel` removes that noise:
+it answers ``predict_raw`` with the dataset's own recentered golden windows
+and golden centers, so the guard passes every un-poisoned clip and the only
+degenerate outputs are the ones a :class:`~repro.runtime.faults.FaultPlan`
+deliberately zeroed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+
+class GoldenModel:
+    """Duck-typed stand-in for :class:`repro.core.LithoGan` in drills."""
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+        recentered = dataset.recentered_resists()
+        self._mono = (
+            recentered[:, 0] if recentered.ndim == 4 else recentered
+        )
+
+    def _index_of(self, mask: np.ndarray) -> int:
+        diffs = [
+            float(np.abs(mask - known).sum()) for known in self.dataset.masks
+        ]
+        return int(np.argmin(diffs))
+
+    def predict_raw(self, masks: np.ndarray):
+        rows = [self._index_of(mask) for mask in masks]
+        mono = np.stack(
+            [self._mono[row] for row in rows]
+        ).astype(np.float32)
+        centers = np.stack(
+            [self.dataset.centers[row] for row in rows]
+        ).astype(np.float64)
+        return mono, centers
+
+
+@pytest.fixture
+def golden_model(tiny_dataset) -> GoldenModel:
+    return GoldenModel(tiny_dataset)
+
+
+@pytest.fixture
+def serving_config():
+    """Builder: a config copy with ``serving`` fields overridden."""
+
+    def build(config, **overrides):
+        return dataclasses.replace(
+            config,
+            serving=dataclasses.replace(config.serving, **overrides),
+        )
+
+    return build

@@ -1,0 +1,140 @@
+"""Input admission: typed rejection and sanitization at the serving edge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError, OverloadError, ServingError
+from repro.serving import RANGE_TOLERANCE, admit_masks
+from repro.serving.admission import (
+    REASON_DTYPE,
+    REASON_MULTI_TARGET,
+    REASON_NO_TARGET,
+    REASON_NON_FINITE,
+    REASON_OVERLOAD,
+    REASON_RANGE,
+    REASON_SHAPE,
+)
+
+
+class TestCleanBatches:
+    def test_golden_masks_all_admitted(self, tiny_dataset, tiny_config):
+        batch = admit_masks(tiny_dataset.masks, tiny_config)
+        assert batch.admitted == len(tiny_dataset)
+        assert batch.rejected == 0
+        assert batch.sanitized == 0
+        assert batch.indices == tuple(range(len(tiny_dataset)))
+        assert batch.masks.dtype == np.float32
+
+    def test_sequence_input_is_equivalent(self, tiny_dataset, tiny_config):
+        stacked = admit_masks(tiny_dataset.masks, tiny_config)
+        listed = admit_masks(list(tiny_dataset.masks), tiny_config)
+        assert np.array_equal(stacked.masks, listed.masks)
+
+    def test_integer_encoding_is_cast(self, tiny_dataset, tiny_config):
+        quantized = (tiny_dataset.masks[:2] >= 0.5).astype(np.uint8)
+        batch = admit_masks(quantized, tiny_config)
+        assert batch.admitted == 2
+        assert batch.masks.dtype == np.float32
+
+
+class TestSanitization:
+    def test_slight_range_excursion_is_clipped(self, tiny_dataset,
+                                               tiny_config):
+        damaged = tiny_dataset.masks[:3].copy()
+        damaged[1] += RANGE_TOLERANCE / 2  # resampling-ringing scale
+        batch = admit_masks(damaged, tiny_config)
+        assert batch.admitted == 3
+        assert batch.sanitized == 1
+        assert float(batch.masks.max()) <= 1.0
+
+    def test_gross_range_excursion_is_rejected(self, tiny_dataset,
+                                               tiny_config):
+        damaged = tiny_dataset.masks[:2].copy()
+        damaged[0] *= 7.0
+        batch = admit_masks(damaged, tiny_config)
+        assert batch.admitted == 1
+        [rejection] = batch.rejections
+        assert rejection.clip == 0
+        assert rejection.reason == REASON_RANGE
+
+
+class TestTypedRejections:
+    def reject_one(self, masks, config, reason, clip=0):
+        batch = admit_masks(masks, config)
+        rejection = next(r for r in batch.rejections if r.clip == clip)
+        assert rejection.reason == reason
+        assert isinstance(rejection.error, ServingError)
+        assert f"clip {clip}" in str(rejection.error)
+        assert rejection.error.clip == clip
+        return batch
+
+    def test_wrong_shape(self, tiny_dataset, tiny_config):
+        bad = [tiny_dataset.masks[0][:, :16, :16], tiny_dataset.masks[1]]
+        batch = self.reject_one(bad, tiny_config, REASON_SHAPE)
+        assert batch.admitted == 1
+        assert batch.indices == (1,)
+
+    def test_non_finite(self, tiny_dataset, tiny_config):
+        bad = tiny_dataset.masks[:2].copy()
+        bad[0, 0, 3, 3] = np.nan
+        self.reject_one(bad, tiny_config, REASON_NON_FINITE)
+
+    def test_non_numeric_dtype(self, tiny_dataset, tiny_config):
+        size = tiny_config.model.image_size
+        bad = [np.full((3, size, size), "x", dtype=object),
+               tiny_dataset.masks[0]]
+        self.reject_one(bad, tiny_config, REASON_DTYPE)
+
+    def test_no_target_contact(self, tiny_dataset, tiny_config):
+        bad = tiny_dataset.masks[:1].copy()
+        bad[0, 1] = 0.0  # erase the green channel
+        self.reject_one(bad, tiny_config, REASON_NO_TARGET)
+
+    def test_multiple_target_contacts(self, tiny_dataset, tiny_config):
+        bad = tiny_dataset.masks[:1].copy()
+        bad[0, 1, :3, :3] = 1.0  # paste a second green blob in the corner
+        self.reject_one(bad, tiny_config, REASON_MULTI_TARGET)
+
+    def test_rejections_never_crash_the_batch(self, tiny_dataset,
+                                              tiny_config):
+        masks = list(tiny_dataset.masks[:4])
+        masks[1] = masks[1][:, :8, :8]
+        masks[3] = np.full_like(tiny_dataset.masks[0], np.inf)
+        batch = admit_masks(masks, tiny_config)
+        assert batch.admitted == 2
+        assert batch.indices == (0, 2)
+        assert sorted(r.clip for r in batch.rejections) == [1, 3]
+
+
+class TestOverload:
+    def test_overflow_clips_are_shed_with_backpressure(self, tiny_dataset,
+                                                       tiny_config):
+        batch = admit_masks(tiny_dataset.masks, tiny_config, capacity=5)
+        assert batch.admitted == 5
+        assert batch.indices == tuple(range(5))
+        overflowed = [r for r in batch.rejections
+                      if r.reason == REASON_OVERLOAD]
+        assert len(overflowed) == len(tiny_dataset) - 5
+        assert all(isinstance(r.error, OverloadError) for r in overflowed)
+
+    def test_rejection_to_dict_is_json_ready(self, tiny_dataset,
+                                             tiny_config):
+        batch = admit_masks(tiny_dataset.masks, tiny_config, capacity=1)
+        record = batch.rejections[0].to_dict()
+        assert record["reason"] == REASON_OVERLOAD
+        assert "clip 1" in record["error"]
+
+
+class TestMalformedContainer:
+    def test_non_batch_array_raises_typed_error(self, tiny_dataset,
+                                                tiny_config):
+        with pytest.raises(AdmissionError, match="sequence of clips"):
+            admit_masks(tiny_dataset.masks[0], tiny_config)
+
+    def test_empty_batch_is_a_valid_no_op(self, tiny_config):
+        size = tiny_config.model.image_size
+        batch = admit_masks(
+            np.empty((0, 3, size, size), dtype=np.float32), tiny_config
+        )
+        assert batch.admitted == 0
+        assert batch.rejected == 0

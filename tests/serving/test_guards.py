@@ -1,0 +1,118 @@
+"""Output guards: golden windows pass, degenerate geometries are caught."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    OutputGuard,
+    VERDICT_DEGENERATE,
+    VERDICT_OK,
+    VERDICT_SUSPECT,
+)
+
+
+@pytest.fixture(scope="module")
+def guard(tiny_config) -> OutputGuard:
+    return OutputGuard(tiny_config)
+
+
+class TestGoldenWindowsPass:
+    def test_every_golden_window_is_accepted(self, guard, tiny_dataset):
+        """The calibration property: zero false-positive degenerate flags.
+
+        The guard's entire value depends on golden simulator output never
+        tripping it — otherwise healthy model outputs would be condemned
+        and the fallback ladder would thrash.  Every window of a fresh
+        tier-1 dataset must therefore come back non-degenerate.
+        """
+        windows = tiny_dataset.resists[:, 0]
+        verdicts = [guard.check(window).verdict for window in windows]
+        assert all(v != VERDICT_DEGENERATE for v in verdicts), verdicts
+
+    def test_golden_windows_pass_with_their_own_centers(self, guard,
+                                                        tiny_dataset):
+        for window, center in zip(tiny_dataset.resists[:, 0],
+                                  tiny_dataset.centers):
+            report = guard.check(window, expected_center=center)
+            assert report.verdict != VERDICT_DEGENERATE
+            assert report.center_error_px is not None
+            assert report.center_error_px <= guard.center_tolerance_px
+
+    def test_recentered_windows_pass_at_image_center(self, guard,
+                                                     tiny_dataset):
+        recentered = tiny_dataset.recentered_resists()
+        windows = recentered[:, 0] if recentered.ndim == 4 else recentered
+        for window in windows:
+            assert guard.check(window).verdict != VERDICT_DEGENERATE
+
+
+def _blob(size: int, half: int, center=None) -> np.ndarray:
+    window = np.zeros((size, size))
+    if center is None:
+        center = (size // 2, size // 2)
+    r, c = center
+    window[r - half:r + half, c - half:c + half] = 1.0
+    return window
+
+
+class TestDegenerateGeometries:
+    @pytest.fixture(scope="class")
+    def size(self, tiny_config):
+        return tiny_config.model.image_size
+
+    @pytest.fixture(scope="class")
+    def plausible_half(self, guard):
+        return max(1, int(round(guard.contact_px / 2)))
+
+    def test_empty_window(self, guard, size):
+        report = guard.check(np.zeros((size, size)))
+        assert report.verdict == VERDICT_DEGENERATE
+        assert report.reasons == ("empty",)
+        assert report.components == 0
+
+    def test_fragmented_window(self, guard, size, plausible_half):
+        window = _blob(size, plausible_half)
+        window[1:3, 1:3] = 1.0  # satellite fragment
+        report = guard.check(window)
+        assert report.degenerate
+        assert "fragmented" in report.reasons
+        assert report.components == 2
+
+    def test_oversized_window(self, tiny_config, serving_config, size):
+        # at the tiny window scale a full-frame blob stays under the default
+        # 6x area bound, so tighten the ratio to exercise the check itself
+        strict = OutputGuard(serving_config(tiny_config, max_area_ratio=2.0))
+        report = strict.check(np.ones((size, size)))
+        assert report.degenerate
+        assert "area" in report.reasons
+
+    def test_speck_window(self, guard, size):
+        window = np.zeros((size, size))
+        window[size // 2, size // 2] = 1.0
+        report = guard.check(window)
+        assert report.degenerate
+        assert "area" in report.reasons or "cd" in report.reasons
+
+    def test_off_center_window(self, guard, size, plausible_half):
+        window = _blob(size, plausible_half)
+        expected = np.array([size // 2 + 3 * guard.center_tolerance_px,
+                             size // 2])
+        report = guard.check(window, expected_center=expected)
+        assert report.degenerate
+        assert "off-center" in report.reasons
+        assert report.center_error_px > guard.center_tolerance_px
+
+    def test_border_clip_is_suspect_not_degenerate(self, guard, size,
+                                                   plausible_half):
+        window = _blob(size, plausible_half,
+                       center=(plausible_half, size // 2))
+        report = guard.check(window)
+        assert report.verdict == VERDICT_SUSPECT
+        assert report.reasons == ("clipped",)
+
+    def test_centered_plausible_blob_is_ok(self, guard, size,
+                                           plausible_half):
+        report = guard.check(_blob(size, plausible_half))
+        assert report.verdict == VERDICT_OK
+        assert report.reasons == ()
+        assert report.to_dict()["verdict"] == VERDICT_OK

@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.eval",
     "repro.telemetry",
     "repro.runtime",
+    "repro.serving",
 ]
 
 
