@@ -24,7 +24,8 @@ Example session::
     repro-litho process-window --node N10 --seed 7
 
 Exit codes: 0 success, 1 pipeline error, 2 usage error, 3 missing or
-corrupted model weights (fail-closed), 130 interrupted.
+corrupted model weights (fail-closed), 4 dataset failed integrity
+validation or repair (fail-closed), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -39,10 +40,26 @@ from pathlib import Path
 
 import numpy as np
 
-from .config import ExperimentConfig, N7, N10, reduced
+from .config import (
+    DATA_POLICY_REPAIR,
+    DATA_POLICY_SALVAGE,
+    DATA_POLICY_STRICT,
+    ExperimentConfig,
+    N7,
+    N10,
+    reduced,
+)
 from .core import LithoGan
-from .data import load_dataset, save_dataset, synthesize_dataset
-from .errors import CheckpointError, ReproError
+from .data import (
+    DatasetValidator,
+    load_dataset,
+    load_manifest,
+    repair_dataset,
+    save_dataset,
+    synthesize_dataset,
+)
+from .data.integrity import strict_check
+from .errors import CheckpointError, DataIntegrityError, ReproError
 from .eval import (
     evaluate_predictions,
     format_table3,
@@ -133,6 +150,81 @@ class _RunTelemetry:
 # ---------------------------------------------------------------------------
 
 
+def _load_dataset_with_policy(args, telemetry):
+    """Load ``args.dataset``, applying ``--data-policy`` if one was given.
+
+    Validation runs against the archive's integrity manifest (hash checks,
+    structural checks, golden-label geometry).  ``strict`` fails closed on
+    any quarantined record (exit code 4 via :class:`DataIntegrityError`);
+    ``salvage`` drops quarantined records and proceeds on the verified
+    remainder (still failing closed below ``min_salvaged_records``);
+    ``repair`` re-synthesizes quarantined records from manifest provenance
+    and reloads the healed archive.
+    """
+    dataset = load_dataset(args.dataset)
+    policy = getattr(args, "data_policy", None)
+    if policy is None:
+        return dataset
+    config = _config_for(args, len(dataset))
+    manifest = load_manifest(args.dataset)
+    if manifest is None:
+        print(
+            f"warning: no integrity manifest beside {args.dataset}; "
+            "only structural validation is possible",
+            file=sys.stderr,
+        )
+    report = DatasetValidator(config).validate(dataset, manifest)
+    telemetry.registry.counter(
+        "data_records_quarantined_total").inc(report.quarantined)
+    telemetry.registry.counter("data_validations_total").inc()
+    if telemetry.logger is not None:
+        telemetry.logger.data_quarantine(
+            report.quarantined, report.num_records,
+            reasons=report.counts_by_reason(),
+            manifest_missing=report.manifest_missing,
+        )
+    print(f"data integrity ({policy}): {report.summary()}")
+    if policy == DATA_POLICY_STRICT:
+        strict_check(report, source=str(args.dataset))
+        return dataset
+    if policy == DATA_POLICY_SALVAGE:
+        if report.ok:
+            return dataset
+        clean = np.array(report.clean_indices, dtype=int)
+        if len(clean) < config.data.min_salvaged_records:
+            raise DataIntegrityError(
+                f"salvage would leave only {len(clean)} of "
+                f"{report.num_records} records, below the configured "
+                f"minimum of {config.data.min_salvaged_records}",
+                indices=report.quarantined_indices,
+                reasons=[issue.reasons for issue in report.issues],
+            )
+        print(
+            f"salvaged {len(clean)}/{report.num_records} records "
+            f"(quarantined {list(report.quarantined_indices)})"
+        )
+        return dataset.subset(clean)
+    if policy == DATA_POLICY_REPAIR:
+        if report.ok:
+            return dataset
+        repair_report = repair_dataset(
+            args.dataset, config, report=report, tracer=telemetry.tracer,
+        )
+        repaired = len(repair_report.repaired_indices)
+        telemetry.registry.counter(
+            "data_records_repaired_total").inc(repaired)
+        if telemetry.logger is not None:
+            telemetry.logger.data_repair(
+                repaired, indices=list(repair_report.repaired_indices),
+            )
+        print(
+            f"repaired {repaired} record(s) by deterministic re-synthesis "
+            f"(hash-verified: {repair_report.verified_hashes})"
+        )
+        return load_dataset(args.dataset)
+    raise ReproError(f"unknown data policy {policy!r}")
+
+
 def cmd_mint(args) -> int:
     telemetry = args.telemetry
     config = _config_for(args, args.clips)
@@ -184,7 +276,7 @@ def cmd_train(args) -> int:
         telemetry.finish(status="error", error="--resume without --checkpoint-dir")
         return 2
     faults = _build_fault_plan(args)
-    dataset = load_dataset(args.dataset)
+    dataset = _load_dataset_with_policy(args, telemetry)
     config = _config_for(args, len(dataset))
     if dataset.image_size != config.model.image_size:
         message = (
@@ -289,7 +381,7 @@ def _load_lithogan(model_dir, config: ExperimentConfig,
 
 def cmd_evaluate(args) -> int:
     telemetry = args.telemetry
-    dataset = load_dataset(args.dataset)
+    dataset = _load_dataset_with_policy(args, telemetry)
     config = _config_for(args, len(dataset))
     rng = np.random.default_rng(args.seed)
     _, test = dataset.split(config.training.train_fraction, rng)
@@ -439,6 +531,18 @@ def cmd_process_window(args) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _add_data_policy_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--data-policy", dest="data_policy",
+        choices=(DATA_POLICY_STRICT, DATA_POLICY_SALVAGE, DATA_POLICY_REPAIR),
+        default=None,
+        help="validate per-record dataset integrity before use: strict "
+             "fails closed on any bad record (exit 4), salvage drops "
+             "quarantined records, repair re-synthesizes them from the "
+             "integrity manifest",
+    )
+
+
 def _add_telemetry_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--log-json", dest="log_json", metavar="PATH", default=None,
@@ -495,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SITE", default=None,
         help="fault drill: simulate a kill at [PHASE:]EPOCH[:BATCH]",
     )
+    _add_data_policy_flag(train)
     _add_telemetry_flags(train)
     train.set_defaults(func=cmd_train)
 
@@ -508,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the Table 3 row as machine-readable JSON",
     )
+    _add_data_policy_flag(evaluate)
     _add_telemetry_flags(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
@@ -584,6 +690,13 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))
         return 3
+    except DataIntegrityError as exc:
+        # Fail closed: a dataset that cannot be validated (or repaired) must
+        # not train or score.  Must precede the ReproError clause, since
+        # DataIntegrityError subclasses DataError subclasses ReproError.
+        print(f"error: {exc}", file=sys.stderr)
+        args.telemetry.finish(status="error", error=str(exc))
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))

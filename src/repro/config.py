@@ -341,6 +341,62 @@ class RecoveryConfig:
 
 
 # ---------------------------------------------------------------------------
+# Data integrity
+# ---------------------------------------------------------------------------
+
+#: load-time dataset policies, in increasing order of intervention
+DATA_POLICY_NONE = "none"
+DATA_POLICY_STRICT = "strict"
+DATA_POLICY_SALVAGE = "salvage"
+DATA_POLICY_REPAIR = "repair"
+DATA_POLICIES = (
+    DATA_POLICY_NONE, DATA_POLICY_STRICT, DATA_POLICY_SALVAGE,
+    DATA_POLICY_REPAIR,
+)
+
+
+@dataclass(frozen=True)
+class DataIntegrityConfig:
+    """Self-healing data-layer knobs: manifests, validation, quarantine.
+
+    ``write_manifest`` controls whether :func:`~repro.data.save_dataset`
+    emits the per-record integrity sidecar.  ``policy`` is the default
+    load-time posture (the CLI's ``--data-policy`` flag wins): ``none``
+    loads unvalidated, ``strict`` fails closed on the first bad record,
+    ``salvage`` quarantines bad records and proceeds with the verified
+    subset, ``repair`` re-synthesizes quarantined records from manifest
+    provenance.  ``center_tolerance_px`` bounds how far a stored center
+    label may drift from the recomputed bounding-box center of its golden
+    window before the record is flagged; the geometric plausibility bounds
+    themselves are shared with serving (see
+    :class:`~repro.serving.GeometryBounds`).
+    """
+
+    write_manifest: bool = True
+    policy: str = DATA_POLICY_NONE
+    center_tolerance_px: float = 1.0
+    #: records a salvage pass must leave behind for training to proceed
+    min_salvaged_records: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in DATA_POLICIES:
+            raise ConfigError(
+                f"data policy must be one of {DATA_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.center_tolerance_px <= 0:
+            raise ConfigError(
+                "center_tolerance_px must be positive, got "
+                f"{self.center_tolerance_px}"
+            )
+        if self.min_salvaged_records < 1:
+            raise ConfigError(
+                "min_salvaged_records must be >= 1, got "
+                f"{self.min_salvaged_records}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Serving
 # ---------------------------------------------------------------------------
 
@@ -489,6 +545,7 @@ class ExperimentConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    data: DataIntegrityConfig = field(default_factory=DataIntegrityConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

@@ -1,4 +1,10 @@
-"""Dataset synthesis, image encoding, batching, and persistence."""
+"""Dataset synthesis, image encoding, batching, persistence, and integrity.
+
+Persistence is self-healing: every save writes a per-record integrity
+manifest, loads can validate/quarantine/salvage individual records, and
+:func:`repair_dataset` re-synthesizes quarantined records bit-identically
+from manifest provenance (see :mod:`repro.data.integrity`).
+"""
 
 from .encoding import (
     bbox_center_rc,
@@ -11,8 +17,25 @@ from .encoding import (
 )
 from .augment import DIHEDRAL4, augment_dataset
 from .dataset import PairedDataset, Sample
-from .synthesis import synthesize_dataset
+from .synthesis import synthesize_dataset, synthesize_record
 from .io import load_dataset, save_dataset
+from .integrity import (
+    MANIFEST_SCHEMA_VERSION,
+    DatasetManifest,
+    DatasetValidator,
+    QuarantineReport,
+    RecordIssue,
+    RepairReport,
+    SynthesisProvenance,
+    build_manifest,
+    dataset_record_hashes,
+    load_manifest,
+    manifest_path_for,
+    record_hash,
+    repair_dataset,
+    synthesis_digest,
+    validate_dataset,
+)
 
 __all__ = [
     "bbox_center_rc",
@@ -27,6 +50,22 @@ __all__ = [
     "DIHEDRAL4",
     "augment_dataset",
     "synthesize_dataset",
+    "synthesize_record",
     "save_dataset",
     "load_dataset",
+    "MANIFEST_SCHEMA_VERSION",
+    "DatasetManifest",
+    "DatasetValidator",
+    "QuarantineReport",
+    "RecordIssue",
+    "RepairReport",
+    "SynthesisProvenance",
+    "build_manifest",
+    "dataset_record_hashes",
+    "load_manifest",
+    "manifest_path_for",
+    "record_hash",
+    "repair_dataset",
+    "synthesis_digest",
+    "validate_dataset",
 ]

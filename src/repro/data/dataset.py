@@ -27,7 +27,7 @@ class PairedDataset:
     def __init__(self, masks: np.ndarray, resists: np.ndarray,
                  centers: Optional[np.ndarray] = None,
                  array_types: Optional[np.ndarray] = None,
-                 tech_name: str = ""):
+                 tech_name: str = "", provenance=None):
         masks = np.asarray(masks, dtype=np.float32)
         resists = np.asarray(resists, dtype=np.float32)
         if masks.ndim != 4 or masks.shape[1] != 3:
@@ -64,6 +64,12 @@ class PairedDataset:
                 raise DataError("array_types must have one entry per sample")
         self.array_types = array_types
         self.tech_name = tech_name
+        #: optional :class:`~repro.data.integrity.SynthesisProvenance`; set
+        #: by :func:`~repro.data.synthesize_dataset` so saved manifests can
+        #: carry the recipe for deterministic per-record re-synthesis.
+        #: Derived views (subsets, augmentations) drop it: their record
+        #: indices no longer align with the synthesis attempt schedule.
+        self.provenance = provenance
 
     # -- container protocol ----------------------------------------------------
 

@@ -1,0 +1,656 @@
+"""Per-record dataset integrity: manifests, validation, quarantine, repair.
+
+The whole modeling claim rests on trustworthy golden data — a silently
+corrupted or geometrically invalid record poisons both the CGAN and the
+center CNN without any visible failure.  This module makes the data layer
+self-healing, in four pieces:
+
+**Manifests.**  :func:`~repro.data.save_dataset` writes a schema-versioned
+``<dataset>.manifest.json`` sidecar (via the atomic-write helpers) carrying
+one SHA-256 content hash per ``(mask, resist, center, array_type)`` record
+plus the :class:`SynthesisProvenance` needed to regenerate any record
+deterministically: the synthesis-config digest, the base seed, and each
+record's attempt index in the per-record seeding schedule.
+
+**Validation.**  :class:`DatasetValidator` checks every record structurally
+(manifest hash, finiteness, value range, the Section 3.1 mask-encoding
+contract via :mod:`repro.serving.admission`) and geometrically (resist
+window area/CD/fragmentation and stored-center consistency against the same
+node-derived :class:`~repro.serving.GeometryBounds` that back the serving
+:class:`~repro.serving.OutputGuard`).  The bounds are calibrated so freshly
+synthesized golden data never flags — the no-false-positive guarantee is
+property-tested.
+
+**Quarantine.**  Validation yields a typed :class:`QuarantineReport` naming
+each bad record's index and machine-readable reason tags.  Load policies
+(see :func:`~repro.data.load_dataset`) choose what to do with it: ``strict``
+raises :class:`~repro.errors.DataIntegrityError`, ``salvage`` returns the
+verified subset plus the report.
+
+**Repair.**  :func:`repair_dataset` re-synthesizes exactly the quarantined
+records from manifest provenance and proves the results hash-identical to
+the manifest before rewriting the archive — corruption recovery is
+deterministic end to end, not best-effort.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..errors import DataError, DataIntegrityError
+from ..runtime.atomic import atomic_write_json
+from .dataset import PairedDataset
+from .encoding import bbox_center_rc
+
+PathLike = Union[str, Path]
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+#: the only content-hash algorithm manifests currently use
+HASH_ALGORITHM = "sha256"
+
+#: quarantine reason tags produced by the validator itself; mask-encoding
+#: violations additionally reuse the :mod:`repro.serving.admission` tags and
+#: golden-geometry violations the :class:`~repro.serving.OutputGuard` ones
+REASON_HASH = "hash"
+REASON_NON_FINITE = "non-finite"
+REASON_RANGE = "range"
+REASON_CENTER_DRIFT = "center-drift"
+
+
+# ---------------------------------------------------------------------------
+# Hashing
+# ---------------------------------------------------------------------------
+
+
+def _canonical(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(array, dtype=np.float32))
+
+
+def record_hash(mask: np.ndarray, resist: np.ndarray,
+                center: np.ndarray, array_type: str) -> str:
+    """SHA-256 content hash of one ``(mask, resist, center, array_type)``.
+
+    Arrays are canonicalized to C-contiguous float32 and the shapes are
+    folded in, so the hash is invariant to storage layout but sensitive to
+    every stored value.
+    """
+    digest = hashlib.sha256()
+    for array in (mask, resist, center):
+        canonical = _canonical(array)
+        digest.update(str(canonical.shape).encode("utf-8"))
+        digest.update(canonical.tobytes())
+    digest.update(str(array_type).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def dataset_record_hashes(dataset: PairedDataset) -> Tuple[str, ...]:
+    """The per-record content hashes of a dataset, in record order."""
+    return tuple(
+        record_hash(
+            dataset.masks[i], dataset.resists[i], dataset.centers[i],
+            str(dataset.array_types[i]),
+        )
+        for i in range(len(dataset))
+    )
+
+
+def synthesis_digest(config: ExperimentConfig) -> str:
+    """SHA-256 fingerprint of the config fields that shape synthesized data.
+
+    Covers the technology node (minus ``num_clips`` — the clip *count* does
+    not alter any individual record under per-record seeding), the optical
+    and resist models, and the image geometry.  Training, telemetry,
+    recovery, serving, and data-policy knobs are deliberately excluded so a
+    dataset minted once can be validated and repaired under any training
+    setup.
+    """
+    tech = dataclasses.asdict(config.tech)
+    tech.pop("num_clips", None)
+    payload = {
+        "tech": tech,
+        "optical": dataclasses.asdict(config.optical),
+        "resist": dataclasses.asdict(config.resist),
+        "image": dataclasses.asdict(config.image),
+    }
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Provenance and manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SynthesisProvenance:
+    """Everything needed to re-synthesize any single record bit-identically.
+
+    ``attempts[i]`` is the synthesis attempt index that produced record
+    ``i``; together with ``base_seed`` it seeds the record's own child
+    generator (see :func:`~repro.data.synthesis.record_rng`), so repair can
+    regenerate record ``i`` without replaying the records before it.
+    ``config_digest`` (see :func:`synthesis_digest`) proves the caller's
+    config matches the one the data was minted with.
+    """
+
+    config_digest: str
+    base_seed: int
+    attempts: Tuple[int, ...]
+    resist_model: str = "vtr"
+    model_based_opc: bool = False
+    tech_name: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "config_digest": self.config_digest,
+            "base_seed": self.base_seed,
+            "attempts": list(self.attempts),
+            "resist_model": self.resist_model,
+            "model_based_opc": self.model_based_opc,
+            "tech_name": self.tech_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SynthesisProvenance":
+        try:
+            return cls(
+                config_digest=str(payload["config_digest"]),
+                base_seed=int(payload["base_seed"]),
+                attempts=tuple(int(a) for a in payload["attempts"]),
+                resist_model=str(payload.get("resist_model", "vtr")),
+                model_based_opc=bool(payload.get("model_based_opc", False)),
+                tech_name=str(payload.get("tech_name", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed manifest provenance: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class DatasetManifest:
+    """The integrity sidecar of one saved dataset archive."""
+
+    record_hashes: Tuple[str, ...]
+    tech_name: str = ""
+    provenance: Optional[SynthesisProvenance] = None
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    hash_algorithm: str = HASH_ALGORITHM
+
+    @property
+    def num_records(self) -> int:
+        return len(self.record_hashes)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "schema_version": self.schema_version,
+            "hash_algorithm": self.hash_algorithm,
+            "num_records": self.num_records,
+            "tech_name": self.tech_name,
+            "record_hashes": list(self.record_hashes),
+        }
+        if self.provenance is not None:
+            payload["provenance"] = self.provenance.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict, source: str = "manifest"
+                  ) -> "DatasetManifest":
+        if not isinstance(payload, dict):
+            raise DataError(f"{source} is not a JSON object")
+        version = payload.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise DataError(
+                f"{source} has schema_version {version!r}, expected "
+                f"{MANIFEST_SCHEMA_VERSION}"
+            )
+        algorithm = payload.get("hash_algorithm", HASH_ALGORITHM)
+        if algorithm != HASH_ALGORITHM:
+            raise DataError(
+                f"{source} uses unsupported hash algorithm {algorithm!r}"
+            )
+        hashes = payload.get("record_hashes")
+        if not isinstance(hashes, list) or not all(
+                isinstance(h, str) and h for h in hashes):
+            raise DataError(f"{source} carries no valid record_hashes list")
+        declared = payload.get("num_records")
+        if declared is not None and declared != len(hashes):
+            raise DataError(
+                f"{source} declares {declared} records but lists "
+                f"{len(hashes)} hashes"
+            )
+        provenance = None
+        if payload.get("provenance") is not None:
+            provenance = SynthesisProvenance.from_dict(payload["provenance"])
+            if len(provenance.attempts) != len(hashes):
+                raise DataError(
+                    f"{source} provenance covers {len(provenance.attempts)} "
+                    f"records but the manifest lists {len(hashes)} hashes"
+                )
+        return cls(
+            record_hashes=tuple(hashes),
+            tech_name=str(payload.get("tech_name", "")),
+            provenance=provenance,
+        )
+
+    def save(self, path: PathLike) -> Path:
+        """Write the manifest atomically; returns the final path."""
+        return atomic_write_json(path, self.to_dict())
+
+
+def manifest_path_for(dataset_path: PathLike) -> Path:
+    """The sidecar manifest path of a dataset archive (``ds.npz`` ->
+    ``ds.manifest.json``)."""
+    path = Path(dataset_path)
+    if path.suffix == ".npz":
+        path = path.with_suffix("")
+    return path.with_name(path.name + ".manifest.json")
+
+
+def build_manifest(dataset: PairedDataset,
+                   provenance: Optional[SynthesisProvenance] = None
+                   ) -> DatasetManifest:
+    """Hash every record of ``dataset`` into a fresh manifest.
+
+    ``provenance`` defaults to whatever the dataset itself carries (set by
+    :func:`~repro.data.synthesize_dataset`); derived datasets without one
+    still get hash-only manifests — validatable, but not repairable.
+    """
+    if provenance is None:
+        provenance = getattr(dataset, "provenance", None)
+    if provenance is not None and len(provenance.attempts) != len(dataset):
+        raise DataError(
+            f"provenance covers {len(provenance.attempts)} records but the "
+            f"dataset has {len(dataset)}"
+        )
+    return DatasetManifest(
+        record_hashes=dataset_record_hashes(dataset),
+        tech_name=dataset.tech_name,
+        provenance=provenance,
+    )
+
+
+def load_manifest(dataset_path: PathLike) -> Optional[DatasetManifest]:
+    """Load the sidecar manifest of a dataset archive.
+
+    Returns ``None`` when no manifest exists (a legacy archive — validation
+    degrades to structural checks); raises :class:`DataError` when a
+    manifest exists but cannot be parsed (fail closed: a mangled manifest
+    is itself corruption).
+    """
+    path = manifest_path_for(dataset_path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise DataError(f"unreadable dataset manifest {path}: {exc}") from exc
+    return DatasetManifest.from_dict(payload, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Validation and quarantine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecordIssue:
+    """One quarantined record: its index, reason tags, and evidence."""
+
+    index: int
+    reasons: Tuple[str, ...]
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "reasons": list(self.reasons),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """The validator's verdict on one dataset: what is bad, and why.
+
+    ``issues`` holds one :class:`RecordIssue` per quarantined record (in
+    index order); ``manifest_missing`` marks a legacy archive whose
+    validation could only be structural (no hash check).
+    """
+
+    num_records: int
+    issues: Tuple[RecordIssue, ...] = ()
+    manifest_missing: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    @property
+    def quarantined(self) -> int:
+        return len(self.issues)
+
+    @property
+    def quarantined_indices(self) -> Tuple[int, ...]:
+        return tuple(issue.index for issue in self.issues)
+
+    @property
+    def clean_indices(self) -> Tuple[int, ...]:
+        bad = set(self.quarantined_indices)
+        return tuple(i for i in range(self.num_records) if i not in bad)
+
+    def counts_by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for issue in self.issues:
+            for reason in issue.reasons:
+                counts[reason] = counts.get(reason, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "num_records": self.num_records,
+            "quarantined": self.quarantined,
+            "manifest_missing": self.manifest_missing,
+            "counts_by_reason": self.counts_by_reason(),
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+    def summary(self) -> str:
+        """One human-readable line naming indices and reason counts."""
+        if self.ok:
+            return f"all {self.num_records} records verified"
+        indices = ", ".join(str(i) for i in self.quarantined_indices)
+        reasons = ", ".join(
+            f"{tag}={count}" for tag, count in self.counts_by_reason().items()
+        )
+        return (
+            f"quarantined {self.quarantined}/{self.num_records} records "
+            f"(indices {indices}; reasons {reasons})"
+        )
+
+
+class DatasetValidator:
+    """Structural + golden-geometry validation of every dataset record.
+
+    Structural checks: manifest hash agreement, finiteness, [0, 1] value
+    range, and the Section 3.1 mask-encoding contract (shape, channel
+    semantics) reusing :func:`repro.serving.admission.admit_masks`.  Golden
+    checks: the resist window must satisfy the same node-derived
+    area/CD/fragmentation bounds the serving
+    :class:`~repro.serving.OutputGuard` enforces on generated windows, and
+    its recomputed bounding-box center must agree with the stored center
+    label to within ``config.data.center_tolerance_px``.
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        # Imported lazily: repro.serving pulls in repro.core, which imports
+        # this package — a module-level import would be circular.
+        from ..serving.guards import GeometryBounds, OutputGuard
+
+        self.config = config
+        self.bounds = GeometryBounds.from_config(
+            config, center_tolerance_px=config.data.center_tolerance_px
+        )
+        self._guard = OutputGuard(config, bounds=self.bounds)
+
+    # -- per-record checks --------------------------------------------------
+
+    def _structural_reasons(self, dataset: PairedDataset,
+                            index: int) -> List[Tuple[str, str]]:
+        reasons: List[Tuple[str, str]] = []
+        resist = dataset.resists[index]
+        center = dataset.centers[index]
+        if not np.all(np.isfinite(resist)) or not np.all(np.isfinite(center)):
+            reasons.append((REASON_NON_FINITE,
+                            "resist window or center is non-finite"))
+        else:
+            lo, hi = float(resist.min()), float(resist.max())
+            if lo < 0.0 or hi > 1.0:
+                reasons.append((
+                    REASON_RANGE,
+                    f"resist values span [{lo:.3g}, {hi:.3g}], outside [0, 1]",
+                ))
+        return reasons
+
+    def _golden_reasons(self, dataset: PairedDataset,
+                        index: int) -> List[Tuple[str, str]]:
+        window = dataset.resists[index, 0]
+        report = self._guard.check(
+            window, expected_center=dataset.centers[index]
+        )
+        if not report.degenerate:
+            return []
+        # Rename the guard's prediction-flavored tag: here the disagreement
+        # is between a *stored label* and the window it claims to describe.
+        tags = tuple(
+            REASON_CENTER_DRIFT if tag == "off-center" else tag
+            for tag in report.reasons if tag != "clipped"
+        )
+        detail = (
+            f"golden window implausible: components={report.components}, "
+            f"area={report.area_px:.0f}px, cd={report.cd_px}, "
+            f"center_error={report.center_error_px}"
+        )
+        return [(tag, detail) for tag in tags]
+
+    # -- dataset-level validation --------------------------------------------
+
+    def validate(self, dataset: PairedDataset,
+                 manifest: Optional[DatasetManifest] = None
+                 ) -> QuarantineReport:
+        """Check every record; returns the (possibly empty) quarantine.
+
+        A manifest whose record count disagrees with the archive is not a
+        per-record problem — the archive was rewritten wholesale — so it
+        raises :class:`DataError` instead of quarantining.
+        """
+        from ..serving.admission import admit_masks
+
+        count = len(dataset)
+        if manifest is not None and manifest.num_records != count:
+            raise DataError(
+                f"manifest covers {manifest.num_records} records but the "
+                f"archive holds {count}; the archive was rewritten outside "
+                "save_dataset"
+            )
+
+        per_record: Dict[int, List[Tuple[str, str]]] = {}
+
+        def note(index: int, reason: str, detail: str) -> None:
+            per_record.setdefault(index, []).append((reason, detail))
+
+        if manifest is not None:
+            stored = manifest.record_hashes
+            computed = dataset_record_hashes(dataset)
+            for index, (want, got) in enumerate(zip(stored, computed)):
+                if want != got:
+                    note(index, REASON_HASH,
+                         f"content hash {got[:12]}... does not match "
+                         f"manifest {want[:12]}...")
+
+        # Mask-encoding contract, exactly as the serving boundary enforces it.
+        admitted = admit_masks(dataset.masks, self.config)
+        for rejection in admitted.rejections:
+            note(rejection.clip, rejection.reason, str(rejection.error))
+
+        for index in range(count):
+            for reason, detail in self._structural_reasons(dataset, index):
+                note(index, reason, detail)
+            # Geometry on a window already known non-finite is meaningless.
+            if not any(r == REASON_NON_FINITE for r, _ in
+                       per_record.get(index, ())):
+                for reason, detail in self._golden_reasons(dataset, index):
+                    note(index, reason, detail)
+
+        issues = []
+        for index in sorted(per_record):
+            entries = per_record[index]
+            seen = []
+            for reason, _ in entries:
+                if reason not in seen:
+                    seen.append(reason)
+            issues.append(RecordIssue(
+                index=index,
+                reasons=tuple(seen),
+                detail="; ".join(dict.fromkeys(d for _, d in entries)),
+            ))
+        return QuarantineReport(
+            num_records=count,
+            issues=tuple(issues),
+            manifest_missing=manifest is None,
+        )
+
+
+def validate_dataset(dataset: PairedDataset, config: ExperimentConfig,
+                     manifest: Optional[DatasetManifest] = None
+                     ) -> QuarantineReport:
+    """Convenience wrapper: ``DatasetValidator(config).validate(...)``."""
+    return DatasetValidator(config).validate(dataset, manifest)
+
+
+def strict_check(report: QuarantineReport, source: str = "dataset") -> None:
+    """Raise :class:`DataIntegrityError` if the report quarantined anything."""
+    if report.ok:
+        return
+    raise DataIntegrityError(
+        f"{source} failed integrity validation: {report.summary()}",
+        indices=report.quarantined_indices,
+        reasons=tuple(issue.reasons for issue in report.issues),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Repair by re-synthesis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What a repair pass regenerated, with proof of hash identity."""
+
+    repaired_indices: Tuple[int, ...]
+    num_records: int
+    verified_hashes: Tuple[str, ...] = ()
+    reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def repaired(self) -> int:
+        return len(self.repaired_indices)
+
+    def to_dict(self) -> dict:
+        return {
+            "repaired": self.repaired,
+            "repaired_indices": list(self.repaired_indices),
+            "num_records": self.num_records,
+            "verified_hashes": list(self.verified_hashes),
+            "counts_by_reason": dict(self.reasons),
+        }
+
+
+def repair_dataset(path: PathLike, config: ExperimentConfig,
+                   report: Optional[QuarantineReport] = None,
+                   tracer=None) -> RepairReport:
+    """Re-synthesize exactly the quarantined records of a saved dataset.
+
+    Loads the archive and its manifest, validates (or accepts a prior
+    ``report``), regenerates each quarantined record from the manifest's
+    synthesis provenance, and proves every regenerated record's content
+    hash is bit-identical to the manifest entry before atomically rewriting
+    the archive.  Raises :class:`DataIntegrityError` when repair is
+    impossible (no manifest, no provenance, config digest mismatch, or a
+    regenerated record that does not reproduce its manifest hash) — repair
+    is deterministic or it is refused.
+    """
+    from ..sim import LithographySimulator
+    from .io import load_dataset, save_dataset
+    from .synthesis import synthesize_record
+
+    path = Path(path)
+    dataset = load_dataset(path)
+    manifest = load_manifest(path)
+    if manifest is None:
+        raise DataIntegrityError(
+            f"cannot repair {path}: no manifest sidecar "
+            f"({manifest_path_for(path)}) to repair against"
+        )
+    provenance = manifest.provenance
+    if provenance is None:
+        raise DataIntegrityError(
+            f"cannot repair {path}: manifest carries no synthesis provenance"
+        )
+    expected_digest = synthesis_digest(config)
+    if provenance.config_digest != expected_digest:
+        raise DataIntegrityError(
+            f"cannot repair {path}: the supplied config's synthesis digest "
+            f"{expected_digest[:12]}... does not match the manifest's "
+            f"{provenance.config_digest[:12]}... (different node, optics, "
+            "resist, or image geometry)"
+        )
+
+    if report is None:
+        report = DatasetValidator(config).validate(dataset, manifest)
+    if report.ok:
+        return RepairReport(
+            repaired_indices=(), num_records=len(dataset),
+        )
+
+    simulator = LithographySimulator(
+        config, resist_model=provenance.resist_model, tracer=tracer,
+    )
+    masks = dataset.masks.copy()
+    resists = dataset.resists.copy()
+    centers = dataset.centers.copy()
+    array_types = np.array([str(t) for t in dataset.array_types], dtype=object)
+
+    verified = []
+    for index in report.quarantined_indices:
+        attempt = provenance.attempts[index]
+        record = synthesize_record(
+            config, simulator, provenance.base_seed, attempt,
+            model_based_opc=provenance.model_based_opc,
+        )
+        if record is None:
+            raise DataIntegrityError(
+                f"cannot repair {path}: record {index} (attempt {attempt}) "
+                "no longer prints under the supplied config — provenance "
+                "does not reproduce"
+            )
+        mask, resist, center, array_type = record
+        # Hash in the stored (1, H, W) channel layout, matching
+        # dataset_record_hashes — the shape is folded into the digest.
+        regenerated = record_hash(mask, resist[np.newaxis], np.asarray(
+            center, dtype=np.float32), array_type)
+        if regenerated != manifest.record_hashes[index]:
+            raise DataIntegrityError(
+                f"cannot repair {path}: regenerated record {index} hashes "
+                f"{regenerated[:12]}..., manifest expects "
+                f"{manifest.record_hashes[index][:12]}... — this environment "
+                "does not reproduce the original synthesis bit-exactly"
+            )
+        masks[index] = mask
+        resists[index, 0] = resist
+        centers[index] = np.asarray(center, dtype=np.float32)
+        array_types[index] = array_type
+        verified.append(regenerated)
+
+    repaired = PairedDataset(
+        masks, resists, centers, array_types.astype(str),
+        tech_name=dataset.tech_name,
+    )
+    # The manifest is already correct — the archive is rewritten to match
+    # it, so the existing sidecar is preserved as-is.
+    save_dataset(repaired, path, manifest=False)
+    return RepairReport(
+        repaired_indices=report.quarantined_indices,
+        num_records=len(dataset),
+        verified_hashes=tuple(verified),
+        reasons=report.counts_by_reason(),
+    )

@@ -1,33 +1,54 @@
-"""Dataset persistence as compressed ``.npz`` archives.
+"""Dataset persistence as compressed ``.npz`` archives with integrity
+manifests.
 
 Writes are atomic (temp file + fsync + ``os.replace``) so a killed process
-never leaves a truncated archive, and reads fail closed: any unreadable,
-truncated, or key-incomplete archive raises :class:`~repro.errors.DataError`
-naming the offending path instead of leaking a raw ``KeyError``/``ValueError``.
+never leaves a truncated archive, and every save emits a per-record
+``<name>.manifest.json`` integrity sidecar (see :mod:`repro.data.integrity`).
+Reads fail closed: any unreadable, truncated, or key-incomplete archive
+raises :class:`~repro.errors.DataError` naming the offending path instead of
+leaking a raw ``KeyError``/``ValueError``.  Load-time *policies* extend the
+fail-closed posture to individual records: ``strict`` refuses a dataset with
+any invalid record, ``salvage`` quarantines the bad records and returns the
+verified remainder.
 """
 
 from __future__ import annotations
 
+import tokenize
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import DataError
+from ..config import (
+    DATA_POLICY_NONE,
+    DATA_POLICY_SALVAGE,
+    DATA_POLICY_STRICT,
+    ExperimentConfig,
+)
+from ..errors import ConfigError, DataError
 from ..runtime.atomic import atomic_savez
 from .dataset import PairedDataset
 
 _REQUIRED_KEYS = ("masks", "resists", "centers", "array_types")
 
 
-def save_dataset(dataset: PairedDataset, path: Union[str, Path]) -> Path:
+def save_dataset(dataset: PairedDataset, path: Union[str, Path],
+                 manifest: bool = True) -> Path:
     """Write a dataset to ``path`` (a ``.npz`` suffix is added if missing).
 
     The archive is written atomically: readers observe either the previous
-    complete file or the new one, never a torn intermediate.
+    complete file or the new one, never a torn intermediate.  Unless
+    ``manifest=False``, a ``<name>.manifest.json`` sidecar with per-record
+    content hashes (and synthesis provenance, when the dataset carries it)
+    is written alongside — also atomically, after the archive, so a crash
+    between the two writes leaves a dataset whose manifest simply flags
+    every changed record rather than a torn file.
     """
+    from .integrity import build_manifest, manifest_path_for
+
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -38,17 +59,12 @@ def save_dataset(dataset: PairedDataset, path: Union[str, Path]) -> Path:
         "array_types": dataset.array_types.astype(str),
         "tech_name": np.array(dataset.tech_name),
     })
+    if manifest:
+        build_manifest(dataset).save(manifest_path_for(path))
     return path
 
 
-def load_dataset(path: Union[str, Path]) -> PairedDataset:
-    """Load a dataset previously written by :func:`save_dataset`.
-
-    Raises :class:`DataError` (naming the path, and the missing keys where
-    applicable) for absent files, non-dataset archives, and corrupt or
-    truncated files.
-    """
-    path = Path(path)
+def _read_archive(path: Path) -> PairedDataset:
     if not path.exists():
         raise DataError(f"dataset file not found: {path}")
     try:
@@ -68,8 +84,66 @@ def load_dataset(path: Union[str, Path]) -> PairedDataset:
             )
     except DataError:
         raise
-    except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile,
-            zlib.error) as exc:
+    except (OSError, ValueError, EOFError, KeyError, IndexError,
+            zipfile.BadZipFile, zlib.error, SyntaxError,
+            tokenize.TokenError) as exc:
+        # SyntaxError/TokenError leak from numpy's .npy header parser when
+        # bit rot lands inside the header dict literal.
         raise DataError(
             f"unreadable dataset archive {path}: {exc}"
         ) from exc
+
+
+def load_dataset(path: Union[str, Path],
+                 policy: str = DATA_POLICY_NONE,
+                 config: Optional[ExperimentConfig] = None):
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Raises :class:`DataError` (naming the path, and the missing keys where
+    applicable) for absent files, non-dataset archives, and corrupt or
+    truncated files.
+
+    ``policy`` selects the per-record integrity posture (see
+    :mod:`repro.data.integrity`); ``strict`` and ``salvage`` require a
+    ``config`` to derive the golden-geometry bounds from:
+
+    ``"none"`` (default)
+        Archive-level checks only; returns the :class:`PairedDataset`.
+    ``"strict"``
+        Validate every record against the manifest sidecar and the golden
+        invariants; raise :class:`~repro.errors.DataIntegrityError` naming
+        the bad indices and reasons if anything is quarantined.  Returns
+        the :class:`PairedDataset`.
+    ``"salvage"``
+        Validate, then return a ``(dataset, report)`` tuple: the verified
+        subset plus the typed
+        :class:`~repro.data.integrity.QuarantineReport`.
+
+    A legacy archive without a manifest still loads under either policy:
+    validation degrades to structural + geometry checks (no hash check) and
+    the report's ``manifest_missing`` flag is set so callers can warn.
+    """
+    from .integrity import DatasetValidator, load_manifest, strict_check
+
+    path = Path(path)
+    dataset = _read_archive(path)
+    if policy == DATA_POLICY_NONE:
+        return dataset
+    if policy not in (DATA_POLICY_STRICT, DATA_POLICY_SALVAGE):
+        raise ConfigError(
+            f"load_dataset policy must be 'none', 'strict', or 'salvage', "
+            f"got {policy!r}"
+        )
+    if config is None:
+        raise ConfigError(
+            f"load_dataset(policy={policy!r}) requires an ExperimentConfig "
+            "to derive validation bounds from"
+        )
+    manifest = load_manifest(path)
+    report = DatasetValidator(config).validate(dataset, manifest)
+    if policy == DATA_POLICY_STRICT:
+        strict_check(report, source=str(path))
+        return dataset
+    if report.ok:
+        return dataset, report
+    return dataset.subset(np.array(report.clean_indices, dtype=int)), report

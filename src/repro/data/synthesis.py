@@ -4,11 +4,17 @@ Stands in for the paper's proprietary N10/N7 datasets: clips are drawn from
 the three contact-array families, pushed through the RET flow (SRAF + OPC)
 and the rigorous simulation pipeline, then encoded into the Section 3.1
 image pairs.  Deterministic given the config's seed.
+
+Every record is minted from its own child generator, seeded by
+``(base_seed, attempt)`` — so any single record can later be re-synthesized
+bit-identically from the provenance saved in the dataset manifest, without
+replaying the records before it (the repair path of
+:mod:`repro.data.integrity`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +27,48 @@ from .dataset import PairedDataset
 from .encoding import bbox_center_rc
 
 
+def record_rng(base_seed: int, attempt: int) -> np.random.Generator:
+    """The child generator that mints synthesis attempt ``attempt``.
+
+    Seeded from ``(base_seed, attempt)`` through a ``SeedSequence``, so each
+    attempt's randomness is independent of every other attempt's and
+    recoverable from two integers of provenance.
+    """
+    entropy = (int(base_seed) % (2 ** 63), int(attempt))
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def attempt_array_type(attempt: int) -> ArrayType:
+    """The contact-array family scheduled for synthesis attempt ``attempt``."""
+    types = list(ArrayType)
+    return types[int(attempt) % len(types)]
+
+
+def synthesize_record(config: ExperimentConfig,
+                      simulator: LithographySimulator,
+                      base_seed: int, attempt: int,
+                      model_based_opc: bool = False
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                          Tuple[float, float], str]]:
+    """Mint the ``(mask, resist, center, array_type)`` of one attempt.
+
+    Returns ``None`` when the target contact fails to print for this
+    attempt's random neighborhood (the same attempts fail on every replay,
+    so skipped attempts are as deterministic as successful ones).
+    """
+    array_type = attempt_array_type(attempt)
+    rng = record_rng(base_seed, attempt)
+    clip = generate_clip(config.tech, rng, array_type=array_type)
+    try:
+        result = simulator.simulate_clip(clip, model_based_opc=model_based_opc)
+    except ResistError:
+        return None
+    mask = render_mask_rgb(result.layout, config.image.mask_image_px)
+    resist = result.golden_window.astype(np.float32)
+    center = bbox_center_rc(resist)
+    return mask, resist, center, array_type.value
+
+
 def synthesize_dataset(config: ExperimentConfig,
                        rng: Optional[np.random.Generator] = None,
                        resist_model: str = "vtr",
@@ -30,13 +78,22 @@ def synthesize_dataset(config: ExperimentConfig,
 
     Clips whose target contact fails to print (possible for extreme random
     neighborhoods) are skipped and replaced, so the returned dataset always
-    has ``config.tech.num_clips`` samples.
+    has ``config.tech.num_clips`` samples.  The returned dataset carries a
+    :class:`~repro.data.integrity.SynthesisProvenance` (base seed plus the
+    per-record attempt schedule) from which any record can be re-synthesized
+    bit-identically.
 
     ``tracer`` (optional) collects the simulator's per-stage spans
     (rasterize/optical/resist/contour) across the whole mint.
     """
+    from .integrity import SynthesisProvenance, synthesis_digest
+
     if rng is None:
-        rng = np.random.default_rng(config.training.seed)
+        base_seed = int(config.training.seed)
+    else:
+        # An explicit generator cannot be serialized as provenance; draw one
+        # integer from it and derive everything from that instead.
+        base_seed = int(rng.integers(0, 2 ** 63))
     simulator = LithographySimulator(
         config, resist_model=resist_model, tracer=tracer
     )
@@ -50,8 +107,8 @@ def synthesize_dataset(config: ExperimentConfig,
     )
     centers = np.empty((count, 2), dtype=np.float32)
     array_types = np.empty(count, dtype=object)
+    attempts_used = []
 
-    types = list(ArrayType)
     produced = 0
     attempts = 0
     max_attempts = count * 4
@@ -61,22 +118,30 @@ def synthesize_dataset(config: ExperimentConfig,
                 f"dataset synthesis stalled: {produced}/{count} clips after "
                 f"{attempts} attempts (resist keeps failing to print)"
             )
-        array_type = types[attempts % len(types)]
+        record = synthesize_record(
+            config, simulator, base_seed, attempts,
+            model_based_opc=model_based_opc,
+        )
         attempts += 1
-        clip = generate_clip(config.tech, rng, array_type=array_type)
-        try:
-            result = simulator.simulate_clip(
-                clip, model_based_opc=model_based_opc
-            )
-        except ResistError:
+        if record is None:
             continue
-        masks[produced] = render_mask_rgb(result.layout, image_px)
-        resists[produced, 0] = result.golden_window
-        centers[produced] = bbox_center_rc(result.golden_window)
-        array_types[produced] = array_type.value
+        mask, resist, center, array_type = record
+        masks[produced] = mask
+        resists[produced, 0] = resist
+        centers[produced] = center
+        array_types[produced] = array_type
+        attempts_used.append(attempts - 1)
         produced += 1
 
+    provenance = SynthesisProvenance(
+        config_digest=synthesis_digest(config),
+        base_seed=base_seed,
+        attempts=tuple(attempts_used),
+        resist_model=resist_model,
+        model_based_opc=model_based_opc,
+        tech_name=config.tech.name,
+    )
     return PairedDataset(
         masks, resists, centers, array_types.astype(str),
-        tech_name=config.tech.name,
+        tech_name=config.tech.name, provenance=provenance,
     )

@@ -36,6 +36,21 @@ class DataError(ReproError):
     """Dataset synthesis, encoding, or persistence failed."""
 
 
+class DataIntegrityError(DataError):
+    """Per-record dataset validation failed under a fail-closed policy.
+
+    Carries the quarantined record ``indices`` and their machine-readable
+    ``reasons`` (one tuple of tags per index) so callers — the CLI maps this
+    to its own exit code, distinct from generic pipeline errors — can report
+    exactly which records were rejected and why without parsing the message.
+    """
+
+    def __init__(self, message: str, indices=(), reasons=()):
+        super().__init__(message)
+        self.indices = tuple(indices)
+        self.reasons = tuple(tuple(r) for r in reasons)
+
+
 class ShapeError(ReproError):
     """A tensor had an unexpected shape in the neural-network stack."""
 

@@ -14,6 +14,14 @@ and the training loops consult it at every batch boundary:
 * **File corruption helpers** (:meth:`FaultPlan.truncate_file`,
   :meth:`FaultPlan.corrupt_file`) damage on-disk artifacts to prove that
   loads fail closed.
+* **Record corruption helpers** (:meth:`FaultPlan.corrupt_record`,
+  :meth:`FaultPlan.corrupt_records`,
+  :meth:`FaultPlan.corrupt_random_records`) overwrite exactly the chosen
+  records of a saved dataset archive with seeded in-range noise — the
+  archive stays loadable, so only per-record integrity checks (manifest
+  hashes, golden-geometry validation) can catch the damage.  Data-layer
+  drills use this to prove quarantine is exact: k corrupted records in,
+  exactly those k quarantined out.
 * **Degenerate-output injection** (:meth:`FaultPlan.inject_degenerate`,
   :meth:`FaultPlan.degrade_output`) blanks the generator's output for
   scheduled clip indices, so serving drills can prove the output guards and
@@ -173,6 +181,77 @@ class FaultPlan:
         data = path.read_bytes()
         path.write_bytes(data[:keep_bytes])
         return path
+
+    def corrupt_record(self, path: PathLike, index: int) -> Path:
+        """Overwrite one record of a saved dataset archive with noise.
+
+        The record's mask, resist window, and center label are replaced with
+        values drawn from the plan's seeded RNG — finite and inside [0, 1],
+        so nothing at the archive level notices; only per-record validation
+        (manifest hash mismatch, golden-geometry implausibility) can.  The
+        archive is rewritten in place *without* touching its manifest
+        sidecar, exactly like real bit rot after a valid save.
+        """
+        return self.corrupt_records(path, (index,))
+
+    def corrupt_records(self, path: PathLike, indices) -> Path:
+        """Overwrite the given records of a dataset archive with noise."""
+        from ..errors import DataError
+        from .atomic import atomic_savez
+
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {key: data[key] for key in data.files}
+        except (OSError, ValueError, KeyError) as exc:
+            raise DataError(
+                f"cannot corrupt records of unreadable archive {path}: {exc}"
+            ) from exc
+        for key in ("masks", "resists", "centers"):
+            if key not in arrays:
+                raise DataError(
+                    f"{path} is not a dataset archive (missing {key!r})"
+                )
+        count = arrays["masks"].shape[0]
+        for index in indices:
+            index = int(index)
+            if not 0 <= index < count:
+                raise ConfigError(
+                    f"record index {index} out of range for a {count}-record "
+                    "archive"
+                )
+            arrays["masks"][index] = self._rng.random(
+                arrays["masks"][index].shape, dtype=np.float32
+            )
+            arrays["resists"][index] = self._rng.random(
+                arrays["resists"][index].shape, dtype=np.float32
+            )
+            arrays["centers"][index] = self._rng.random(2) * (
+                arrays["resists"].shape[-1] - 1
+            )
+            self.fired.append(("corrupt_record", str(path), index, 0))
+        atomic_savez(path, arrays)
+        return path
+
+    def corrupt_random_records(self, path: PathLike,
+                               count: int) -> Tuple[int, ...]:
+        """Corrupt ``count`` seed-chosen distinct records of an archive.
+
+        Returns the chosen (sorted) record indices so drills can assert an
+        exact quarantine set.
+        """
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            total = data["masks"].shape[0]
+        if count > total:
+            raise ConfigError(
+                f"cannot corrupt {count} of only {total} records"
+            )
+        chosen = np.sort(self._rng.choice(total, size=count, replace=False))
+        self.corrupt_records(path, chosen)
+        return tuple(int(index) for index in chosen)
 
     @staticmethod
     def corrupt_file(path: PathLike, seed: int = 0,

@@ -25,6 +25,7 @@ from .admission import (
     admit_masks,
 )
 from .guards import (
+    GeometryBounds,
     GuardReport,
     OutputGuard,
     VERDICT_DEGENERATE,
@@ -55,6 +56,7 @@ __all__ = [
     "RANGE_TOLERANCE",
     "Rejection",
     "admit_masks",
+    "GeometryBounds",
     "GuardReport",
     "OutputGuard",
     "VERDICT_DEGENERATE",

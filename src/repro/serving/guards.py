@@ -36,6 +36,54 @@ VERDICT_DEGENERATE = "degenerate"
 
 
 @dataclass(frozen=True)
+class GeometryBounds:
+    """Node-derived plausibility bounds for one resist window, in pixels.
+
+    The single source of truth for "what a physically plausible resist
+    window looks like" at a given technology node and image geometry.  The
+    serving :class:`OutputGuard` applies these bounds to *generated*
+    windows; the data layer's
+    :class:`~repro.data.integrity.DatasetValidator` applies the same bounds
+    to *stored golden* windows — both are calibrated so golden simulator
+    output always passes (property-tested in both subsystems).
+    """
+
+    contact_px: float
+    min_area_px: float
+    max_area_px: float
+    min_cd_px: float
+    max_cd_px: float
+    center_tolerance_px: float
+    max_components: int
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig,
+                    center_tolerance_px: Optional[float] = None
+                    ) -> "GeometryBounds":
+        """Derive the pixel bounds from a config's node/image/serving ratios.
+
+        ``center_tolerance_px`` overrides the serving tolerance — the data
+        layer uses a tighter one, since a stored golden center is recomputed
+        from the very window it describes rather than predicted by a CNN.
+        """
+        serving = config.serving
+        nm_per_px = config.image.resist_nm_per_px(config.tech)
+        contact_px = config.tech.contact_size_nm / nm_per_px
+        return cls(
+            contact_px=contact_px,
+            min_area_px=serving.min_area_ratio * contact_px ** 2,
+            max_area_px=serving.max_area_ratio * contact_px ** 2,
+            min_cd_px=serving.min_cd_ratio * contact_px,
+            max_cd_px=serving.max_cd_ratio * contact_px,
+            center_tolerance_px=(
+                serving.center_tolerance_px if center_tolerance_px is None
+                else center_tolerance_px
+            ),
+            max_components=serving.max_components,
+        )
+
+
+@dataclass(frozen=True)
 class GuardReport:
     """The guard's verdict on one generated window, with its evidence."""
 
@@ -64,19 +112,20 @@ class GuardReport:
 class OutputGuard:
     """Geometry plausibility checks derived from one experiment config."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig,
+                 bounds: Optional[GeometryBounds] = None):
         self.config = config
-        serving = config.serving
-        nm_per_px = config.image.resist_nm_per_px(config.tech)
-        contact_px = config.tech.contact_size_nm / nm_per_px
+        self.bounds = bounds if bounds is not None else (
+            GeometryBounds.from_config(config)
+        )
         #: drawn contact edge length at the window resolution, pixels
-        self.contact_px = contact_px
-        self.min_area_px = serving.min_area_ratio * contact_px ** 2
-        self.max_area_px = serving.max_area_ratio * contact_px ** 2
-        self.min_cd_px = serving.min_cd_ratio * contact_px
-        self.max_cd_px = serving.max_cd_ratio * contact_px
-        self.center_tolerance_px = serving.center_tolerance_px
-        self.max_components = serving.max_components
+        self.contact_px = self.bounds.contact_px
+        self.min_area_px = self.bounds.min_area_px
+        self.max_area_px = self.bounds.max_area_px
+        self.min_cd_px = self.bounds.min_cd_px
+        self.max_cd_px = self.bounds.max_cd_px
+        self.center_tolerance_px = self.bounds.center_tolerance_px
+        self.max_components = self.bounds.max_components
 
     def check(self, window: np.ndarray,
               expected_center: Optional[np.ndarray] = None) -> GuardReport:

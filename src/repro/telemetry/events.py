@@ -23,6 +23,12 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
     Evaluation summary (a machine-readable Table 3 row).
 ``admission``
     Serve-phase batch admission summary (admitted/rejected/sanitized counts).
+``data_quarantine``
+    A dataset integrity pass finished (quarantined/total record counts,
+    per-reason tags, and whether the archive had no manifest).
+``data_repair``
+    Quarantined records were re-synthesized from manifest provenance
+    (repaired count and indices, hash-verified).
 ``fallback``
     One served clip degraded to the physics simulator (carries the clip
     index and the machine-readable cause).
@@ -49,7 +55,8 @@ SCHEMA_VERSION = 1
 #: event types a well-formed run log may contain
 EVENT_TYPES = (
     "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
-    "eval_end", "admission", "fallback", "breaker", "run_end",
+    "eval_end", "admission", "fallback", "breaker",
+    "data_quarantine", "data_repair", "run_end",
 )
 
 #: circuit-breaker states and the transitions a valid serve log may record
@@ -159,6 +166,15 @@ class RunLogger:
             "breaker", from_state=from_state, to_state=to_state, **fields
         )
 
+    def data_quarantine(self, quarantined: int, total: int,
+                        **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "data_quarantine", quarantined=quarantined, total=total, **fields
+        )
+
+    def data_repair(self, repaired: int, **fields: Any) -> Dict[str, Any]:
+        return self.emit("data_repair", repaired=repaired, **fields)
+
     def run_end(self, status: str = "ok", **fields: Any) -> Dict[str, Any]:
         return self.emit("run_end", status=status, **fields)
 
@@ -234,7 +250,10 @@ def validate_run_log(events: List[Dict[str, Any]],
     phase's epoch counter), well-formed serve-phase events (``admission``
     counts are non-negative integers, ``fallback`` names a clip and cause,
     ``breaker`` transitions follow the closed/open/half-open state machine
-    from an initially closed breaker), and (unless ``require_run_end=False``,
+    from an initially closed breaker), well-formed data-integrity events
+    (``data_quarantine`` counts are non-negative integers with
+    ``quarantined <= total``, ``data_repair`` carries a non-negative
+    ``repaired`` count), and (unless ``require_run_end=False``,
     for crash-truncated logs) a terminal ``run_end``.  Raises
     :class:`TelemetryError` on the first violation.
     """
@@ -296,6 +315,26 @@ def validate_run_log(events: List[Dict[str, Any]],
                     raise TelemetryError(
                         f"admission {index} has bad {key} count {value!r}"
                     )
+        if record["event"] == "data_quarantine":
+            quarantined = record.get("quarantined")
+            total = record.get("total")
+            for key, value in (("quarantined", quarantined), ("total", total)):
+                if not isinstance(value, int) or value < 0:
+                    raise TelemetryError(
+                        f"data_quarantine {index} has bad {key} count "
+                        f"{value!r}"
+                    )
+            if quarantined > total:
+                raise TelemetryError(
+                    f"data_quarantine {index} quarantines {quarantined} of "
+                    f"only {total} records"
+                )
+        if record["event"] == "data_repair":
+            repaired = record.get("repaired")
+            if not isinstance(repaired, int) or repaired < 0:
+                raise TelemetryError(
+                    f"data_repair {index} has bad repaired count {repaired!r}"
+                )
         if record["event"] == "fallback":
             if not isinstance(record.get("clip"), int):
                 raise TelemetryError(

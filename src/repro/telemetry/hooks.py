@@ -67,6 +67,15 @@ class TelemetryHook:
                    reason: str = "") -> None:
         """The serving circuit breaker changed state."""
 
+    def on_data_quarantine(self, quarantined: int, total: int,
+                           reasons: Optional[dict] = None,
+                           manifest_missing: bool = False) -> None:
+        """A dataset integrity pass quarantined ``quarantined`` records."""
+
+    def on_data_repair(self, repaired: int,
+                       indices: tuple = ()) -> None:
+        """Quarantined records were re-synthesized and hash-verified."""
+
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         """The run finished (or failed, per ``status``)."""
 
@@ -137,6 +146,20 @@ class CompositeHook(TelemetryHook):
                    reason: str = "") -> None:
         for hook in self.hooks:
             hook.on_breaker(from_state, to_state, reason=reason)
+
+    def on_data_quarantine(self, quarantined: int, total: int,
+                           reasons: Optional[dict] = None,
+                           manifest_missing: bool = False) -> None:
+        for hook in self.hooks:
+            hook.on_data_quarantine(
+                quarantined, total, reasons=reasons,
+                manifest_missing=manifest_missing,
+            )
+
+    def on_data_repair(self, repaired: int,
+                       indices: tuple = ()) -> None:
+        for hook in self.hooks:
+            hook.on_data_repair(repaired, indices=indices)
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         for hook in self.hooks:
@@ -245,6 +268,27 @@ class RunLoggerHook(TelemetryHook):
         if self.registry is not None:
             self.registry.counter(
                 "serve_fallbacks_total", labels={"cause": cause}).inc()
+
+    def on_data_quarantine(self, quarantined: int, total: int,
+                           reasons: Optional[dict] = None,
+                           manifest_missing: bool = False) -> None:
+        if self.logger is not None:
+            self.logger.data_quarantine(
+                quarantined, total, reasons=reasons or {},
+                manifest_missing=manifest_missing,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "data_records_quarantined_total").inc(quarantined)
+            self.registry.counter("data_validations_total").inc()
+
+    def on_data_repair(self, repaired: int,
+                       indices: tuple = ()) -> None:
+        if self.logger is not None:
+            self.logger.data_repair(repaired, indices=list(indices))
+        if self.registry is not None:
+            self.registry.counter(
+                "data_records_repaired_total").inc(repaired)
 
     def on_breaker(self, from_state: str, to_state: str,
                    reason: str = "") -> None:

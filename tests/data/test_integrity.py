@@ -1,0 +1,303 @@
+"""The self-healing data layer: manifests, validation, quarantine, repair."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import N7, tiny
+from repro.data import (
+    MANIFEST_SCHEMA_VERSION,
+    DatasetManifest,
+    DatasetValidator,
+    PairedDataset,
+    build_manifest,
+    dataset_record_hashes,
+    load_dataset,
+    load_manifest,
+    manifest_path_for,
+    record_hash,
+    repair_dataset,
+    save_dataset,
+    synthesis_digest,
+    synthesize_dataset,
+    validate_dataset,
+)
+from repro.errors import ConfigError, DataError, DataIntegrityError
+from repro.runtime import FaultPlan
+
+
+@pytest.fixture()
+def saved(tiny_dataset, tmp_path):
+    """The session dataset saved (with manifest) into this test's tmp dir."""
+    return save_dataset(tiny_dataset, tmp_path / "ds")
+
+
+@pytest.fixture()
+def corrupted(saved):
+    """``saved`` with three seed-chosen records stomped; yields (path, set)."""
+    chosen = FaultPlan(seed=7).corrupt_random_records(saved, 3)
+    return saved, chosen
+
+
+class TestHashing:
+    def test_hash_is_content_addressed(self, tiny_dataset):
+        hashes = dataset_record_hashes(tiny_dataset)
+        assert len(hashes) == len(tiny_dataset)
+        assert len(set(hashes)) == len(hashes)  # distinct records differ
+        assert hashes == dataset_record_hashes(tiny_dataset)  # pure
+
+    def test_hash_sensitive_to_every_field(self, tiny_dataset):
+        i = 0
+        base = record_hash(
+            tiny_dataset.masks[i], tiny_dataset.resists[i],
+            tiny_dataset.centers[i], str(tiny_dataset.array_types[i]),
+        )
+        mask = tiny_dataset.masks[i].copy()
+        mask[0, 0, 0] += 0.5
+        assert record_hash(mask, tiny_dataset.resists[i],
+                           tiny_dataset.centers[i],
+                           str(tiny_dataset.array_types[i])) != base
+        assert record_hash(tiny_dataset.masks[i], tiny_dataset.resists[i],
+                           tiny_dataset.centers[i] + 1.0,
+                           str(tiny_dataset.array_types[i])) != base
+        assert record_hash(tiny_dataset.masks[i], tiny_dataset.resists[i],
+                           tiny_dataset.centers[i], "other") != base
+
+    def test_synthesis_digest_ignores_training_knobs(self, tiny_config):
+        import dataclasses
+
+        other = dataclasses.replace(
+            tiny_config,
+            training=dataclasses.replace(
+                tiny_config.training, epochs=99, seed=123),
+        )
+        assert synthesis_digest(other) == synthesis_digest(tiny_config)
+
+    def test_synthesis_digest_sees_the_node(self, tiny_config):
+        assert synthesis_digest(tiny(N7, num_clips=12)) != \
+            synthesis_digest(tiny_config)
+
+
+class TestManifest:
+    def test_save_writes_schema_versioned_sidecar(self, saved):
+        sidecar = manifest_path_for(saved)
+        assert sidecar.name == "ds.manifest.json"
+        payload = json.loads(sidecar.read_text())
+        assert payload["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert payload["hash_algorithm"] == "sha256"
+        assert payload["num_records"] == len(payload["record_hashes"])
+        assert payload["provenance"]["attempts"]
+
+    def test_manifest_roundtrip(self, saved, tiny_dataset):
+        manifest = load_manifest(saved)
+        assert manifest is not None
+        assert manifest.record_hashes == dataset_record_hashes(tiny_dataset)
+        assert manifest.tech_name == "N10"
+        assert manifest.provenance.base_seed == \
+            tiny_dataset.provenance.base_seed
+
+    def test_missing_manifest_is_none(self, saved):
+        manifest_path_for(saved).unlink()
+        assert load_manifest(saved) is None
+
+    def test_mangled_manifest_fails_closed(self, saved):
+        manifest_path_for(saved).write_text("{not json")
+        with pytest.raises(DataError, match="unreadable dataset manifest"):
+            load_manifest(saved)
+
+    def test_wrong_schema_version_fails_closed(self, saved):
+        sidecar = manifest_path_for(saved)
+        payload = json.loads(sidecar.read_text())
+        payload["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        sidecar.write_text(json.dumps(payload))
+        with pytest.raises(DataError, match="schema_version"):
+            load_manifest(saved)
+
+    def test_provenance_length_mismatch_rejected(self, tiny_dataset):
+        import dataclasses
+
+        short = dataclasses.replace(
+            tiny_dataset.provenance,
+            attempts=tiny_dataset.provenance.attempts[:-1],
+        )
+        with pytest.raises(DataError, match="provenance covers"):
+            build_manifest(tiny_dataset, provenance=short)
+
+    def test_derived_dataset_gets_hash_only_manifest(self, tiny_dataset):
+        subset = tiny_dataset.subset(np.arange(4))
+        manifest = build_manifest(subset)
+        assert manifest.provenance is None
+        assert len(manifest.record_hashes) == 4
+
+
+class TestValidator:
+    def test_fresh_n10_dataset_never_flags(self, tiny_dataset, tiny_config):
+        report = validate_dataset(
+            tiny_dataset, tiny_config, build_manifest(tiny_dataset))
+        assert report.ok
+        assert report.quarantined == 0
+        assert not report.manifest_missing
+        assert "verified" in report.summary()
+
+    def test_fresh_n7_dataset_never_flags(self):
+        config = tiny(N7, num_clips=8, seed=21)
+        dataset = synthesize_dataset(config)
+        report = validate_dataset(dataset, config, build_manifest(dataset))
+        assert report.ok, report.summary()
+
+    def test_nan_record_quarantined_as_non_finite(self, tiny_dataset,
+                                                  tiny_config):
+        resists = tiny_dataset.resists.copy()
+        resists[3, 0, 1, 1] = np.nan
+        broken = PairedDataset(
+            tiny_dataset.masks, resists, tiny_dataset.centers,
+            tiny_dataset.array_types, tech_name=tiny_dataset.tech_name,
+        )
+        report = validate_dataset(broken, tiny_config)
+        assert report.quarantined_indices == (3,)
+        assert "non-finite" in report.issues[0].reasons
+
+    def test_out_of_range_record_quarantined(self, tiny_dataset, tiny_config):
+        resists = tiny_dataset.resists.copy()
+        resists[5] *= 3.0
+        broken = PairedDataset(
+            tiny_dataset.masks, resists, tiny_dataset.centers,
+            tiny_dataset.array_types, tech_name=tiny_dataset.tech_name,
+        )
+        report = validate_dataset(broken, tiny_config)
+        assert 5 in report.quarantined_indices
+        bad = next(i for i in report.issues if i.index == 5)
+        assert "range" in bad.reasons
+
+    def test_center_drift_quarantined(self, tiny_dataset, tiny_config):
+        centers = tiny_dataset.centers.copy()
+        centers[2] += 6.0  # well past the 1-px tolerance
+        broken = PairedDataset(
+            tiny_dataset.masks, tiny_dataset.resists, centers,
+            tiny_dataset.array_types, tech_name=tiny_dataset.tech_name,
+        )
+        report = validate_dataset(broken, tiny_config)
+        assert report.quarantined_indices == (2,)
+        assert "center-drift" in report.issues[0].reasons
+
+    def test_record_count_mismatch_is_archive_level(self, tiny_dataset,
+                                                    tiny_config):
+        manifest = build_manifest(tiny_dataset)
+        subset = tiny_dataset.subset(np.arange(5))
+        with pytest.raises(DataError, match="rewritten"):
+            DatasetValidator(tiny_config).validate(subset, manifest)
+
+    def test_report_accounting(self, corrupted, tiny_config):
+        path, chosen = corrupted
+        report = validate_dataset(
+            load_dataset(path), tiny_config, load_manifest(path))
+        assert report.quarantined_indices == chosen
+        assert report.counts_by_reason()["hash"] == len(chosen)
+        assert set(report.clean_indices).isdisjoint(chosen)
+        assert len(report.clean_indices) + report.quarantined == \
+            report.num_records
+        payload = report.to_dict()
+        assert payload["quarantined"] == len(chosen)
+        assert [i["index"] for i in payload["issues"]] == list(chosen)
+
+
+class TestLoadPolicies:
+    def test_unknown_policy_rejected(self, saved, tiny_config):
+        with pytest.raises(ConfigError, match="policy"):
+            load_dataset(saved, policy="paranoid", config=tiny_config)
+
+    def test_policy_requires_config(self, saved):
+        with pytest.raises(ConfigError, match="requires an ExperimentConfig"):
+            load_dataset(saved, policy="strict")
+
+    def test_strict_passes_a_clean_archive(self, saved, tiny_config,
+                                           tiny_dataset):
+        dataset = load_dataset(saved, policy="strict", config=tiny_config)
+        assert len(dataset) == len(tiny_dataset)
+
+    def test_strict_names_indices_and_reasons(self, corrupted, tiny_config):
+        path, chosen = corrupted
+        with pytest.raises(DataIntegrityError) as excinfo:
+            load_dataset(path, policy="strict", config=tiny_config)
+        assert excinfo.value.indices == chosen
+        assert all("hash" in reasons for reasons in excinfo.value.reasons)
+        for index in chosen:
+            assert str(index) in str(excinfo.value)
+
+    def test_salvage_returns_exactly_the_verified_subset(self, corrupted,
+                                                         tiny_config,
+                                                         tiny_dataset):
+        path, chosen = corrupted
+        dataset, report = load_dataset(
+            path, policy="salvage", config=tiny_config)
+        assert report.quarantined_indices == chosen
+        assert len(dataset) == len(tiny_dataset) - len(chosen)
+        clean = [i for i in range(len(tiny_dataset)) if i not in chosen]
+        assert np.array_equal(dataset.masks, tiny_dataset.masks[clean])
+
+    def test_salvage_of_clean_archive_keeps_everything(self, saved,
+                                                       tiny_config,
+                                                       tiny_dataset):
+        dataset, report = load_dataset(
+            saved, policy="salvage", config=tiny_config)
+        assert report.ok
+        assert len(dataset) == len(tiny_dataset)
+
+    def test_legacy_archive_without_manifest_still_loads(self, saved,
+                                                         tiny_config,
+                                                         tiny_dataset):
+        manifest_path_for(saved).unlink()
+        dataset, report = load_dataset(
+            saved, policy="salvage", config=tiny_config)
+        assert report.manifest_missing
+        assert report.ok  # structural + geometry checks still pass
+        assert len(dataset) == len(tiny_dataset)
+
+
+class TestRepair:
+    def test_repair_restores_bit_identical_records(self, corrupted,
+                                                   tiny_config, tiny_dataset):
+        path, chosen = corrupted
+        manifest = load_manifest(path)
+        report = repair_dataset(path, tiny_config)
+        assert report.repaired_indices == chosen
+        assert report.reasons["hash"] == len(chosen)
+        healed = load_dataset(path)
+        assert dataset_record_hashes(healed) == manifest.record_hashes
+        assert np.array_equal(healed.masks, tiny_dataset.masks)
+        assert np.array_equal(healed.resists, tiny_dataset.resists)
+        assert np.array_equal(healed.centers, tiny_dataset.centers)
+        assert validate_dataset(healed, tiny_config, manifest).ok
+
+    def test_repair_of_clean_archive_is_a_no_op(self, saved, tiny_config):
+        before = saved.read_bytes()
+        report = repair_dataset(saved, tiny_config)
+        assert report.repaired_indices == ()
+        assert saved.read_bytes() == before
+
+    def test_repair_without_manifest_refused(self, corrupted, tiny_config):
+        path, _ = corrupted
+        manifest_path_for(path).unlink()
+        with pytest.raises(DataIntegrityError, match="no manifest"):
+            repair_dataset(path, tiny_config)
+
+    def test_repair_without_provenance_refused(self, tiny_dataset,
+                                               tiny_config, tmp_path):
+        subset = tiny_dataset.subset(np.arange(6))  # derived: no provenance
+        path = save_dataset(subset, tmp_path / "ds")
+        FaultPlan(seed=1).corrupt_record(path, 0)
+        with pytest.raises(DataIntegrityError, match="provenance"):
+            repair_dataset(path, tiny_config)
+
+    def test_repair_under_wrong_config_refused(self, corrupted):
+        path, _ = corrupted
+        with pytest.raises(DataIntegrityError, match="digest"):
+            repair_dataset(path, tiny(N7, num_clips=12))
+
+    def test_repair_preserves_the_manifest_sidecar(self, corrupted,
+                                                   tiny_config):
+        path, _ = corrupted
+        before = manifest_path_for(path).read_bytes()
+        repair_dataset(path, tiny_config)
+        assert manifest_path_for(path).read_bytes() == before

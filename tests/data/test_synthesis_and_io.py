@@ -1,11 +1,22 @@
 """Dataset minting and persistence."""
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
 
 from repro.config import N10, tiny
-from repro.data import load_dataset, save_dataset, synthesize_dataset
-from repro.errors import DataError
+from repro.data import (
+    PairedDataset,
+    load_dataset,
+    save_dataset,
+    synthesize_dataset,
+)
+from repro.errors import DataError, ReproError
 
 
 class TestSynthesis:
@@ -81,4 +92,100 @@ class TestIo:
 
     def test_save_is_atomic_leaves_no_temp(self, tiny_dataset, tmp_path):
         save_dataset(tiny_dataset, tmp_path / "ds")
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "ds.manifest.json", "ds.npz",
+        ]
+
+    def test_save_without_manifest_leaves_only_archive(self, tiny_dataset,
+                                                       tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "ds", manifest=False)
         assert [p.name for p in tmp_path.iterdir()] == ["ds.npz"]
+
+
+_finite_f32 = st.floats(
+    min_value=-1e6, max_value=1e6, width=32,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def _datasets(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    px = draw(st.integers(min_value=4, max_value=8))
+    masks = draw(npst.arrays(
+        np.float32, (count, 3, px, px), elements=_finite_f32))
+    resists = draw(npst.arrays(
+        np.float32, (count, 1, px, px), elements=_finite_f32))
+    centers = draw(npst.arrays(np.float32, (count, 2), elements=_finite_f32))
+    array_types = np.array(draw(st.lists(
+        st.sampled_from(["isolated", "dense_grid", "staggered", "unknown"]),
+        min_size=count, max_size=count,
+    )))
+    tech_name = draw(st.sampled_from(["", "N10", "N7"]))
+    return PairedDataset(masks, resists, centers, array_types,
+                         tech_name=tech_name)
+
+
+class TestRoundTripProperty:
+    """Property: save followed by load is the identity, for any dataset."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(dataset=_datasets())
+    def test_save_load_is_identity(self, dataset):
+        # hypothesis forbids the function-scoped tmp_path fixture (it is not
+        # reset between drawn examples), so each example gets its own dir.
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_dataset(save_dataset(dataset, Path(tmp) / "ds"))
+        assert loaded.masks.dtype == np.float32
+        assert loaded.resists.dtype == np.float32
+        assert loaded.centers.dtype == np.float32
+        assert np.array_equal(loaded.masks, dataset.masks)
+        assert np.array_equal(loaded.resists, dataset.resists)
+        assert np.array_equal(loaded.centers, dataset.centers)
+        assert list(loaded.array_types) == list(dataset.array_types)
+        assert loaded.tech_name == dataset.tech_name
+
+
+class TestArchiveFuzz:
+    """Damaged archives must fail closed: DataError or nothing."""
+
+    def _assert_only_data_error(self, path):
+        try:
+            load_dataset(path)
+        except DataError:
+            pass  # the one permitted failure mode
+        except ReproError as exc:  # pragma: no cover - the failure under test
+            pytest.fail(f"non-DataError leaked from load_dataset: {exc!r}")
+
+    @pytest.mark.parametrize("keep_bytes", [0, 1, 16, 64, 257, 1024, 4000])
+    def test_truncations_raise_only_data_error(self, tiny_dataset, tmp_path,
+                                               keep_bytes):
+        from repro.runtime.faults import FaultPlan
+
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        FaultPlan.truncate_file(path, keep_bytes=keep_bytes)
+        self._assert_only_data_error(path)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bit_flips_raise_only_data_error(self, tiny_dataset, tmp_path,
+                                             seed):
+        from repro.runtime.faults import FaultPlan
+
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        data = bytearray(path.read_bytes())
+        rng = np.random.default_rng(seed)
+        # Flip a handful of single bits at scattered offsets — subtler than
+        # corrupt_file's contiguous stomp, and just as fail-closed.
+        for offset in rng.integers(0, len(data), size=12):
+            data[int(offset)] ^= 1 << int(rng.integers(0, 8))
+        path.write_bytes(bytes(data))
+        self._assert_only_data_error(path)
+
+    @pytest.mark.parametrize("span", [8, 64, 512])
+    def test_stomped_spans_raise_only_data_error(self, tiny_dataset, tmp_path,
+                                                 span):
+        from repro.runtime.faults import FaultPlan
+
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        FaultPlan.corrupt_file(path, seed=span, span=span)
+        self._assert_only_data_error(path)

@@ -71,6 +71,78 @@ class TestScheduling:
             )
 
 
+class TestRecordDamage:
+    @pytest.fixture()
+    def archive(self, tiny_dataset, tmp_path):
+        from repro.data import save_dataset
+
+        return save_dataset(tiny_dataset, tmp_path / "ds")
+
+    def test_corrupt_record_touches_only_its_target(self, archive,
+                                                    tiny_dataset):
+        from repro.data import load_dataset
+
+        plan = FaultPlan(seed=3)
+        plan.corrupt_record(archive, 4)
+        damaged = load_dataset(archive)
+        assert not np.array_equal(damaged.masks[4], tiny_dataset.masks[4])
+        assert not np.array_equal(damaged.resists[4], tiny_dataset.resists[4])
+        untouched = [i for i in range(len(tiny_dataset)) if i != 4]
+        assert np.array_equal(
+            damaged.masks[untouched], tiny_dataset.masks[untouched])
+        assert np.array_equal(
+            damaged.resists[untouched], tiny_dataset.resists[untouched])
+        assert plan.fired == [("corrupt_record", str(archive), 4, 0)]
+
+    def test_noise_stays_in_range(self, archive):
+        from repro.data import load_dataset
+
+        FaultPlan(seed=3).corrupt_record(archive, 0)
+        damaged = load_dataset(archive)
+        # In-range noise: invisible to archive-level checks by design.
+        assert np.all(np.isfinite(damaged.resists[0]))
+        assert damaged.resists[0].min() >= 0.0
+        assert damaged.resists[0].max() <= 1.0
+
+    def test_corruption_is_seed_deterministic(self, tiny_dataset, tmp_path):
+        from repro.data import load_dataset, save_dataset
+
+        a = save_dataset(tiny_dataset, tmp_path / "a")
+        b = save_dataset(tiny_dataset, tmp_path / "b")
+        FaultPlan(seed=9).corrupt_records(a, (1, 5))
+        FaultPlan(seed=9).corrupt_records(b, (1, 5))
+        da, db = load_dataset(a), load_dataset(b)
+        assert np.array_equal(da.masks, db.masks)
+        assert np.array_equal(da.resists, db.resists)
+
+    def test_manifest_sidecar_left_stale(self, archive):
+        from repro.data import manifest_path_for
+
+        before = manifest_path_for(archive).read_bytes()
+        FaultPlan(seed=3).corrupt_record(archive, 2)
+        assert manifest_path_for(archive).read_bytes() == before
+
+    def test_random_records_are_distinct_and_sorted(self, archive,
+                                                    tiny_dataset):
+        chosen = FaultPlan(seed=5).corrupt_random_records(archive, 4)
+        assert len(chosen) == 4
+        assert len(set(chosen)) == 4
+        assert list(chosen) == sorted(chosen)
+        assert all(0 <= i < len(tiny_dataset) for i in chosen)
+
+    def test_out_of_range_index_rejected(self, archive, tiny_dataset):
+        with pytest.raises(ConfigError, match="out of range"):
+            FaultPlan(seed=1).corrupt_record(archive, len(tiny_dataset))
+
+    def test_non_dataset_archive_rejected(self, tmp_path):
+        from repro.errors import DataError
+
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DataError, match="not a dataset archive"):
+            FaultPlan(seed=1).corrupt_record(path, 0)
+
+
 class TestFileDamage:
     def test_truncate(self, tmp_path):
         path = tmp_path / "f.bin"

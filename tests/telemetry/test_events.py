@@ -154,3 +154,60 @@ class TestValidation:
         events[1]["schema_version"] = 99
         with pytest.raises(TelemetryError):
             validate_run_log(events)
+
+
+class TestDataIntegrityEvents:
+    def _run_with(self, path, emit):
+        with RunLogger(path) as logger:
+            logger.run_start(command="evaluate")
+            emit(logger)
+            logger.run_end(status="ok", seconds=1.0)
+        return read_run_log(path)
+
+    def test_quarantine_event_round_trips(self, tmp_path):
+        events = self._run_with(
+            tmp_path / "r.jsonl",
+            lambda log: log.data_quarantine(
+                2, 12, reasons={"hash": 2}, manifest_missing=False),
+        )
+        validate_run_log(events)
+        record = events[1]
+        assert record["event"] == "data_quarantine"
+        assert record["quarantined"] == 2
+        assert record["total"] == 12
+        assert record["reasons"] == {"hash": 2}
+
+    def test_repair_event_round_trips(self, tmp_path):
+        events = self._run_with(
+            tmp_path / "r.jsonl",
+            lambda log: log.data_repair(3, indices=[1, 4, 7]),
+        )
+        validate_run_log(events)
+        assert events[1]["repaired"] == 3
+        assert events[1]["indices"] == [1, 4, 7]
+
+    def test_quarantine_exceeding_total_rejected(self, tmp_path):
+        events = self._run_with(
+            tmp_path / "r.jsonl",
+            lambda log: log.data_quarantine(13, 12),
+        )
+        with pytest.raises(TelemetryError, match="quarantines"):
+            validate_run_log(events)
+
+    def test_negative_counts_rejected(self, tmp_path):
+        events = self._run_with(
+            tmp_path / "r.jsonl",
+            lambda log: log.data_quarantine(0, 12),
+        )
+        events[1]["quarantined"] = -1
+        with pytest.raises(TelemetryError, match="bad quarantined"):
+            validate_run_log(events)
+
+    def test_bad_repaired_count_rejected(self, tmp_path):
+        events = self._run_with(
+            tmp_path / "r.jsonl",
+            lambda log: log.data_repair(1),
+        )
+        events[1]["repaired"] = "three"
+        with pytest.raises(TelemetryError, match="bad repaired"):
+            validate_run_log(events)

@@ -417,6 +417,178 @@ class TestPredict:
         assert "inject-degenerate" in capsys.readouterr().err
 
 
+class TestDataPolicy:
+    """--data-policy: validate, quarantine, salvage, or repair on load."""
+
+    @pytest.fixture
+    def corrupt_copy(self, dataset_path, tmp_path):
+        """A private corrupted copy of the shared dataset (2 bad records)."""
+        import shutil
+
+        from repro.data import manifest_path_for
+        from repro.runtime import FaultPlan
+
+        copy = tmp_path / "ds.npz"
+        shutil.copy(dataset_path, copy)
+        shutil.copy(manifest_path_for(dataset_path), manifest_path_for(copy))
+        chosen = FaultPlan(seed=13).corrupt_random_records(copy, 2)
+        return copy, chosen
+
+    def test_parser_accepts_policies(self):
+        for command in ("train", "evaluate"):
+            args = build_parser().parse_args([
+                command, "--dataset", "d.npz", "--model", "m/",
+                "--data-policy", "salvage",
+            ] if command == "evaluate" else [
+                command, "--dataset", "d.npz", "--out", "m/",
+                "--data-policy", "salvage",
+            ])
+            assert args.data_policy == "salvage"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "evaluate", "--dataset", "d.npz", "--model", "m/",
+                "--data-policy", "paranoid",
+            ])
+
+    def test_strict_passes_clean_dataset(self, dataset_path, serve_model_dir,
+                                         capsys):
+        code = main([
+            "evaluate", "--dataset", str(dataset_path),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "strict",
+        ])
+        assert code == 0
+        assert "all 8 records verified" in capsys.readouterr().out
+
+    def test_strict_fails_closed_with_exit_4(self, corrupt_copy,
+                                             serve_model_dir, capsys):
+        copy, chosen = corrupt_copy
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "strict",
+        ])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        for index in chosen:
+            assert str(index) in err
+
+    def test_salvage_proceeds_on_the_verified_subset(self, corrupt_copy,
+                                                     serve_model_dir,
+                                                     tmp_path, capsys):
+        copy, chosen = corrupt_copy
+        log = tmp_path / "salvage.jsonl"
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "salvage", "--log-json", str(log),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"salvaged {8 - len(chosen)}/8 records" in out
+        events = read_run_log(log)
+        validate_run_log(events)
+        quarantine = next(
+            e for e in events if e["event"] == "data_quarantine")
+        assert quarantine["quarantined"] == len(chosen)
+        assert quarantine["total"] == 8
+        assert not quarantine["manifest_missing"]
+
+    def test_repair_heals_then_strict_passes(self, corrupt_copy,
+                                             serve_model_dir, tmp_path,
+                                             capsys):
+        from repro.data import (
+            dataset_record_hashes,
+            load_dataset,
+            load_manifest,
+        )
+
+        copy, chosen = corrupt_copy
+        log = tmp_path / "repair.jsonl"
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "repair", "--log-json", str(log),
+        ])
+        assert code == 0
+        assert f"repaired {len(chosen)} record(s)" in capsys.readouterr().out
+        manifest = load_manifest(copy)
+        assert dataset_record_hashes(load_dataset(copy)) == \
+            manifest.record_hashes
+        events = read_run_log(log)
+        validate_run_log(events)
+        repair = next(e for e in events if e["event"] == "data_repair")
+        assert repair["repaired"] == len(chosen)
+        assert repair["indices"] == list(chosen)
+        # the healed archive now passes the fail-closed policy
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "strict",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_repaired_evaluate_matches_uncorrupted_baseline(
+            self, dataset_path, corrupt_copy, serve_model_dir, capsys):
+        copy, _ = corrupt_copy
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "repair", "--json",
+        ])
+        assert code == 0
+        repaired_out = capsys.readouterr().out
+        code = main([
+            "evaluate", "--dataset", str(dataset_path),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--json",
+        ])
+        assert code == 0
+        baseline_out = capsys.readouterr().out
+
+        def row(text):
+            return json.loads(text[text.index("{"): text.rindex("}") + 1])
+
+        assert row(repaired_out) == row(baseline_out)
+
+    def test_legacy_archive_warns_but_loads(self, dataset_path,
+                                            serve_model_dir, tmp_path,
+                                            capsys):
+        import shutil
+
+        copy = tmp_path / "legacy.npz"
+        shutil.copy(dataset_path, copy)  # no manifest sidecar
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "strict",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "no integrity manifest" in captured.err
+
+    def test_counters_exported_via_metrics_out(self, corrupt_copy,
+                                               serve_model_dir, tmp_path,
+                                               capsys):
+        copy, chosen = corrupt_copy
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "evaluate", "--dataset", str(copy),
+            "--model", str(serve_model_dir), "--epochs", "1", "--seed", "1",
+            "--data-policy", "repair", "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        families = json.loads(metrics.read_text())["metrics"]
+        assert families["data_records_quarantined_total"]["series"][0][
+            "value"] == len(chosen)
+        assert families["data_records_repaired_total"]["series"][0][
+            "value"] == len(chosen)
+        assert families["data_validations_total"]["series"][0]["value"] == 1
+
+
 class TestProcessWindow:
     def test_runs_and_reports(self, capsys):
         code = main([

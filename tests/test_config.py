@@ -5,6 +5,8 @@ import dataclasses
 import pytest
 
 from repro.config import (
+    DATA_POLICIES,
+    DataIntegrityConfig,
     ExperimentConfig,
     ImageConfig,
     ModelConfig,
@@ -173,6 +175,32 @@ class TestTelemetryConfig:
         assert isinstance(config.telemetry, TelemetryConfig)
         custom = config.replace(telemetry=TelemetryConfig(enabled=False))
         assert not custom.telemetry.enabled
+
+
+class TestDataIntegrityConfig:
+    def test_defaults_valid(self):
+        config = DataIntegrityConfig()
+        assert config.write_manifest
+        assert config.policy == "none"
+        assert config.policy in DATA_POLICIES
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            DataIntegrityConfig(policy="pray")
+
+    def test_rejects_non_positive_tolerance(self):
+        with pytest.raises(ConfigError):
+            DataIntegrityConfig(center_tolerance_px=0.0)
+
+    def test_rejects_empty_salvage_floor(self):
+        with pytest.raises(ConfigError):
+            DataIntegrityConfig(min_salvaged_records=0)
+
+    def test_experiment_config_carries_data_integrity(self):
+        config = reduced()
+        assert isinstance(config.data, DataIntegrityConfig)
+        custom = config.replace(data=DataIntegrityConfig(policy="strict"))
+        assert custom.data.policy == "strict"
 
 
 class TestPresets:
