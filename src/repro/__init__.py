@@ -18,8 +18,15 @@ Subpackages
 ``repro.metrics``    EDE, pixel/class accuracy, mean IoU, CD and center error
 ``repro.eval``       Table 3/4 and Figure 6-9 regeneration harness
 ``repro.telemetry``  metrics registry, span tracing, structured run logs
-``repro.runtime``    fault tolerance: checkpoints, recovery, fault injection
+``repro.runtime``    fault tolerance: checkpoints, recovery, fault injection,
+                     and the deterministic parallel execution engine
 ``repro.serving``    hardened batch inference: admission, guards, fallback
+``repro.api``        the stable high-level façade: ``mint`` / ``train`` /
+                     ``evaluate`` / ``serve`` / ``process_window``
+
+The façade and the parallel-engine types are re-exported here:
+``repro.api`` (lazily), :class:`ParallelConfig`, :class:`ParallelError`,
+and ``WorkerPool``.
 """
 
 from . import config
@@ -28,6 +35,7 @@ from .config import (
     ImageConfig,
     ModelConfig,
     OpticalConfig,
+    ParallelConfig,
     RecoveryConfig,
     ResistConfig,
     TechnologyConfig,
@@ -48,6 +56,7 @@ from .errors import (
     GeometryError,
     LayoutError,
     OpticsError,
+    ParallelError,
     ReproError,
     ResistError,
     ShapeError,
@@ -57,12 +66,31 @@ from .errors import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    """Lazy attributes (PEP 562): the façade and the worker pool.
+
+    ``repro.api`` pulls in the whole model/serving stack and ``WorkerPool``
+    the executor machinery — both load on first touch so that
+    ``import repro`` stays a cheap config+errors import.
+    """
+    if name == "api":
+        import importlib
+        return importlib.import_module(".api", __name__)
+    if name == "WorkerPool":
+        from .runtime.parallel import WorkerPool
+        return WorkerPool
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "api",
     "config",
     "ExperimentConfig",
     "ImageConfig",
     "ModelConfig",
     "OpticalConfig",
+    "ParallelConfig",
     "RecoveryConfig",
     "ResistConfig",
     "TechnologyConfig",
@@ -80,11 +108,13 @@ __all__ = [
     "GeometryError",
     "LayoutError",
     "OpticsError",
+    "ParallelError",
     "ResistError",
     "DataError",
     "ShapeError",
     "TrainingError",
     "EvaluationError",
     "TelemetryError",
+    "WorkerPool",
     "__version__",
 ]

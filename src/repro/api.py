@@ -1,0 +1,468 @@
+"""``repro.api`` — the stable high-level façade over the reproduction.
+
+One flat namespace covering the five workflows a downstream user actually
+runs, so nobody has to know which subpackage owns which moving part:
+
+``mint``
+    Synthesize a paired dataset through the rigorous pipeline (optionally
+    fanned out over a deterministic :class:`~repro.runtime.parallel.WorkerPool`)
+    and optionally save it with its integrity manifest.
+``load_data``
+    Load a saved dataset under an integrity policy (``strict`` / ``salvage``
+    / ``repair``), with the same fail-closed semantics as the CLI.
+``train``
+    Split, train LithoGAN (checkpoints / resume / recovery / fault drills),
+    and optionally save the weight directory.
+``evaluate``
+    Score a model (object or weight directory) on the held-out split and
+    return the Table 3-style row.
+``serve``
+    Hardened batch inference through :class:`~repro.serving.InferenceService`
+    under an explicit serving ``policy``.
+``process_window``
+    Dose/defocus sweep of one synthesized clip.
+``load_model`` / ``save_model``
+    Fail-closed weight restore (:class:`~repro.errors.CheckpointError` on any
+    damage) and the matching writer.
+
+Design rules: configuration objects are the first positional argument,
+everything optional is keyword-only, and every function either returns a
+small frozen result dataclass or the domain object itself.  The CLI's five
+subcommands are thin shells over exactly these functions — anything the CLI
+can do, a script can do with one call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import zipfile
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from .config import (
+    DATA_POLICY_REPAIR,
+    DATA_POLICY_SALVAGE,
+    DATA_POLICY_STRICT,
+    ExperimentConfig,
+    ServingConfig,
+)
+from .core import LithoGan, LithoGanHistory
+from .data import (
+    DatasetValidator,
+    PairedDataset,
+    load_dataset,
+    load_manifest,
+    repair_dataset,
+    save_dataset,
+    synthesize_dataset,
+)
+from .data.integrity import strict_check
+from .errors import CheckpointError, ConfigError, DataIntegrityError
+from .eval import EvaluationSummary, evaluate_predictions, table3_row_dict
+from .optics.cache import configure_kernel_cache
+from .runtime import CheckpointManager, RecoveryPolicy
+
+__all__ = [
+    "EvalResult",
+    "MintResult",
+    "TrainResult",
+    "evaluate",
+    "load_data",
+    "load_model",
+    "mint",
+    "process_window",
+    "save_model",
+    "serve",
+    "train",
+]
+
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Result types
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MintResult:
+    """What :func:`mint` produced: the dataset, and where it was saved."""
+
+    dataset: PairedDataset
+    path: Optional[Path] = None
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainResult:
+    """What :func:`train` produced: the fitted model, history, and split."""
+
+    model: LithoGan
+    history: LithoGanHistory
+    train_set: PairedDataset
+    test_set: PairedDataset
+    out_dir: Optional[Path] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalResult:
+    """What :func:`evaluate` produced: the Table 3 row and its inputs."""
+
+    row: dict
+    summary: EvaluationSummary
+    samples: int
+
+
+# ---------------------------------------------------------------------------
+# Dataset synthesis and loading
+# ---------------------------------------------------------------------------
+
+
+def mint(config: ExperimentConfig, *,
+         workers: Optional[int] = None,
+         out: Optional[Union[str, Path]] = None,
+         resist_model: str = "vtr",
+         model_based_opc: bool = False,
+         rng: Optional[np.random.Generator] = None,
+         tracer=None, faults=None, hook=None, registry=None) -> MintResult:
+    """Synthesize ``config.tech.num_clips`` paired samples, optionally saving.
+
+    ``workers`` (default ``config.parallel.workers``) fans the synthesis out
+    over a deterministic :class:`~repro.runtime.parallel.WorkerPool`; the
+    result — and the saved archive's bytes — are identical for every worker
+    count.  ``out`` writes the archive plus its integrity manifest via
+    :func:`~repro.data.io.save_dataset`.
+    """
+    configure_kernel_cache(config.parallel)
+    dataset = synthesize_dataset(
+        config, rng=rng, resist_model=resist_model,
+        model_based_opc=model_based_opc, tracer=tracer,
+        workers=workers, faults=faults, hook=hook, registry=registry,
+    )
+    path = save_dataset(dataset, out) if out is not None else None
+    return MintResult(dataset=dataset, path=path)
+
+
+def load_data(path: Union[str, Path],
+              config: Union[ExperimentConfig, Callable, None] = None, *,
+              policy: Optional[str] = None,
+              tracer=None,
+              on_report: Optional[Callable] = None,
+              on_repair: Optional[Callable] = None,
+              progress: Optional[Callable] = None) -> PairedDataset:
+    """Load a saved dataset, optionally enforcing an integrity ``policy``.
+
+    ``policy=None`` is a plain archive-level load.  Otherwise the dataset is
+    validated against its manifest sidecar and ``config``'s golden bounds:
+
+    ``"strict"``
+        Raise :class:`~repro.errors.DataIntegrityError` if any record is
+        quarantined.
+    ``"salvage"``
+        Return the verified subset; fail closed below
+        ``config.data.min_salvaged_records``.
+    ``"repair"``
+        Re-synthesize quarantined records from manifest provenance (fanned
+        out per ``config.parallel``) and return the healed, reloaded dataset.
+
+    ``config`` may also be a callable ``num_records -> ExperimentConfig``,
+    for callers who size the config from the dataset they are loading.
+    ``on_report(report)`` fires after validation (before any policy action,
+    so it sees reports that are about to fail closed); ``on_repair(report)``
+    fires after a successful repair; ``progress(message, warn=False)``
+    receives the human-readable narration the CLI prints.
+    """
+    dataset = load_dataset(path)
+    if policy is None:
+        return dataset
+    if config is None:
+        raise ConfigError(
+            f"load_data(policy={policy!r}) requires an ExperimentConfig "
+            "to derive validation bounds from"
+        )
+    if callable(config):
+        config = config(len(dataset))
+
+    def _say(message: str, warn: bool = False) -> None:
+        if progress is not None:
+            progress(message, warn=warn)
+
+    manifest = load_manifest(path)
+    if manifest is None:
+        _say(
+            f"warning: no integrity manifest beside {path}; "
+            "only structural validation is possible",
+            warn=True,
+        )
+    report = DatasetValidator(config).validate(dataset, manifest)
+    if on_report is not None:
+        on_report(report)
+    _say(f"data integrity ({policy}): {report.summary()}")
+    if policy == DATA_POLICY_STRICT:
+        strict_check(report, source=str(path))
+        return dataset
+    if policy == DATA_POLICY_SALVAGE:
+        if report.ok:
+            return dataset
+        clean = np.array(report.clean_indices, dtype=int)
+        if len(clean) < config.data.min_salvaged_records:
+            raise DataIntegrityError(
+                f"salvage would leave only {len(clean)} of "
+                f"{report.num_records} records, below the configured "
+                f"minimum of {config.data.min_salvaged_records}",
+                indices=report.quarantined_indices,
+                reasons=[issue.reasons for issue in report.issues],
+            )
+        _say(
+            f"salvaged {len(clean)}/{report.num_records} records "
+            f"(quarantined {list(report.quarantined_indices)})"
+        )
+        return dataset.subset(clean)
+    if policy == DATA_POLICY_REPAIR:
+        if report.ok:
+            return dataset
+        configure_kernel_cache(config.parallel)
+        repair_report = repair_dataset(path, config, report=report,
+                                       tracer=tracer)
+        if on_repair is not None:
+            on_repair(repair_report)
+        _say(
+            f"repaired {len(repair_report.repaired_indices)} record(s) by "
+            f"deterministic re-synthesis "
+            f"(hash-verified: {repair_report.verified_hashes})"
+        )
+        return load_dataset(path)
+    raise ConfigError(f"unknown data policy {policy!r}")
+
+
+# ---------------------------------------------------------------------------
+# Training
+# ---------------------------------------------------------------------------
+
+
+def train(config: ExperimentConfig, dataset: PairedDataset, *,
+          checkpoints: Optional[Union[str, Path, CheckpointManager]] = None,
+          checkpoint_every: int = 1,
+          resume: bool = False,
+          recovery: Union[bool, RecoveryPolicy, None] = None,
+          out: Optional[Union[str, Path]] = None,
+          faults=None, hook=None, tracer=None) -> TrainResult:
+    """Split ``dataset``, train LithoGAN, and optionally save the weights.
+
+    ``checkpoints`` accepts either a prepared
+    :class:`~repro.runtime.CheckpointManager` or a directory path (one is
+    built from ``config.recovery``); ``recovery=True`` likewise builds a
+    :class:`~repro.runtime.RecoveryPolicy` from the config.  ``resume=True``
+    restarts bit-exactly from the latest checkpoint.  The split and the
+    model share one generator seeded by ``config.training.seed``, so the
+    held-out set matches what :func:`evaluate` reconstructs.
+    """
+    if dataset.image_size != config.model.image_size:
+        raise ConfigError(
+            f"dataset resolution {dataset.image_size} does not match "
+            f"the model resolution {config.model.image_size}"
+        )
+    configure_kernel_cache(config.parallel)
+    rng = np.random.default_rng(config.training.seed)
+    train_set, test_set = dataset.split(config.training.train_fraction, rng)
+    model = LithoGan(config, rng)
+    manager = checkpoints
+    if isinstance(manager, (str, Path)):
+        rec = config.recovery
+        manager = CheckpointManager(
+            manager, keep_last=rec.keep_last, keep_best=rec.keep_best
+        )
+    policy = recovery
+    if policy is True:
+        policy = RecoveryPolicy(config.recovery)
+    elif policy is False:
+        policy = None
+    history = model.fit(
+        train_set, rng, hook=hook, tracer=tracer,
+        checkpoints=manager, checkpoint_every=checkpoint_every,
+        resume_from=True if resume else None,
+        recovery=policy, faults=faults,
+    )
+    out_dir = None
+    if out is not None:
+        out_dir = save_model(
+            model, history, out,
+            seed=config.training.seed, node=config.tech.name,
+        )
+    return TrainResult(
+        model=model, history=history,
+        train_set=train_set, test_set=test_set, out_dir=out_dir,
+    )
+
+
+def save_model(model: LithoGan, history: Optional[LithoGanHistory],
+               out_dir: Union[str, Path], *,
+               seed: Optional[int] = None,
+               node: Optional[str] = None) -> Path:
+    """Write a LithoGAN weight directory (the layout :func:`load_model` reads).
+
+    Emits ``generator.npz`` / ``discriminator.npz`` / ``center_cnn.npz`` /
+    ``center_scaling.npz`` plus, when ``history`` is given, a
+    ``history.json`` with per-epoch losses and the run's seed/node stamp.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    model.cgan.generator.save(out / "generator.npz")
+    model.cgan.discriminator.save(out / "discriminator.npz")
+    model.center_cnn.save(out / "center_cnn.npz")
+    np.savez(
+        out / "center_scaling.npz",
+        mean=model._center_mean,
+        std=model._center_std,
+    )
+    if history is not None:
+        (out / "history.json").write_text(json.dumps({
+            "generator_loss": history.cgan.generator_loss,
+            "discriminator_loss": history.cgan.discriminator_loss,
+            "l1_loss": history.cgan.l1_loss,
+            "epoch_seconds": history.cgan.seconds,
+            "center_loss": history.center.loss,
+            "center_epoch_seconds": history.center.seconds,
+            "seed": seed,
+            "node": node,
+        }, indent=2))
+    return out
+
+
+def load_model(model_dir: Union[str, Path], config: ExperimentConfig, *,
+               seed: Optional[int] = None) -> LithoGan:
+    """Restore saved LithoGAN weights, failing closed.
+
+    Every load problem — a missing directory, an absent or truncated weight
+    file, a mangled scaling archive — surfaces as a
+    :class:`~repro.errors.CheckpointError` naming the offending path (the
+    CLI maps it to exit code 3).  A model that cannot be fully restored must
+    never serve or score.
+    """
+    if seed is None:
+        seed = config.training.seed
+    model = LithoGan(config, np.random.default_rng(seed))
+    model_dir = Path(model_dir)
+    model.cgan.generator.load(model_dir / "generator.npz")
+    model.cgan.discriminator.load(model_dir / "discriminator.npz")
+    model.center_cnn.load(model_dir / "center_cnn.npz")
+    scaling_path = model_dir / "center_scaling.npz"
+    try:
+        with np.load(scaling_path, allow_pickle=False) as data:
+            mean, std = data["mean"], data["std"]
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"weight file not found: {scaling_path}"
+        ) from None
+    except (OSError, ValueError, EOFError, KeyError,
+            zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"unreadable weight file {scaling_path}: {exc}"
+        ) from exc
+    if mean.shape != (2,) or std.shape != (2,):
+        raise CheckpointError(
+            f"{scaling_path}: center scaling must be two (mean, std) pairs, "
+            f"got shapes {mean.shape} and {std.shape}"
+        )
+    model._center_mean = mean.astype(np.float32)
+    model._center_std = std.astype(np.float32)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Scoring and serving
+# ---------------------------------------------------------------------------
+
+
+def evaluate(config: ExperimentConfig, dataset: PairedDataset,
+             model: Union[LithoGan, str, Path], *,
+             tracer=None) -> EvalResult:
+    """Score ``model`` on the held-out split of ``dataset`` (Table 3 row).
+
+    ``model`` may be a fitted :class:`~repro.core.LithoGan` or a weight
+    directory (restored fail-closed via :func:`load_model`).  The split is
+    reconstructed with ``config.training.seed``, matching :func:`train`.
+    """
+    if isinstance(model, (str, Path)):
+        model = load_model(model, config)
+    rng = np.random.default_rng(config.training.seed)
+    _, test = dataset.split(config.training.train_fraction, rng)
+    predict_span = (tracer.span("predict", samples=len(test))
+                    if tracer is not None else nullcontext())
+    with predict_span:
+        predictions = model.predict_resist(test.masks)
+    nm_per_px = config.image.resist_nm_per_px(config.tech)
+    score_span = (tracer.span("score", samples=len(test))
+                  if tracer is not None else nullcontext())
+    with score_span:
+        _, summary = evaluate_predictions(
+            "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
+            golden_centers=test.centers,
+            predicted_centers=model.predict_centers(test.masks),
+        )
+    row = table3_row_dict(dataset.tech_name or config.tech.name, summary)
+    return EvalResult(row=row, summary=summary, samples=len(test))
+
+
+def serve(model: Union[LithoGan, str, Path],
+          clips: Union[np.ndarray, Sequence[np.ndarray]], *,
+          config: ExperimentConfig,
+          policy: Optional[ServingConfig] = None,
+          deadline_s=_UNSET,
+          limit: Optional[int] = None,
+          faults=None, hook=None, tracer=None, simulator=None):
+    """Hardened batch inference; returns the per-clip
+    :class:`~repro.serving.BatchReport`.
+
+    ``model`` may be a fitted LithoGAN or a weight directory.  ``policy``
+    overrides ``config.serving`` wholesale (admission, guards, retries,
+    fallback, breaker); ``deadline_s`` overrides just the batch deadline
+    (``None`` disables it).  When ``config.parallel.workers > 1`` the
+    per-clip evaluation ladders of each micro-batch run concurrently with
+    serial-identical results.  ``faults`` drives the degradation drills.
+    """
+    from .serving import InferenceService
+
+    if policy is not None:
+        config = dataclasses.replace(config, serving=policy)
+    configure_kernel_cache(config.parallel)
+    if isinstance(model, (str, Path)):
+        model = load_model(model, config)
+    masks = clips if limit is None else clips[:limit]
+    service = InferenceService(
+        model, config, hook=hook, tracer=tracer, simulator=simulator,
+    )
+    kwargs = {"faults": faults}
+    if deadline_s is not _UNSET:
+        kwargs["deadline_s"] = deadline_s
+    return service.serve_batch(masks, **kwargs)
+
+
+def process_window(config: ExperimentConfig, *,
+                   array_type: str = "isolated",
+                   rng: Optional[np.random.Generator] = None,
+                   tracer=None):
+    """Dose/defocus sweep of one synthesized clip; returns the
+    :class:`~repro.sim.ProcessWindow`.
+
+    The clip is drawn from ``config.tech`` with ``rng`` (default: seeded by
+    ``config.training.seed``) for the requested contact-array family.
+    """
+    from .layout import ArrayType, build_mask_layout, generate_clip
+    from .sim import sweep_process_window
+
+    if rng is None:
+        rng = np.random.default_rng(config.training.seed)
+    family = ArrayType(array_type) if isinstance(array_type, str) else array_type
+    clip = generate_clip(config.tech, rng, array_type=family)
+    layout = build_mask_layout(clip)
+    span = (tracer.span("sweep", array_type=family.value)
+            if tracer is not None else nullcontext())
+    with span:
+        return sweep_process_window(layout, config)

@@ -1,10 +1,14 @@
 """Command-line interface: ``repro-litho <command>``.
 
-Subcommands cover the library's main entry points so a downstream user can
-drive the whole reproduction without writing Python:
+Every subcommand is a thin shell over the :mod:`repro.api` façade — the CLI
+parses flags, narrates progress, and maps errors to exit codes, while all
+actual work (synthesis, training, scoring, serving, sweeping) happens in
+``repro.api`` so scripts and the CLI can never drift apart:
 
 ``mint``
-    Synthesize a paired dataset through the rigorous pipeline and save it.
+    Synthesize a paired dataset through the rigorous pipeline and save it
+    (``--workers N`` fans out deterministically; results are byte-identical
+    for any worker count).
 ``train``
     Train LithoGAN on a saved dataset; saves model weights and the split.
 ``evaluate``
@@ -17,15 +21,21 @@ drive the whole reproduction without writing Python:
 
 Example session::
 
-    repro-litho mint --node N10 --clips 120 --out n10.npz
+    repro-litho mint --node N10 --clips 120 --workers 4 --out n10.npz
     repro-litho train --dataset n10.npz --epochs 10 --out model/
     repro-litho evaluate --dataset n10.npz --model model/
     repro-litho predict --dataset n10.npz --model model/ --report serve.json
     repro-litho process-window --node N10 --seed 7
 
-Exit codes: 0 success, 1 pipeline error, 2 usage error, 3 missing or
-corrupted model weights (fail-closed), 4 dataset failed integrity
-validation or repair (fail-closed), 130 interrupted.
+Shared flags (``--node``/``--seed``/``--log-json``/``--metrics-out``, and
+``--workers``/``--data-policy``/``--epochs`` where they apply) live on
+parent parsers, so every subcommand spells them identically.
+
+Exit codes: 0 success, 1 pipeline error (including a crashed parallel
+worker, reported as a :class:`~repro.errors.ParallelError` naming the
+shard), 2 usage error, 3 missing or corrupted model weights (fail-closed),
+4 dataset failed integrity validation or repair (fail-closed), 130
+interrupted.
 """
 
 from __future__ import annotations
@@ -35,11 +45,11 @@ import dataclasses
 import json
 import sys
 import time
-import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from . import api
 from .config import (
     DATA_POLICY_REPAIR,
     DATA_POLICY_SALVAGE,
@@ -49,25 +59,11 @@ from .config import (
     N10,
     reduced,
 )
-from .core import LithoGan
-from .data import (
-    DatasetValidator,
-    load_dataset,
-    load_manifest,
-    repair_dataset,
-    save_dataset,
-    synthesize_dataset,
-)
-from .data.integrity import strict_check
+from .data import load_dataset
 from .errors import CheckpointError, DataIntegrityError, ReproError
-from .eval import (
-    evaluate_predictions,
-    format_table3,
-    render_table,
-    table3_row_dict,
-)
+from .eval import format_table3, render_table
 from .layout import ArrayType
-from .runtime import CheckpointManager, FaultPlan, RecoveryPolicy
+from .runtime import FaultPlan
 from .telemetry import MetricsRegistry, RunLogger, RunLoggerHook, Tracer
 
 
@@ -76,10 +72,17 @@ def _tech(name: str):
 
 
 def _config_for(args, num_clips: int) -> ExperimentConfig:
-    return reduced(
+    config = reduced(
         _tech(args.node), num_clips=num_clips,
         epochs=getattr(args, "epochs", 10), seed=args.seed,
     )
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        config = dataclasses.replace(
+            config,
+            parallel=dataclasses.replace(config.parallel, workers=workers),
+        )
+    return config
 
 
 # ---------------------------------------------------------------------------
@@ -151,65 +154,29 @@ class _RunTelemetry:
 
 
 def _load_dataset_with_policy(args, telemetry):
-    """Load ``args.dataset``, applying ``--data-policy`` if one was given.
+    """Load ``args.dataset`` through :func:`repro.api.load_data`.
 
-    Validation runs against the archive's integrity manifest (hash checks,
-    structural checks, golden-label geometry).  ``strict`` fails closed on
-    any quarantined record (exit code 4 via :class:`DataIntegrityError`);
-    ``salvage`` drops quarantined records and proceeds on the verified
-    remainder (still failing closed below ``min_salvaged_records``);
-    ``repair`` re-synthesizes quarantined records from manifest provenance
-    and reloads the healed archive.
+    The façade owns the validation/salvage/repair mechanics; this shell
+    wires its callbacks to the CLI's prints and telemetry counters/events,
+    so the observable behaviour (messages, metrics, exit codes) is exactly
+    the pre-façade CLI's.
     """
-    dataset = load_dataset(args.dataset)
     policy = getattr(args, "data_policy", None)
     if policy is None:
-        return dataset
-    config = _config_for(args, len(dataset))
-    manifest = load_manifest(args.dataset)
-    if manifest is None:
-        print(
-            f"warning: no integrity manifest beside {args.dataset}; "
-            "only structural validation is possible",
-            file=sys.stderr,
-        )
-    report = DatasetValidator(config).validate(dataset, manifest)
-    telemetry.registry.counter(
-        "data_records_quarantined_total").inc(report.quarantined)
-    telemetry.registry.counter("data_validations_total").inc()
-    if telemetry.logger is not None:
-        telemetry.logger.data_quarantine(
-            report.quarantined, report.num_records,
-            reasons=report.counts_by_reason(),
-            manifest_missing=report.manifest_missing,
-        )
-    print(f"data integrity ({policy}): {report.summary()}")
-    if policy == DATA_POLICY_STRICT:
-        strict_check(report, source=str(args.dataset))
-        return dataset
-    if policy == DATA_POLICY_SALVAGE:
-        if report.ok:
-            return dataset
-        clean = np.array(report.clean_indices, dtype=int)
-        if len(clean) < config.data.min_salvaged_records:
-            raise DataIntegrityError(
-                f"salvage would leave only {len(clean)} of "
-                f"{report.num_records} records, below the configured "
-                f"minimum of {config.data.min_salvaged_records}",
-                indices=report.quarantined_indices,
-                reasons=[issue.reasons for issue in report.issues],
+        return load_dataset(args.dataset)
+
+    def on_report(report):
+        telemetry.registry.counter(
+            "data_records_quarantined_total").inc(report.quarantined)
+        telemetry.registry.counter("data_validations_total").inc()
+        if telemetry.logger is not None:
+            telemetry.logger.data_quarantine(
+                report.quarantined, report.num_records,
+                reasons=report.counts_by_reason(),
+                manifest_missing=report.manifest_missing,
             )
-        print(
-            f"salvaged {len(clean)}/{report.num_records} records "
-            f"(quarantined {list(report.quarantined_indices)})"
-        )
-        return dataset.subset(clean)
-    if policy == DATA_POLICY_REPAIR:
-        if report.ok:
-            return dataset
-        repair_report = repair_dataset(
-            args.dataset, config, report=report, tracer=telemetry.tracer,
-        )
+
+    def on_repair(repair_report):
         repaired = len(repair_report.repaired_indices)
         telemetry.registry.counter(
             "data_records_repaired_total").inc(repaired)
@@ -217,23 +184,39 @@ def _load_dataset_with_policy(args, telemetry):
             telemetry.logger.data_repair(
                 repaired, indices=list(repair_report.repaired_indices),
             )
-        print(
-            f"repaired {repaired} record(s) by deterministic re-synthesis "
-            f"(hash-verified: {repair_report.verified_hashes})"
-        )
-        return load_dataset(args.dataset)
-    raise ReproError(f"unknown data policy {policy!r}")
+
+    def progress(message, warn=False):
+        print(message, file=sys.stderr if warn else sys.stdout)
+
+    return api.load_data(
+        args.dataset, lambda num_records: _config_for(args, num_records),
+        policy=policy, tracer=telemetry.tracer,
+        on_report=on_report, on_repair=on_repair, progress=progress,
+    )
 
 
 def cmd_mint(args) -> int:
     telemetry = args.telemetry
     config = _config_for(args, args.clips)
-    print(f"minting {args.clips} {args.node} clips (seed {args.seed}) ...")
-    dataset = synthesize_dataset(config, tracer=telemetry.tracer)
-    path = save_dataset(dataset, args.out)
-    telemetry.registry.counter("clips_processed_total").inc(len(dataset))
-    print(f"wrote {len(dataset)} samples to {path}")
-    telemetry.finish(clips=len(dataset), out=str(path))
+    faults = None
+    crash_shards = getattr(args, "inject_worker_crash", None) or []
+    if crash_shards:
+        faults = FaultPlan(seed=args.seed)
+        for shard in crash_shards:
+            faults.inject_worker_crash(shard)
+        print(f"fault drill: crashing the worker for shard(s) "
+              f"{sorted(set(crash_shards))}")
+    workers = config.parallel.workers
+    worker_part = f", workers {workers}" if workers > 1 else ""
+    print(f"minting {args.clips} {args.node} clips "
+          f"(seed {args.seed}{worker_part}) ...")
+    result = api.mint(
+        config, out=args.out, tracer=telemetry.tracer,
+        faults=faults, hook=telemetry.hook(), registry=telemetry.registry,
+    )
+    telemetry.registry.counter("clips_processed_total").inc(len(result))
+    print(f"wrote {len(result)} samples to {result.path}")
+    telemetry.finish(clips=len(result), out=str(result.path))
     return 0
 
 
@@ -286,138 +269,66 @@ def cmd_train(args) -> int:
         print(f"error: {message}", file=sys.stderr)
         telemetry.finish(status="error", error=message)
         return 2
-    rng = np.random.default_rng(args.seed)
-    train, test = dataset.split(config.training.train_fraction, rng)
-    print(f"training LithoGAN on {len(train)} samples, "
+    # The same deterministic cut PairedDataset.split makes — just for the
+    # narration; the façade performs the actual split.
+    cut = int(round(config.training.train_fraction * len(dataset)))
+    cut = min(max(cut, 1), len(dataset) - 1)
+    print(f"training LithoGAN on {cut} samples, "
           f"{config.training.epochs} epochs ...")
-    model = LithoGan(config, rng)
-    checkpoints = None
-    recovery = None
     if args.checkpoint_dir:
-        rec = config.recovery
-        checkpoints = CheckpointManager(
-            args.checkpoint_dir, keep_last=rec.keep_last,
-            keep_best=rec.keep_best,
-        )
-        recovery = RecoveryPolicy(rec)
         print(f"checkpointing every {args.checkpoint_every} epoch(s) "
               f"to {args.checkpoint_dir}"
               + (" (resuming)" if args.resume else ""))
-    history = model.fit(
-        train, rng, hook=telemetry.hook(), tracer=telemetry.tracer,
-        checkpoints=checkpoints, checkpoint_every=args.checkpoint_every,
-        resume_from=True if args.resume else None,
-        recovery=recovery, faults=faults,
+    result = api.train(
+        config, dataset,
+        checkpoints=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        recovery=bool(args.checkpoint_dir),
+        out=args.out,
+        faults=faults, hook=telemetry.hook(), tracer=telemetry.tracer,
     )
-    telemetry.registry.counter("clips_processed_total").inc(len(train))
-
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    model.cgan.generator.save(out / "generator.npz")
-    model.cgan.discriminator.save(out / "discriminator.npz")
-    model.center_cnn.save(out / "center_cnn.npz")
-    np.savez(
-        out / "center_scaling.npz",
-        mean=model._center_mean,
-        std=model._center_std,
-    )
-    (out / "history.json").write_text(json.dumps({
-        "generator_loss": history.cgan.generator_loss,
-        "discriminator_loss": history.cgan.discriminator_loss,
-        "l1_loss": history.cgan.l1_loss,
-        "epoch_seconds": history.cgan.seconds,
-        "center_loss": history.center.loss,
-        "center_epoch_seconds": history.center.seconds,
-        "seed": args.seed,
-        "node": args.node,
-    }, indent=2))
-    print(f"saved weights and history to {out}/ "
+    history = result.history
+    telemetry.registry.counter(
+        "clips_processed_total").inc(len(result.train_set))
+    print(f"saved weights and history to {result.out_dir}/ "
           f"(final L1 {history.cgan.l1_loss[-1]:.3f})")
     telemetry.finish(
         epochs=history.cgan.epochs_trained,
         final_l1=round(history.cgan.l1_loss[-1], 4),
-        samples=len(train),
+        samples=len(result.train_set),
     )
     return 0
-
-
-def _load_lithogan(model_dir, config: ExperimentConfig,
-                   seed: int) -> LithoGan:
-    """Restore saved LithoGAN weights, failing closed.
-
-    Every load problem — a missing directory, an absent or truncated weight
-    file, a mangled scaling archive — surfaces as a
-    :class:`~repro.errors.CheckpointError` naming the offending path, which
-    :func:`main` maps to exit code 3.  A model that cannot be fully restored
-    must never serve or score.
-    """
-    model = LithoGan(config, np.random.default_rng(seed))
-    model_dir = Path(model_dir)
-    model.cgan.generator.load(model_dir / "generator.npz")
-    model.cgan.discriminator.load(model_dir / "discriminator.npz")
-    model.center_cnn.load(model_dir / "center_cnn.npz")
-    scaling_path = model_dir / "center_scaling.npz"
-    try:
-        with np.load(scaling_path, allow_pickle=False) as data:
-            mean, std = data["mean"], data["std"]
-    except FileNotFoundError:
-        raise CheckpointError(
-            f"weight file not found: {scaling_path}"
-        ) from None
-    except (OSError, ValueError, EOFError, KeyError,
-            zipfile.BadZipFile) as exc:
-        raise CheckpointError(
-            f"unreadable weight file {scaling_path}: {exc}"
-        ) from exc
-    if mean.shape != (2,) or std.shape != (2,):
-        raise CheckpointError(
-            f"{scaling_path}: center scaling must be two (mean, std) pairs, "
-            f"got shapes {mean.shape} and {std.shape}"
-        )
-    model._center_mean = mean.astype(np.float32)
-    model._center_std = std.astype(np.float32)
-    return model
 
 
 def cmd_evaluate(args) -> int:
     telemetry = args.telemetry
     dataset = _load_dataset_with_policy(args, telemetry)
     config = _config_for(args, len(dataset))
-    rng = np.random.default_rng(args.seed)
-    _, test = dataset.split(config.training.train_fraction, rng)
-
-    model = _load_lithogan(args.model, config, args.seed)
-
-    with telemetry.tracer.span("predict", samples=len(test)):
-        predictions = model.predict_resist(test.masks)
-    nm_per_px = config.image.resist_nm_per_px(config.tech)
-    with telemetry.tracer.span("score", samples=len(test)):
-        _, summary = evaluate_predictions(
-            "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
-            golden_centers=test.centers,
-            predicted_centers=model.predict_centers(test.masks),
-        )
-    telemetry.registry.counter("eval_samples_total").inc(len(test))
-    row = table3_row_dict(dataset.tech_name or args.node, summary)
+    result = api.evaluate(config, dataset, args.model,
+                          tracer=telemetry.tracer)
+    telemetry.registry.counter("eval_samples_total").inc(result.samples)
     if telemetry.logger is not None:
-        telemetry.logger.eval_end(**row)
+        telemetry.logger.eval_end(**result.row)
     if args.json:
-        print(json.dumps(row, indent=2))
+        print(json.dumps(result.row, indent=2))
     else:
         print(render_table(
-            format_table3(dataset.tech_name or args.node, [summary])
+            format_table3(dataset.tech_name or args.node, [result.summary])
         ))
-        if summary.center_error_nm is not None:
-            print(f"center-prediction error: {summary.center_error_nm:.2f} nm")
+        if result.summary.center_error_nm is not None:
+            print(f"center-prediction error: "
+                  f"{result.summary.center_error_nm:.2f} nm")
     telemetry.finish(
-        samples=len(test), ede_mean_nm=round(summary.ede_mean_nm, 4)
+        samples=result.samples,
+        ede_mean_nm=round(result.summary.ede_mean_nm, 4),
     )
     return 0
 
 
 def cmd_predict(args) -> int:
     """Hardened batch inference: every admitted clip is answered."""
-    from .serving import InferenceService, serve_latency_quantiles
+    from .serving import serve_latency_quantiles
 
     telemetry = args.telemetry
     if args.inject_degenerate is not None and not (
@@ -430,14 +341,10 @@ def cmd_predict(args) -> int:
         return 2
     dataset = load_dataset(args.dataset)
     config = _config_for(args, len(dataset))
+    policy = None
     if args.no_fallback:
-        config = dataclasses.replace(
-            config,
-            serving=dataclasses.replace(
-                config.serving, fallback_enabled=False
-            ),
-        )
-    model = _load_lithogan(args.model, config, args.seed)
+        policy = dataclasses.replace(config.serving, fallback_enabled=False)
+    model = api.load_model(args.model, config, seed=args.seed)
 
     masks = dataset.masks
     if args.limit is not None:
@@ -453,16 +360,17 @@ def cmd_predict(args) -> int:
         print(f"fault drill: degrading {len(injected)} of {len(masks)} "
               f"generator outputs (clips {list(injected)})")
 
-    service = InferenceService(
-        model, config, hook=telemetry.hook(), tracer=telemetry.tracer,
-    )
+    serving = policy if policy is not None else config.serving
     print(f"serving {len(masks)} clips "
-          f"(micro-batch {config.serving.micro_batch}, fallback "
-          f"{'on' if config.serving.fallback_enabled else 'off'}) ...")
+          f"(micro-batch {serving.micro_batch}, fallback "
+          f"{'on' if serving.fallback_enabled else 'off'}) ...")
     serve_kwargs = {"faults": faults}
     if args.deadline is not None:
         serve_kwargs["deadline_s"] = args.deadline
-    report = service.serve_batch(masks, **serve_kwargs)
+    report = api.serve(
+        model, masks, config=config, policy=policy,
+        hook=telemetry.hook(), tracer=telemetry.tracer, **serve_kwargs,
+    )
 
     verdicts = report.verdicts()
     print(f"served {report.admitted}/{len(masks)} clips "
@@ -500,18 +408,11 @@ def cmd_predict(args) -> int:
 
 
 def cmd_process_window(args) -> int:
-    from .layout import build_mask_layout, generate_clip
-    from .sim import sweep_process_window
-
     telemetry = args.telemetry
     config = _config_for(args, 1)
-    rng = np.random.default_rng(args.seed)
-    clip = generate_clip(
-        config.tech, rng, array_type=ArrayType(args.array_type)
+    window = api.process_window(
+        config, array_type=args.array_type, tracer=telemetry.tracer,
     )
-    layout = build_mask_layout(clip)
-    with telemetry.tracer.span("sweep", array_type=args.array_type):
-        window = sweep_process_window(layout, config)
     telemetry.registry.counter("clips_processed_total").inc()
     print(f"nominal CD: {window.nominal_cd_nm:.1f} nm")
     defocus, cds = window.bossung_curve(1.0)
@@ -531,8 +432,42 @@ def cmd_process_window(args) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _add_data_policy_flag(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument(
+def _common_parent() -> argparse.ArgumentParser:
+    """Flags every subcommand shares: node, seed, telemetry sinks."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--node", choices=("N10", "N7"), default="N10")
+    parent.add_argument("--seed", type=int, default=0)
+    parent.add_argument(
+        "--log-json", dest="log_json", metavar="PATH", default=None,
+        help="append schema-versioned JSONL run events to PATH",
+    )
+    parent.add_argument(
+        "--metrics-out", dest="metrics_out", metavar="PATH", default=None,
+        help="write the run's metrics registry as JSON to PATH",
+    )
+    return parent
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    """``--workers`` for the subcommands that fan work out."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan work out over N deterministic workers (results are "
+             "byte-identical for any N; default: 1)",
+    )
+    return parent
+
+
+def _epochs_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--epochs", type=int, default=10)
+    return parent
+
+
+def _data_policy_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--data-policy", dest="data_policy",
         choices=(DATA_POLICY_STRICT, DATA_POLICY_SALVAGE, DATA_POLICY_REPAIR),
         default=None,
@@ -541,17 +476,7 @@ def _add_data_policy_flag(sub: argparse.ArgumentParser) -> None:
              "quarantined records, repair re-synthesizes them from the "
              "integrity manifest",
     )
-
-
-def _add_telemetry_flags(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument(
-        "--log-json", dest="log_json", metavar="PATH", default=None,
-        help="append schema-versioned JSONL run events to PATH",
-    )
-    sub.add_argument(
-        "--metrics-out", dest="metrics_out", metavar="PATH", default=None,
-        help="write the run's metrics registry as JSON to PATH",
-    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,20 +485,30 @@ def build_parser() -> argparse.ArgumentParser:
         description="LithoGAN reproduction command-line interface",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
+    workers = _workers_parent()
+    epochs = _epochs_parent()
+    data_policy = _data_policy_parent()
 
-    mint = sub.add_parser("mint", help="synthesize a paired dataset")
-    mint.add_argument("--node", choices=("N10", "N7"), default="N10")
+    mint = sub.add_parser(
+        "mint", help="synthesize a paired dataset",
+        parents=[common, workers],
+    )
     mint.add_argument("--clips", type=int, default=120)
-    mint.add_argument("--seed", type=int, default=0)
     mint.add_argument("--out", required=True, help="output .npz path")
-    _add_telemetry_flags(mint)
+    mint.add_argument(
+        "--inject-worker-crash", dest="inject_worker_crash",
+        action="append", type=int, metavar="SHARD", default=None,
+        help="fault drill: crash the parallel worker assigned shard SHARD "
+             "mid-mint (the run fails closed, naming the shard)",
+    )
     mint.set_defaults(func=cmd_mint)
 
-    train = sub.add_parser("train", help="train LithoGAN on a dataset")
+    train = sub.add_parser(
+        "train", help="train LithoGAN on a dataset",
+        parents=[common, epochs, data_policy, workers],
+    )
     train.add_argument("--dataset", required=True)
-    train.add_argument("--node", choices=("N10", "N7"), default="N10")
-    train.add_argument("--epochs", type=int, default=10)
-    train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", required=True, help="output weight directory")
     train.add_argument(
         "--checkpoint-dir", dest="checkpoint_dir", metavar="DIR", default=None,
@@ -599,32 +534,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SITE", default=None,
         help="fault drill: simulate a kill at [PHASE:]EPOCH[:BATCH]",
     )
-    _add_data_policy_flag(train)
-    _add_telemetry_flags(train)
     train.set_defaults(func=cmd_train)
 
-    evaluate = sub.add_parser("evaluate", help="score saved weights")
+    evaluate = sub.add_parser(
+        "evaluate", help="score saved weights",
+        parents=[common, epochs, data_policy, workers],
+    )
     evaluate.add_argument("--dataset", required=True)
     evaluate.add_argument("--model", required=True)
-    evaluate.add_argument("--node", choices=("N10", "N7"), default="N10")
-    evaluate.add_argument("--epochs", type=int, default=10)
-    evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument(
         "--json", action="store_true",
         help="print the Table 3 row as machine-readable JSON",
     )
-    _add_data_policy_flag(evaluate)
-    _add_telemetry_flags(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     predict = sub.add_parser(
-        "predict", help="hardened batch inference with graceful degradation"
+        "predict", help="hardened batch inference with graceful degradation",
+        parents=[common, epochs, workers],
     )
     predict.add_argument("--dataset", required=True)
     predict.add_argument("--model", required=True)
-    predict.add_argument("--node", choices=("N10", "N7"), default="N10")
-    predict.add_argument("--epochs", type=int, default=10)
-    predict.add_argument("--seed", type=int, default=0)
     predict.add_argument(
         "--limit", type=int, default=None, metavar="N",
         help="serve only the first N clips of the dataset",
@@ -649,21 +578,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="write the full per-clip serve report as JSON to PATH",
     )
-    _add_telemetry_flags(predict)
     predict.set_defaults(func=cmd_predict)
 
     window = sub.add_parser(
-        "process-window", help="dose/defocus sweep of one clip"
+        "process-window", help="dose/defocus sweep of one clip",
+        parents=[common],
     )
-    window.add_argument("--node", choices=("N10", "N7"), default="N10")
     window.add_argument(
         "--array-type",
         choices=[t.value for t in ArrayType],
         default="isolated",
         dest="array_type",
     )
-    window.add_argument("--seed", type=int, default=0)
-    _add_telemetry_flags(window)
     window.set_defaults(func=cmd_process_window)
     return parser
 

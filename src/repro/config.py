@@ -397,6 +397,67 @@ class DataIntegrityConfig:
 
 
 # ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+#: worker-pool backends: ``auto`` resolves to ``serial`` for one worker and
+#: ``process`` otherwise; ``thread`` exists for shared-memory fan-outs
+#: (serving) where pickling the model would dominate.
+PARALLEL_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Deterministic fan-out knobs: worker count, backend, kernel cache.
+
+    ``workers`` is the default fan-out width for synthesis/repair/serving
+    (the CLI's ``--workers`` flag wins).  ``backend`` selects the
+    :class:`~repro.runtime.parallel.WorkerPool` execution strategy;
+    ``chunk_size`` caps how many items one shard carries (``None`` =
+    near-even split across workers).  ``timeout_s`` bounds how long the
+    parent waits on any single shard before converting the stall into a
+    :class:`~repro.errors.ParallelError` (never a hang).
+
+    The kernel-cache fields govern the content-addressed on-disk cache of
+    TCC/SOCS decompositions (see :mod:`repro.optics.cache`):
+    ``kernel_cache`` switches it off entirely, ``kernel_cache_dir``
+    overrides the default location (``$REPRO_KERNEL_CACHE_DIR`` or
+    ``~/.cache/repro-litho/kernels``), and ``kernel_cache_entries`` bounds
+    retention (oldest entries beyond the bound are evicted on store).
+    """
+
+    workers: int = 1
+    backend: str = "auto"
+    chunk_size: Optional[int] = None
+    timeout_s: float = 300.0
+    kernel_cache: bool = True
+    kernel_cache_dir: Optional[str] = None
+    kernel_cache_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in PARALLEL_BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
+        if self.timeout_s <= 0:
+            raise ConfigError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.kernel_cache_entries < 1:
+            raise ConfigError(
+                "kernel_cache_entries must be >= 1, got "
+                f"{self.kernel_cache_entries}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Serving
 # ---------------------------------------------------------------------------
 
@@ -546,6 +607,7 @@ class ExperimentConfig:
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     data: DataIntegrityConfig = field(default_factory=DataIntegrityConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

@@ -557,7 +557,9 @@ class RepairReport:
 
 def repair_dataset(path: PathLike, config: ExperimentConfig,
                    report: Optional[QuarantineReport] = None,
-                   tracer=None) -> RepairReport:
+                   tracer=None, *,
+                   workers: Optional[int] = None,
+                   faults=None, hook=None, registry=None) -> RepairReport:
     """Re-synthesize exactly the quarantined records of a saved dataset.
 
     Loads the archive and its manifest, validates (or accepts a prior
@@ -568,10 +570,17 @@ def repair_dataset(path: PathLike, config: ExperimentConfig,
     impossible (no manifest, no provenance, config digest mismatch, or a
     regenerated record that does not reproduce its manifest hash) — repair
     is deterministic or it is refused.
+
+    ``workers`` (default: ``config.parallel.workers``) fans the quarantined
+    attempts out over a :class:`~repro.runtime.parallel.WorkerPool`; the
+    hash proof and the rewrite always happen in the parent, so a parallel
+    repair is exactly as strict as a serial one (and, since every record
+    regenerates from its own provenance, bit-identical to it).
     """
+    from ..runtime.parallel import WorkerPool, chunk_indices
     from ..sim import LithographySimulator
     from .io import load_dataset, save_dataset
-    from .synthesis import synthesize_record
+    from .synthesis import _synthesize_shard, synthesize_record
 
     path = Path(path)
     dataset = load_dataset(path)
@@ -602,21 +611,60 @@ def repair_dataset(path: PathLike, config: ExperimentConfig,
             repaired_indices=(), num_records=len(dataset),
         )
 
-    simulator = LithographySimulator(
-        config, resist_model=provenance.resist_model, tracer=tracer,
-    )
+    if workers is None:
+        workers = config.parallel.workers
+    indices = report.quarantined_indices
+    regenerated_records = {}
+    simulator = None
+    if workers > 1 and len(indices) > 1:
+        from ..optics.imaging import get_imager
+
+        # Pre-warm the decomposition once in the parent (forked workers
+        # inherit it; spawned ones hit the verified disk cache).
+        warm = LithographySimulator(
+            config, resist_model=provenance.resist_model,
+        )
+        get_imager(config.optical, warm.grid.extent_nm,
+                   config.optical.grid_size)
+        attempt_list = [provenance.attempts[index] for index in indices]
+        with WorkerPool(
+            workers=workers, backend=config.parallel.backend,
+            chunk_size=config.parallel.chunk_size,
+            timeout_s=config.parallel.timeout_s,
+            tracer=tracer, hook=hook, registry=registry, faults=faults,
+        ) as pool:
+            payloads = [
+                (config, provenance.base_seed,
+                 tuple(attempt_list[chunk.start:chunk.stop]),
+                 provenance.resist_model, provenance.model_based_opc)
+                for chunk in chunk_indices(
+                    len(attempt_list), workers, config.parallel.chunk_size)
+            ]
+            shards = pool.map(
+                _synthesize_shard, payloads, task="repair_dataset"
+            )
+        regenerated_records = {
+            attempt: record for shard in shards for attempt, record in shard
+        }
+    else:
+        simulator = LithographySimulator(
+            config, resist_model=provenance.resist_model, tracer=tracer,
+        )
     masks = dataset.masks.copy()
     resists = dataset.resists.copy()
     centers = dataset.centers.copy()
     array_types = np.array([str(t) for t in dataset.array_types], dtype=object)
 
     verified = []
-    for index in report.quarantined_indices:
+    for index in indices:
         attempt = provenance.attempts[index]
-        record = synthesize_record(
-            config, simulator, provenance.base_seed, attempt,
-            model_based_opc=provenance.model_based_opc,
-        )
+        if simulator is None:
+            record = regenerated_records[attempt]
+        else:
+            record = synthesize_record(
+                config, simulator, provenance.base_seed, attempt,
+                model_based_opc=provenance.model_based_opc,
+            )
         if record is None:
             raise DataIntegrityError(
                 f"cannot repair {path}: record {index} (attempt {attempt}) "

@@ -29,7 +29,7 @@ from ..config import (
     ExperimentConfig,
 )
 from ..errors import ConfigError, DataError
-from ..runtime.atomic import atomic_savez
+from ..runtime.atomic import atomic_write_bytes, serialize_npz
 from .dataset import PairedDataset
 
 _REQUIRED_KEYS = ("masks", "resists", "centers", "array_types")
@@ -39,28 +39,36 @@ def save_dataset(dataset: PairedDataset, path: Union[str, Path],
                  manifest: bool = True) -> Path:
     """Write a dataset to ``path`` (a ``.npz`` suffix is added if missing).
 
-    The archive is written atomically: readers observe either the previous
-    complete file or the new one, never a torn intermediate.  Unless
-    ``manifest=False``, a ``<name>.manifest.json`` sidecar with per-record
-    content hashes (and synthesis provenance, when the dataset carries it)
-    is written alongside — also atomically, after the archive, so a crash
-    between the two writes leaves a dataset whose manifest simply flags
-    every changed record rather than a torn file.
+    Both writes are atomic, and the archive's bytes are *deterministic*
+    (fixed zip-member timestamps via
+    :func:`~repro.runtime.atomic.serialize_npz`), so equal datasets always
+    produce byte-identical files — the property the ``--workers N``
+    equivalence guarantee is tested against.
+
+    Unless ``manifest=False``, a ``<name>.manifest.json`` integrity sidecar
+    with per-record content hashes (and synthesis provenance, when the
+    dataset carries it) is written **before** the archive.  That ordering
+    makes the pair crash-consistent: a kill between the two writes leaves a
+    manifest without its archive (loading reports a missing dataset file)
+    or, when overwriting, a fresh manifest beside the previous archive —
+    whose stale records then fail their hash checks under ``strict``/
+    ``salvage`` policies.  No crash point can leave an archive that is
+    silently mistaken for a manifest-less legacy dataset.
     """
     from .integrity import build_manifest, manifest_path_for
 
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    atomic_savez(path, {
+    if manifest:
+        build_manifest(dataset).save(manifest_path_for(path))
+    atomic_write_bytes(path, serialize_npz({
         "masks": dataset.masks,
         "resists": dataset.resists,
         "centers": dataset.centers,
         "array_types": dataset.array_types.astype(str),
         "tech_name": np.array(dataset.tech_name),
-    })
-    if manifest:
-        build_manifest(dataset).save(manifest_path_for(path))
+    }))
     return path
 
 

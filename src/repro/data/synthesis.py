@@ -14,13 +14,15 @@ replaying the records before it (the repair path of
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import ExperimentConfig
 from ..errors import DataError, ResistError
 from ..layout import ArrayType, generate_clip, render_mask_rgb
+from ..optics.imaging import get_imager
+from ..runtime.parallel import WorkerPool, chunk_indices
 from ..sim import LithographySimulator
 from ..telemetry.trace import Tracer
 from .dataset import PairedDataset
@@ -69,11 +71,35 @@ def synthesize_record(config: ExperimentConfig,
     return mask, resist, center, array_type.value
 
 
+def _synthesize_shard(payload) -> List[Tuple[int, Optional[Tuple]]]:
+    """Worker entry: mint one contiguous block of synthesis attempts.
+
+    Module-level (and payload-only) so the process backend can pickle it.
+    Each worker builds its own simulator; on a forked worker the parent's
+    imager cache is inherited, and on a spawned one the on-disk kernel
+    cache spares the eigendecomposition.  Returns ``(attempt, record)``
+    pairs in attempt order — record is ``None`` for non-printing attempts,
+    exactly as the serial loop would have observed.
+    """
+    config, base_seed, attempts, resist_model, model_based_opc = payload
+    simulator = LithographySimulator(config, resist_model=resist_model)
+    return [
+        (attempt, synthesize_record(
+            config, simulator, base_seed, attempt,
+            model_based_opc=model_based_opc,
+        ))
+        for attempt in attempts
+    ]
+
+
 def synthesize_dataset(config: ExperimentConfig,
                        rng: Optional[np.random.Generator] = None,
                        resist_model: str = "vtr",
                        model_based_opc: bool = False,
-                       tracer: Optional[Tracer] = None) -> PairedDataset:
+                       tracer: Optional[Tracer] = None, *,
+                       workers: Optional[int] = None,
+                       faults=None, hook=None,
+                       registry=None) -> PairedDataset:
     """Mint a full paired dataset for one technology node.
 
     Clips whose target contact fails to print (possible for extreme random
@@ -83,8 +109,18 @@ def synthesize_dataset(config: ExperimentConfig,
     per-record attempt schedule) from which any record can be re-synthesized
     bit-identically.
 
+    ``workers`` (default: ``config.parallel.workers``) fans the per-attempt
+    work out over a :class:`~repro.runtime.parallel.WorkerPool`.  Because
+    every attempt derives from its own ``record_rng(base_seed, attempt)``
+    child and the dataset always takes the first ``num_clips`` successful
+    attempts in attempt order, the parallel result is **bit-identical** to
+    the serial one for any worker count.  ``faults``/``hook``/``registry``
+    thread crash injection and telemetry into the pool.
+
     ``tracer`` (optional) collects the simulator's per-stage spans
-    (rasterize/optical/resist/contour) across the whole mint.
+    (rasterize/optical/resist/contour) across the whole mint; under a
+    parallel run it instead records per-shard ``parallel_shard`` spans
+    (worker-local stage timings stay in the workers).
     """
     from .integrity import SynthesisProvenance, synthesis_digest
 
@@ -94,10 +130,9 @@ def synthesize_dataset(config: ExperimentConfig,
         # An explicit generator cannot be serialized as provenance; draw one
         # integer from it and derive everything from that instead.
         base_seed = int(rng.integers(0, 2 ** 63))
-    simulator = LithographySimulator(
-        config, resist_model=resist_model, tracer=tracer
-    )
 
+    if workers is None:
+        workers = config.parallel.workers
     count = config.tech.num_clips
     image_px = config.image.mask_image_px
     masks = np.empty((count, 3, image_px, image_px), dtype=np.float32)
@@ -107,31 +142,84 @@ def synthesize_dataset(config: ExperimentConfig,
     )
     centers = np.empty((count, 2), dtype=np.float32)
     array_types = np.empty(count, dtype=object)
-    attempts_used = []
-
-    produced = 0
-    attempts = 0
+    attempts_used: List[int] = []
     max_attempts = count * 4
-    while produced < count:
-        if attempts >= max_attempts:
-            raise DataError(
-                f"dataset synthesis stalled: {produced}/{count} clips after "
-                f"{attempts} attempts (resist keeps failing to print)"
-            )
-        record = synthesize_record(
-            config, simulator, base_seed, attempts,
-            model_based_opc=model_based_opc,
+
+    if workers <= 1:
+        simulator = LithographySimulator(
+            config, resist_model=resist_model, tracer=tracer
         )
-        attempts += 1
-        if record is None:
-            continue
-        mask, resist, center, array_type = record
-        masks[produced] = mask
-        resists[produced, 0] = resist
-        centers[produced] = center
-        array_types[produced] = array_type
-        attempts_used.append(attempts - 1)
-        produced += 1
+        produced = 0
+        attempts = 0
+        while produced < count:
+            if attempts >= max_attempts:
+                raise DataError(
+                    f"dataset synthesis stalled: {produced}/{count} clips "
+                    f"after {attempts} attempts (resist keeps failing to "
+                    "print)"
+                )
+            record = synthesize_record(
+                config, simulator, base_seed, attempts,
+                model_based_opc=model_based_opc,
+            )
+            attempts += 1
+            if record is None:
+                continue
+            mask, resist, center, array_type = record
+            masks[produced] = mask
+            resists[produced, 0] = resist
+            centers[produced] = center
+            array_types[produced] = array_type
+            attempts_used.append(attempts - 1)
+            produced += 1
+    else:
+        # Pre-warm the shared imager in the parent: forked workers inherit
+        # it in memory, spawned ones reload it from the verified disk cache
+        # — either way the eigendecomposition happens once, not per worker.
+        warm = LithographySimulator(config, resist_model=resist_model)
+        get_imager(config.optical, warm.grid.extent_nm,
+                   config.optical.grid_size)
+        produced = 0
+        next_attempt = 0
+        with WorkerPool(
+            workers=workers, backend=config.parallel.backend,
+            chunk_size=config.parallel.chunk_size,
+            timeout_s=config.parallel.timeout_s,
+            tracer=tracer, hook=hook, registry=registry, faults=faults,
+        ) as pool:
+            while produced < count:
+                if next_attempt >= max_attempts:
+                    raise DataError(
+                        f"dataset synthesis stalled: {produced}/{count} "
+                        f"clips after {next_attempt} attempts (resist keeps "
+                        "failing to print)"
+                    )
+                wave = range(next_attempt, min(
+                    next_attempt + max(count - produced, workers),
+                    max_attempts,
+                ))
+                payloads = [
+                    (config, base_seed,
+                     tuple(wave[chunk.start:chunk.stop]),
+                     resist_model, model_based_opc)
+                    for chunk in chunk_indices(
+                        len(wave), workers, config.parallel.chunk_size)
+                ]
+                shards = pool.map(
+                    _synthesize_shard, payloads, task="synthesize_dataset"
+                )
+                for attempt, record in (pair for shard in shards
+                                        for pair in shard):
+                    if record is None or produced >= count:
+                        continue
+                    mask, resist, center, array_type = record
+                    masks[produced] = mask
+                    resists[produced, 0] = resist
+                    centers[produced] = center
+                    array_types[produced] = array_type
+                    attempts_used.append(attempt)
+                    produced += 1
+                next_attempt = wave.stop
 
     provenance = SynthesisProvenance(
         config_digest=synthesis_digest(config),

@@ -51,6 +51,22 @@ class DataIntegrityError(DataError):
         self.reasons = tuple(tuple(r) for r in reasons)
 
 
+class ParallelError(ReproError):
+    """A parallel fan-out failed: a worker crashed, timed out, or raised.
+
+    Carries the ``shard`` index the failure was attributed to and the
+    ``task`` name of the fan-out, so callers (and the CLI's error line) can
+    name exactly which slice of work died without parsing the message.  The
+    engine converts every worker death into this exception — a dead worker
+    must never become a hang.
+    """
+
+    def __init__(self, message: str, shard=None, task: str = ""):
+        super().__init__(message)
+        self.shard = shard
+        self.task = task
+
+
 class ShapeError(ReproError):
     """A tensor had an unexpected shape in the neural-network stack."""
 

@@ -5,6 +5,12 @@ from .pupil import Pupil
 from .tcc import TccModel, compute_tcc_matrix
 from .socs import SocsKernels, decompose_tcc
 from .imaging import AerialImager, abbe_aerial_image
+from .cache import (
+    KernelCache,
+    active_kernel_cache,
+    configure_kernel_cache,
+    optical_digest,
+)
 
 __all__ = [
     "SourceGrid",
@@ -18,4 +24,8 @@ __all__ = [
     "decompose_tcc",
     "AerialImager",
     "abbe_aerial_image",
+    "KernelCache",
+    "active_kernel_cache",
+    "configure_kernel_cache",
+    "optical_digest",
 ]

@@ -1,0 +1,265 @@
+"""Content-addressed on-disk cache for TCC/SOCS kernel decompositions.
+
+Building an :class:`~repro.optics.imaging.AerialImager` costs a Hopkins TCC
+assembly plus a dense Hermitian eigendecomposition — by far the most
+expensive one-time step in the simulation stack.  The in-memory imager cache
+amortizes it within one process, but every fresh process (a spawned worker,
+a new CLI invocation, a CI job step) pays it again.  This module persists
+the decomposition across processes:
+
+* **Keying** is content-addressed: the cache key is the SHA-256 digest of a
+  canonical JSON encoding of the :class:`~repro.config.OpticalConfig`
+  fields plus the imaging extent and grid size — the exact inputs the TCC
+  depends on.  Two configs that image identically share an entry; any field
+  change misses.
+* **Writes** are atomic (:func:`repro.runtime.atomic.atomic_write_bytes`
+  over deterministic :func:`~repro.runtime.atomic.serialize_npz` bytes), so
+  concurrent workers racing to populate the same entry each land a complete
+  file and the last rename wins — with identical content.
+* **Reads fail closed to recompute**: every load re-hashes the stored
+  arrays against an embedded content digest; a mismatch (bit rot, torn
+  write from a pre-atomic tool, schema drift) deletes the entry and
+  returns a miss.  A cache problem can therefore never produce wrong
+  physics — only a slower run.
+* **Eviction** keeps the newest ``max_entries`` entries by modification
+  time; the store path prunes the tail best-effort.
+
+Location and kill switch: ``$REPRO_KERNEL_CACHE_DIR`` overrides the default
+``~/.cache/repro-litho/kernels`` root; ``REPRO_KERNEL_CACHE=0`` disables the
+cache entirely.  :func:`configure_kernel_cache` applies the equivalent
+:class:`~repro.config.ParallelConfig` knobs process-wide (the CLI and
+``repro.api`` call it before building simulators).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..config import OpticalConfig, ParallelConfig
+from ..errors import CheckpointError
+from ..runtime.atomic import atomic_write_bytes, serialize_npz
+from .socs import SocsKernels
+
+#: bump when the cache-entry layout changes incompatibly
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_KERNEL_CACHE_DIR"
+_ENV_ENABLED = "REPRO_KERNEL_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The kernel-cache root: ``$REPRO_KERNEL_CACHE_DIR`` or ``~/.cache``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-litho" / "kernels"
+
+
+def optical_digest(optical: OpticalConfig, extent_nm: float,
+                   grid_size: int) -> str:
+    """SHA-256 content address for one (optical config, grid) decomposition.
+
+    Hashes a canonical (sorted-key) JSON encoding of every
+    ``OpticalConfig`` field plus the imaging extent and grid size — the
+    complete input set of ``compute_tcc_matrix`` + ``decompose_tcc``.
+    """
+    payload = {
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "optical": asdict(optical),
+        "extent_nm": float(extent_nm),
+        "grid_size": int(grid_size),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _content_digest(spectra: np.ndarray, weights: np.ndarray,
+                    grid_size: int, extent_nm: float,
+                    energy_captured: float) -> str:
+    """SHA-256 over the stored array bytes, for verified loads."""
+    digest = hashlib.sha256()
+    digest.update(str(spectra.shape).encode())
+    digest.update(np.ascontiguousarray(spectra.real).tobytes())
+    digest.update(np.ascontiguousarray(spectra.imag).tobytes())
+    digest.update(np.ascontiguousarray(weights).tobytes())
+    digest.update(f"{grid_size}:{extent_nm!r}:{energy_captured!r}".encode())
+    return digest.hexdigest()
+
+
+class KernelCache:
+    """Verified, bounded, content-addressed kernel store on disk."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None,
+                 max_entries: int = 32) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_entries = max(1, int(max_entries))
+
+    def path_for(self, optical: OpticalConfig, extent_nm: float,
+                 grid_size: int) -> Path:
+        digest = optical_digest(optical, extent_nm, grid_size)
+        return self.root / f"{digest}.npz"
+
+    # -- load ----------------------------------------------------------------
+
+    def load(self, optical: OpticalConfig, extent_nm: float,
+             grid_size: int) -> Optional[SocsKernels]:
+        """Return verified kernels for this configuration, or ``None``.
+
+        Any read/parse/verification failure deletes the offending entry and
+        reports a miss — the caller recomputes, so a damaged cache can only
+        cost time, never correctness.
+        """
+        path = self.path_for(optical, extent_nm, grid_size)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                spectra = (data["spectra_real"]
+                           + 1j * data["spectra_imag"]).astype(np.complex128)
+                weights = np.asarray(data["weights"], dtype=np.float64)
+                grid = int(data["grid_size"])
+                extent = float(data["extent_nm"])
+                energy = float(data["energy_captured"])
+                stored = str(data["content_sha256"])
+                schema = int(data["schema_version"])
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 — any damage is a verified miss
+            self._discard(path)
+            return None
+        expected = _content_digest(spectra, weights, grid, extent, energy)
+        if schema != CACHE_SCHEMA_VERSION or stored != expected:
+            self._discard(path)
+            return None
+        try:
+            return SocsKernels(
+                spectra=spectra, weights=weights, grid_size=grid,
+                extent_nm=extent, energy_captured=energy,
+            )
+        except Exception:  # noqa: BLE001 — e.g. shape/ordering invariants
+            self._discard(path)
+            return None
+
+    # -- store ---------------------------------------------------------------
+
+    def store(self, optical: OpticalConfig, extent_nm: float,
+              grid_size: int, kernels: SocsKernels) -> Optional[Path]:
+        """Persist kernels atomically; best-effort (returns None on failure).
+
+        A full disk or read-only cache directory must never break the
+        simulation, so storage errors are swallowed here.
+        """
+        path = self.path_for(optical, extent_nm, grid_size)
+        arrays = {
+            "schema_version": np.array(CACHE_SCHEMA_VERSION),
+            "spectra_real": np.ascontiguousarray(kernels.spectra.real),
+            "spectra_imag": np.ascontiguousarray(kernels.spectra.imag),
+            "weights": np.asarray(kernels.weights, dtype=np.float64),
+            "grid_size": np.array(kernels.grid_size),
+            "extent_nm": np.array(kernels.extent_nm),
+            "energy_captured": np.array(kernels.energy_captured),
+            "content_sha256": np.array(_content_digest(
+                kernels.spectra, np.asarray(kernels.weights, np.float64),
+                kernels.grid_size, kernels.extent_nm,
+                kernels.energy_captured,
+            )),
+        }
+        try:
+            atomic_write_bytes(path, serialize_npz(arrays))
+        except (OSError, CheckpointError, ValueError):
+            return None
+        self._evict()
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _evict(self) -> None:
+        """Drop the oldest entries beyond ``max_entries`` (best-effort)."""
+        try:
+            entries = sorted(
+                self.root.glob("*.npz"),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return
+        for stale in entries[self.max_entries:]:
+            self._discard(stale)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        try:
+            entries = list(self.root.glob("*.npz"))
+        except OSError:
+            return 0
+        for path in entries:
+            self._discard(path)
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Process-wide active cache: get_imager consults this on in-memory misses.
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+_active: object = _UNSET  # lazily resolved: KernelCache or None (disabled)
+
+
+def _env_disabled() -> bool:
+    return os.environ.get(_ENV_ENABLED, "1").strip().lower() in (
+        "0", "false", "no", "off",
+    )
+
+
+def configure_kernel_cache(
+        config: Optional[ParallelConfig]) -> Optional[KernelCache]:
+    """Apply ``ParallelConfig`` cache knobs process-wide; returns the cache.
+
+    Passing a config with ``kernel_cache=False`` (or ``None`` with
+    ``REPRO_KERNEL_CACHE=0`` in the environment) disables disk caching
+    until reconfigured.
+    """
+    global _active
+    if config is None:
+        _active = _UNSET  # fall back to environment defaults
+        return active_kernel_cache()
+    if not config.kernel_cache or _env_disabled():
+        _active = None
+        return None
+    _active = KernelCache(
+        root=config.kernel_cache_dir,
+        max_entries=config.kernel_cache_entries,
+    )
+    return _active
+
+
+def active_kernel_cache() -> Optional[KernelCache]:
+    """The process-wide cache, or ``None`` when caching is disabled."""
+    global _active
+    if _active is _UNSET:
+        _active = None if _env_disabled() else KernelCache()
+    return _active  # type: ignore[return-value]
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "KernelCache",
+    "active_kernel_cache",
+    "configure_kernel_cache",
+    "default_cache_dir",
+    "optical_digest",
+]

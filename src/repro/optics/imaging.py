@@ -48,6 +48,32 @@ class AerialImager:
         )
         self.kernels: SocsKernels = decompose_tcc(tcc, optical.num_kernels)
 
+    @classmethod
+    def from_kernels(cls, optical: OpticalConfig, extent_nm: float,
+                     kernels: SocsKernels,
+                     grid_size: Optional[int] = None) -> "AerialImager":
+        """Build an imager around an existing decomposition (cache loads).
+
+        Skips the TCC assembly and eigendecomposition entirely; the kernels
+        must match the requested grid (verified here, since they typically
+        come off disk).
+        """
+        if extent_nm <= 0:
+            raise OpticsError(f"extent must be positive, got {extent_nm}")
+        imager = object.__new__(cls)
+        imager.optical = optical
+        imager.extent_nm = float(extent_nm)
+        imager.grid_size = int(
+            grid_size if grid_size is not None else optical.grid_size
+        )
+        if kernels.grid_size != imager.grid_size:
+            raise OpticsError(
+                f"cached kernels are for grid {kernels.grid_size}, "
+                f"expected {imager.grid_size}"
+            )
+        imager.kernels = kernels
+        return imager
+
     @property
     def energy_captured(self) -> float:
         """TCC energy fraction represented by the retained kernels."""
@@ -95,7 +121,9 @@ def abbe_aerial_image(transmission: np.ndarray, optical: OpticalConfig,
 
 # ---------------------------------------------------------------------------
 # Imager cache: dataset minting images hundreds of clips through the same
-# optical setup, so the TCC/SOCS construction must be shared.
+# optical setup, so the TCC/SOCS construction must be shared.  Two tiers:
+# an in-process dict, then the verified on-disk kernel cache (which spares
+# fresh worker processes and new CLI runs the eigendecomposition).
 # ---------------------------------------------------------------------------
 
 _IMAGER_CACHE: Dict[Tuple, AerialImager] = {}
@@ -103,12 +131,33 @@ _IMAGER_CACHE: Dict[Tuple, AerialImager] = {}
 
 def get_imager(optical: OpticalConfig, extent_nm: float,
                grid_size: Optional[int] = None) -> AerialImager:
-    """Return a cached :class:`AerialImager` for this configuration."""
+    """Return a cached :class:`AerialImager` for this configuration.
+
+    Resolution order: in-memory cache, then the content-addressed disk
+    cache (SHA-256-verified; any damage falls through to recompute), then
+    a fresh TCC/SOCS build whose kernels are persisted back best-effort.
+    """
+    from .cache import active_kernel_cache  # deferred: avoids import cycle
+
     key = (optical, float(extent_nm), grid_size)
     imager = _IMAGER_CACHE.get(key)
-    if imager is None:
-        imager = AerialImager(optical, extent_nm, grid_size=grid_size)
-        _IMAGER_CACHE[key] = imager
+    if imager is not None:
+        return imager
+    resolved_grid = int(grid_size if grid_size is not None
+                        else optical.grid_size)
+    disk = active_kernel_cache()
+    if disk is not None:
+        kernels = disk.load(optical, float(extent_nm), resolved_grid)
+        if kernels is not None:
+            imager = AerialImager.from_kernels(
+                optical, extent_nm, kernels, grid_size=grid_size
+            )
+            _IMAGER_CACHE[key] = imager
+            return imager
+    imager = AerialImager(optical, extent_nm, grid_size=grid_size)
+    if disk is not None:
+        disk.store(optical, float(extent_nm), resolved_grid, imager.kernels)
+    _IMAGER_CACHE[key] = imager
     return imager
 
 

@@ -15,17 +15,24 @@ recovery paths are provable rather than aspirational:
     :class:`RecoveryPolicy` — rollback-to-last-good plus learning-rate
     backoff with bounded retries when training diverges.
 ``repro.runtime.faults``
-    :class:`FaultPlan` — deterministic NaN / interrupt / file-corruption
-    injection used by tests, CI drills, and the CLI's ``--inject-*`` flags.
+    :class:`FaultPlan` — deterministic NaN / interrupt / worker-crash /
+    file-corruption injection used by tests, CI drills, and the CLI's
+    ``--inject-*`` flags.
+``repro.runtime.parallel``
+    :class:`WorkerPool` — deterministic fan-out over serial/thread/process
+    backends with per-shard seeding, ordered reassembly, and crash
+    containment (a dead worker becomes a named
+    :class:`~repro.errors.ParallelError`, never a hang).
 """
 
-from ..config import RecoveryConfig
-from ..errors import CheckpointError
+from ..config import ParallelConfig, RecoveryConfig
+from ..errors import CheckpointError, ParallelError
 from .atomic import (
     atomic_savez,
     atomic_write_bytes,
     atomic_write_json,
     atomic_write_text,
+    serialize_npz,
 )
 from .checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
@@ -40,25 +47,40 @@ from .checkpoint import (
     unpack_state,
 )
 from .faults import FaultPlan
+from .parallel import (
+    CRASH_EXIT_CODE,
+    WorkerPool,
+    chunk_indices,
+    shard_rng,
+    shard_seed,
+)
 from .recovery import RecoveryPolicy
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
+    "CRASH_EXIT_CODE",
     "CheckpointError",
     "CheckpointManager",
     "FaultPlan",
+    "ParallelConfig",
+    "ParallelError",
     "RecoveryConfig",
     "RecoveryPolicy",
+    "WorkerPool",
     "atomic_savez",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
     "capture_rng_states",
+    "chunk_indices",
     "collect_rngs",
     "extract_extras",
     "load_checkpoint_source",
     "pack_state",
     "read_checkpoint",
     "restore_rng_states",
+    "serialize_npz",
+    "shard_rng",
+    "shard_seed",
     "unpack_state",
 ]

@@ -8,8 +8,10 @@ complete version or the new complete one, never a torn intermediate.
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -18,6 +20,10 @@ import numpy as np
 from ..errors import CheckpointError
 
 PathLike = Union[str, Path]
+
+#: fixed archive-member timestamp (the ZIP epoch) used by
+#: :func:`serialize_npz` so archive bytes depend only on content.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
 def _tmp_path(path: Path) -> Path:
@@ -76,6 +82,30 @@ def atomic_write_json(path: PathLike, payload: Any) -> Path:
             f"payload for {path} is not JSON-serializable: {exc}"
         ) from exc
     return atomic_write_text(path, text + "\n")
+
+
+def serialize_npz(arrays: Dict[str, np.ndarray],
+                  compressed: bool = True) -> bytes:
+    """Serialize arrays to ``.npz`` bytes that depend only on content.
+
+    ``np.savez`` stamps each zip member with the current local time, so two
+    saves of identical arrays yield different bytes — which would make
+    "parallel output is byte-identical to serial" untestable.  This writer
+    pins every member's timestamp to the ZIP epoch and forbids pickled
+    (object-dtype) members, so equal arrays always produce equal bytes.
+    """
+    buffer = io.BytesIO()
+    method = zipfile.ZIP_DEFLATED if compressed else zipfile.ZIP_STORED
+    with zipfile.ZipFile(buffer, "w", method) as archive:
+        for name in arrays:
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.compress_type = method
+            payload = io.BytesIO()
+            np.lib.format.write_array(
+                payload, np.asarray(arrays[name]), allow_pickle=False
+            )
+            archive.writestr(info, payload.getvalue())
+    return buffer.getvalue()
 
 
 def atomic_savez(path: PathLike, arrays: Dict[str, np.ndarray],

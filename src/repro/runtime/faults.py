@@ -26,6 +26,11 @@ and the training loops consult it at every batch boundary:
   :meth:`FaultPlan.degrade_output`) blanks the generator's output for
   scheduled clip indices, so serving drills can prove the output guards and
   the fallback ladder fire — deterministically, per clip.
+* **Worker-crash injection** (:meth:`FaultPlan.inject_worker_crash`) kills
+  a scheduled parallel shard's worker hard (``os._exit`` in a child
+  process), so fan-out drills can prove crash containment: the parent must
+  convert the dead worker into a :class:`~repro.errors.ParallelError`
+  naming the shard, never a hang.
 
 Each scheduled fault fires once (unless ``repeat=True``), so a recovered
 retry of the same epoch proceeds cleanly — mirroring transient real-world
@@ -54,6 +59,7 @@ class FaultPlan:
         self._nan: Dict[_Site, bool] = {}
         self._interrupt: Dict[_Site, bool] = {}
         self._degenerate: Dict[int, bool] = {}
+        self._worker_crash: Dict[int, bool] = {}
         #: chronological record of fired faults: (kind, phase, epoch, batch)
         self.fired: List[Tuple[str, str, int, int]] = []
 
@@ -122,15 +128,37 @@ class FaultPlan:
             self.inject_degenerate(int(clip))
         return tuple(int(clip) for clip in chosen)
 
+    def inject_worker_crash(self, shard: int,
+                            repeat: bool = False) -> "FaultPlan":
+        """Kill the worker assigned to parallel shard index ``shard``.
+
+        The worker pool consumes this flag at dispatch time via
+        :meth:`take_worker_crash`; on the process backend the flagged
+        worker dies via ``os._exit`` (invisible to ``except`` clauses),
+        on serial/thread backends the crash is modelled as an immediate
+        contained failure.  Either way the caller sees a named
+        :class:`~repro.errors.ParallelError`.
+        """
+        if shard < 0:
+            raise ConfigError(f"fault shard index must be >= 0, got {shard}")
+        self._worker_crash[int(shard)] = repeat
+        return self
+
     @property
     def degenerate_clips(self) -> Tuple[int, ...]:
         """Sorted clip indices with a degenerate-output fault still pending."""
         return tuple(sorted(self._degenerate))
 
     @property
+    def crash_shards(self) -> Tuple[int, ...]:
+        """Sorted shard indices with a worker-crash fault still pending."""
+        return tuple(sorted(self._worker_crash))
+
+    @property
     def pending(self) -> int:
         """Number of scheduled faults that have not fired yet."""
-        return len(self._nan) + len(self._interrupt) + len(self._degenerate)
+        return (len(self._nan) + len(self._interrupt)
+                + len(self._degenerate) + len(self._worker_crash))
 
     # -- runtime hooks (called by the training loops) ------------------------
 
@@ -171,6 +199,21 @@ class FaultPlan:
             del self._degenerate[clip]
         self.fired.append(("degenerate", "serve", clip, 0))
         return np.zeros_like(np.asarray(array, dtype=np.float32))
+
+    def take_worker_crash(self, shard: int) -> bool:
+        """Consume and report a pending worker-crash fault for ``shard``.
+
+        Called by the worker pool at dispatch; consuming in the parent
+        (rather than the doomed child) keeps the fired record intact when
+        the process dies, so drills can still assert which shard was hit.
+        """
+        shard = int(shard)
+        if shard not in self._worker_crash:
+            return False
+        if not self._worker_crash[shard]:
+            del self._worker_crash[shard]
+        self.fired.append(("worker_crash", "parallel", shard, 0))
+        return True
 
     # -- artifact corruption (used by tests and drills) ----------------------
 

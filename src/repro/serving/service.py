@@ -33,6 +33,7 @@ serving simulator-only until a half-open probe proves it healthy again.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -44,6 +45,7 @@ from ..core.recenter import binarize, recenter_to_predicted
 from ..errors import ReproError
 from ..geometry import keep_largest_component
 from ..runtime.faults import FaultPlan
+from ..runtime.parallel import WorkerPool
 from ..telemetry.hooks import NULL_HOOK, TelemetryHook
 from ..telemetry.trace import Tracer
 from .admission import AdmittedBatch, Rejection, admit_masks
@@ -178,6 +180,7 @@ class InferenceService:
             on_transition=self.hook.on_breaker,
         )
         self._simulator = simulator
+        self._thread_sims = threading.local()
 
     # -- fallback --------------------------------------------------------------
 
@@ -189,10 +192,32 @@ class InferenceService:
             self._simulator = LithographySimulator(self.config)
         return self._simulator
 
-    def _simulate_fallback(self, mask: np.ndarray) -> Optional[np.ndarray]:
+    def _thread_simulator(self):
+        """A per-thread fallback simulator for parallel clip evaluation.
+
+        The shared simulator's internal stage tracer keeps a span *stack*,
+        which is not safe to interleave across threads; each evaluation
+        thread therefore gets its own compact simulator (the expensive
+        kernel decomposition is shared through the imager caches).  An
+        explicitly injected simulator (tests, drills) is trusted and shared.
+        """
+        if self._simulator is not None:
+            return self._simulator
+        sim = getattr(self._thread_sims, "sim", None)
+        if sim is None:
+            from ..sim.pipeline import LithographySimulator
+
+            sim = LithographySimulator(self.config)
+            self._thread_sims.sim = sim
+        return sim
+
+    def _simulate_fallback(self, mask: np.ndarray,
+                           simulator=None) -> Optional[np.ndarray]:
         """Golden window from the physics pipeline, or None if it fails too."""
+        if simulator is None:
+            simulator = self.simulator
         try:
-            return self.simulator.simulate_mask_image(mask)
+            return simulator.simulate_mask_image(mask)
         except ReproError:
             return None
 
@@ -210,11 +235,19 @@ class InferenceService:
         placed = self._place(shape, center)
         return placed, self.guard.check(placed, expected_center=center)
 
-    def _serve_model_clip(self, clip: int, mask: np.ndarray,
-                          mono: np.ndarray, center: np.ndarray,
-                          deadline: Deadline,
-                          use_breaker: bool) -> ServedClip:
-        """Run the recovery ladder for one clip whose model output we hold."""
+    def _evaluate_model_clip(self, clip: int, mask: np.ndarray,
+                             mono: np.ndarray, center: np.ndarray,
+                             deadline: Deadline,
+                             simulator=None
+                             ) -> Tuple[ServedClip, Optional[bool], str]:
+        """The recovery ladder as a *pure* evaluation.
+
+        Touches no shared mutable state (breaker, hook, tracer), so it is
+        safe to run concurrently across clips.  Returns the served clip
+        plus the side effects for the caller to commit in clip order: the
+        breaker outcome (``True`` success / ``False`` guard failure) and
+        the fallback cause to report (empty when no fallback was served).
+        """
         attempts: List[str] = ["model"]
         placed, report = self._model_candidate(
             mono, center, threshold=0.5, despeckle=False
@@ -242,29 +275,24 @@ class InferenceService:
             best = (placed, report)
 
         if not report.degenerate:
-            if use_breaker:
-                self.breaker.record_success()
             return ServedClip(
                 clip=clip, resist=best[0], provenance=PROVENANCE_MODEL,
                 verdict=report.verdict, guard=report,
                 attempts=tuple(attempts), cause="", seconds=0.0,
-            )
+            ), True, ""
 
         # Ladder exhausted: this is the guard failure the breaker counts.
-        if use_breaker:
-            self.breaker.record_failure()
         if deadline.exceeded():
             attempts.append("deadline")
             return ServedClip(
                 clip=clip, resist=best[0], provenance=PROVENANCE_MODEL,
                 verdict=VERDICT_DEGENERATE, guard=best[1],
                 attempts=tuple(attempts), cause="", seconds=0.0,
-            )
+            ), False, ""
         if self.serving.fallback_enabled:
             attempts.append("fallback_sim")
-            window = self._simulate_fallback(mask)
+            window = self._simulate_fallback(mask, simulator=simulator)
             if window is not None:
-                self.hook.on_fallback(clip, CAUSE_DEGENERATE)
                 report = self.guard.check(window)
                 return ServedClip(
                     clip=clip, resist=window,
@@ -272,38 +300,85 @@ class InferenceService:
                     verdict=report.verdict, guard=report,
                     attempts=tuple(attempts), cause=CAUSE_DEGENERATE,
                     seconds=0.0,
-                )
+                ), False, CAUSE_DEGENERATE
             attempts.append("fallback_failed")
         return ServedClip(
             clip=clip, resist=best[0], provenance=PROVENANCE_MODEL,
             verdict=VERDICT_DEGENERATE, guard=best[1],
             attempts=tuple(attempts), cause="", seconds=0.0,
-        )
+        ), False, ""
 
-    def _serve_breaker_clip(self, clip: int,
-                            mask: np.ndarray) -> ServedClip:
-        """Breaker open: simulator-only, the model is not invoked."""
+    def _serve_model_clip(self, clip: int, mask: np.ndarray,
+                          mono: np.ndarray, center: np.ndarray,
+                          deadline: Deadline,
+                          use_breaker: bool) -> ServedClip:
+        """Evaluate the ladder and commit its side effects immediately."""
+        result, guard_ok, cause = self._evaluate_model_clip(
+            clip, mask, mono, center, deadline
+        )
+        self._commit_clip_effects(clip, guard_ok, cause,
+                                  use_breaker=use_breaker)
+        return result
+
+    def _evaluate_breaker_clip(self, clip: int, mask: np.ndarray,
+                               simulator=None
+                               ) -> Tuple[ServedClip, Optional[bool], str]:
+        """Breaker open: simulator-only, the model is not invoked (pure)."""
         attempts = ("breaker", "fallback_sim")
-        window = self._simulate_fallback(mask)
+        window = self._simulate_fallback(mask, simulator=simulator)
         if window is not None:
-            self.hook.on_fallback(clip, CAUSE_BREAKER)
             report = self.guard.check(window)
             return ServedClip(
                 clip=clip, resist=window, provenance=PROVENANCE_FALLBACK,
                 verdict=report.verdict, guard=report, attempts=attempts,
                 cause=CAUSE_BREAKER, seconds=0.0,
-            )
+            ), None, CAUSE_BREAKER
         empty = np.zeros(
             (self.config.model.image_size,) * 2, dtype=np.float64
         )
+        # The hook cause (third value) stays empty: no fallback *answer* was
+        # produced, so no fallback event is reported for this clip.
         return ServedClip(
             clip=clip, resist=empty, provenance=PROVENANCE_FALLBACK,
             verdict=VERDICT_DEGENERATE, guard=self.guard.check(empty),
             attempts=attempts + ("fallback_failed",),
             cause=CAUSE_BREAKER, seconds=0.0,
-        )
+        ), None, ""
+
+    def _serve_breaker_clip(self, clip: int,
+                            mask: np.ndarray) -> ServedClip:
+        """Breaker open: evaluate and commit the fallback report."""
+        result, guard_ok, cause = self._evaluate_breaker_clip(clip, mask)
+        self._commit_clip_effects(clip, guard_ok, cause, use_breaker=False)
+        return result
+
+    def _commit_clip_effects(self, clip: int, guard_ok: Optional[bool],
+                             cause: str, use_breaker: bool) -> None:
+        """Apply one evaluated clip's breaker/hook effects, in clip order."""
+        if guard_ok is not None and use_breaker:
+            if guard_ok:
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+        if cause:
+            self.hook.on_fallback(clip, cause)
 
     # -- the batch loop --------------------------------------------------------
+
+    def _evaluate_payload(self, payload, deadline: Deadline):
+        """Thread-pool entry: evaluate one clip's ladder, timed, statelessly."""
+        kind, clip, mask, out, center = payload
+        start = time.perf_counter()
+        if kind == "model":
+            result, guard_ok, cause = self._evaluate_model_clip(
+                clip, mask, out, center, deadline,
+                simulator=self._thread_simulator(),
+            )
+        else:
+            result, guard_ok, cause = self._evaluate_breaker_clip(
+                clip, mask, simulator=self._thread_simulator(),
+            )
+        return result, guard_ok, cause, time.perf_counter() - start
 
     def serve_batch(self,
                     masks: Union[np.ndarray, Sequence[np.ndarray]],
@@ -315,6 +390,14 @@ class InferenceService:
         explicitly (``None`` disables the deadline outright).  ``faults``
         poisons scheduled generator outputs *after* the forward pass and
         *before* the guard — the deterministic degradation drills run on it.
+
+        When ``config.parallel.workers > 1``, the per-clip guard/retry/
+        fallback ladders of each micro-batch are evaluated concurrently on a
+        thread pool; the generator forward stays micro-batched, and all
+        stateful effects (circuit-breaker records, telemetry hooks, tracer
+        records) are committed sequentially in clip order afterwards, so
+        breaker state machines and event streams are identical to a serial
+        run.
 
         Raises :class:`~repro.errors.AdmissionError` only if the batch
         container itself is malformed; per-clip problems come back as typed
@@ -332,70 +415,80 @@ class InferenceService:
             admitted.admitted, admitted.rejected, sanitized=admitted.sanitized
         )
 
+        eval_pool: Optional[WorkerPool] = None
+        if self.config.parallel.workers > 1:
+            eval_pool = WorkerPool(
+                workers=self.config.parallel.workers, backend="thread",
+                timeout_s=self.config.parallel.timeout_s,
+                tracer=self.tracer, hook=self.hook,
+            )
+
         served: List[ServedClip] = []
         micro = max(1, self.serving.micro_batch)
         use_breaker = self.serving.fallback_enabled
         cursor = 0
-        while cursor < admitted.admitted:
-            batch_masks = admitted.masks[cursor:cursor + micro]
-            batch_indices = admitted.indices[cursor:cursor + micro]
-            cursor += len(batch_indices)
+        try:
+            while cursor < admitted.admitted:
+                batch_masks = admitted.masks[cursor:cursor + micro]
+                batch_indices = admitted.indices[cursor:cursor + micro]
+                cursor += len(batch_indices)
 
-            # Decide, clip by clip and in order, who may see the model.  The
-            # open-state probe schedule advances on every denied clip, so a
-            # breaker can half-open in the middle of a micro-batch.
-            overdue = deadline.exceeded()
-            allowed = [
-                True if (overdue or not use_breaker)
-                else self.breaker.allow_model()
-                for _ in batch_indices
-            ]
-            model_rows = [i for i, ok in enumerate(allowed) if ok]
+                # Decide, clip by clip and in order, who may see the model.
+                # The open-state probe schedule advances on every denied
+                # clip, so a breaker can half-open mid-micro-batch.
+                overdue = deadline.exceeded()
+                allowed = [
+                    True if (overdue or not use_breaker)
+                    else self.breaker.allow_model()
+                    for _ in batch_indices
+                ]
+                model_rows = [i for i, ok in enumerate(allowed) if ok]
 
-            forward_share = 0.0
-            mono = centers = None
-            if model_rows:
-                forward_start = time.perf_counter()
-                with self.tracer.span("serve_forward",
-                                      clips=len(model_rows)):
-                    mono, centers = self.model.predict_raw(
-                        batch_masks[model_rows]
+                forward_share = 0.0
+                mono = centers = None
+                if model_rows:
+                    forward_start = time.perf_counter()
+                    with self.tracer.span("serve_forward",
+                                          clips=len(model_rows)):
+                        mono, centers = self.model.predict_raw(
+                            batch_masks[model_rows]
+                        )
+                    forward_share = (
+                        (time.perf_counter() - forward_start)
+                        / len(model_rows)
                     )
-                forward_share = (
-                    (time.perf_counter() - forward_start) / len(model_rows)
-                )
 
-            row_of = {row: k for k, row in enumerate(model_rows)}
-            for i, clip in enumerate(batch_indices):
-                clip_start = time.perf_counter()
-                if i in row_of:
-                    out = mono[row_of[i]]
-                    if faults is not None:
-                        out = faults.degrade_output(clip, out)
-                    result = self._serve_model_clip(
-                        clip, batch_masks[i], out, centers[row_of[i]],
-                        deadline, use_breaker=use_breaker and not overdue,
-                    )
-                    seconds = (
-                        forward_share + time.perf_counter() - clip_start
-                    )
-                else:
-                    result = self._serve_breaker_clip(clip, batch_masks[i])
-                    seconds = time.perf_counter() - clip_start
-                result = ServedClip(
-                    clip=result.clip, resist=result.resist,
-                    provenance=result.provenance, verdict=result.verdict,
-                    guard=result.guard, attempts=result.attempts,
-                    cause=result.cause, seconds=seconds,
-                )
-                served.append(result)
-                self.tracer.add_record(
-                    "serve_clip", seconds, clip=clip,
-                    provenance=result.provenance, verdict=result.verdict,
-                )
-                self.hook.on_clip_served(
-                    clip, result.provenance, result.verdict, seconds
-                )
+                row_of = {row: k for k, row in enumerate(model_rows)}
+                if eval_pool is not None and len(batch_indices) > 1:
+                    served.extend(self._serve_micro_batch_parallel(
+                        eval_pool, batch_masks, batch_indices, row_of,
+                        mono, centers, deadline, faults, forward_share,
+                        use_breaker=use_breaker and not overdue,
+                    ))
+                    continue
+                for i, clip in enumerate(batch_indices):
+                    clip_start = time.perf_counter()
+                    if i in row_of:
+                        out = mono[row_of[i]]
+                        if faults is not None:
+                            out = faults.degrade_output(clip, out)
+                        result = self._serve_model_clip(
+                            clip, batch_masks[i], out, centers[row_of[i]],
+                            deadline,
+                            use_breaker=use_breaker and not overdue,
+                        )
+                        seconds = (
+                            forward_share + time.perf_counter() - clip_start
+                        )
+                    else:
+                        result = self._serve_breaker_clip(
+                            clip, batch_masks[i]
+                        )
+                        seconds = time.perf_counter() - clip_start
+                    served.append(self._finish_clip(result, seconds))
+        finally:
+            if eval_pool is not None:
+                eval_pool.close()
 
         return BatchReport(
             served=tuple(served),
@@ -406,6 +499,67 @@ class InferenceService:
             breaker_state=self.breaker.state,
             seconds=time.perf_counter() - batch_start,
         )
+
+    def _serve_micro_batch_parallel(self, pool: WorkerPool, batch_masks,
+                                    batch_indices, row_of, mono, centers,
+                                    deadline: Deadline,
+                                    faults: Optional[FaultPlan],
+                                    forward_share: float,
+                                    use_breaker: bool) -> List[ServedClip]:
+        """Evaluate one micro-batch's ladders concurrently, commit in order.
+
+        Fault consumption happens here, in the main thread and in clip
+        order, *before* dispatch — identical to the serial path — and the
+        breaker/hook/tracer effects are replayed sequentially afterwards.
+        """
+        payloads = []
+        for i, clip in enumerate(batch_indices):
+            if i in row_of:
+                out = mono[row_of[i]]
+                if faults is not None:
+                    out = faults.degrade_output(clip, out)
+                payloads.append(
+                    ("model", clip, batch_masks[i], out, centers[row_of[i]])
+                )
+            else:
+                payloads.append(
+                    ("breaker", clip, batch_masks[i], None, None)
+                )
+        evaluated = pool.map(
+            lambda payload: self._evaluate_payload(payload, deadline),
+            payloads, task="serve_eval",
+        )
+        results: List[ServedClip] = []
+        for i, (result, guard_ok, cause, eval_seconds) in enumerate(
+                evaluated):
+            clip = batch_indices[i]
+            self._commit_clip_effects(
+                clip, guard_ok, cause,
+                use_breaker=use_breaker and i in row_of,
+            )
+            seconds = eval_seconds + (
+                forward_share if i in row_of else 0.0
+            )
+            results.append(self._finish_clip(result, seconds))
+        return results
+
+    def _finish_clip(self, result: ServedClip,
+                     seconds: float) -> ServedClip:
+        """Stamp the latency and emit the per-clip telemetry."""
+        result = ServedClip(
+            clip=result.clip, resist=result.resist,
+            provenance=result.provenance, verdict=result.verdict,
+            guard=result.guard, attempts=result.attempts,
+            cause=result.cause, seconds=seconds,
+        )
+        self.tracer.add_record(
+            "serve_clip", seconds, clip=result.clip,
+            provenance=result.provenance, verdict=result.verdict,
+        )
+        self.hook.on_clip_served(
+            result.clip, result.provenance, result.verdict, seconds
+        )
+        return result
 
 
 def serve_latency_quantiles(tracer: Tracer,

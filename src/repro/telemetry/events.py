@@ -34,6 +34,9 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
     index and the machine-readable cause).
 ``breaker``
     The serving circuit breaker changed state (``from_state``/``to_state``).
+``worker_crash``
+    A parallel fan-out worker died or timed out (carries the shard index,
+    the task name, and a short detail string).
 ``run_end``
     Last event; carries status and total seconds.
 """
@@ -56,7 +59,7 @@ SCHEMA_VERSION = 1
 EVENT_TYPES = (
     "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
     "eval_end", "admission", "fallback", "breaker",
-    "data_quarantine", "data_repair", "run_end",
+    "data_quarantine", "data_repair", "worker_crash", "run_end",
 )
 
 #: circuit-breaker states and the transitions a valid serve log may record
@@ -174,6 +177,9 @@ class RunLogger:
 
     def data_repair(self, repaired: int, **fields: Any) -> Dict[str, Any]:
         return self.emit("data_repair", repaired=repaired, **fields)
+
+    def worker_crash(self, shard: int, **fields: Any) -> Dict[str, Any]:
+        return self.emit("worker_crash", shard=shard, **fields)
 
     def run_end(self, status: str = "ok", **fields: Any) -> Dict[str, Any]:
         return self.emit("run_end", status=status, **fields)
@@ -334,6 +340,12 @@ def validate_run_log(events: List[Dict[str, Any]],
             if not isinstance(repaired, int) or repaired < 0:
                 raise TelemetryError(
                     f"data_repair {index} has bad repaired count {repaired!r}"
+                )
+        if record["event"] == "worker_crash":
+            shard = record.get("shard")
+            if not isinstance(shard, int) or shard < 0:
+                raise TelemetryError(
+                    f"worker_crash {index} has bad shard {shard!r}"
                 )
         if record["event"] == "fallback":
             if not isinstance(record.get("clip"), int):

@@ -76,6 +76,10 @@ class TelemetryHook:
                        indices: tuple = ()) -> None:
         """Quarantined records were re-synthesized and hash-verified."""
 
+    def on_worker_crash(self, shard: int, task: str = "",
+                        detail: str = "") -> None:
+        """A parallel fan-out worker died, timed out, or raised."""
+
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         """The run finished (or failed, per ``status``)."""
 
@@ -160,6 +164,11 @@ class CompositeHook(TelemetryHook):
                        indices: tuple = ()) -> None:
         for hook in self.hooks:
             hook.on_data_repair(repaired, indices=indices)
+
+    def on_worker_crash(self, shard: int, task: str = "",
+                        detail: str = "") -> None:
+        for hook in self.hooks:
+            hook.on_worker_crash(shard, task=task, detail=detail)
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         for hook in self.hooks:
@@ -289,6 +298,15 @@ class RunLoggerHook(TelemetryHook):
         if self.registry is not None:
             self.registry.counter(
                 "data_records_repaired_total").inc(repaired)
+
+    def on_worker_crash(self, shard: int, task: str = "",
+                        detail: str = "") -> None:
+        if self.logger is not None:
+            self.logger.worker_crash(shard, task=task, detail=detail)
+        if self.registry is not None:
+            self.registry.counter(
+                "parallel_worker_failures_total",
+                labels={"task": task}).inc()
 
     def on_breaker(self, from_state: str, to_state: str,
                    reason: str = "") -> None:

@@ -1,0 +1,140 @@
+"""Parallel synthesis/repair equivalence and crash-consistent saves."""
+
+import dataclasses
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetValidator,
+    PairedDataset,
+    load_dataset,
+    load_manifest,
+    manifest_path_for,
+    repair_dataset,
+    save_dataset,
+    synthesize_dataset,
+)
+from repro.errors import DataError, DataIntegrityError
+from repro.runtime import FaultPlan
+from repro.runtime.atomic import serialize_npz
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+def _workers(config, n, backend="auto"):
+    return dataclasses.replace(
+        config,
+        parallel=dataclasses.replace(
+            config.parallel, workers=n, backend=backend
+        ),
+    )
+
+
+class TestWorkerEquivalence:
+    def test_parallel_mint_equals_serial_bit_for_bit(
+            self, tiny_config, tiny_dataset, tmp_path):
+        parallel = synthesize_dataset(tiny_config, workers=3)
+        assert np.array_equal(parallel.masks, tiny_dataset.masks)
+        assert np.array_equal(parallel.resists, tiny_dataset.resists)
+        assert np.array_equal(parallel.centers, tiny_dataset.centers)
+        assert list(parallel.array_types) == list(tiny_dataset.array_types)
+        assert (parallel.provenance.attempts
+                == tiny_dataset.provenance.attempts)
+        assert (parallel.provenance.base_seed
+                == tiny_dataset.provenance.base_seed)
+
+        serial_path = save_dataset(tiny_dataset, tmp_path / "serial")
+        parallel_path = save_dataset(parallel, tmp_path / "parallel")
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert (manifest_path_for(serial_path).read_text()
+                == manifest_path_for(parallel_path).read_text())
+
+    def test_workers_config_field_drives_fanout(self, tiny_config, tmp_path):
+        config = _workers(tiny_config, 2, backend="thread")
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        dataset = synthesize_dataset(config, tracer=tracer, registry=registry)
+        assert len(dataset) == config.tech.num_clips
+        assert tracer.count("parallel_shard") > 0
+        assert registry.counter(
+            "parallel_tasks_total", labels={"task": "synthesize_dataset"}
+        ).value > 0
+
+    def test_repeated_saves_are_byte_identical(self, tiny_dataset, tmp_path):
+        first = save_dataset(tiny_dataset, tmp_path / "a")
+        second = save_dataset(tiny_dataset, tmp_path / "b")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_serialize_npz_deterministic_and_loadable(self, rng):
+        arrays = {
+            "x": rng.normal(size=(3, 4)).astype(np.float32),
+            "label": np.array("N10"),
+        }
+        blob = serialize_npz(arrays)
+        assert blob == serialize_npz(arrays)
+        with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+            assert np.array_equal(data["x"], arrays["x"])
+            assert str(data["label"]) == "N10"
+
+
+class TestCrashConsistentSave:
+    """A kill between the manifest and archive writes must be detectable."""
+
+    def _arm_kill(self, monkeypatch):
+        import repro.data.io as io_mod
+
+        def killed(path, payload):
+            raise KeyboardInterrupt("killed between manifest and archive")
+
+        monkeypatch.setattr(io_mod, "atomic_write_bytes", killed)
+
+    def test_fresh_save_kill_leaves_no_phantom_dataset(
+            self, tiny_dataset, tmp_path, monkeypatch):
+        self._arm_kill(monkeypatch)
+        with pytest.raises(KeyboardInterrupt):
+            save_dataset(tiny_dataset, tmp_path / "fresh")
+        # Manifest-first ordering: the sidecar exists, the archive does not,
+        # and loading reports the missing dataset instead of inventing one.
+        assert manifest_path_for(tmp_path / "fresh.npz").exists()
+        assert not (tmp_path / "fresh.npz").exists()
+        with pytest.raises(DataError, match="not found"):
+            load_dataset(tmp_path / "fresh.npz")
+
+    def test_overwrite_kill_flags_stale_records(
+            self, tiny_dataset, tiny_config, tmp_path, monkeypatch):
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        resists = tiny_dataset.resists.copy()
+        resists[0] = np.clip(resists[0] + 0.25, 0.0, 1.0)
+        modified = PairedDataset(
+            tiny_dataset.masks.copy(), resists,
+            tiny_dataset.centers.copy(), tiny_dataset.array_types.copy(),
+            tech_name=tiny_dataset.tech_name,
+        )
+        self._arm_kill(monkeypatch)
+        with pytest.raises(KeyboardInterrupt):
+            save_dataset(modified, path)
+        # The torn pair is the NEW manifest beside the OLD archive; the
+        # stale record fails its hash check instead of passing silently.
+        report = DatasetValidator(tiny_config).validate(
+            load_dataset(path), load_manifest(path)
+        )
+        assert not report.manifest_missing
+        assert 0 in report.quarantined_indices
+        with pytest.raises(DataIntegrityError):
+            load_dataset(path, policy="strict", config=tiny_config)
+
+
+class TestParallelRepair:
+    def test_parallel_repair_restores_bit_identical_records(
+            self, tiny_dataset, tiny_config, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "ds")
+        chosen = FaultPlan(seed=7).corrupt_random_records(path, 3)
+        config = _workers(tiny_config, 2, backend="thread")
+        report = repair_dataset(path, config)
+        assert set(report.repaired_indices) == set(chosen)
+        assert report.verified_hashes
+        healed = load_dataset(path)
+        assert np.array_equal(healed.masks, tiny_dataset.masks)
+        assert np.array_equal(healed.resists, tiny_dataset.resists)
+        assert np.array_equal(healed.centers, tiny_dataset.centers)

@@ -1,0 +1,142 @@
+"""Content-addressed on-disk kernel cache: hits, verification, eviction."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ParallelConfig, tiny
+from repro.optics.cache import (
+    KernelCache,
+    active_kernel_cache,
+    configure_kernel_cache,
+    optical_digest,
+)
+from repro.optics.imaging import AerialImager, clear_imager_cache, get_imager
+
+
+@pytest.fixture()
+def optical():
+    return tiny().optical
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return KernelCache(root=tmp_path / "kernels", max_entries=4)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_cache(tmp_path, monkeypatch):
+    """Point the process-wide cache at this test's tmp dir and reset after."""
+    monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path / "global"))
+    clear_imager_cache()
+    configure_kernel_cache(None)
+    yield
+    clear_imager_cache()
+    configure_kernel_cache(None)
+
+
+EXTENT = 512.0
+
+
+class TestDigest:
+    def test_stable_for_equal_inputs(self, optical):
+        assert (optical_digest(optical, EXTENT, 32)
+                == optical_digest(optical, EXTENT, 32))
+
+    @pytest.mark.parametrize("mutation", [
+        {"extent": EXTENT + 1.0},
+        {"grid": 64},
+        {"field": True},
+    ])
+    def test_any_input_change_misses(self, optical, mutation):
+        base = optical_digest(optical, EXTENT, 32)
+        extent = mutation.get("extent", EXTENT)
+        grid = mutation.get("grid", 32)
+        if "field" in mutation:
+            optical = dataclasses.replace(
+                optical, num_kernels=optical.num_kernels + 1
+            )
+        assert optical_digest(optical, extent, grid) != base
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("grid_size", [24, 32])
+    def test_cache_hit_equals_fresh_computation(self, optical, cache,
+                                                grid_size):
+        fresh = AerialImager(optical, EXTENT, grid_size=grid_size)
+        assert cache.store(optical, EXTENT, grid_size, fresh.kernels)
+        loaded = cache.load(optical, EXTENT, grid_size)
+        assert loaded is not None
+        assert np.array_equal(loaded.spectra, fresh.kernels.spectra)
+        assert np.array_equal(loaded.weights, fresh.kernels.weights)
+        assert loaded.grid_size == fresh.kernels.grid_size
+        assert loaded.extent_nm == fresh.kernels.extent_nm
+        assert loaded.energy_captured == fresh.kernels.energy_captured
+        # The physics is identical, not just close.
+        mask = np.zeros((grid_size, grid_size))
+        mask[8:16, 8:16] = 1.0
+        rebuilt = AerialImager.from_kernels(optical, EXTENT, loaded,
+                                            grid_size=grid_size)
+        assert np.array_equal(
+            rebuilt.aerial_image(mask), fresh.aerial_image(mask)
+        )
+
+    def test_miss_when_empty(self, optical, cache):
+        assert cache.load(optical, EXTENT, 32) is None
+
+    def test_corrupt_entry_fails_closed_to_recompute(self, optical, cache):
+        fresh = AerialImager(optical, EXTENT, grid_size=32)
+        path = cache.store(optical, EXTENT, 32, fresh.kernels)
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        assert cache.load(optical, EXTENT, 32) is None
+        assert not path.exists()  # damaged entries are discarded
+
+    def test_truncated_entry_fails_closed(self, optical, cache):
+        fresh = AerialImager(optical, EXTENT, grid_size=32)
+        path = cache.store(optical, EXTENT, 32, fresh.kernels)
+        path.write_bytes(path.read_bytes()[:100])
+        assert cache.load(optical, EXTENT, 32) is None
+
+    def test_eviction_keeps_newest(self, optical, cache):
+        fresh = AerialImager(optical, EXTENT, grid_size=24)
+        for offset in range(6):
+            cache.store(optical, EXTENT + offset, 24, fresh.kernels)
+        assert len(list(cache.root.glob("*.npz"))) <= cache.max_entries
+
+    def test_clear_empties_cache(self, optical, cache):
+        fresh = AerialImager(optical, EXTENT, grid_size=24)
+        cache.store(optical, EXTENT, 24, fresh.kernels)
+        assert cache.clear() == 1
+        assert cache.load(optical, EXTENT, 24) is None
+
+
+class TestProcessWideCache:
+    def test_get_imager_persists_and_reloads(self, optical):
+        first = get_imager(optical, EXTENT, 32)
+        disk = active_kernel_cache()
+        assert disk is not None
+        assert disk.load(optical, EXTENT, 32) is not None
+        clear_imager_cache()  # force the in-memory miss
+        second = get_imager(optical, EXTENT, 32)
+        assert np.array_equal(
+            second.kernels.spectra, first.kernels.spectra
+        )
+
+    def test_env_kill_switch_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", "0")
+        configure_kernel_cache(None)
+        assert active_kernel_cache() is None
+
+    def test_config_disables_and_redirects(self, tmp_path):
+        assert configure_kernel_cache(
+            ParallelConfig(kernel_cache=False)) is None
+        redirected = configure_kernel_cache(
+            ParallelConfig(kernel_cache_dir=str(tmp_path / "elsewhere"),
+                           kernel_cache_entries=2)
+        )
+        assert redirected is not None
+        assert redirected.root == tmp_path / "elsewhere"
+        assert redirected.max_entries == 2

@@ -1,0 +1,120 @@
+"""CLI-level parallel guarantees: byte-identical fan-out and crash drills."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import manifest_path_for
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli_parallel")
+
+
+@pytest.fixture(scope="module")
+def serial_path(workspace):
+    path = workspace / "serial.npz"
+    assert main([
+        "mint", "--node", "N10", "--clips", "6", "--seed", "3",
+        "--workers", "1", "--out", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def parallel_path(workspace):
+    path = workspace / "parallel.npz"
+    assert main([
+        "mint", "--node", "N10", "--clips", "6", "--seed", "3",
+        "--workers", "4", "--out", str(path),
+    ]) == 0
+    return path
+
+
+class TestParserSurface:
+    @pytest.mark.parametrize("command,extra", [
+        ("mint", ["--out", "x.npz"]),
+        ("train", ["--dataset", "d.npz", "--out", "m"]),
+        ("evaluate", ["--dataset", "d.npz", "--model", "m"]),
+        ("predict", ["--dataset", "d.npz", "--model", "m"]),
+    ])
+    def test_workers_flag_shared_across_subcommands(self, command, extra):
+        args = build_parser().parse_args([command, *extra, "--workers", "4"])
+        assert args.workers == 4
+
+    def test_process_window_has_no_workers_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["process-window", "--workers", "4"]
+            )
+
+    @pytest.mark.parametrize("command,extra", [
+        ("mint", ["--out", "x.npz"]),
+        ("train", ["--dataset", "d.npz", "--out", "m"]),
+        ("evaluate", ["--dataset", "d.npz", "--model", "m"]),
+        ("predict", ["--dataset", "d.npz", "--model", "m"]),
+        ("process-window", []),
+    ])
+    def test_telemetry_flags_shared_across_subcommands(self, command, extra):
+        args = build_parser().parse_args([
+            command, *extra, "--log-json", "run.jsonl",
+            "--metrics-out", "metrics.json", "--seed", "5",
+        ])
+        assert args.log_json == "run.jsonl"
+        assert args.metrics_out == "metrics.json"
+        assert args.seed == 5
+
+
+class TestByteIdenticalFanout:
+    def test_archives_match(self, serial_path, parallel_path):
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_manifests_match(self, serial_path, parallel_path):
+        assert (manifest_path_for(serial_path).read_text()
+                == manifest_path_for(parallel_path).read_text())
+
+    def test_evaluate_json_identical_on_either_archive(
+            self, workspace, serial_path, parallel_path, capsys):
+        model_dir = workspace / "model"
+        assert main([
+            "train", "--dataset", str(serial_path), "--epochs", "1",
+            "--seed", "3", "--out", str(model_dir),
+        ]) == 0
+        capsys.readouterr()
+        rows = []
+        for dataset in (serial_path, parallel_path):
+            assert main([
+                "evaluate", "--dataset", str(dataset),
+                "--model", str(model_dir), "--epochs", "1", "--seed", "3",
+                "--json",
+            ]) == 0
+            out = capsys.readouterr().out
+            payload = out[out.index("{"):out.rindex("}") + 1]
+            rows.append(json.loads(payload))
+        assert rows[0] == rows[1]
+
+
+class TestWorkerCrashDrill:
+    def test_injected_crash_exits_named_not_hung(self, workspace, capsys):
+        code = main([
+            "mint", "--node", "N10", "--clips", "6", "--seed", "3",
+            "--workers", "2", "--inject-worker-crash", "1",
+            "--out", str(workspace / "crashed.npz"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "shard 1" in captured.err
+        assert "error:" in captured.err
+        assert "fault drill" in captured.out
+        assert not (workspace / "crashed.npz").exists()
+
+    def test_serial_rerun_after_crash_matches_baseline(
+            self, workspace, serial_path):
+        rerun = workspace / "rerun.npz"
+        assert main([
+            "mint", "--node", "N10", "--clips", "6", "--seed", "3",
+            "--out", str(rerun),
+        ]) == 0
+        assert rerun.read_bytes() == serial_path.read_bytes()

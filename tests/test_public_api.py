@@ -7,6 +7,7 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.api",
     "repro.geometry",
     "repro.layout",
     "repro.optics",
