@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,9 +33,11 @@ from repro.data import PairedDataset, synthesize_dataset
 CACHE_DIR = Path(__file__).parent / ".cache"
 ARTIFACT_DIR = Path(__file__).parent / "artifacts"
 
-#: benchmark-scale experiment knobs (kept small enough for CPU training)
-BENCH_CLIPS = 180
-BENCH_EPOCHS = 10
+#: benchmark-scale experiment knobs (kept small enough for CPU training);
+#: REPRO_BENCH_CLIPS / REPRO_BENCH_EPOCHS override them for constrained
+#: runners (the CI report drill runs a much smaller configuration)
+BENCH_CLIPS = int(os.environ.get("REPRO_BENCH_CLIPS", 180))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", 10))
 
 
 @dataclass

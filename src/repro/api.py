@@ -24,6 +24,15 @@ runs, so nobody has to know which subpackage owns which moving part:
 ``load_model`` / ``save_model``
     Fail-closed weight restore (:class:`~repro.errors.CheckpointError` on any
     damage) and the matching writer.
+``report``
+    Correlate a run's event log, merged trace, metrics snapshot, and layer
+    profile into a :class:`~repro.telemetry.report.RunReport` (the engine
+    behind ``repro-litho report``).
+
+``train`` / ``evaluate`` / ``serve`` additionally accept a ``profiler``
+(:class:`~repro.telemetry.profile.LayerProfiler`): the model's three
+networks run instrumented for the duration of the call, and the caller
+reads ``profiler.report()`` afterwards.  No profiler, no overhead.
 
 Design rules: configuration objects are the first positional argument,
 everything optional is keyword-only, and every function either returns a
@@ -65,22 +74,36 @@ from .errors import CheckpointError, ConfigError, DataIntegrityError
 from .eval import EvaluationSummary, evaluate_predictions, table3_row_dict
 from .optics.cache import configure_kernel_cache
 from .runtime import CheckpointManager, RecoveryPolicy
+from .telemetry.profile import profiled
+from .telemetry.report import RunReport, build_report
 
 __all__ = [
     "EvalResult",
     "MintResult",
+    "RunReport",
     "TrainResult",
     "evaluate",
     "load_data",
     "load_model",
     "mint",
     "process_window",
+    "report",
     "save_model",
     "serve",
     "train",
 ]
 
 _UNSET = object()
+
+
+def _model_profiled(profiler, model: "LithoGan"):
+    """Attach ``profiler`` to all three LithoGAN networks for a block."""
+    if profiler is None:
+        return nullcontext()
+    return profiled(
+        profiler,
+        model.cgan.generator, model.cgan.discriminator, model.center_cnn,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -252,7 +275,8 @@ def train(config: ExperimentConfig, dataset: PairedDataset, *,
           resume: bool = False,
           recovery: Union[bool, RecoveryPolicy, None] = None,
           out: Optional[Union[str, Path]] = None,
-          faults=None, hook=None, tracer=None) -> TrainResult:
+          faults=None, hook=None, tracer=None,
+          profiler=None) -> TrainResult:
     """Split ``dataset``, train LithoGAN, and optionally save the weights.
 
     ``checkpoints`` accepts either a prepared
@@ -283,12 +307,13 @@ def train(config: ExperimentConfig, dataset: PairedDataset, *,
         policy = RecoveryPolicy(config.recovery)
     elif policy is False:
         policy = None
-    history = model.fit(
-        train_set, rng, hook=hook, tracer=tracer,
-        checkpoints=manager, checkpoint_every=checkpoint_every,
-        resume_from=True if resume else None,
-        recovery=policy, faults=faults,
-    )
+    with _model_profiled(profiler, model):
+        history = model.fit(
+            train_set, rng, hook=hook, tracer=tracer,
+            checkpoints=manager, checkpoint_every=checkpoint_every,
+            resume_from=True if resume else None,
+            recovery=policy, faults=faults,
+        )
     out_dir = None
     if out is not None:
         out_dir = save_model(
@@ -382,7 +407,7 @@ def load_model(model_dir: Union[str, Path], config: ExperimentConfig, *,
 
 def evaluate(config: ExperimentConfig, dataset: PairedDataset,
              model: Union[LithoGan, str, Path], *,
-             tracer=None) -> EvalResult:
+             tracer=None, profiler=None) -> EvalResult:
     """Score ``model`` on the held-out split of ``dataset`` (Table 3 row).
 
     ``model`` may be a fitted :class:`~repro.core.LithoGan` or a weight
@@ -393,19 +418,20 @@ def evaluate(config: ExperimentConfig, dataset: PairedDataset,
         model = load_model(model, config)
     rng = np.random.default_rng(config.training.seed)
     _, test = dataset.split(config.training.train_fraction, rng)
-    predict_span = (tracer.span("predict", samples=len(test))
-                    if tracer is not None else nullcontext())
-    with predict_span:
-        predictions = model.predict_resist(test.masks)
-    nm_per_px = config.image.resist_nm_per_px(config.tech)
-    score_span = (tracer.span("score", samples=len(test))
-                  if tracer is not None else nullcontext())
-    with score_span:
-        _, summary = evaluate_predictions(
-            "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
-            golden_centers=test.centers,
-            predicted_centers=model.predict_centers(test.masks),
-        )
+    with _model_profiled(profiler, model):
+        predict_span = (tracer.span("predict", samples=len(test))
+                        if tracer is not None else nullcontext())
+        with predict_span:
+            predictions = model.predict_resist(test.masks)
+        nm_per_px = config.image.resist_nm_per_px(config.tech)
+        score_span = (tracer.span("score", samples=len(test))
+                      if tracer is not None else nullcontext())
+        with score_span:
+            _, summary = evaluate_predictions(
+                "LithoGAN", test.resists[:, 0], predictions, nm_per_px,
+                golden_centers=test.centers,
+                predicted_centers=model.predict_centers(test.masks),
+            )
     row = table3_row_dict(dataset.tech_name or config.tech.name, summary)
     return EvalResult(row=row, summary=summary, samples=len(test))
 
@@ -416,7 +442,8 @@ def serve(model: Union[LithoGan, str, Path],
           policy: Optional[ServingConfig] = None,
           deadline_s=_UNSET,
           limit: Optional[int] = None,
-          faults=None, hook=None, tracer=None, simulator=None):
+          faults=None, hook=None, tracer=None, simulator=None,
+          profiler=None):
     """Hardened batch inference; returns the per-clip
     :class:`~repro.serving.BatchReport`.
 
@@ -441,7 +468,8 @@ def serve(model: Union[LithoGan, str, Path],
     kwargs = {"faults": faults}
     if deadline_s is not _UNSET:
         kwargs["deadline_s"] = deadline_s
-    return service.serve_batch(masks, **kwargs)
+    with _model_profiled(profiler, model):
+        return service.serve_batch(masks, **kwargs)
 
 
 def process_window(config: ExperimentConfig, *,
@@ -466,3 +494,25 @@ def process_window(config: ExperimentConfig, *,
             if tracer is not None else nullcontext())
     with span:
         return sweep_process_window(layout, config)
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def report(log: Union[str, Path], *,
+           trace: Optional[Union[str, Path]] = None,
+           metrics: Optional[Union[str, Path]] = None,
+           profile: Optional[Union[str, Path]] = None) -> RunReport:
+    """Correlate a run's artifacts into a health report.
+
+    ``log`` is the JSONL event log a ``--log-json`` run wrote (required);
+    ``trace`` / ``metrics`` / ``profile`` are the matching ``--trace-out`` /
+    ``--metrics-out`` / ``--profile-out`` artifacts.  Fail-closed: any
+    corrupt input raises :class:`~repro.errors.TelemetryError` naming the
+    path — the CLI maps that to a non-zero exit.
+    """
+    return build_report(
+        log, trace_path=trace, metrics_path=metrics, profile_path=profile,
+    )

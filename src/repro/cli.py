@@ -18,18 +18,27 @@ actual work (synthesis, training, scoring, serving, sweeping) happens in
     guards, retries, and physics-simulator fallback (``repro.serving``).
 ``process-window``
     Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
+``report``
+    Correlate a run's event log (+ optional trace/metrics/profile artifacts)
+    into one health report: per-stage time, worker utilization/skew,
+    incident counts, hot layers.
 
 Example session::
 
-    repro-litho mint --node N10 --clips 120 --workers 4 --out n10.npz
-    repro-litho train --dataset n10.npz --epochs 10 --out model/
-    repro-litho evaluate --dataset n10.npz --model model/
-    repro-litho predict --dataset n10.npz --model model/ --report serve.json
-    repro-litho process-window --node N10 --seed 7
+    repro-litho mint --node N10 --clips 120 --workers 4 --out n10.npz \\
+        --log-json run.jsonl --trace-out trace.json --metrics-out metrics.json
+    repro-litho train --dataset n10.npz --epochs 10 --out model/ \\
+        --log-json run.jsonl
+    repro-litho evaluate --dataset n10.npz --model model/ --log-json run.jsonl
+    repro-litho predict --dataset n10.npz --model model/ --report serve.json \\
+        --log-json run.jsonl --profile-out profile.json
+    repro-litho report --log run.jsonl --trace trace.json \\
+        --metrics metrics.json --profile profile.json
 
-Shared flags (``--node``/``--seed``/``--log-json``/``--metrics-out``, and
-``--workers``/``--data-policy``/``--epochs`` where they apply) live on
-parent parsers, so every subcommand spells them identically.
+Shared flags (``--node``/``--seed``/``--log-json``/``--metrics-out``/
+``--trace-out``, and ``--workers``/``--data-policy``/``--epochs``/
+``--profile-out`` where they apply) live on parent parsers, so every
+subcommand spells them identically.
 
 Exit codes: 0 success, 1 pipeline error (including a crashed parallel
 worker, reported as a :class:`~repro.errors.ParallelError` naming the
@@ -64,7 +73,16 @@ from .errors import CheckpointError, DataIntegrityError, ReproError
 from .eval import format_table3, render_table
 from .layout import ArrayType
 from .runtime import FaultPlan
-from .telemetry import MetricsRegistry, RunLogger, RunLoggerHook, Tracer
+from .telemetry import (
+    LayerProfiler,
+    MetricsRegistry,
+    RunLogger,
+    RunLoggerHook,
+    Tracer,
+    build_fingerprint,
+    write_chrome_trace,
+    write_metrics,
+)
 
 
 def _tech(name: str):
@@ -103,16 +121,20 @@ class _RunTelemetry:
     def __init__(self, command: str, args) -> None:
         self.command = command
         self.metrics_path = getattr(args, "metrics_out", None)
+        self.trace_path = getattr(args, "trace_out", None)
+        self.profile_path = getattr(args, "profile_out", None)
         log_path = getattr(args, "log_json", None)
         self.logger = RunLogger(log_path) if log_path else None
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.profiler = LayerProfiler() if self.profile_path else None
         self._start = time.perf_counter()
         if self.logger is not None:
             self.logger.run_start(
                 command=command,
                 node=getattr(args, "node", None),
                 seed=getattr(args, "seed", None),
+                build=build_fingerprint(),
             )
 
     def hook(self):
@@ -137,9 +159,11 @@ class _RunTelemetry:
             self.logger.close()
         if self.metrics_path:
             self.registry.gauge("run_seconds").set(seconds)
-            Path(self.metrics_path).write_text(
-                json.dumps(self.registry.to_dict(), indent=2) + "\n"
-            )
+            write_metrics(self.metrics_path, self.registry)
+        if self.trace_path:
+            write_chrome_trace(self.trace_path, self.tracer)
+        if self.profiler is not None and self.profile_path:
+            self.profiler.report().save(self.profile_path)
         detail = " ".join(f"{key}={value}" for key, value in summary.items())
         run_part = f" run_id={self.run_id}" if self.run_id else ""
         print(
@@ -287,6 +311,7 @@ def cmd_train(args) -> int:
         recovery=bool(args.checkpoint_dir),
         out=args.out,
         faults=faults, hook=telemetry.hook(), tracer=telemetry.tracer,
+        profiler=telemetry.profiler,
     )
     history = result.history
     telemetry.registry.counter(
@@ -306,7 +331,8 @@ def cmd_evaluate(args) -> int:
     dataset = _load_dataset_with_policy(args, telemetry)
     config = _config_for(args, len(dataset))
     result = api.evaluate(config, dataset, args.model,
-                          tracer=telemetry.tracer)
+                          tracer=telemetry.tracer,
+                          profiler=telemetry.profiler)
     telemetry.registry.counter("eval_samples_total").inc(result.samples)
     if telemetry.logger is not None:
         telemetry.logger.eval_end(**result.row)
@@ -369,7 +395,8 @@ def cmd_predict(args) -> int:
         serve_kwargs["deadline_s"] = args.deadline
     report = api.serve(
         model, masks, config=config, policy=policy,
-        hook=telemetry.hook(), tracer=telemetry.tracer, **serve_kwargs,
+        hook=telemetry.hook(), tracer=telemetry.tracer,
+        profiler=telemetry.profiler, **serve_kwargs,
     )
 
     verdicts = report.verdicts()
@@ -427,6 +454,29 @@ def cmd_process_window(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """Correlate a run's artifacts into one health report.
+
+    Reads the JSONL event log (required) plus whatever of the trace /
+    metrics / profile artifacts the run exported, and prints either the
+    human-readable report or (``--json``) the machine-readable one.  Fails
+    closed — exit 1 naming the offending path — when any input is corrupt,
+    and intentionally skips the per-run telemetry summary so ``--json``
+    output stays parseable.
+    """
+    rep = api.report(
+        args.log, trace=args.trace, metrics=args.metrics,
+        profile=args.profile,
+    )
+    if args.out:
+        rep.save(args.out)
+    if args.json:
+        print(json.dumps(rep.to_dict(), indent=2, sort_keys=False))
+    else:
+        print(rep.format_text())
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -443,7 +493,14 @@ def _common_parent() -> argparse.ArgumentParser:
     )
     parent.add_argument(
         "--metrics-out", dest="metrics_out", metavar="PATH", default=None,
-        help="write the run's metrics registry as JSON to PATH",
+        help="write the run's metrics registry to PATH (.prom/.txt gets "
+             "Prometheus exposition text, anything else JSON)",
+    )
+    parent.add_argument(
+        "--trace-out", dest="trace_out", metavar="PATH", default=None,
+        help="write the run's merged Chrome-trace-event JSON (one timeline, "
+             "a lane per worker) to PATH; load in Perfetto or "
+             "chrome://tracing",
     )
     return parent
 
@@ -462,6 +519,18 @@ def _workers_parent() -> argparse.ArgumentParser:
 def _epochs_parent() -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--epochs", type=int, default=10)
+    return parent
+
+
+def _profile_parent() -> argparse.ArgumentParser:
+    """``--profile-out`` for the subcommands that run the networks."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--profile-out", dest="profile_out", metavar="PATH", default=None,
+        help="profile every layer's forward/backward time, FLOPs, and "
+             "activation bytes, and write the report as JSON to PATH "
+             "(profiling is off — zero overhead — without this flag)",
+    )
     return parent
 
 
@@ -489,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     workers = _workers_parent()
     epochs = _epochs_parent()
     data_policy = _data_policy_parent()
+    profile = _profile_parent()
 
     mint = sub.add_parser(
         "mint", help="synthesize a paired dataset",
@@ -506,7 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser(
         "train", help="train LithoGAN on a dataset",
-        parents=[common, epochs, data_policy, workers],
+        parents=[common, epochs, data_policy, workers, profile],
     )
     train.add_argument("--dataset", required=True)
     train.add_argument("--out", required=True, help="output weight directory")
@@ -538,7 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser(
         "evaluate", help="score saved weights",
-        parents=[common, epochs, data_policy, workers],
+        parents=[common, epochs, data_policy, workers, profile],
     )
     evaluate.add_argument("--dataset", required=True)
     evaluate.add_argument("--model", required=True)
@@ -550,7 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     predict = sub.add_parser(
         "predict", help="hardened batch inference with graceful degradation",
-        parents=[common, epochs, workers],
+        parents=[common, epochs, workers, profile],
     )
     predict.add_argument("--dataset", required=True)
     predict.add_argument("--model", required=True)
@@ -591,6 +661,37 @@ def build_parser() -> argparse.ArgumentParser:
         dest="array_type",
     )
     window.set_defaults(func=cmd_process_window)
+
+    report = sub.add_parser(
+        "report",
+        help="correlate a run's log/trace/metrics/profile into one health "
+             "report",
+    )
+    report.add_argument(
+        "--log", required=True, metavar="PATH",
+        help="the run's JSONL event log (from --log-json)",
+    )
+    report.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="the run's Chrome-trace JSON (from --trace-out)",
+    )
+    report.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="the run's metrics snapshot JSON (from --metrics-out)",
+    )
+    report.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="the run's layer-profile JSON (from --profile-out)",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report instead of the text one",
+    )
+    report.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also save the machine-readable report as JSON to PATH",
+    )
+    report.set_defaults(func=cmd_report)
     return parser
 
 

@@ -560,14 +560,20 @@ class ServingConfig:
 class TelemetryConfig:
     """Observability knobs: run logging, metrics export, latency buckets.
 
-    ``log_path`` / ``metrics_path`` are the config-level defaults for the
-    CLI's ``--log-json`` / ``--metrics-out`` flags (the flags win); the
-    bucket bounds feed every latency :class:`~repro.telemetry.Histogram`.
+    ``log_path`` / ``metrics_path`` / ``trace_path`` / ``profile_path`` are
+    the config-level defaults for the CLI's ``--log-json`` /
+    ``--metrics-out`` / ``--trace-out`` / ``--profile-out`` flags (the flags
+    win); the bucket bounds feed every latency
+    :class:`~repro.telemetry.Histogram`.
     """
 
     enabled: bool = True
     log_path: Optional[str] = None
     metrics_path: Optional[str] = None
+    #: Chrome-trace-event JSON destination for the run's merged trace
+    trace_path: Optional[str] = None
+    #: layer-profile JSON destination (commands that run the networks)
+    profile_path: Optional[str] = None
     #: histogram bucket upper bounds for stage/epoch latency, seconds
     latency_buckets_s: Tuple[float, ...] = (
         0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,

@@ -24,7 +24,7 @@ from ..layout import ArrayType, generate_clip, render_mask_rgb
 from ..optics.imaging import get_imager
 from ..runtime.parallel import WorkerPool, chunk_indices
 from ..sim import LithographySimulator
-from ..telemetry.trace import Tracer
+from ..telemetry.trace import Tracer, get_active_tracer
 from .dataset import PairedDataset
 from .encoding import bbox_center_rc
 
@@ -82,7 +82,12 @@ def _synthesize_shard(payload) -> List[Tuple[int, Optional[Tuple]]]:
     exactly as the serial loop would have observed.
     """
     config, base_seed, attempts, resist_model, model_based_opc = payload
-    simulator = LithographySimulator(config, resist_model=resist_model)
+    # The pool installs a shard-local ambient tracer before calling us; wiring
+    # it into the simulator ships per-stage spans (rasterize/optical/resist/
+    # contour) back to the parent's merged trace instead of losing them.
+    simulator = LithographySimulator(
+        config, resist_model=resist_model, tracer=get_active_tracer()
+    )
     return [
         (attempt, synthesize_record(
             config, simulator, base_seed, attempt,
@@ -119,8 +124,9 @@ def synthesize_dataset(config: ExperimentConfig,
 
     ``tracer`` (optional) collects the simulator's per-stage spans
     (rasterize/optical/resist/contour) across the whole mint; under a
-    parallel run it instead records per-shard ``parallel_shard`` spans
-    (worker-local stage timings stay in the workers).
+    parallel run each shard lands a ``parallel_shard`` span and the workers'
+    stage spans ship back with the shard results and are merged under it,
+    so the parallel trace is one coherent tree rather than a black hole.
     """
     from .integrity import SynthesisProvenance, synthesis_digest
 

@@ -9,6 +9,13 @@ from ..functional import sigmoid
 from .base import Layer
 
 
+def _numel(shape: tuple) -> int:
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return count
+
+
 class ReLU(Layer):
     op_name = "ReLU"
 
@@ -17,6 +24,9 @@ class ReLU(Layer):
 
     def output_shape(self, input_shape: tuple) -> tuple:
         return input_shape
+
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        return _numel(output_shape)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._mask = x > 0
@@ -39,6 +49,9 @@ class LeakyReLU(Layer):
     def output_shape(self, input_shape: tuple) -> tuple:
         return input_shape
 
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        return 2 * _numel(output_shape)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._mask = x > 0
         return np.where(self._mask, x, self.slope * x).astype(np.float32, copy=False)
@@ -57,6 +70,9 @@ class Sigmoid(Layer):
     def output_shape(self, input_shape: tuple) -> tuple:
         return input_shape
 
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        return 4 * _numel(output_shape)  # exp, add, div, negate
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._out = sigmoid(x)
         return self._out
@@ -74,6 +90,9 @@ class Tanh(Layer):
 
     def output_shape(self, input_shape: tuple) -> tuple:
         return input_shape
+
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        return 4 * _numel(output_shape)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._out = np.tanh(x)

@@ -40,6 +40,15 @@ class Layer:
         """The 'Filter' column of the paper's architecture tables."""
         return "-"
 
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        """Estimated forward-pass FLOPs for one batch.
+
+        Shapes include the batch dimension.  The default is 0 (shape-only
+        ops like flatten/reshape cost nothing); compute layers override with
+        the standard multiply-add accounting the profiler aggregates.
+        """
+        return 0
+
     def _require_cache(self, value, what: str = "input"):
         if value is None:
             raise TrainingError(

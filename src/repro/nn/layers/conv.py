@@ -62,6 +62,12 @@ class Conv2D(Layer):
     def describe(self) -> str:
         return f"{self.kernel}x{self.kernel},{self.stride}"
 
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        # one multiply-add per kernel tap per output element
+        n, _, out_h, out_w = output_shape
+        return (2 * self.kernel * self.kernel * self.in_channels
+                * self.out_channels * n * out_h * out_w)
+
     def output_shape(self, input_shape: tuple) -> tuple:
         c, h, w = input_shape
         if c != self.in_channels:
@@ -149,6 +155,12 @@ class ConvTranspose2D(Layer):
 
     def describe(self) -> str:
         return f"{self.kernel}x{self.kernel},{self.stride}"
+
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        # adjoint of the conv: same tap count, indexed by input elements
+        n, _, in_h, in_w = input_shape
+        return (2 * self.kernel * self.kernel * self.in_channels
+                * self.out_channels * n * in_h * in_w)
 
     def output_shape(self, input_shape: tuple) -> tuple:
         c, h, w = input_shape

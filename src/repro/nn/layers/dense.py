@@ -41,6 +41,9 @@ class Dense(Layer):
             params.append(self.bias)
         return params
 
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        return 2 * self.in_features * self.out_features * input_shape[0]
+
     def output_shape(self, input_shape: tuple) -> tuple:
         if input_shape != (self.in_features,):
             raise ShapeError(

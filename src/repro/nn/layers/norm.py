@@ -49,6 +49,12 @@ class BatchNorm(Layer):
             )
         return input_shape
 
+    def flops(self, input_shape: tuple, output_shape: tuple) -> int:
+        count = 1
+        for dim in output_shape:
+            count *= int(dim)
+        return 4 * count  # subtract mean, scale by 1/std, gamma, beta
+
     @staticmethod
     def _axes_and_shape(x: np.ndarray):
         """Reduction axes and broadcast shape for 2-D or 4-D inputs."""

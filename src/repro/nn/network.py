@@ -28,16 +28,23 @@ class Sequential:
             raise TrainingError("Sequential requires at least one layer")
         self.layers: List[Layer] = layer_list
         self.name = name
+        #: optional repro.telemetry.profile.LayerProfiler; when attached,
+        #: forward/backward delegate to its instrumented per-layer loop
+        self.profiler = None
 
     # -- execution ----------------------------------------------------------
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.profiler is not None:
+            return self.profiler.forward(self, x, training=training)
         out = x
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self.profiler is not None:
+            return self.profiler.backward(self, grad)
         out = grad
         for layer in reversed(self.layers):
             out = layer.backward(out)

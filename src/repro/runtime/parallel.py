@@ -28,6 +28,19 @@ Telemetry is threaded through: each shard lands a ``parallel_shard`` tracer
 record and a ``parallel_tasks_total`` counter increment; failures increment
 ``parallel_worker_failures_total``, emit an ``on_worker_crash`` hook call,
 and (in drills) originate from :meth:`FaultPlan.inject_worker_crash`.
+
+**Trace propagation** (the observability plane): when the pool carries a
+tracer, every dispatch reserves a ``parallel_shard`` span ID up front and
+ships a :class:`TraceWire` to the worker.  The worker builds a shard-local
+:class:`~repro.telemetry.trace.Tracer` (origin ``w<shard>``, span IDs
+namespaced under the reserved parent ID) plus a shard-local
+:class:`~repro.telemetry.metrics.MetricsRegistry`, installs both as the
+thread's *ambient* telemetry (:func:`~repro.telemetry.trace.
+get_active_tracer` / :func:`~repro.telemetry.metrics.get_active_registry`),
+and returns its finished spans and metric deltas with the shard result.  The
+parent absorbs them **in submission order**, so a ``--workers 8`` run yields
+one coherent, deterministic-structure trace — identical in shape across
+serial, thread, and process backends.
 """
 
 from __future__ import annotations
@@ -41,15 +54,33 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import PARALLEL_BACKENDS, ParallelConfig
 from ..errors import ConfigError, ParallelError, ReproError
+from ..telemetry.metrics import MetricsRegistry, activate_registry
+from ..telemetry.trace import Tracer, activate_tracer
 
 #: exit status a crash-injected process worker dies with (see FaultPlan).
 CRASH_EXIT_CODE = 13
+
+
+class TraceWire(NamedTuple):
+    """Trace context shipped to a worker shard (picklable)."""
+
+    trace_id: str
+    parent_span_id: str  # the reserved parallel_shard span ID
+    origin: str          # worker lane label, e.g. "w3"
+
+
+class ShardTelemetry(NamedTuple):
+    """What an instrumented shard ships back beside its result."""
+
+    result: Any
+    spans: List[dict]     # SpanRecord.to_dict() forms, completion order
+    metrics: dict         # MetricsRegistry.snapshot() delta
 
 
 def shard_seed(base_seed: int, shard: int) -> int:
@@ -93,20 +124,55 @@ def chunk_indices(n: int, workers: int,
             for start in range(0, n, size)]
 
 
+def _run_wired(fn: Callable[[Any], Any], payload: Any,
+               wire: TraceWire) -> ShardTelemetry:
+    """Run ``fn`` under shard-local ambient telemetry; bundle the deltas.
+
+    The shard tracer joins the parent's trace (same ``trace_id``), parents
+    its root spans under the reserved ``parallel_shard`` span, and
+    namespaces its span IDs under that reserved ID — globally unique without
+    cross-process coordination.  Ambient installation is thread-local, so
+    one pool thread running several shards sequentially never mixes them.
+    """
+    tracer = Tracer(
+        wire.trace_id,
+        origin=wire.origin,
+        id_namespace=wire.parent_span_id,
+        root_parent_id=wire.parent_span_id,
+    )
+    registry = MetricsRegistry()
+    previous_tracer = activate_tracer(tracer)
+    previous_registry = activate_registry(registry)
+    try:
+        result = fn(payload)
+    finally:
+        activate_tracer(previous_tracer)
+        activate_registry(previous_registry)
+    return ShardTelemetry(
+        result=result,
+        spans=[record.to_dict() for record in tracer.records],
+        metrics=registry.snapshot(),
+    )
+
+
 def _shard_entry(fn: Callable[[Any], Any], payload: Any, shard: int,
-                 crash: bool) -> Any:
+                 crash: bool, wire: Optional[TraceWire] = None) -> Any:
     """Module-level worker entry point (must be picklable for ``process``).
 
     ``crash`` is the consumed fault-injection flag: in a child process it
     dies hard via ``os._exit`` — modelling a segfault/OOM-kill, invisible
     to ``except`` clauses — which surfaces to the parent as a broken pool.
+    With a ``wire`` the shard runs instrumented and returns a
+    :class:`ShardTelemetry` instead of the bare result.
     """
     if crash:
         # In a forked/spawned child this kills only the worker.  The serial
         # and thread backends never pass crash=True here (they raise in the
         # parent instead — _exit would take the whole interpreter down).
         os._exit(CRASH_EXIT_CODE)
-    return fn(payload)
+    if wire is None:
+        return fn(payload)
+    return _run_wired(fn, payload, wire)
 
 
 class WorkerPool:
@@ -195,16 +261,46 @@ class WorkerPool:
 
     # -- telemetry plumbing --------------------------------------------------
 
-    def _record_shard(self, task: str, shard: int, seconds: float) -> None:
-        if self.tracer is not None:
-            self.tracer.add_record(
-                "parallel_shard", seconds, shard=shard, task=task,
-                backend=self.backend,
+    def _make_wires(self, count: int) -> List[Optional[TraceWire]]:
+        """Reserve a ``parallel_shard`` span ID per shard, at dispatch.
+
+        Reserving in submission order makes the merged trace's ID layout a
+        pure function of the workload — completion order never shows.  With
+        no tracer attached the shards run uninstrumented (wire ``None``),
+        keeping the fast path telemetry-free.
+        """
+        if self.tracer is None:
+            return [None] * count
+        context = self.tracer.current_context()
+        return [
+            TraceWire(
+                trace_id=context.trace_id,
+                parent_span_id=self.tracer.reserve_span_id(),
+                origin=f"w{shard}",
             )
+            for shard in range(count)
+        ]
+
+    def _record_shard(self, task: str, shard: int, seconds: float,
+                      wire: Optional[TraceWire] = None,
+                      shipped: Optional[ShardTelemetry] = None) -> None:
+        if self.tracer is not None:
+            metadata = {"shard": shard, "task": task, "backend": self.backend}
+            if wire is not None:
+                metadata["worker"] = wire.origin
+            self.tracer.add_record(
+                "parallel_shard", seconds,
+                span_id=wire.parent_span_id if wire is not None else None,
+                **metadata,
+            )
+            if shipped is not None:
+                self.tracer.absorb(shipped.spans)
         if self.registry is not None:
             self.registry.counter(
                 "parallel_tasks_total", labels={"task": task}
             ).inc()
+            if shipped is not None:
+                self.registry.merge_snapshot(shipped.metrics)
 
     def _record_failure(self, task: str, shard: int, detail: str) -> None:
         if self.hook is not None:
@@ -245,11 +341,20 @@ class WorkerPool:
         """Apply ``fn`` to each payload; return results in payload order."""
         payloads = list(payloads)
         crash_flags = self._crash_flags(len(payloads))
+        wires = self._make_wires(len(payloads))
         if self.backend == "serial":
-            return self._map_serial(fn, payloads, crash_flags, task)
-        return self._map_executor(fn, payloads, crash_flags, task)
+            return self._map_serial(fn, payloads, crash_flags, wires, task)
+        return self._map_executor(fn, payloads, crash_flags, wires, task)
 
-    def _map_serial(self, fn, payloads, crash_flags, task) -> List[Any]:
+    def _unpack(self, outcome: Any, wire: Optional[TraceWire],
+                ) -> Tuple[Any, Optional[ShardTelemetry]]:
+        """Split a shard's return into (caller result, shipped telemetry)."""
+        if wire is not None and isinstance(outcome, ShardTelemetry):
+            return outcome.result, outcome
+        return outcome, None
+
+    def _map_serial(self, fn, payloads, crash_flags, wires,
+                    task) -> List[Any]:
         results: List[Any] = []
         for shard, payload in enumerate(payloads):
             start = time.perf_counter()
@@ -259,17 +364,22 @@ class WorkerPool:
                     f"injected worker crash (exit {CRASH_EXIT_CODE})",
                 )
             try:
-                results.append(fn(payload))
+                outcome = (fn(payload) if wires[shard] is None
+                           else _run_wired(fn, payload, wires[shard]))
             except ReproError:
                 raise
             except Exception as exc:  # noqa: BLE001 — contained, re-typed
                 raise self._failure(
                     task, shard, f"{type(exc).__name__}: {exc}"
                 ) from exc
-            self._record_shard(task, shard, time.perf_counter() - start)
+            result, shipped = self._unpack(outcome, wires[shard])
+            results.append(result)
+            self._record_shard(task, shard, time.perf_counter() - start,
+                               wires[shard], shipped)
         return results
 
-    def _map_executor(self, fn, payloads, crash_flags, task) -> List[Any]:
+    def _map_executor(self, fn, payloads, crash_flags, wires,
+                      task) -> List[Any]:
         executor = self._ensure_executor()
         injected = [shard for shard, flag in enumerate(crash_flags) if flag]
         if self.backend == "thread" and injected:
@@ -285,12 +395,13 @@ class WorkerPool:
             for shard, payload in enumerate(payloads):
                 starts.append(time.perf_counter())
                 futures.append(executor.submit(
-                    _shard_entry, fn, payload, shard, crash_flags[shard]
+                    _shard_entry, fn, payload, shard, crash_flags[shard],
+                    wires[shard],
                 ))
             results: List[Any] = []
             for shard, future in enumerate(futures):
                 try:
-                    results.append(future.result(timeout=self.timeout_s))
+                    outcome = future.result(timeout=self.timeout_s)
                 except FutureTimeoutError:
                     raise self._failure(
                         task, shard,
@@ -311,8 +422,11 @@ class WorkerPool:
                     raise self._failure(
                         task, shard, f"{type(exc).__name__}: {exc}"
                     ) from exc
+                result, shipped = self._unpack(outcome, wires[shard])
+                results.append(result)
                 self._record_shard(
-                    task, shard, time.perf_counter() - starts[shard]
+                    task, shard, time.perf_counter() - starts[shard],
+                    wires[shard], shipped,
                 )
             return results
         except BaseException:
@@ -322,6 +436,8 @@ class WorkerPool:
 
 __all__ = [
     "CRASH_EXIT_CODE",
+    "ShardTelemetry",
+    "TraceWire",
     "WorkerPool",
     "chunk_indices",
     "shard_rng",

@@ -1,0 +1,47 @@
+"""Build fingerprint: what code produced this run's artifacts.
+
+Every ``run_start`` event and BENCH artifact carries the package version and
+(when the working tree is a git checkout with ``git`` on PATH) the short
+commit SHA, so a report or a benchmark number is attributable to a commit.
+Lookup is best-effort and cached: no git, no repo, or a hostile environment
+degrades to ``git_sha: None`` rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional
+
+_CACHE: Optional[Dict[str, Optional[str]]] = None
+
+
+def _git_short_sha() -> Optional[str]:
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    sha = result.stdout.strip()
+    # a short SHA is 4-40 hex chars; anything else means git printed noise
+    if 4 <= len(sha) <= 40 and all(c in "0123456789abcdef" for c in sha):
+        return sha
+    return None
+
+
+def build_fingerprint(refresh: bool = False) -> Dict[str, Optional[str]]:
+    """``{"package", "version", "git_sha"}`` for the running code."""
+    global _CACHE
+    if _CACHE is None or refresh:
+        from .. import __version__
+        _CACHE = {
+            "package": "repro-litho",
+            "version": __version__,
+            "git_sha": _git_short_sha(),
+        }
+    return dict(_CACHE)

@@ -1,0 +1,225 @@
+"""Exporters: merged traces and metric snapshots in standard formats.
+
+Two consumers, two formats:
+
+* **Chrome trace events** — the JSON object format understood by
+  ``chrome://tracing`` and Perfetto.  Each finished :class:`~repro.telemetry.
+  trace.SpanRecord` becomes one complete ("X") event; each distinct span
+  *origin* (``main``, ``w0``, ``w1``, ...) becomes a named thread row, so a
+  trace merged across a :class:`~repro.runtime.parallel.WorkerPool` renders
+  as one timeline with a lane per worker.
+* **Prometheus exposition text** — the ``# HELP``/``# TYPE`` plain-text
+  format for an aggregated :class:`~repro.telemetry.metrics.MetricsRegistry`,
+  with cumulative ``_bucket{le=...}`` series for histograms.
+
+Everything is deterministic: origins, families, labels, and buckets are
+emitted in sorted order, so two identical runs diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
+
+from ..errors import TelemetryError
+from .metrics import MetricsRegistry
+from .trace import SpanRecord, Tracer
+
+#: required keys of a complete ("X") Chrome trace event
+_CHROME_X_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def _origin_order(records: Sequence[SpanRecord]) -> List[str]:
+    """Thread-row order: ``main`` first, then worker origins sorted."""
+    origins = {record.origin for record in records}
+    ordered = []
+    if "main" in origins:
+        ordered.append("main")
+        origins.discard("main")
+    ordered.extend(sorted(origins))
+    return ordered
+
+
+def to_chrome_trace(source: Union[Tracer, Iterable[SpanRecord]]) -> dict:
+    """Render finished spans as a Chrome trace-event JSON object.
+
+    ``source`` is a :class:`Tracer` (typically the parent's, after worker
+    spans were absorbed) or any iterable of :class:`SpanRecord`.  Span wall
+    times come from ``start_unix``/``seconds``; IDs and metadata ride in
+    ``args`` so Perfetto's span details pane shows the full lineage.
+    """
+    records = tuple(source.records if isinstance(source, Tracer)
+                    else source)
+    tids = {origin: tid for tid, origin in enumerate(_origin_order(records))}
+    events: List[dict] = [
+        {
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": origin},
+        }
+        for origin, tid in sorted(tids.items(), key=lambda item: item[1])
+    ]
+    for record in records:
+        args: Dict[str, Any] = {
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "depth": record.depth,
+        }
+        args.update(record.metadata)
+        events.append({
+            "name": record.name,
+            "cat": record.origin,
+            "ph": "X",
+            "ts": record.start_unix * 1e6,      # trace events use microseconds
+            "dur": record.seconds * 1e6,
+            "pid": 0,
+            "tid": tids[record.origin],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Fail-closed structural check of a Chrome trace-event object.
+
+    Used by tests and by ``repro report`` before trusting a ``--trace``
+    input: raises :class:`TelemetryError` naming the first malformed event.
+    """
+    if not isinstance(payload, Mapping) or "traceEvents" not in payload:
+        raise TelemetryError(
+            "chrome trace must be an object with a traceEvents array"
+        )
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise TelemetryError("traceEvents must be an array")
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise TelemetryError(f"trace event {index} is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            continue  # metadata events only need name/ph
+        if phase != "X":
+            raise TelemetryError(
+                f"trace event {index} has unsupported phase {phase!r}"
+            )
+        for key in _CHROME_X_KEYS:
+            if key not in event:
+                raise TelemetryError(f"trace event {index} missing {key!r}")
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)) or event[key] < 0:
+                raise TelemetryError(
+                    f"trace event {index} has bad {key} {event[key]!r}"
+                )
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       source: Union[Tracer, Iterable[SpanRecord]]) -> Path:
+    """Write the Chrome trace for ``source`` to ``path``; returns the path."""
+    path = Path(path)
+    payload = to_chrome_trace(source)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                        encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError(f"cannot write trace to {path}: {exc}") from exc
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition text
+# ---------------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label_value(str(value))}"'
+             for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(source: Union[MetricsRegistry, Mapping]) -> str:
+    """Render a registry (or its exported snapshot) as Prometheus text.
+
+    Families and series come out sorted; histograms expand into cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, matching what a
+    real Prometheus client library would expose.
+    """
+    snapshot = (source.snapshot() if isinstance(source, MetricsRegistry)
+                else source)
+    if "schema_version" in snapshot and "metrics" in snapshot:
+        snapshot = snapshot["metrics"]
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "untyped")
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family.get("series", ()):
+            labels = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{series.get('value', 0.0):g}"
+                )
+                continue
+            bounds = series.get("bucket_bounds")
+            counts = series.get("bucket_counts")
+            if bounds is None or counts is None:
+                raise TelemetryError(
+                    f"histogram {name} snapshot lacks bucket_bounds/"
+                    "bucket_counts; cannot export"
+                )
+            cumulative = 0
+            for bound, count in zip(bounds, counts):
+                cumulative += int(count)
+                le = 'le="{:g}"'.format(bound)
+                lines.append(
+                    f"{name}_bucket{_format_labels(labels, le)} {cumulative}"
+                )
+            cumulative += int(counts[-1])
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, inf)} {cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_format_labels(labels)} "
+                f"{series.get('sum', 0.0):g}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(labels)} "
+                f"{series.get('count', 0)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics(path: Union[str, Path],
+                  registry: MetricsRegistry) -> Path:
+    """Write a registry snapshot to ``path``.
+
+    Format follows the suffix: ``.prom`` / ``.txt`` get Prometheus
+    exposition text, anything else gets the schema-versioned JSON snapshot.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix in (".prom", ".txt"):
+            path.write_text(to_prometheus_text(registry), encoding="utf-8")
+        else:
+            path.write_text(
+                json.dumps(registry.to_dict(), indent=2, sort_keys=False)
+                + "\n",
+                encoding="utf-8",
+            )
+    except OSError as exc:
+        raise TelemetryError(f"cannot write metrics to {path}: {exc}") from exc
+    return path

@@ -15,7 +15,13 @@ from repro.runtime.parallel import (
     shard_rng,
     shard_seed,
 )
-from repro.telemetry import MetricsRegistry, RunLoggerHook, Tracer
+from repro.telemetry import (
+    MetricsRegistry,
+    RunLoggerHook,
+    Tracer,
+    get_active_registry,
+    get_active_tracer,
+)
 
 
 def _square(x):
@@ -46,6 +52,20 @@ def _domain_error(x):
 def _sleep_forever(x):
     time.sleep(30)
     return x
+
+
+
+def _traced_double(x):
+    # Worker-side telemetry: the pool installs a shard-local ambient tracer
+    # and registry before calling us; spans and counts recorded here must
+    # surface in the parent's merged trace and registry.
+    tracer = get_active_tracer()
+    registry = get_active_registry()
+    with tracer.span("inner_stage", item=int(x)):
+        pass
+    registry.counter("work_items_total").inc()
+    registry.histogram("item_value", buckets=(2.0, 8.0)).observe(float(x))
+    return x * 2
 
 
 class TestChunkIndices:
@@ -252,3 +272,68 @@ class TestValidation:
         assert repro.WorkerPool is WorkerPool
         assert repro.ParallelConfig is ParallelConfig
         assert repro.ParallelError is ParallelError
+
+
+class TestTracePropagation:
+    """Cross-process traces: worker spans merge under their shard span."""
+
+    def _run(self, backend, workers=4):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with WorkerPool(workers=workers, backend=backend, tracer=tracer,
+                        registry=registry) as pool:
+            results = pool.map(_traced_double, range(workers), task="job")
+        assert results == [x * 2 for x in range(workers)]
+        return tracer, registry
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_worker_spans_from_every_worker_with_correct_parents(
+            self, backend):
+        tracer, _ = self._run(backend)
+        shards = [r for r in tracer.records if r.name == "parallel_shard"]
+        inner = [r for r in tracer.records if r.name == "inner_stage"]
+        assert len(shards) == 4 and len(inner) == 4
+        assert {r.origin for r in inner} == {"w0", "w1", "w2", "w3"}
+        shard_by_worker = {r.metadata["worker"]: r for r in shards}
+        for record in inner:
+            assert record.parent_id == shard_by_worker[record.origin].span_id
+        assert {r.trace_id for r in tracer.records} == {tracer.trace_id}
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_span_structure_identical_across_backends(self, backend):
+        baseline, _ = self._run("serial")
+        tracer, _ = self._run(backend)
+
+        def shape(t):
+            return sorted(
+                (r.name, r.span_id, r.parent_id, r.origin, r.depth)
+                for r in t.records
+            )
+
+        assert shape(tracer) == shape(baseline)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_metrics_aggregate_to_serial_totals(self, backend):
+        _, serial = self._run("serial")
+        _, parallel = self._run(backend)
+        assert parallel.snapshot() == serial.snapshot()
+        items = parallel.counter("work_items_total")
+        assert items.value == 4.0
+        hist = parallel.snapshot()["item_value"]["series"][0]
+        assert hist["count"] == 4
+
+    def test_worker_spans_survive_repeated_maps_without_collisions(self):
+        tracer = Tracer()
+        with WorkerPool(workers=2, backend="thread", tracer=tracer) as pool:
+            pool.map(_traced_double, range(2), task="a")
+            pool.map(_traced_double, range(2), task="b")
+        span_ids = [r.span_id for r in tracer.records]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_untraced_pool_ships_no_telemetry(self):
+        registry = MetricsRegistry()
+        with WorkerPool(workers=2, backend="thread",
+                        registry=registry) as pool:
+            results = pool.map(_square, range(4), task="job")
+        assert results == [0, 1, 4, 9]
+        assert "work_items_total" not in registry

@@ -1,0 +1,144 @@
+"""Exporters: Chrome trace events and Prometheus exposition text."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    to_chrome_trace,
+    to_prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+def _merged_tracer():
+    """A parent tracer with one shard span and absorbed worker spans."""
+    tracer = Tracer()
+    shard_id = tracer.reserve_span_id()
+    worker = Tracer(
+        tracer.trace_id, origin="w0",
+        id_namespace=shard_id, root_parent_id=shard_id,
+    )
+    with worker.span("inner"):
+        pass
+    tracer.add_record(
+        "parallel_shard", 0.5, span_id=shard_id, shard=0, worker="w0",
+    )
+    tracer.absorb(record.to_dict() for record in worker.records)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_complete_events_carry_ids_and_metadata(self):
+        tracer = _merged_tracer()
+        payload = to_chrome_trace(tracer)
+        validate_chrome_trace(payload)
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"parallel_shard", "inner"}
+        shard = next(e for e in xs if e["name"] == "parallel_shard")
+        inner = next(e for e in xs if e["name"] == "inner")
+        assert shard["args"]["trace_id"] == tracer.trace_id
+        assert inner["args"]["parent_id"] == shard["args"]["span_id"]
+        assert shard["args"]["worker"] == "w0"
+        assert shard["dur"] == pytest.approx(0.5e6)
+
+    def test_one_thread_lane_per_origin_main_first(self):
+        payload = to_chrome_trace(_merged_tracer())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = [e["args"]["name"] for e in meta]
+        assert names == ["main", "w0"]
+        tids = {e["args"]["name"]: e["tid"] for e in meta}
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["tid"] == tids[event["cat"]]
+
+    def test_empty_tracer_is_still_valid(self):
+        payload = to_chrome_trace(Tracer())
+        validate_chrome_trace(payload)
+        assert payload["traceEvents"] == []
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _merged_tracer())
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    @pytest.mark.parametrize("payload", [
+        [],
+        {"events": []},
+        {"traceEvents": {}},
+        {"traceEvents": ["not an object"]},
+        {"traceEvents": [{"ph": "B", "name": "x"}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": 0.0, "dur": 1.0,
+                          "pid": 0}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": -1.0, "dur": 1.0,
+                          "pid": 0, "tid": 0}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": 0.0, "dur": "soon",
+                          "pid": 0, "tid": 0}]},
+    ])
+    def test_validation_fails_closed(self, payload):
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace(payload)
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_sorted_with_types(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta_total").inc(3)
+        registry.gauge("alpha_level").set(1.5)
+        text = to_prometheus_text(registry)
+        assert text.index("alpha_level") < text.index("zeta_total")
+        assert "# TYPE alpha_level gauge" in text
+        assert "# TYPE zeta_total counter" in text
+        assert "zeta_total 3" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = to_prometheus_text(registry)
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+
+    def test_labels_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total",
+                         labels={"b": 'say "hi"', "a": "x"}).inc()
+        text = to_prometheus_text(registry)
+        assert r'runs_total{a="x",b="say \"hi\""} 1' in text
+
+    def test_accepts_exported_snapshot_wrapper(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc()
+        assert to_prometheus_text(registry.to_dict()) == \
+            to_prometheus_text(registry)
+
+    def test_legacy_snapshot_without_bucket_arrays_fails_closed(self):
+        snapshot = {"latency": {
+            "type": "histogram",
+            "series": [{"labels": {}, "buckets": {"le_1": 1}}],
+        }}
+        with pytest.raises(TelemetryError):
+            to_prometheus_text(snapshot)
+
+
+class TestWriteMetrics:
+    def test_json_suffix_writes_schema_versioned_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc()
+        path = write_metrics(tmp_path / "metrics.json", registry)
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["runs_total"]["type"] == "counter"
+
+    @pytest.mark.parametrize("name", ["metrics.prom", "metrics.txt"])
+    def test_prom_suffix_writes_exposition_text(self, tmp_path, name):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc()
+        path = write_metrics(tmp_path / name, registry)
+        assert path.read_text() == to_prometheus_text(registry)

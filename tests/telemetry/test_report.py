@@ -1,0 +1,165 @@
+"""Run health reports: correlation, fail-closed inputs, forward compat."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    RunLogger,
+    Tracer,
+    build_report,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.profile import LayerStats, ProfileReport
+
+
+def _write_good_log(path):
+    with RunLogger(path) as logger:
+        logger.run_start(command="mint", node="N10",
+                         build={"version": "1.0.0", "git_sha": "abc1234"})
+        logger.stage_end("optical", 2.0, count=8)
+        logger.stage_end("resist", 1.0, count=8)
+        logger.run_end(status="ok", seconds=3.5)
+        return logger.run_id
+
+
+def _write_trace(path):
+    tracer = Tracer()
+    tracer.add_record("parallel_shard", 0.4, shard=0, worker="w0")
+    tracer.add_record("parallel_shard", 0.2, shard=1, worker="w1")
+    tracer.add_record("parallel_shard", 0.3, shard=2, worker="w0")
+    return write_chrome_trace(path, tracer)
+
+
+class TestBuildReport:
+    def test_good_log_yields_healthy_report(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        run_id = _write_good_log(log)
+        report = build_report(log)
+        assert report.healthy
+        assert [r.run_id for r in report.runs] == [run_id]
+        run = report.runs[0]
+        assert (run.command, run.status) == ("mint", "ok")
+        assert run.seconds == pytest.approx(3.5)
+        assert run.build["git_sha"] == "abc1234"
+        assert report.stages["optical"] == {"seconds": 2.0, "count": 8}
+        assert report.sources == {"log": str(log)}
+
+    def test_missing_run_end_marks_run_truncated(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        logger = RunLogger(log)
+        logger.run_start(command="train")
+        logger.close()
+        report = build_report(log)
+        assert not report.healthy
+        assert report.runs[0].status == "truncated"
+
+    def test_multi_run_log_summarized_per_run(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        _write_good_log(log)
+        report = build_report(log)
+        assert len(report.runs) == 2
+        assert report.healthy
+        # stage seconds accumulate across runs
+        assert report.stages["optical"]["seconds"] == pytest.approx(4.0)
+
+    def test_unknown_event_types_are_tolerated_and_counted(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        record = {"schema_version": 1, "event": "quantum_flux",
+                  "run_id": "run-x", "seq": 99}
+        with log.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        report = build_report(log)
+        assert report.unknown_events == 1
+        assert report.healthy  # the run itself still reads as ok
+
+    def test_missing_log_fails_closed_naming_path(self, tmp_path):
+        missing = tmp_path / "absent.jsonl"
+        with pytest.raises(TelemetryError, match=str(missing)):
+            build_report(missing)
+
+    def test_corrupt_log_fails_closed_naming_path(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        text = log.read_text().splitlines()
+        text.insert(1, "{{{ not json")
+        log.write_text("\n".join(text) + "\n")
+        with pytest.raises(TelemetryError, match=str(log)):
+            build_report(log)
+
+    def test_worker_usage_and_skew_from_trace(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        trace = _write_trace(tmp_path / "trace.json")
+        report = build_report(log, trace_path=trace)
+        lanes = {u.worker: u for u in report.workers}
+        assert lanes["w0"].shards == 2
+        assert lanes["w0"].busy_s == pytest.approx(0.7)
+        assert lanes["w1"].busy_s == pytest.approx(0.2)
+        # skew = max busy / mean busy = 0.7 / 0.45
+        assert report.worker_skew == pytest.approx(0.7 / 0.45)
+
+    def test_corrupt_trace_fails_closed_naming_path(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        bad = tmp_path / "trace.json"
+        bad.write_text('{"traceEvents": [{"ph": "X"}]}')
+        with pytest.raises(TelemetryError, match=str(bad)):
+            build_report(log, trace_path=bad)
+
+    def test_headline_counters_summed_across_series(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        registry = MetricsRegistry()
+        registry.counter("parallel_tasks_total", labels={"task": "a"}).inc(2)
+        registry.counter("parallel_tasks_total", labels={"task": "b"}).inc(3)
+        registry.counter("unrelated_total").inc(9)
+        metrics = write_metrics(tmp_path / "metrics.json", registry)
+        report = build_report(log, metrics_path=metrics)
+        assert report.counters == {"parallel_tasks_total": 5.0}
+
+    def test_metrics_without_wrapper_fails_closed(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        bad = tmp_path / "metrics.json"
+        bad.write_text('{"no_metrics_key": {}}')
+        with pytest.raises(TelemetryError, match=str(bad)):
+            build_report(log, metrics_path=bad)
+
+    def test_profile_hot_layers_attached(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        profile = ProfileReport(rows=(
+            LayerStats("gen", 0, "Conv", "-", calls=1,
+                       forward_s=1.0, flops=500),
+            LayerStats("gen", 1, "ReLU", "-", calls=1,
+                       forward_s=0.1, flops=5),
+        )).save(tmp_path / "profile.json")
+        report = build_report(log, profile_path=profile)
+        assert report.hot_layers[0]["op"] == "Conv"
+        assert report.profile_forward_s == pytest.approx(1.1)
+
+    def test_to_dict_and_text_render(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        report = build_report(log, trace_path=_write_trace(
+            tmp_path / "trace.json"))
+        payload = report.to_dict()
+        json.dumps(payload)  # must be serializable
+        assert payload["healthy"] is True
+        text = report.format_text()
+        assert "runs: 1 (healthy)" in text
+        assert "workers: 2 lanes" in text
+        assert "[v1.0.0@abc1234]" in text
+
+    def test_save_round_trips(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        report = build_report(log)
+        saved = report.save(tmp_path / "report.json")
+        assert json.loads(saved.read_text()) == report.to_dict()

@@ -77,7 +77,8 @@ class TestTracer:
         with tracer.span("s", node="N10"):
             pass
         payload = tracer.to_dict()
-        assert set(payload) == {"spans", "totals", "counts"}
+        assert set(payload) == {"trace_id", "spans", "totals", "counts"}
+        assert payload["trace_id"] == tracer.trace_id
         assert payload["spans"][0]["name"] == "s"
         assert payload["spans"][0]["metadata"] == {"node": "N10"}
         assert payload["counts"] == {"s": 1}
