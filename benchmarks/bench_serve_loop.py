@@ -1,0 +1,104 @@
+"""Serving-loop soak benchmark: throughput, tail latency, and shed fairness.
+
+Drives :func:`repro.serving.run_soak` against an :class:`InferenceServer`
+built on the golden-playback model (no training needed — the soak measures
+the *loop*, not the network), under a ramping QPS load with two tenants and
+a 10% degenerate-output fault drill, then records ``BENCH_serve.json``:
+throughput, p50/p99 end-to-end latency (queueing + coalescing + ladder),
+and the per-tenant shed accounting under overload.
+
+Environment knobs for constrained runners:
+
+* ``REPRO_BENCH_SERVE_DURATION`` — soak seconds (default 8)
+* ``REPRO_BENCH_SERVE_QPS_START`` / ``REPRO_BENCH_SERVE_QPS_END`` — the
+  ramp endpoints (default 30 -> 150)
+
+Absolute throughput depends on the host; the tracked invariants do not:
+zero unanswered requests, every shed typed, and a bounded per-tenant shed
+spread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from conftest import write_artifact
+
+from repro.config import N10, reduced
+from repro.data import synthesize_dataset
+from repro.runtime import FaultPlan
+from repro.serving import (
+    InferenceServer,
+    PlaybackModel,
+    TenantQuota,
+    run_soak,
+)
+from repro.telemetry import Tracer, build_fingerprint
+
+SOAK_DURATION = float(os.environ.get("REPRO_BENCH_SERVE_DURATION", 8.0))
+SOAK_QPS_START = float(os.environ.get("REPRO_BENCH_SERVE_QPS_START", 30.0))
+SOAK_QPS_END = float(os.environ.get("REPRO_BENCH_SERVE_QPS_END", 150.0))
+
+
+@pytest.fixture(scope="module")
+def soak_inputs():
+    """A small playback dataset and the soak's experiment config."""
+    config = reduced(N10, num_clips=24, epochs=1, seed=7)
+    dataset = synthesize_dataset(config)
+    return config, dataset
+
+
+def test_serve_soak(soak_inputs, artifact_dir):
+    config, dataset = soak_inputs
+    expected = max(1, int(round(
+        SOAK_DURATION * (SOAK_QPS_START + SOAK_QPS_END) / 2.0)))
+    faults = FaultPlan(seed=7)
+    injected = faults.inject_random_degenerate(expected, 0.10)
+
+    tracer = Tracer()
+    server = InferenceServer(
+        PlaybackModel(dataset), config,
+        quotas=(TenantQuota("opc", weight=2.0), TenantQuota("ilt")),
+        faults=faults, tracer=tracer,
+    )
+    report = run_soak(
+        server, list(dataset.masks), duration_s=SOAK_DURATION,
+        qps_start=SOAK_QPS_START, qps_end=SOAK_QPS_END,
+        tenants=("opc", "ilt"),
+    )
+
+    # The invariant the loop may never break, load or no load.
+    assert report.unanswered == 0
+    assert report.answered == report.submitted
+    assert report.served > 0
+    assert not report.wedged
+
+    stats = server.stats()
+    lines = [
+        f"serve soak: {report.duration_s:.1f}s ramp "
+        f"{SOAK_QPS_START:g}->{SOAK_QPS_END:g} qps, "
+        f"{report.submitted} submitted",
+        f"  served {report.served}, shed {report.shed} "
+        f"({report.shed_rate:.1%}), deadline-expired "
+        f"{report.deadline_expired}, unanswered {report.unanswered}",
+        f"  throughput {report.throughput_clips_per_s:.1f} clips/s over "
+        f"{report.batches} coalesced batches "
+        f"(queue high-water {stats.queue_high_water})",
+        f"  latency p50 {report.latency_p50_ms:.2f} ms, "
+        f"p99 {report.latency_p99_ms:.2f} ms",
+        f"  fairness gap {report.fairness_gap():.3f} across "
+        f"{len(report.tenants)} tenants",
+    ]
+    write_artifact(artifact_dir, "serve_soak.txt", lines)
+
+    payload = report.to_dict()
+    payload["schema_version"] = 1
+    payload["build"] = build_fingerprint()
+    payload["injected_degenerate"] = len(injected)
+    payload["server"] = stats.to_dict()
+    payload["batch_coalesce_spans"] = tracer.count("batch_coalesce")
+    (artifact_dir / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

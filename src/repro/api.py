@@ -19,6 +19,11 @@ runs, so nobody has to know which subpackage owns which moving part:
 ``serve``
     Hardened batch inference through :class:`~repro.serving.InferenceService`
     under an explicit serving ``policy``.
+``serve_loop``
+    The long-lived continuous-batching server
+    (:class:`~repro.serving.InferenceServer`): asynchronous submission,
+    per-tenant fair shedding, deadlines, a wedge watchdog, and
+    drain-on-shutdown.  Returned started; use as a context manager.
 ``process_window``
     Dose/defocus sweep of one synthesized clip.
 ``load_model`` / ``save_model``
@@ -57,6 +62,7 @@ from .config import (
     DATA_POLICY_SALVAGE,
     DATA_POLICY_STRICT,
     ExperimentConfig,
+    ServerConfig,
     ServingConfig,
 )
 from .core import LithoGan, LithoGanHistory
@@ -90,6 +96,7 @@ __all__ = [
     "report",
     "save_model",
     "serve",
+    "serve_loop",
     "train",
 ]
 
@@ -470,6 +477,44 @@ def serve(model: Union[LithoGan, str, Path],
         kwargs["deadline_s"] = deadline_s
     with _model_profiled(profiler, model):
         return service.serve_batch(masks, **kwargs)
+
+
+def serve_loop(model: Union[LithoGan, str, Path], *,
+               config: ExperimentConfig,
+               server: Optional["ServerConfig"] = None,
+               quotas: Sequence = (),
+               faults=None, hook=None, tracer=None, simulator=None,
+               clock=None, start: bool = True):
+    """Start the continuous-batching serving loop; returns the
+    :class:`~repro.serving.InferenceServer`.
+
+    ``model`` may be a fitted LithoGAN, a weight directory (restored
+    fail-closed), or any duck-typed ``predict_raw`` provider (e.g. a
+    :class:`~repro.serving.PlaybackModel`).  ``server`` overrides
+    ``config.server`` wholesale (queue capacity, ``max_batch`` /
+    ``max_wait_ms`` coalescing, watchdog, drain timeout); ``quotas`` is a
+    sequence of :class:`~repro.serving.TenantQuota`.  The server comes
+    back already started (``start=False`` defers); use it as a context
+    manager, or call ``close()`` to drain and stop:
+
+    >>> with api.serve_loop(model, config=config) as srv:   # doctest: +SKIP
+    ...     future = srv.submit(mask, tenant="opc")
+    ...     clip = future.result(timeout=30.0)
+    """
+    from .serving import InferenceServer
+
+    if server is not None:
+        config = dataclasses.replace(config, server=server)
+    configure_kernel_cache(config.parallel)
+    if isinstance(model, (str, Path)):
+        model = load_model(model, config)
+    loop = InferenceServer(
+        model, config, quotas=quotas, hook=hook, tracer=tracer,
+        simulator=simulator, faults=faults, clock=clock,
+    )
+    if start:
+        loop.start()
+    return loop
 
 
 def process_window(config: ExperimentConfig, *,

@@ -16,6 +16,11 @@ actual work (synthesis, training, scoring, serving, sweeping) happens in
 ``predict``
     Hardened batch inference through the serving ladder: admission, output
     guards, retries, and physics-simulator fallback (``repro.serving``).
+``serve``
+    The long-lived continuous-batching serving loop under a ramping
+    synthetic load: per-tenant admission and fair shedding, request
+    deadlines, a wedge watchdog, and drain-on-shutdown.  ``--soak`` audits
+    the no-request-left-behind invariant (exit 5 on violation).
 ``process-window``
     Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
 ``report``
@@ -43,7 +48,8 @@ subcommand spells them identically.
 Exit codes: 0 success, 1 pipeline error (including a crashed parallel
 worker, reported as a :class:`~repro.errors.ParallelError` naming the
 shard), 2 usage error, 3 missing or corrupted model weights (fail-closed),
-4 dataset failed integrity validation or repair (fail-closed), 130
+4 dataset failed integrity validation or repair (fail-closed), 5 serve-soak
+invariant violation (an unanswered request or an unfair shed spread), 130
 interrupted.
 """
 
@@ -434,6 +440,172 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def _parse_tenants(spec: str):
+    """Parse ``NAME[:WEIGHT[:MAX_QUEUED]],...`` into TenantQuota objects."""
+    from .serving import TenantQuota
+
+    quotas = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        try:
+            quotas.append(TenantQuota(
+                name=fields[0],
+                weight=float(fields[1]) if len(fields) > 1 else 1.0,
+                max_queued=int(fields[2]) if len(fields) > 2 else None,
+            ))
+        except (ValueError, IndexError):
+            raise ReproError(
+                f"bad tenant spec {part!r}; expected "
+                f"NAME[:WEIGHT[:MAX_QUEUED]]"
+            ) from None
+    if not quotas:
+        raise ReproError(f"--tenants {spec!r} parsed to an empty list")
+    return tuple(quotas)
+
+
+def _parse_pair(spec: str, flag: str):
+    """Parse an ``N:SECONDS`` fault spec into ``(int, float)``."""
+    try:
+        left, right = spec.split(":")
+        return int(left), float(right)
+    except ValueError:
+        raise ReproError(
+            f"bad {flag} {spec!r}; expected N:SECONDS"
+        ) from None
+
+
+def cmd_serve(args) -> int:
+    """Soak the continuous-batching serving loop under a ramping load."""
+    from .serving import DEFAULT_TENANT, PlaybackModel, run_soak
+
+    telemetry = args.telemetry
+    if args.inject_degenerate is not None and not (
+            0.0 <= args.inject_degenerate <= 1.0):
+        print(
+            f"error: --inject-degenerate must lie in [0, 1], got "
+            f"{args.inject_degenerate}", file=sys.stderr,
+        )
+        telemetry.finish(status="error", error="bad --inject-degenerate")
+        return 2
+    dataset = load_dataset(args.dataset)
+    config = _config_for(args, len(dataset))
+    overrides = {
+        key: value for key, value in {
+            "queue_capacity": args.queue_capacity,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "default_deadline_s": args.deadline,
+            "watchdog_s": args.watchdog,
+        }.items() if value is not None
+    }
+    if overrides:
+        config = dataclasses.replace(
+            config, server=dataclasses.replace(config.server, **overrides),
+        )
+
+    if args.model:
+        model = api.load_model(args.model, config, seed=args.seed)
+    else:
+        # Golden playback: un-faulted outputs always pass the guard, so the
+        # drill's shed/fallback counts reflect only the injected faults.
+        model = PlaybackModel(dataset)
+
+    quotas = _parse_tenants(args.tenants) if args.tenants else ()
+    tenant_names = tuple(q.name for q in quotas) or (DEFAULT_TENANT,)
+
+    # Degenerate injection draws over the expected submission count; late
+    # requests past the estimate are simply never poisoned.
+    expected = max(1, int(round(
+        args.duration * (args.qps_start + args.qps_end) / 2.0)))
+    faults = None
+    injected = ()
+    if args.inject_degenerate:
+        faults = FaultPlan(seed=args.seed)
+        injected = faults.inject_random_degenerate(
+            expected, args.inject_degenerate)
+        print(f"fault drill: degrading {len(injected)} of ~{expected} "
+              f"expected generator outputs")
+    if args.inject_slow_every:
+        every, seconds = _parse_pair(
+            args.inject_slow_every, "--inject-slow-every")
+        faults = faults or FaultPlan(seed=args.seed)
+        faults.inject_slow_every(every, seconds)
+        print(f"fault drill: stalling every {every}th forward batch "
+              f"for {seconds:g}s")
+    if args.inject_wedge:
+        batch, seconds = _parse_pair(args.inject_wedge, "--inject-wedge")
+        faults = faults or FaultPlan(seed=args.seed)
+        faults.inject_wedge(batch, seconds)
+        print(f"fault drill: wedging forward batch {batch} for {seconds:g}s")
+
+    server_cfg = config.server
+    print(
+        f"serving loop: queue {server_cfg.queue_capacity}, batch <= "
+        f"{server_cfg.max_batch} @ {server_cfg.max_wait_ms:g}ms, tenants "
+        f"{', '.join(tenant_names)}; ramping "
+        f"{args.qps_start:g}->{args.qps_end:g} qps over "
+        f"{args.duration:g}s ..."
+    )
+    server = api.serve_loop(
+        model, config=config, quotas=quotas, faults=faults,
+        hook=telemetry.hook(), tracer=telemetry.tracer,
+    )
+    soak = run_soak(
+        server, list(dataset.masks), duration_s=args.duration,
+        qps_start=args.qps_start, qps_end=args.qps_end,
+        tenants=tenant_names,
+    )
+
+    print(f"soak: {soak.served}/{soak.submitted} served, {soak.shed} shed, "
+          f"{soak.deadline_expired} deadline-expired, "
+          f"{soak.refused} refused, {soak.unanswered} unanswered "
+          f"({soak.batches} batches{', wedged' if soak.wedged else ''})")
+    print(f"  throughput: {soak.throughput_clips_per_s:.1f} clips/s, "
+          f"latency p50={soak.latency_p50_ms:.2f}ms "
+          f"p99={soak.latency_p99_ms:.2f}ms")
+    if soak.shed_by_reason:
+        print("  shed by reason: " + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(soak.shed_by_reason.items())))
+    for name in sorted(soak.tenants):
+        state = soak.tenants[name]
+        print(f"  tenant {name}: submitted={state['submitted']} "
+              f"served={state['served']} shed={state['shed']}")
+    print(f"  fairness gap (max-min tenant shed rate): "
+          f"{soak.fairness_gap():.3f}")
+
+    if args.report:
+        payload = soak.to_dict()
+        payload["injected_degenerate"] = list(injected)
+        payload["server"] = server.stats().to_dict()
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote soak report to {args.report}")
+
+    telemetry.registry.counter("clips_processed_total").inc(soak.served)
+    violations = []
+    if args.soak:
+        if soak.unanswered:
+            violations.append(
+                f"{soak.unanswered} admitted request(s) never answered")
+        if soak.fairness_gap() > args.fairness_bound:
+            violations.append(
+                f"per-tenant shed spread {soak.fairness_gap():.3f} exceeds "
+                f"--fairness-bound {args.fairness_bound:g}")
+    if violations:
+        for violation in violations:
+            print(f"soak invariant violated: {violation}", file=sys.stderr)
+        telemetry.finish(status="error", error="; ".join(violations))
+        return 5
+    telemetry.finish(
+        submitted=soak.submitted, served=soak.served, shed=soak.shed,
+        unanswered=soak.unanswered, wedged=soak.wedged,
+    )
+    return 0
+
+
 def cmd_process_window(args) -> int:
     telemetry = args.telemetry
     config = _config_for(args, 1)
@@ -649,6 +821,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full per-clip serve report as JSON to PATH",
     )
     predict.set_defaults(func=cmd_predict)
+
+    serve = sub.add_parser(
+        "serve",
+        help="soak the continuous-batching serving loop under ramping load",
+        parents=[common],
+    )
+    serve.add_argument("--dataset", required=True)
+    serve.add_argument(
+        "--model", default=None, metavar="DIR",
+        help="serve trained weights from DIR (default: golden-playback "
+             "model built from the dataset itself)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="soak duration (default: 5)",
+    )
+    serve.add_argument(
+        "--qps-start", dest="qps_start", type=float, default=20.0,
+        metavar="QPS", help="submission rate at t=0 (default: 20)",
+    )
+    serve.add_argument(
+        "--qps-end", dest="qps_end", type=float, default=100.0,
+        metavar="QPS", help="submission rate at t=duration (default: 100)",
+    )
+    serve.add_argument(
+        "--tenants", default=None, metavar="SPEC",
+        help="comma-separated NAME[:WEIGHT[:MAX_QUEUED]] tenant quotas; "
+             "submissions round-robin across them (default: one "
+             "unlimited tenant)",
+    )
+    serve.add_argument(
+        "--queue-capacity", dest="queue_capacity", type=int, default=None,
+        metavar="N", help="bounded admission queue size (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch", dest="max_batch", type=int, default=None,
+        metavar="N", help="coalesce at most N requests per forward batch "
+             "(default: 8)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", dest="max_wait_ms", type=float, default=None,
+        metavar="MS", help="close a non-full batch MS after its first "
+             "request arrived (default: 5)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline from submission; expired requests are "
+             "answered with a DeadlineError (default: none)",
+    )
+    serve.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="declare the executor wedged after SECONDS without progress "
+             "while work is pending (default: 10)",
+    )
+    serve.add_argument(
+        "--inject-degenerate", dest="inject_degenerate", type=float,
+        default=None, metavar="FRACTION",
+        help="fault drill: deterministically zero this fraction of "
+             "generator outputs before the guard (seeded by --seed)",
+    )
+    serve.add_argument(
+        "--inject-slow-every", dest="inject_slow_every", default=None,
+        metavar="N:SECONDS",
+        help="fault drill: stall every Nth forward batch for SECONDS "
+             "(slow-worker soak)",
+    )
+    serve.add_argument(
+        "--inject-wedge", dest="inject_wedge", default=None,
+        metavar="BATCH:SECONDS",
+        help="fault drill: wedge forward batch BATCH for SECONDS; the "
+             "watchdog must fail its requests with typed errors",
+    )
+    serve.add_argument(
+        "--soak", action="store_true",
+        help="assert the soak invariants (zero unanswered requests, "
+             "per-tenant shed spread within --fairness-bound); exit 5 "
+             "on violation",
+    )
+    serve.add_argument(
+        "--fairness-bound", dest="fairness_bound", type=float, default=0.5,
+        metavar="GAP",
+        help="--soak: max allowed spread between per-tenant shed rates "
+             "(default: 0.5)",
+    )
+    serve.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full soak report as JSON to PATH",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     window = sub.add_parser(
         "process-window", help="dose/defocus sweep of one clip",

@@ -551,6 +551,61 @@ class ServingConfig:
             )
 
 
+@dataclass(frozen=True)
+class ServerConfig:
+    """Continuous-batching serving-loop knobs (the long-lived server).
+
+    Requests queue on a bounded FIFO of ``queue_capacity`` slots and are
+    coalesced into forward batches: the batcher closes a batch as soon as
+    ``max_batch`` requests are waiting, or after ``max_wait_ms`` has passed
+    since the *first* request of the batch arrived — the latency-versus-
+    throughput knob (0 disables coalescing entirely: every request is
+    served the moment the executor is free).
+
+    ``default_deadline_s`` is attached to requests that do not carry their
+    own deadline (None = no deadline).  ``watchdog_s`` bounds how long the
+    executor may go without completing a batch while work is pending
+    before the watchdog declares it wedged and fails every in-flight and
+    queued request with a typed overload answer.  ``drain_timeout_s``
+    bounds shutdown: requests still queued when it expires are shed with a
+    ``shutdown`` answer rather than left dangling.
+    """
+
+    queue_capacity: int = 64
+    max_batch: int = 8
+    max_wait_ms: float = 5.0
+    default_deadline_s: Optional[float] = None
+    watchdog_s: float = 10.0
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_batch < 1:
+            raise ConfigError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s < 0:
+            raise ConfigError(
+                "default_deadline_s must be >= 0 or None, got "
+                f"{self.default_deadline_s}"
+            )
+        if self.watchdog_s <= 0:
+            raise ConfigError(
+                f"watchdog_s must be > 0, got {self.watchdog_s}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+
+
 # ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
@@ -612,6 +667,7 @@ class ExperimentConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
     data: DataIntegrityConfig = field(default_factory=DataIntegrityConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
 

@@ -26,6 +26,12 @@ and the training loops consult it at every batch boundary:
   :meth:`FaultPlan.degrade_output`) blanks the generator's output for
   scheduled clip indices, so serving drills can prove the output guards and
   the fallback ladder fire — deterministically, per clip.
+* **Serving-loop stall injection** (:meth:`FaultPlan.inject_slow_batch`,
+  :meth:`FaultPlan.inject_slow_every`, :meth:`FaultPlan.inject_wedge`)
+  delays or wedges the continuous-batching executor at exact forward-batch
+  indices, so soak drills can prove latency degrades gracefully under slow
+  workers and that the watchdog converts a hung executor into typed
+  answers for every pending request, never a hang.
 * **Worker-crash injection** (:meth:`FaultPlan.inject_worker_crash`) kills
   a scheduled parallel shard's worker hard (``os._exit`` in a child
   process), so fan-out drills can prove crash containment: the parent must
@@ -60,6 +66,9 @@ class FaultPlan:
         self._interrupt: Dict[_Site, bool] = {}
         self._degenerate: Dict[int, bool] = {}
         self._worker_crash: Dict[int, bool] = {}
+        self._slow_batches: Dict[int, Tuple[float, bool]] = {}
+        self._slow_every: Tuple[int, float] = (0, 0.0)
+        self._wedge: Dict[int, float] = {}
         #: chronological record of fired faults: (kind, phase, epoch, batch)
         self.fired: List[Tuple[str, str, int, int]] = []
 
@@ -144,6 +153,50 @@ class FaultPlan:
         self._worker_crash[int(shard)] = repeat
         return self
 
+    def inject_slow_batch(self, batch: int, seconds: float,
+                          repeat: bool = False) -> "FaultPlan":
+        """Delay serving-loop forward batch index ``batch`` by ``seconds``.
+
+        Models a slow worker: the batch still completes and every request
+        is answered, but latency (and queue depth behind it) spikes.  The
+        serving loop consumes the delay via :meth:`batch_delay`.
+        """
+        if batch < 0:
+            raise ConfigError(f"fault batch index must be >= 0, got {batch}")
+        if seconds < 0:
+            raise ConfigError(f"fault delay must be >= 0, got {seconds}")
+        self._slow_batches[int(batch)] = (float(seconds), repeat)
+        return self
+
+    def inject_slow_every(self, every: int, seconds: float) -> "FaultPlan":
+        """Delay every ``every``-th serving-loop batch by ``seconds``.
+
+        The recurring form of :meth:`inject_slow_batch`, used by the soak
+        harness to model a fleet with a persistent slow worker.
+        """
+        if every < 1:
+            raise ConfigError(f"fault period must be >= 1, got {every}")
+        if seconds < 0:
+            raise ConfigError(f"fault delay must be >= 0, got {seconds}")
+        self._slow_every = (int(every), float(seconds))
+        return self
+
+    def inject_wedge(self, batch: int, seconds: float) -> "FaultPlan":
+        """Wedge the serving-loop executor on batch index ``batch``.
+
+        Unlike a slow batch, a wedge models a *hung* executor (deadlocked
+        BLAS call, stuck I/O): the serving loop blocks interruptibly for up
+        to ``seconds`` and its watchdog must convert the stall into typed
+        failures for every pending request rather than letting callers
+        hang.  Consumed via :meth:`wedge_delay`.
+        """
+        if batch < 0:
+            raise ConfigError(f"fault batch index must be >= 0, got {batch}")
+        if seconds <= 0:
+            raise ConfigError(f"wedge duration must be > 0, got {seconds}")
+        self._wedge[int(batch)] = float(seconds)
+        return self
+
     @property
     def degenerate_clips(self) -> Tuple[int, ...]:
         """Sorted clip indices with a degenerate-output fault still pending."""
@@ -158,7 +211,8 @@ class FaultPlan:
     def pending(self) -> int:
         """Number of scheduled faults that have not fired yet."""
         return (len(self._nan) + len(self._interrupt)
-                + len(self._degenerate) + len(self._worker_crash))
+                + len(self._degenerate) + len(self._worker_crash)
+                + len(self._slow_batches) + len(self._wedge))
 
     # -- runtime hooks (called by the training loops) ------------------------
 
@@ -199,6 +253,35 @@ class FaultPlan:
             del self._degenerate[clip]
         self.fired.append(("degenerate", "serve", clip, 0))
         return np.zeros_like(np.asarray(array, dtype=np.float32))
+
+    def batch_delay(self, batch: int) -> float:
+        """Consume and return the slow-batch delay for ``batch`` (0.0 if none).
+
+        One-shot sites win over the recurring ``inject_slow_every``
+        schedule; recurring delays fire on every multiple of the period
+        (batch 0 included, so ramp starts are exercised too).
+        """
+        batch = int(batch)
+        if batch in self._slow_batches:
+            seconds, repeat = self._slow_batches[batch]
+            if not repeat:
+                del self._slow_batches[batch]
+            self.fired.append(("slow_batch", "serve", batch, 0))
+            return seconds
+        every, seconds = self._slow_every
+        if every > 0 and batch % every == 0:
+            self.fired.append(("slow_batch", "serve", batch, 0))
+            return seconds
+        return 0.0
+
+    def wedge_delay(self, batch: int) -> float:
+        """Consume and return the wedge duration for ``batch`` (0.0 if none)."""
+        batch = int(batch)
+        if batch not in self._wedge:
+            return 0.0
+        seconds = self._wedge.pop(batch)
+        self.fired.append(("wedge", "serve", batch, 0))
+        return seconds
 
     def take_worker_crash(self, shard: int) -> bool:
         """Consume and report a pending worker-crash fault for ``shard``.

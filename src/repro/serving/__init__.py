@@ -16,6 +16,15 @@ This package wraps the trained model in three defensive layers:
 :class:`~repro.serving.service.InferenceService` ties them into the
 graceful-degradation ladder: every admitted clip is answered, with per-clip
 provenance recording whether the model or the simulator produced it.
+
+On top of the one-shot service sits the long-lived loop:
+
+* :mod:`repro.serving.tenancy` — per-tenant admission quotas and the
+  proportional fair-shedding policy.
+* :mod:`repro.serving.server` — :class:`InferenceServer`, the
+  continuous-batching serving loop (asynchronous submission, dynamic batch
+  coalescing, per-request deadlines, a wedge watchdog, drain-on-shutdown)
+  and the :func:`run_soak` sustained-load harness.
 """
 
 from .admission import (
@@ -39,6 +48,7 @@ from .overload import (
     BoundedWorkQueue,
     CircuitBreaker,
     Deadline,
+    MONOTONIC_CLOCK,
 )
 from .service import (
     BatchReport,
@@ -49,6 +59,27 @@ from .service import (
     PROVENANCE_MODEL,
     ServedClip,
     serve_latency_quantiles,
+)
+from .playback import PlaybackModel
+from .tenancy import (
+    DEFAULT_TENANT,
+    TenancyController,
+    TenantQuota,
+    TenantState,
+)
+from .server import (
+    InferenceServer,
+    SHED_DEADLINE,
+    SHED_EVICTED,
+    SHED_OVERLOAD,
+    SHED_QUOTA,
+    SHED_SHUTDOWN,
+    SHED_WEDGED,
+    ServeFuture,
+    ServeRequest,
+    ServerStats,
+    SoakReport,
+    run_soak,
 )
 
 __all__ = [
@@ -68,6 +99,24 @@ __all__ = [
     "BoundedWorkQueue",
     "CircuitBreaker",
     "Deadline",
+    "MONOTONIC_CLOCK",
+    "PlaybackModel",
+    "DEFAULT_TENANT",
+    "TenancyController",
+    "TenantQuota",
+    "TenantState",
+    "InferenceServer",
+    "SHED_DEADLINE",
+    "SHED_EVICTED",
+    "SHED_OVERLOAD",
+    "SHED_QUOTA",
+    "SHED_SHUTDOWN",
+    "SHED_WEDGED",
+    "ServeFuture",
+    "ServeRequest",
+    "ServerStats",
+    "SoakReport",
+    "run_soak",
     "BatchReport",
     "CAUSE_BREAKER",
     "CAUSE_DEGENERATE",

@@ -8,13 +8,22 @@ Three independent mechanisms keep a serving node answering under stress:
 * :class:`BoundedWorkQueue` — a FIFO of pending clips with a hard capacity.
   ``push`` raises :class:`~repro.errors.OverloadError` when full, which the
   admission layer converts into per-clip ``overload`` rejections
-  (backpressure to the caller rather than unbounded memory growth).
+  (backpressure to the caller rather than unbounded memory growth).  The
+  queue tracks its :meth:`depth` and :attr:`high_water` mark and reports
+  every full-queue shed through an ``on_full`` callback, so overload is
+  visible in metrics, not just in per-clip reports.
 * :class:`CircuitBreaker` — after ``threshold`` *consecutive* clip-level
   guard failures, the breaker opens and the service goes simulator-only
   (the model is not even invoked).  After ``probe_after`` further clips it
   half-opens: one probe clip runs through the model, and its guard verdict
   decides between closing (healthy again) and re-opening.  Transitions are
   deterministic in the clip stream, so drills can assert them exactly.
+
+Both time-aware primitives (:class:`Deadline`, and the transition
+timestamps of :class:`CircuitBreaker`) take an injectable monotonic
+``clock`` (default :func:`time.perf_counter`), so overload tests drive a
+fake clock forward instead of sleeping — expiry and probe-race scenarios
+become deterministic and instantaneous.
 """
 
 from __future__ import annotations
@@ -29,16 +38,26 @@ BREAKER_CLOSED = "closed"
 BREAKER_OPEN = "open"
 BREAKER_HALF_OPEN = "half_open"
 
+#: the default monotonic clock for every time-aware overload primitive
+MONOTONIC_CLOCK = time.perf_counter
+
 
 class Deadline:
-    """A wall-clock budget started at construction; ``None`` never expires."""
+    """A wall-clock budget started at construction; ``None`` never expires.
 
-    def __init__(self, seconds: Optional[float]):
+    ``clock`` is any zero-argument callable returning monotonic seconds
+    (default :func:`time.perf_counter`); tests inject a fake clock and step
+    it explicitly instead of sleeping.
+    """
+
+    def __init__(self, seconds: Optional[float],
+                 clock: Optional[Callable[[], float]] = None):
         self.seconds = seconds
-        self._start = time.perf_counter()
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._start = self._clock()
 
     def elapsed(self) -> float:
-        return time.perf_counter() - self._start
+        return self._clock() - self._start
 
     def exceeded(self) -> bool:
         return self.seconds is not None and self.elapsed() >= self.seconds
@@ -50,9 +69,18 @@ class Deadline:
 
 
 class BoundedWorkQueue:
-    """FIFO work queue that sheds load instead of growing without bound."""
+    """FIFO work queue that sheds load instead of growing without bound.
 
-    def __init__(self, capacity: int):
+    ``on_full(depth, capacity)`` fires on every full-queue shed, *before*
+    the :class:`~repro.errors.OverloadError` is raised — the serving loop
+    wires it to the ``queue_full`` telemetry event and the
+    ``serve_queue_full_total`` counter, so shed load shows up in metrics
+    rather than only in per-clip rejection reports.  :attr:`high_water`
+    remembers the deepest the queue has ever been.
+    """
+
+    def __init__(self, capacity: int,
+                 on_full: Optional[Callable[[int, int], None]] = None):
         if capacity < 1:
             raise OverloadError(
                 f"queue capacity must be >= 1, got {capacity}",
@@ -60,9 +88,26 @@ class BoundedWorkQueue:
             )
         self.capacity = capacity
         self._items = deque()
+        self._high_water = 0
+        self._shed = 0
+        self._on_full = on_full
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def depth(self) -> int:
+        """Current number of queued items."""
+        return len(self._items)
+
+    @property
+    def high_water(self) -> int:
+        """The deepest the queue has ever been."""
+        return self._high_water
+
+    @property
+    def shed(self) -> int:
+        """How many pushes were refused because the queue was full."""
+        return self._shed
 
     @property
     def full(self) -> bool:
@@ -70,11 +115,16 @@ class BoundedWorkQueue:
 
     def push(self, item) -> None:
         if self.full:
+            self._shed += 1
+            if self._on_full is not None:
+                self._on_full(len(self._items), self.capacity)
             raise OverloadError(
                 f"work queue full ({self.capacity} clips)",
                 reason="overload",
             )
         self._items.append(item)
+        if len(self._items) > self._high_water:
+            self._high_water = len(self._items)
 
     def pop_many(self, count: int) -> List:
         """Dequeue up to ``count`` items in FIFO order."""
@@ -82,6 +132,22 @@ class BoundedWorkQueue:
         while self._items and len(out) < count:
             out.append(self._items.popleft())
         return out
+
+    def snapshot(self) -> Tuple:
+        """The queued items, oldest first, without dequeuing anything."""
+        return tuple(self._items)
+
+    def remove(self, item) -> bool:
+        """Remove one queued item (identity match); False if absent.
+
+        The serving loop's fair-shedding policy evicts a specific queued
+        request to make room for a tenant below its fair share.
+        """
+        try:
+            self._items.remove(item)
+        except ValueError:
+            return False
+        return True
 
 
 class CircuitBreaker:
@@ -91,15 +157,21 @@ class CircuitBreaker:
     ``open`` → (``probe_after`` clips served without the model) →
     ``half_open`` → one model probe → ``closed`` on success, ``open`` on
     failure.  ``on_transition(from_state, to_state, reason)`` fires on every
-    edge; ``transitions`` keeps the full history for assertions.
+    edge; ``transitions`` keeps the full history for assertions, and
+    ``transition_times`` the matching monotonic timestamps (from the
+    injectable ``clock``), so drills can correlate breaker edges with
+    deadline expiry without real sleeps.
     """
 
     def __init__(self, threshold: int, probe_after: int,
-                 on_transition: Optional[Callable[[str, str, str], None]] = None):
+                 on_transition: Optional[Callable[[str, str, str], None]] = None,
+                 clock: Optional[Callable[[], float]] = None):
         self.threshold = threshold
         self.probe_after = probe_after
         self.state = BREAKER_CLOSED
         self.transitions: List[Tuple[str, str, str]] = []
+        self.transition_times: List[float] = []
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
         self._on_transition = on_transition
         self._consecutive_failures = 0
         self._clips_since_open = 0
@@ -108,6 +180,7 @@ class CircuitBreaker:
         from_state = self.state
         self.state = to_state
         self.transitions.append((from_state, to_state, reason))
+        self.transition_times.append(self._clock())
         if self._on_transition is not None:
             self._on_transition(from_state, to_state, reason)
 
@@ -115,6 +188,11 @@ class CircuitBreaker:
     def trips(self) -> int:
         """How many times the breaker has opened."""
         return sum(1 for _, to, _ in self.transitions if to == BREAKER_OPEN)
+
+    @property
+    def last_transition_at(self) -> Optional[float]:
+        """Monotonic timestamp of the most recent edge, or None."""
+        return self.transition_times[-1] if self.transition_times else None
 
     def allow_model(self) -> bool:
         """Decide, for the next clip, whether the model may run.

@@ -167,17 +167,19 @@ class InferenceService:
     def __init__(self, model, config: ExperimentConfig,
                  hook: Optional[TelemetryHook] = None,
                  tracer: Optional[Tracer] = None,
-                 simulator=None):
+                 simulator=None, clock=None):
         self.model = model
         self.config = config
         self.serving = config.serving
         self.hook = hook if hook is not None else NULL_HOOK
         self.tracer = tracer if tracer is not None else Tracer()
         self.guard = OutputGuard(config)
+        self.clock = clock
         self.breaker = CircuitBreaker(
             threshold=self.serving.breaker_threshold,
             probe_after=self.serving.breaker_probe_after,
             on_transition=self.hook.on_breaker,
+            clock=clock,
         )
         self._simulator = simulator
         self._thread_sims = threading.local()
@@ -406,7 +408,7 @@ class InferenceService:
         batch_start = time.perf_counter()
         if deadline_s is _CONFIG_DEADLINE:
             deadline_s = self.serving.deadline_s
-        deadline = Deadline(deadline_s)
+        deadline = Deadline(deadline_s, clock=self.clock)
 
         admitted: AdmittedBatch = admit_masks(
             masks, self.config, capacity=self.serving.queue_capacity

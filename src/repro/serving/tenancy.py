@@ -1,0 +1,202 @@
+"""Per-tenant admission quotas and proportional fair shedding.
+
+A long-lived serving loop is shared infrastructure: several callers
+("tenants" — an OPC sweep, an ILT optimizer, an interactive notebook) push
+clips into the same bounded queue.  Without isolation, one aggressive
+tenant starves everyone else the moment the queue fills.  This module
+keeps admission fair:
+
+* Each tenant carries a :class:`TenantQuota` — a proportional ``weight``
+  and an optional hard ``max_queued`` cap on its share of queue slots.
+* The **fair share** of a tenant is ``capacity * weight / total_weight``,
+  computed over the tenants currently holding queue slots plus the
+  arriving one.  Shares follow demand: a tenant that is not submitting
+  does not reserve capacity.
+* When the queue is full and a tenant *below* its fair share arrives, the
+  :class:`TenancyController` picks a shed **victim**: the tenant furthest
+  *over* its own share (ties broken by name, so drills can assert the
+  exact eviction order).  The serving loop evicts the victim's most
+  recently queued request — its future fails with a typed
+  :class:`~repro.errors.OverloadError` — and admits the newcomer.  A
+  tenant already at or over its share is shed itself; it cannot displace
+  anyone.
+
+The controller is pure bookkeeping plus victim selection — it never
+touches the queue or futures itself, so its fairness policy is unit
+testable without threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..errors import ConfigError
+
+#: tenant name used when a request does not declare one
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission policy for one tenant.
+
+    ``weight`` sets the tenant's proportional share of queue capacity under
+    contention; ``max_queued`` (optional) hard-caps how many of its requests
+    may wait in the queue at once, regardless of how empty the queue is.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_queued: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if not self.weight > 0:
+            raise ConfigError(
+                f"tenant {self.name!r} weight must be > 0, got {self.weight}"
+            )
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ConfigError(
+                f"tenant {self.name!r} max_queued must be >= 1, "
+                f"got {self.max_queued}"
+            )
+
+
+class TenantState:
+    """Live accounting for one tenant: queue occupancy and outcome counts."""
+
+    __slots__ = ("name", "weight", "max_queued", "queued",
+                 "submitted", "served", "shed")
+
+    def __init__(self, name: str, weight: float = 1.0,
+                 max_queued: Optional[int] = None):
+        self.name = name
+        self.weight = weight
+        self.max_queued = max_queued
+        #: requests currently holding a queue slot
+        self.queued = 0
+        #: total requests ever submitted by this tenant
+        self.submitted = 0
+        #: requests answered with a result (model or fallback)
+        self.served = 0
+        #: requests refused or evicted with a typed overload answer
+        self.shed = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "weight": self.weight,
+            "max_queued": self.max_queued,
+            "queued": self.queued,
+            "submitted": self.submitted,
+            "served": self.served,
+            "shed": self.shed,
+        }
+
+
+class TenancyController:
+    """Quota checks, fair-share arithmetic, and shed-victim selection."""
+
+    def __init__(self, quotas: Iterable[TenantQuota] = (),
+                 default_weight: float = 1.0):
+        if not default_weight > 0:
+            raise ConfigError(
+                f"default tenant weight must be > 0, got {default_weight}"
+            )
+        self.default_weight = default_weight
+        self._tenants: Dict[str, TenantState] = {}
+        for quota in quotas:
+            if quota.name in self._tenants:
+                raise ConfigError(f"duplicate tenant quota {quota.name!r}")
+            self._tenants[quota.name] = TenantState(
+                quota.name, quota.weight, quota.max_queued
+            )
+
+    def tenant(self, name: str) -> TenantState:
+        """Get-or-create the state record for ``name``.
+
+        Unregistered tenants are first-class: they get the default weight
+        and no hard cap, so an open endpoint still sheds them fairly.
+        """
+        state = self._tenants.get(name)
+        if state is None:
+            state = TenantState(name, self.default_weight)
+            self._tenants[name] = state
+        return state
+
+    @property
+    def tenants(self) -> Dict[str, TenantState]:
+        return dict(self._tenants)
+
+    # -- accounting (called by the serving loop under its lock) ---------------
+
+    def note_submitted(self, name: str) -> TenantState:
+        state = self.tenant(name)
+        state.submitted += 1
+        return state
+
+    def note_enqueued(self, name: str) -> None:
+        self.tenant(name).queued += 1
+
+    def note_dequeued(self, name: str) -> None:
+        state = self.tenant(name)
+        state.queued = max(0, state.queued - 1)
+
+    def note_served(self, name: str) -> None:
+        self.tenant(name).served += 1
+
+    def note_shed(self, name: str) -> None:
+        self.tenant(name).shed += 1
+
+    # -- policy ----------------------------------------------------------------
+
+    def quota_exceeded(self, name: str) -> bool:
+        """True when ``name`` already holds its hard per-tenant cap."""
+        state = self.tenant(name)
+        return (state.max_queued is not None
+                and state.queued >= state.max_queued)
+
+    def fair_shares(self, capacity: int,
+                    arriving: Optional[str] = None) -> Dict[str, float]:
+        """Proportional slot entitlements over the *active* tenants.
+
+        Active = tenants currently holding queue slots, plus the arriving
+        tenant (which is bidding for one).  Shares sum to ``capacity``.
+        """
+        active = {name: state for name, state in self._tenants.items()
+                  if state.queued > 0}
+        if arriving is not None:
+            active[arriving] = self.tenant(arriving)
+        if not active:
+            return {}
+        total = sum(state.weight for state in active.values())
+        return {name: capacity * state.weight / total
+                for name, state in active.items()}
+
+    def pick_victim(self, capacity: int, arriving: str) -> Optional[str]:
+        """Choose the tenant to evict from so ``arriving`` can be admitted.
+
+        Returns ``None`` when the arrival itself should be shed: either it
+        is already at/over its fair share, or no other tenant is over
+        theirs.  Otherwise returns the name of the tenant furthest over its
+        share (largest ``queued - share``; ties broken by ascending name).
+        """
+        shares = self.fair_shares(capacity, arriving=arriving)
+        if self.tenant(arriving).queued >= shares.get(arriving, 0.0):
+            return None
+        victim: Optional[str] = None
+        worst = 0.0
+        for name in sorted(shares):
+            if name == arriving:
+                continue
+            excess = self._tenants[name].queued - shares[name]
+            if excess > worst:
+                worst = excess
+                victim = name
+        return victim
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-tenant stats, JSON-ready, keyed by tenant name."""
+        return {name: state.to_dict()
+                for name, state in sorted(self._tenants.items())}

@@ -34,6 +34,11 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
     index and the machine-readable cause).
 ``breaker``
     The serving circuit breaker changed state (``from_state``/``to_state``).
+``queue_full``
+    The serving work queue refused a push (carries depth and capacity).
+``shed``
+    A serving-loop request was refused or evicted (carries the request ID,
+    its tenant, and the machine-readable shed reason).
 ``worker_crash``
     A parallel fan-out worker died or timed out (carries the shard index,
     the task name, and a short detail string).
@@ -58,7 +63,7 @@ SCHEMA_VERSION = 1
 #: event types a well-formed run log may contain
 EVENT_TYPES = (
     "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
-    "eval_end", "admission", "fallback", "breaker",
+    "eval_end", "admission", "fallback", "breaker", "queue_full", "shed",
     "data_quarantine", "data_repair", "worker_crash", "run_end",
 )
 
@@ -169,6 +174,18 @@ class RunLogger:
             "breaker", from_state=from_state, to_state=to_state, **fields
         )
 
+    def queue_full(self, depth: int, capacity: int,
+                   **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "queue_full", depth=depth, capacity=capacity, **fields
+        )
+
+    def shed(self, request: int, tenant: str, reason: str,
+             **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "shed", request=request, tenant=tenant, reason=reason, **fields
+        )
+
     def data_quarantine(self, quarantined: int, total: int,
                         **fields: Any) -> Dict[str, Any]:
         return self.emit(
@@ -256,7 +273,9 @@ def validate_run_log(events: List[Dict[str, Any]],
     phase's epoch counter), well-formed serve-phase events (``admission``
     counts are non-negative integers, ``fallback`` names a clip and cause,
     ``breaker`` transitions follow the closed/open/half-open state machine
-    from an initially closed breaker), well-formed data-integrity events
+    from an initially closed breaker, ``queue_full`` records a depth at or
+    above capacity, ``shed`` names a request/tenant/reason), well-formed
+    data-integrity events
     (``data_quarantine`` counts are non-negative integers with
     ``quarantined <= total``, ``data_repair`` carries a non-negative
     ``repaired`` count), and (unless ``require_run_end=False``,
@@ -354,6 +373,29 @@ def validate_run_log(events: List[Dict[str, Any]],
                 )
             if not record.get("cause"):
                 raise TelemetryError(f"fallback {index} is missing a cause")
+        if record["event"] == "queue_full":
+            depth = record.get("depth")
+            capacity = record.get("capacity")
+            for key, value in (("depth", depth), ("capacity", capacity)):
+                if not isinstance(value, int) or value < 0:
+                    raise TelemetryError(
+                        f"queue_full {index} has bad {key} {value!r}"
+                    )
+            if capacity is not None and depth is not None \
+                    and depth < capacity:
+                raise TelemetryError(
+                    f"queue_full {index} records depth {depth} below "
+                    f"capacity {capacity} — the queue was not full"
+                )
+        if record["event"] == "shed":
+            if not isinstance(record.get("request"), int):
+                raise TelemetryError(
+                    f"shed {index} has bad request {record.get('request')!r}"
+                )
+            if not record.get("tenant"):
+                raise TelemetryError(f"shed {index} is missing a tenant")
+            if not record.get("reason"):
+                raise TelemetryError(f"shed {index} is missing a reason")
         if record["event"] == "breaker":
             source = record.get("from_state")
             target = record.get("to_state")

@@ -67,6 +67,15 @@ class TelemetryHook:
                    reason: str = "") -> None:
         """The serving circuit breaker changed state."""
 
+    def on_queue_full(self, depth: int, capacity: int) -> None:
+        """The serving work queue refused a push because it was full."""
+
+    def on_shed(self, request: int, tenant: str, reason: str) -> None:
+        """A serving-loop request was shed (quota, eviction, or shutdown)."""
+
+    def on_queue_depth(self, depth: int) -> None:
+        """The serving-loop queue depth changed (sampled, post-transition)."""
+
     def on_data_quarantine(self, quarantined: int, total: int,
                            reasons: Optional[dict] = None,
                            manifest_missing: bool = False) -> None:
@@ -150,6 +159,18 @@ class CompositeHook(TelemetryHook):
                    reason: str = "") -> None:
         for hook in self.hooks:
             hook.on_breaker(from_state, to_state, reason=reason)
+
+    def on_queue_full(self, depth: int, capacity: int) -> None:
+        for hook in self.hooks:
+            hook.on_queue_full(depth, capacity)
+
+    def on_shed(self, request: int, tenant: str, reason: str) -> None:
+        for hook in self.hooks:
+            hook.on_shed(request, tenant, reason)
+
+    def on_queue_depth(self, depth: int) -> None:
+        for hook in self.hooks:
+            hook.on_queue_depth(depth)
 
     def on_data_quarantine(self, quarantined: int, total: int,
                            reasons: Optional[dict] = None,
@@ -320,6 +341,23 @@ class RunLoggerHook(TelemetryHook):
             self.registry.counter(
                 "serve_breaker_transitions_total",
                 labels={"to_state": to_state}).inc()
+
+    def on_queue_full(self, depth: int, capacity: int) -> None:
+        if self.logger is not None:
+            self.logger.queue_full(depth, capacity)
+        if self.registry is not None:
+            self.registry.counter("serve_queue_full_total").inc()
+
+    def on_shed(self, request: int, tenant: str, reason: str) -> None:
+        if self.logger is not None:
+            self.logger.shed(request, tenant, reason)
+        if self.registry is not None:
+            self.registry.counter(
+                "serve_shed_total", labels={"tenant": tenant}).inc()
+
+    def on_queue_depth(self, depth: int) -> None:
+        if self.registry is not None:
+            self.registry.gauge("serve_queue_depth").set(depth)
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         if self.logger is not None:

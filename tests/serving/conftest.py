@@ -44,6 +44,29 @@ class GoldenModel:
         return mono, centers
 
 
+class FakeClock:
+    """A hand-stepped monotonic clock for deadline/breaker timing tests.
+
+    Injected wherever a ``clock`` parameter is accepted; tests call
+    :meth:`advance` instead of sleeping, so expiry scenarios run instantly
+    and deterministically.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
 @pytest.fixture
 def golden_model(tiny_dataset) -> GoldenModel:
     return GoldenModel(tiny_dataset)
@@ -57,6 +80,19 @@ def serving_config():
         return dataclasses.replace(
             config,
             serving=dataclasses.replace(config.serving, **overrides),
+        )
+
+    return build
+
+
+@pytest.fixture
+def server_config():
+    """Builder: a config copy with ``server`` (loop) fields overridden."""
+
+    def build(config, **overrides):
+        return dataclasses.replace(
+            config,
+            server=dataclasses.replace(config.server, **overrides),
         )
 
     return build

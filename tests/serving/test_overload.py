@@ -1,4 +1,9 @@
-"""Overload protection units: deadline, bounded queue, circuit breaker."""
+"""Overload protection units: deadline, bounded queue, circuit breaker.
+
+Time-dependent behaviour (deadline expiry, breaker transition timestamps)
+runs on the injectable fake clock from ``conftest.py`` — the tests step
+time explicitly instead of sleeping, so expiry is exact and instantaneous.
+"""
 
 import pytest
 
@@ -14,17 +19,35 @@ from repro.serving import (
 
 
 class TestDeadline:
-    def test_none_never_expires(self):
-        deadline = Deadline(None)
+    def test_none_never_expires(self, fake_clock):
+        deadline = Deadline(None, clock=fake_clock)
+        fake_clock.advance(1e9)
         assert not deadline.exceeded()
         assert deadline.remaining() == float("inf")
 
-    def test_zero_budget_is_immediately_exceeded(self):
-        deadline = Deadline(0.0)
+    def test_zero_budget_is_immediately_exceeded(self, fake_clock):
+        deadline = Deadline(0.0, clock=fake_clock)
         assert deadline.exceeded()
         assert deadline.remaining() == 0.0
 
-    def test_generous_budget_is_not_exceeded(self):
+    def test_expires_exactly_when_the_clock_reaches_the_budget(
+            self, fake_clock):
+        deadline = Deadline(10.0, clock=fake_clock)
+        fake_clock.advance(9.999)
+        assert not deadline.exceeded()
+        assert deadline.remaining() == pytest.approx(0.001)
+        fake_clock.advance(0.001)
+        assert deadline.exceeded()
+        assert deadline.remaining() == 0.0
+        assert deadline.elapsed() == pytest.approx(10.0)
+
+    def test_remaining_clamps_at_zero_past_expiry(self, fake_clock):
+        deadline = Deadline(1.0, clock=fake_clock)
+        fake_clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.elapsed() == pytest.approx(5.0)
+
+    def test_default_clock_is_real_monotonic_time(self):
         deadline = Deadline(3600.0)
         assert not deadline.exceeded()
         assert 0.0 < deadline.remaining() <= 3600.0
@@ -52,6 +75,50 @@ class TestBoundedWorkQueue:
     def test_capacity_must_be_positive(self):
         with pytest.raises(OverloadError):
             BoundedWorkQueue(0)
+
+    def test_depth_and_high_water_track_occupancy(self):
+        queue = BoundedWorkQueue(8)
+        assert queue.depth() == 0
+        assert queue.high_water == 0
+        for item in range(5):
+            queue.push(item)
+        assert queue.depth() == 5
+        queue.pop_many(4)
+        assert queue.depth() == 1
+        # high water remembers the peak, not the present
+        assert queue.high_water == 5
+        queue.push("again")
+        assert queue.high_water == 5
+
+    def test_shed_counter_and_on_full_fire_per_refused_push(self):
+        calls = []
+        queue = BoundedWorkQueue(
+            2, on_full=lambda depth, cap: calls.append((depth, cap))
+        )
+        queue.push("a")
+        queue.push("b")
+        for _ in range(3):
+            with pytest.raises(OverloadError):
+                queue.push("overflow")
+        assert queue.shed == 3
+        assert calls == [(2, 2), (2, 2), (2, 2)]
+
+    def test_snapshot_is_a_non_destructive_fifo_view(self):
+        queue = BoundedWorkQueue(4)
+        for item in "abc":
+            queue.push(item)
+        assert queue.snapshot() == ("a", "b", "c")
+        assert queue.depth() == 3  # nothing was dequeued
+
+    def test_remove_targets_one_item_by_identity(self):
+        queue = BoundedWorkQueue(4)
+        items = [object(), object(), object()]
+        for item in items:
+            queue.push(item)
+        assert queue.remove(items[1])
+        assert queue.snapshot() == (items[0], items[2])
+        assert not queue.remove(items[1])  # already gone
+        assert not queue.remove(object())  # never queued
 
 
 class TestCircuitBreaker:
@@ -122,3 +189,16 @@ class TestCircuitBreaker:
         breaker = CircuitBreaker(threshold=2, probe_after=1)
         assert all(breaker.allow_model() for _ in range(5))
         assert breaker.transitions == []
+
+    def test_transition_times_come_from_the_injected_clock(self, fake_clock):
+        breaker = CircuitBreaker(threshold=1, probe_after=1,
+                                 clock=fake_clock)
+        assert breaker.last_transition_at is None
+        fake_clock.advance(2.0)
+        breaker.record_failure()       # closed -> open at t=2
+        fake_clock.advance(3.0)
+        assert breaker.allow_model()   # open -> half_open at t=5
+        fake_clock.advance(1.0)
+        breaker.record_success()       # half_open -> closed at t=6
+        assert breaker.transition_times == [2.0, 5.0, 6.0]
+        assert breaker.last_transition_at == 6.0

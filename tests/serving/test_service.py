@@ -237,6 +237,71 @@ class TestDegradedModes:
         assert sorted(c.clip for c in report.served) == [0, 1, 3, 5]
 
 
+class _ClockAdvancingModel:
+    """Wraps a model so every forward pass steps the fake clock.
+
+    This is how the deadline can expire *during* a forward — the race the
+    breaker/deadline interplay test needs — without any real sleeping.
+    """
+
+    def __init__(self, inner, clock, seconds_per_forward: float):
+        self._inner = inner
+        self._clock = clock
+        self._seconds = seconds_per_forward
+
+    def predict_raw(self, masks):
+        self._clock.advance(self._seconds)
+        return self._inner.predict_raw(masks)
+
+
+class TestBreakerDeadlineRace:
+    def test_probe_truncated_by_deadline_expiry_reopens_not_closes(
+            self, golden_model, tiny_dataset, tiny_config, serving_config,
+            fake_clock):
+        """The half-open probe racing deadline expiry must re-open.
+
+        Construction: each forward advances the fake clock 2s and the
+        budget is 7s.  Clips 0-2 are poisoned and trip the breaker at t=6;
+        clips 3-4 are simulator-only probation; clip 5 wins the half-open
+        probe while the deadline is still live (t=6 < 7), but its forward
+        pushes the clock to t=8 — expired.  The poisoned probe's ladder is
+        truncated by the dead deadline (no retries, no fallback), and that
+        truncated verdict must still count as a *failed* probe: the breaker
+        deterministically re-opens.  Closing here would promote a model
+        that was never actually vetted.
+        """
+        config = serving_config(tiny_config, micro_batch=1,
+                                breaker_threshold=3, breaker_probe_after=3)
+        model = _ClockAdvancingModel(golden_model, fake_clock, 2.0)
+        plan = FaultPlan(seed=0)
+        for clip in (0, 1, 2, 5):  # 5 is the probe clip
+            plan.inject_degenerate(clip)
+        service = InferenceService(model, config, clock=fake_clock)
+        report = service.serve_batch(
+            tiny_dataset.masks, deadline_s=7.0, faults=plan,
+        )
+
+        assert report.deadline_exceeded
+        assert report.breaker_state == BREAKER_OPEN
+        assert [edge[:2] for edge in report.breaker_transitions] == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_OPEN),
+        ]
+        by_clip = {c.clip: c for c in report.served}
+        # the probe was answered best-effort, flagged, ladder cut short
+        assert by_clip[5].verdict == VERDICT_DEGENERATE
+        assert "deadline" in by_clip[5].attempts
+        assert "fallback_sim" not in by_clip[5].attempts
+        # probation clips before the probe went simulator-only
+        for clip in (3, 4):
+            assert by_clip[clip].cause == CAUSE_BREAKER
+        # every clip was still answered despite the expired budget
+        assert len(report.served) == len(tiny_dataset)
+        # breaker edges are timestamped by the same injected clock
+        assert service.breaker.transition_times == [6.0, 6.0, 8.0]
+
+
 class TestTelemetryIntegration:
     def test_drill_emits_a_valid_run_log_and_counters(
             self, golden_model, tiny_dataset, tiny_config, serving_config,

@@ -1,0 +1,137 @@
+"""Tenancy policy units: quotas, fair shares, and victim selection.
+
+The controller is pure bookkeeping — no threads, no queue — so the entire
+fair-shedding policy is asserted exactly here; the serving-loop tests only
+have to check that the server *applies* these decisions.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import DEFAULT_TENANT, TenancyController, TenantQuota
+
+
+class TestTenantQuota:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            TenantQuota(name="")
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ConfigError, match="weight"):
+            TenantQuota(name="a", weight=0.0)
+        with pytest.raises(ConfigError, match="weight"):
+            TenantQuota(name="a", weight=-1.0)
+
+    def test_rejects_zero_max_queued(self):
+        with pytest.raises(ConfigError, match="max_queued"):
+            TenantQuota(name="a", max_queued=0)
+
+    def test_duplicate_quotas_rejected_at_controller_build(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            TenancyController([TenantQuota("a"), TenantQuota("a")])
+
+
+class TestAccounting:
+    def test_unregistered_tenants_get_default_weight_and_no_cap(self):
+        controller = TenancyController(default_weight=2.0)
+        state = controller.tenant("walk-in")
+        assert state.weight == 2.0
+        assert state.max_queued is None
+        assert not controller.quota_exceeded("walk-in")
+
+    def test_quota_exceeded_tracks_live_queue_occupancy(self):
+        controller = TenancyController([TenantQuota("capped", max_queued=2)])
+        assert not controller.quota_exceeded("capped")
+        controller.note_enqueued("capped")
+        controller.note_enqueued("capped")
+        assert controller.quota_exceeded("capped")
+        controller.note_dequeued("capped")
+        assert not controller.quota_exceeded("capped")
+
+    def test_dequeue_clamps_at_zero(self):
+        controller = TenancyController()
+        controller.note_dequeued("t")  # never enqueued
+        assert controller.tenant("t").queued == 0
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        controller = TenancyController([TenantQuota("b"), TenantQuota("a")])
+        controller.note_submitted("b")
+        controller.note_submitted(DEFAULT_TENANT)
+        snap = controller.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b"]["submitted"] == 1
+        assert snap["a"]["submitted"] == 0
+
+
+class TestFairShares:
+    def test_shares_follow_demand_not_registration(self):
+        controller = TenancyController(
+            [TenantQuota("idle"), TenantQuota("busy")]
+        )
+        controller.note_enqueued("busy")
+        # idle holds no slots and is not arriving: it reserves nothing
+        shares = controller.fair_shares(8)
+        assert shares == {"busy": 8.0}
+
+    def test_arriving_tenant_is_counted_as_active(self):
+        controller = TenancyController()
+        controller.note_enqueued("a")
+        shares = controller.fair_shares(8, arriving="b")
+        assert shares == {"a": 4.0, "b": 4.0}
+
+    def test_weights_split_capacity_proportionally(self):
+        controller = TenancyController(
+            [TenantQuota("heavy", weight=3.0), TenantQuota("light", weight=1.0)]
+        )
+        controller.note_enqueued("heavy")
+        controller.note_enqueued("light")
+        shares = controller.fair_shares(8)
+        assert shares == {"heavy": 6.0, "light": 2.0}
+
+    def test_no_active_tenants_means_no_shares(self):
+        assert TenancyController().fair_shares(8) == {}
+
+
+class TestVictimSelection:
+    def _fill(self, controller, name, count):
+        for _ in range(count):
+            controller.note_enqueued(name)
+
+    def test_tenant_furthest_over_share_is_the_victim(self):
+        controller = TenancyController()
+        self._fill(controller, "hog", 6)
+        self._fill(controller, "modest", 2)
+        # shares with "starved" arriving: 8/3 each; hog is +3.33 over,
+        # modest is -0.67 under
+        assert controller.pick_victim(8, arriving="starved") == "hog"
+
+    def test_arriving_at_or_over_its_share_is_shed_itself(self):
+        controller = TenancyController()
+        self._fill(controller, "a", 4)
+        self._fill(controller, "b", 4)
+        # b's share with both active is 4; it already holds 4 slots
+        assert controller.pick_victim(8, arriving="b") is None
+
+    def test_no_victim_when_nobody_is_over_share(self):
+        controller = TenancyController()
+        self._fill(controller, "a", 2)
+        self._fill(controller, "b", 2)
+        # shares are 2 each (capacity 6, three tenants): nobody is over
+        assert controller.pick_victim(6, arriving="c") is None
+
+    def test_ties_break_by_ascending_name(self):
+        controller = TenancyController()
+        self._fill(controller, "zeta", 3)
+        self._fill(controller, "alpha", 3)
+        # both are equally over their 2-slot share: alpha wins the tie
+        assert controller.pick_victim(6, arriving="new") == "alpha"
+
+    def test_weighted_shares_shift_the_victim(self):
+        controller = TenancyController(
+            [TenantQuota("paid", weight=6.0), TenantQuota("free", weight=1.0)]
+        )
+        self._fill(controller, "paid", 6)
+        self._fill(controller, "free", 2)
+        # weights 6:1:1 over capacity 8 -> paid's share 6 (not over),
+        # free's share 1 (one over): free is the victim
+        assert controller.pick_victim(8, arriving="new") == "free"
