@@ -21,6 +21,8 @@ Subpackages
 ``repro.runtime``    fault tolerance: checkpoints, recovery, fault injection,
                      and the deterministic parallel execution engine
 ``repro.serving``    hardened batch inference: admission, guards, fallback
+``repro.registry``   versioned, manifest-verified model store with
+                     promote/rollback pointers for safe rollout
 ``repro.api``        the stable high-level façade: ``mint`` / ``train`` /
                      ``evaluate`` / ``serve`` / ``process_window``
 
@@ -37,6 +39,7 @@ from .config import (
     OpticalConfig,
     ParallelConfig,
     RecoveryConfig,
+    RegistryConfig,
     ResistConfig,
     TechnologyConfig,
     TelemetryConfig,
@@ -57,6 +60,7 @@ from .errors import (
     LayoutError,
     OpticsError,
     ParallelError,
+    RegistryError,
     ReproError,
     ResistError,
     ShapeError,
@@ -92,6 +96,7 @@ __all__ = [
     "OpticalConfig",
     "ParallelConfig",
     "RecoveryConfig",
+    "RegistryConfig",
     "ResistConfig",
     "TechnologyConfig",
     "TelemetryConfig",
@@ -109,6 +114,7 @@ __all__ = [
     "LayoutError",
     "OpticsError",
     "ParallelError",
+    "RegistryError",
     "ResistError",
     "DataError",
     "ShapeError",

@@ -29,6 +29,10 @@ runs, so nobody has to know which subpackage owns which moving part:
 ``load_model`` / ``save_model``
     Fail-closed weight restore (:class:`~repro.errors.CheckpointError` on any
     damage) and the matching writer.
+``publish_model`` / ``promote`` / ``rollback`` / ``resolve_model``
+    The versioned model registry (:mod:`repro.registry`): atomic manifested
+    publication, pointer promotion with history, one-step rollback, and
+    fail-closed resolution of ``name@version`` refs into served models.
 ``report``
     Correlate a run's event log, merged trace, metrics snapshot, and layer
     profile into a :class:`~repro.telemetry.report.RunReport` (the engine
@@ -50,6 +54,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import tempfile
 import zipfile
 from contextlib import nullcontext
 from pathlib import Path
@@ -79,6 +84,12 @@ from .data.integrity import strict_check
 from .errors import CheckpointError, ConfigError, DataIntegrityError
 from .eval import EvaluationSummary, evaluate_predictions, table3_row_dict
 from .optics.cache import configure_kernel_cache
+from .registry import (
+    ModelRegistry,
+    RegistryEntry,
+    degrade_weights,
+    parse_model_ref,
+)
 from .runtime import CheckpointManager, RecoveryPolicy
 from .telemetry.profile import profiled
 from .telemetry.report import RunReport, build_report
@@ -93,7 +104,11 @@ __all__ = [
     "load_model",
     "mint",
     "process_window",
+    "promote",
+    "publish_model",
     "report",
+    "resolve_model",
+    "rollback",
     "save_model",
     "serve",
     "serve_loop",
@@ -408,6 +423,105 @@ def load_model(model_dir: Union[str, Path], config: ExperimentConfig, *,
 
 
 # ---------------------------------------------------------------------------
+# Model registry
+# ---------------------------------------------------------------------------
+
+
+def _registry_of(registry: Union[str, Path, ModelRegistry, None],
+                 config: Optional[ExperimentConfig]) -> ModelRegistry:
+    """Resolve a registry argument, falling back to ``config.registry.root``."""
+    if isinstance(registry, ModelRegistry):
+        return registry
+    if registry is None and config is not None:
+        registry = config.registry.root
+    if registry is None:
+        raise ConfigError(
+            "no model registry configured: pass registry=<dir> or set "
+            "config.registry.root"
+        )
+    return ModelRegistry(registry)
+
+
+def publish_model(model: Union[LithoGan, str, Path], name: str, *,
+                  registry: Union[str, Path, ModelRegistry, None] = None,
+                  config: Optional[ExperimentConfig] = None,
+                  history: Optional[LithoGanHistory] = None,
+                  metrics: Optional[dict] = None,
+                  inject_degenerate: bool = False) -> RegistryEntry:
+    """Publish a model into the registry as the next version of ``name``.
+
+    ``model`` may be a fitted :class:`~repro.core.LithoGan` (its weight
+    directory is written to a temporary location first) or an existing
+    weight directory.  ``config`` stamps the manifest's provenance digest;
+    ``metrics`` records training/eval numbers alongside it.
+    ``inject_degenerate`` zeroes the generator weights during staging — the
+    registry/canary drill's deliberately bad version — without touching the
+    source.  Returns the verified :class:`~repro.registry.RegistryEntry`.
+    """
+    store = _registry_of(registry, config)
+    mutate = degrade_weights if inject_degenerate else None
+    if isinstance(model, (str, Path)):
+        return store.publish(
+            name, model, config=config, metrics=metrics, mutate=mutate,
+        )
+    seed = None if config is None else config.training.seed
+    node = None if config is None else config.tech.name
+    with tempfile.TemporaryDirectory(prefix="repro-publish-") as staging:
+        save_model(model, history, staging, seed=seed, node=node)
+        return store.publish(
+            name, staging, config=config, metrics=metrics, mutate=mutate,
+        )
+
+
+def promote(ref: str, *,
+            registry: Union[str, Path, ModelRegistry, None] = None,
+            config: Optional[ExperimentConfig] = None) -> RegistryEntry:
+    """Point ``name``'s active pointer at the version in ``name@version``.
+
+    A bare ``name`` (or ``name@latest``) promotes the latest published
+    version.  The target is fully verified first; the previous active
+    version joins the rollback history.
+    """
+    store = _registry_of(registry, config)
+    name, version = parse_model_ref(ref)
+    if version is None:
+        version = "latest"
+    return store.promote(name, version)
+
+
+def rollback(name: str, *,
+             registry: Union[str, Path, ModelRegistry, None] = None,
+             config: Optional[ExperimentConfig] = None) -> tuple:
+    """Walk ``name``'s active pointer back one promotion.
+
+    Returns ``(from_version, to_version)``.  The restored version is
+    re-verified before the pointer moves; a model with no promotion
+    history raises :class:`~repro.errors.RegistryError`.
+    """
+    store = _registry_of(registry, config)
+    return store.rollback(name)
+
+
+def resolve_model(ref: str, config: ExperimentConfig, *,
+                  registry: Union[str, Path, ModelRegistry, None] = None,
+                  seed: Optional[int] = None):
+    """Resolve ``name[@version|latest]`` to a served model, fail-closed.
+
+    The registry entry is verified (manifest present, every weight file
+    re-hashed) and then restored through :func:`load_model`; the result is
+    ``(model, entry)``.  Any damage — corrupt manifest, checksum mismatch,
+    missing file — raises :class:`~repro.errors.RegistryError` or
+    :class:`~repro.errors.CheckpointError` naming the path; a version that
+    cannot be verified is never served.
+    """
+    store = _registry_of(registry, config)
+    name, version = parse_model_ref(ref)
+    entry = store.resolve(name, version)
+    model = load_model(entry.path, config, seed=seed)
+    return model, entry
+
+
+# ---------------------------------------------------------------------------
 # Scoring and serving
 # ---------------------------------------------------------------------------
 
@@ -484,7 +598,9 @@ def serve_loop(model: Union[LithoGan, str, Path], *,
                server: Optional["ServerConfig"] = None,
                quotas: Sequence = (),
                faults=None, hook=None, tracer=None, simulator=None,
-               clock=None, start: bool = True):
+               clock=None, start: bool = True,
+               model_name: str = "model",
+               model_version: Optional[int] = None):
     """Start the continuous-batching serving loop; returns the
     :class:`~repro.serving.InferenceServer`.
 
@@ -493,7 +609,10 @@ def serve_loop(model: Union[LithoGan, str, Path], *,
     :class:`~repro.serving.PlaybackModel`).  ``server`` overrides
     ``config.server`` wholesale (queue capacity, ``max_batch`` /
     ``max_wait_ms`` coalescing, watchdog, drain timeout); ``quotas`` is a
-    sequence of :class:`~repro.serving.TenantQuota`.  The server comes
+    sequence of :class:`~repro.serving.TenantQuota`;
+    ``model_name``/``model_version`` label the incumbent slot for
+    hot-swap/canary telemetry (e.g. a registry ``name@version``).  The
+    server comes
     back already started (``start=False`` defers); use it as a context
     manager, or call ``close()`` to drain and stop:
 
@@ -511,6 +630,7 @@ def serve_loop(model: Union[LithoGan, str, Path], *,
     loop = InferenceServer(
         model, config, quotas=quotas, hook=hook, tracer=tracer,
         simulator=simulator, faults=faults, clock=clock,
+        model_name=model_name, model_version=model_version,
     )
     if start:
         loop.start()

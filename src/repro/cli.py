@@ -21,6 +21,11 @@ actual work (synthesis, training, scoring, serving, sweeping) happens in
     synthetic load: per-tenant admission and fair shedding, request
     deadlines, a wedge watchdog, and drain-on-shutdown.  ``--soak`` audits
     the no-request-left-behind invariant (exit 5 on violation).
+``registry``
+    The versioned model registry (:mod:`repro.registry`): ``publish`` new
+    manifested versions (``--inject-degenerate`` stages the drill's bad
+    weights), ``list`` / ``verify`` them fail-closed, and ``promote`` /
+    ``rollback`` the active pointer.
 ``process-window``
     Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
 ``report``
@@ -49,8 +54,9 @@ Exit codes: 0 success, 1 pipeline error (including a crashed parallel
 worker, reported as a :class:`~repro.errors.ParallelError` naming the
 shard), 2 usage error, 3 missing or corrupted model weights (fail-closed),
 4 dataset failed integrity validation or repair (fail-closed), 5 serve-soak
-invariant violation (an unanswered request or an unfair shed spread), 130
-interrupted.
+invariant violation (an unanswered request or an unfair shed spread), 6
+model-registry failure (unresolvable ref, corrupt manifest, checksum
+mismatch — the version is never served), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -75,7 +81,12 @@ from .config import (
     reduced,
 )
 from .data import load_dataset
-from .errors import CheckpointError, DataIntegrityError, ReproError
+from .errors import (
+    CheckpointError,
+    DataIntegrityError,
+    RegistryError,
+    ReproError,
+)
 from .eval import format_table3, render_table
 from .layout import ArrayType
 from .runtime import FaultPlan
@@ -479,7 +490,13 @@ def _parse_pair(spec: str, flag: str):
 
 def cmd_serve(args) -> int:
     """Soak the continuous-batching serving loop under a ramping load."""
-    from .serving import DEFAULT_TENANT, PlaybackModel, run_soak
+    from .serving import (
+        DEFAULT_TENANT,
+        MODE_CANARY,
+        MODE_SHADOW,
+        PlaybackModel,
+        run_soak,
+    )
 
     telemetry = args.telemetry
     if args.inject_degenerate is not None and not (
@@ -506,12 +523,43 @@ def cmd_serve(args) -> int:
             config, server=dataclasses.replace(config.server, **overrides),
         )
 
+    if args.canary_fraction is not None and not (
+            0.0 < args.canary_fraction <= 1.0):
+        print(
+            f"error: --canary-fraction must lie in (0, 1], got "
+            f"{args.canary_fraction}", file=sys.stderr,
+        )
+        telemetry.finish(status="error", error="bad --canary-fraction")
+        return 2
+    if args.canary and not args.registry:
+        print("error: --canary requires --registry", file=sys.stderr)
+        telemetry.finish(status="error", error="--canary without --registry")
+        return 2
+
+    model_name, model_version = "model", None
     if args.model:
-        model = api.load_model(args.model, config, seed=args.seed)
+        if args.registry:
+            # With a registry, --model is a name[@version|latest] ref,
+            # resolved fail-closed (exit 6 on any damage).
+            model, entry = api.resolve_model(
+                args.model, config, registry=args.registry, seed=args.seed,
+            )
+            model_name, model_version = entry.name, entry.version
+            print(f"registry: serving {entry.label} from {entry.path}")
+        else:
+            model = api.load_model(args.model, config, seed=args.seed)
     else:
         # Golden playback: un-faulted outputs always pass the guard, so the
         # drill's shed/fallback counts reflect only the injected faults.
         model = PlaybackModel(dataset)
+
+    candidate = candidate_entry = None
+    if args.canary:
+        candidate, candidate_entry = api.resolve_model(
+            args.canary, config, registry=args.registry, seed=args.seed,
+        )
+        print(f"registry: canary candidate {candidate_entry.label} "
+              f"from {candidate_entry.path}")
 
     quotas = _parse_tenants(args.tenants) if args.tenants else ()
     tenant_names = tuple(q.name for q in quotas) or (DEFAULT_TENANT,)
@@ -552,7 +600,27 @@ def cmd_serve(args) -> int:
     server = api.serve_loop(
         model, config=config, quotas=quotas, faults=faults,
         hook=telemetry.hook(), tracer=telemetry.tracer,
+        model_name=model_name, model_version=model_version,
     )
+    rollback_verdicts = []
+    if candidate is not None:
+        mode = MODE_SHADOW if args.shadow else MODE_CANARY
+        label = server.start_canary(
+            candidate,
+            name=candidate_entry.name, version=candidate_entry.version,
+            fraction=args.canary_fraction, mode=mode,
+            on_rollback=rollback_verdicts.append,
+        )
+        if mode == MODE_SHADOW:
+            print(f"canary: {label} shadowing all batches "
+                  "(never answers live traffic)")
+        else:
+            fraction = (args.canary_fraction
+                        if args.canary_fraction is not None
+                        else config.registry.canary_fraction)
+            print(f"canary: {label} taking {fraction:.0%} of batches "
+                  f"(auto-rollback margin "
+                  f"{config.registry.rollback_margin:g})")
     soak = run_soak(
         server, list(dataset.masks), duration_s=args.duration,
         qps_start=args.qps_start, qps_end=args.qps_end,
@@ -576,11 +644,26 @@ def cmd_serve(args) -> int:
               f"served={state['served']} shed={state['shed']}")
     print(f"  fairness gap (max-min tenant shed rate): "
           f"{soak.fairness_gap():.3f}")
+    stats = server.stats()
+    if candidate_entry is not None or stats.swaps or stats.rollbacks:
+        print(f"  model {stats.model}: swaps={stats.swaps} "
+              f"rollbacks={stats.rollbacks}")
+    if candidate_entry is not None:
+        if rollback_verdicts:
+            verdict = rollback_verdicts[-1]
+            print(f"canary: automatic rollback of {candidate_entry.label} "
+                  f"(candidate bad rate {verdict['candidate_rate']:.2f} vs "
+                  f"incumbent {verdict['incumbent_rate']:.2f} over "
+                  f"{verdict['candidate_samples']} samples)")
+        elif stats.candidate is not None:
+            print(f"canary: {stats.candidate} healthy after soak; promote "
+                  f"it with 'repro-litho registry promote'")
 
     if args.report:
         payload = soak.to_dict()
         payload["injected_degenerate"] = list(injected)
-        payload["server"] = server.stats().to_dict()
+        payload["canary_rollbacks"] = list(rollback_verdicts)
+        payload["server"] = stats.to_dict()
         Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote soak report to {args.report}")
 
@@ -604,6 +687,94 @@ def cmd_serve(args) -> int:
         unanswered=soak.unanswered, wedged=soak.wedged,
     )
     return 0
+
+
+def cmd_registry(args) -> int:
+    """Publish / list / verify / promote / rollback registry versions.
+
+    Every action is fail-closed: any unresolvable ref, corrupt manifest, or
+    checksum mismatch raises :class:`~repro.errors.RegistryError`, which
+    :func:`main` maps to exit code 6.
+    """
+    from .registry import MANIFEST_NAME, ModelRegistry, parse_model_ref
+
+    telemetry = args.telemetry
+    store = ModelRegistry(args.registry)
+
+    if args.action == "publish":
+        entry = api.publish_model(
+            args.weights, args.name, registry=store,
+            config=_config_for(args, 1),
+            inject_degenerate=args.inject_degenerate,
+        )
+        drill = " (degenerate drill weights)" if args.inject_degenerate else ""
+        print(f"published {entry.label}{drill}: {len(entry.files)} files "
+              f"at {entry.path}")
+        if args.promote:
+            store.promote(entry.name, entry.version)
+            print(f"promoted {entry.label} (now active)")
+        telemetry.finish(model=entry.label, files=len(entry.files))
+        return 0
+
+    if args.action == "list":
+        names = [args.name] if args.name else store.models()
+        if not names:
+            print(f"registry {store.root} holds no models")
+        for name in names:
+            active = store.active_version(name)
+            versions = store.versions(name)
+            if not versions:
+                print(f"{name}: no published versions")
+                continue
+            for version in versions:
+                marker = "*" if version == active else " "
+                manifest_path = (store.root / name / f"v{version:06d}"
+                                 / MANIFEST_NAME)
+                try:
+                    manifest = json.loads(manifest_path.read_text("utf-8"))
+                    files = len(manifest.get("files", ()))
+                    detail = f"{files} files"
+                except (OSError, ValueError):
+                    detail = "corrupt manifest"
+                print(f"{marker} {name}@{version}  {detail}")
+            if active is not None:
+                print(f"  active: {name}@{active}")
+        telemetry.finish(models=len(names))
+        return 0
+
+    if args.action == "verify":
+        name, version = parse_model_ref(args.model)
+        entry = store.verify(name, version)
+        print(f"verified {entry.label}: {len(entry.files)} files, "
+              f"all checksums match")
+        telemetry.finish(model=entry.label)
+        return 0
+
+    if args.action == "promote":
+        name, version = parse_model_ref(args.model)
+        entry = store.promote(name, "latest" if version is None else version)
+        print(f"promoted {entry.label} (now active)")
+        if telemetry.logger is not None:
+            telemetry.logger.model_swap(
+                model=name, version=str(entry.version),
+                previous="", reason="promote",
+            )
+        telemetry.finish(model=entry.label)
+        return 0
+
+    if args.action == "rollback":
+        from_version, to_version = store.rollback(args.name)
+        print(f"rolled back {args.name}: @{from_version} -> @{to_version}")
+        if telemetry.logger is not None:
+            telemetry.logger.rollback(
+                phase="registry", model=args.name,
+                from_version=from_version, to_version=to_version,
+                reason="operator",
+            )
+        telemetry.finish(model=f"{args.name}@{to_version}")
+        return 0
+
+    raise ReproError(f"unknown registry action {args.action!r}")
 
 
 def cmd_process_window(args) -> int:
@@ -829,9 +1000,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--dataset", required=True)
     serve.add_argument(
-        "--model", default=None, metavar="DIR",
-        help="serve trained weights from DIR (default: golden-playback "
+        "--model", default=None, metavar="DIR|REF",
+        help="serve trained weights from DIR — or, with --registry, the "
+             "registry ref NAME[@VERSION|latest] (default: golden-playback "
              "model built from the dataset itself)",
+    )
+    serve.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="resolve --model/--canary as fail-closed registry refs "
+             "against the model registry at DIR (exit 6 on any damage)",
+    )
+    serve.add_argument(
+        "--canary", default=None, metavar="REF",
+        help="roll out registry version REF as a canary: it serves "
+             "--canary-fraction of batches and is rolled back "
+             "automatically when its bad-output rate regresses past the "
+             "incumbent's (requires --registry)",
+    )
+    serve.add_argument(
+        "--canary-fraction", dest="canary_fraction", type=float,
+        default=None, metavar="FRACTION",
+        help="fraction of batches the canary serves "
+             "(default: config.registry.canary_fraction)",
+    )
+    serve.add_argument(
+        "--shadow", action="store_true",
+        help="run --canary in shadow mode: the candidate mirrors incumbent "
+             "batches for health stats but never answers live traffic",
     )
     serve.add_argument(
         "--duration", type=float, default=5.0, metavar="SECONDS",
@@ -911,6 +1106,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=cmd_serve)
 
+    registry = sub.add_parser(
+        "registry",
+        help="publish, list, verify, promote, and roll back versioned "
+             "model weights",
+        parents=[common],
+    )
+    registry.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="the model-registry root directory",
+    )
+    registry_sub = registry.add_subparsers(dest="action", required=True)
+    reg_publish = registry_sub.add_parser(
+        "publish", help="publish a weight directory as the next version",
+    )
+    reg_publish.add_argument(
+        "--name", required=True, help="model name to publish under",
+    )
+    reg_publish.add_argument(
+        "--weights", required=True, metavar="DIR",
+        help="the weight directory to publish (hashed and manifested)",
+    )
+    reg_publish.add_argument(
+        "--inject-degenerate", dest="inject_degenerate",
+        action="store_true",
+        help="fault drill: zero the staged generator weights before "
+             "manifesting, so the published version fails the output "
+             "guard on every clip (the source directory is untouched)",
+    )
+    reg_publish.add_argument(
+        "--promote", action="store_true",
+        help="also point the active pointer at the new version",
+    )
+    reg_list = registry_sub.add_parser(
+        "list", help="list models, versions, and the active pointer",
+    )
+    reg_list.add_argument(
+        "--name", default=None, help="list only this model",
+    )
+    reg_verify = registry_sub.add_parser(
+        "verify",
+        help="re-hash every weight file of a version against its manifest",
+    )
+    reg_verify.add_argument(
+        "--model", required=True, metavar="REF",
+        help="NAME[@VERSION|latest] to verify (default version: the "
+             "active/latest one)",
+    )
+    reg_promote = registry_sub.add_parser(
+        "promote", help="point the active pointer at a verified version",
+    )
+    reg_promote.add_argument(
+        "--model", required=True, metavar="REF",
+        help="NAME[@VERSION|latest] to promote",
+    )
+    reg_rollback = registry_sub.add_parser(
+        "rollback",
+        help="walk the active pointer back one promotion (re-verified)",
+    )
+    reg_rollback.add_argument(
+        "--name", required=True, help="model name to roll back",
+    )
+    for action_parser in (reg_publish, reg_list, reg_verify, reg_promote,
+                          reg_rollback):
+        action_parser.set_defaults(func=cmd_registry)
+    registry.set_defaults(func=cmd_registry)
+
     window = sub.add_parser(
         "process-window", help="dose/defocus sweep of one clip",
         parents=[common],
@@ -985,6 +1246,13 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))
         return 4
+    except RegistryError as exc:
+        # Fail closed: a registry version that cannot be verified — corrupt
+        # manifest, checksum mismatch, unresolvable ref — must never be
+        # served.  Must precede the ReproError clause.
+        print(f"error: {exc}", file=sys.stderr)
+        args.telemetry.finish(status="error", error=str(exc))
+        return 6
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))

@@ -607,6 +607,55 @@ class ServerConfig:
 
 
 # ---------------------------------------------------------------------------
+# Model registry / rollout
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegistryConfig:
+    """Model-registry location and canary-rollout policy.
+
+    ``root`` is the on-disk registry directory (None = no registry
+    configured; the CLI's ``--registry`` flag wins).  The rollout knobs
+    govern the serving loop's canary mode: ``canary_fraction`` of requests
+    route to the candidate model, each slot's degenerate-verdict/fallback
+    rate is tracked over a sliding window of the last ``window`` served
+    clips, and once both slots have at least ``min_samples`` clips the
+    candidate is automatically rolled back when its bad rate exceeds the
+    incumbent's by more than ``rollback_margin``.
+    """
+
+    root: Optional[str] = None
+    canary_fraction: float = 0.1
+    window: int = 64
+    min_samples: int = 16
+    rollback_margin: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.canary_fraction <= 1.0:
+            raise ConfigError(
+                "canary_fraction must be in (0, 1], got "
+                f"{self.canary_fraction}"
+            )
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+        if self.min_samples < 1:
+            raise ConfigError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        if self.min_samples > self.window:
+            raise ConfigError(
+                "min_samples must fit in the sliding window "
+                f"({self.min_samples} > {self.window})"
+            )
+        if not 0.0 <= self.rollback_margin < 1.0:
+            raise ConfigError(
+                "rollback_margin must be in [0, 1), got "
+                f"{self.rollback_margin}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
 
@@ -670,6 +719,7 @@ class ExperimentConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     data: DataIntegrityConfig = field(default_factory=DataIntegrityConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    registry: RegistryConfig = field(default_factory=RegistryConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

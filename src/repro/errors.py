@@ -79,6 +79,22 @@ class CheckpointError(ReproError):
     """A training checkpoint could not be written, found, or validated."""
 
 
+class RegistryError(ReproError):
+    """A model-registry entry could not be published, resolved, or verified.
+
+    Carries the filesystem ``path`` of the offending registry artifact (the
+    version directory, manifest, or weight file) so callers — the CLI maps
+    this to its own exit code, distinct from checkpoint errors — can name
+    exactly which on-disk object failed verification without parsing the
+    message.  A version that raises this error is never loaded into a
+    serving slot.
+    """
+
+    def __init__(self, message: str, path=None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+
+
 class EvaluationError(ReproError):
     """Metric computation or report generation failed."""
 

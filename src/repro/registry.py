@@ -1,0 +1,463 @@
+"""Versioned on-disk model registry with fail-closed verification.
+
+The registry owns one root directory of *named* models, each holding
+monotonically numbered *versions*::
+
+    <root>/
+      <name>/
+        v000001/
+          generator.npz  discriminator.npz  ...   # the weight files
+          manifest.json                           # SHA-256 digests + provenance
+        v000002/ ...
+        active.json                               # promotion pointer + history
+
+Publishing is atomic: weights are copied into a hidden staging directory,
+hashed, stamped with a manifest (schema version, per-file SHA-256 digests —
+the same chunked hashing the checkpoint manager uses — plus provenance:
+config digest, build fingerprint, training metrics), and only then renamed
+into place with ``os.replace``.  A crashed publish leaves an ignored staging
+directory, never a half-written version.
+
+Resolution is fail-closed: a version with a missing or corrupt manifest, a
+missing weight file, or a digest mismatch raises :class:`RegistryError`
+naming the offending path and is **never** handed to a serving slot.
+
+Promotion is a pointer, not a copy: ``promote`` records the active version in
+``active.json`` (keeping a history), and ``rollback`` walks that history back
+one step.  The serving loop's canary controller calls ``rollback`` when a
+candidate regresses; see :mod:`repro.serving.rollout`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .errors import RegistryError
+from .runtime.atomic import atomic_savez, atomic_write_json
+from .runtime.checkpoint import _sha256
+from .telemetry.buildinfo import build_fingerprint
+
+#: bump when the version-directory layout changes incompatibly
+REGISTRY_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ACTIVE_NAME = "active.json"
+
+#: model names are path components; keep them boring on purpose
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+_VERSION_DIR_RE = re.compile(r"^v(\d{6})$")
+
+PathLike = Union[str, Path]
+
+
+def config_digest(config: Any) -> str:
+    """Stable SHA-256 over a config dataclass (or any JSON-able mapping).
+
+    Keys are sorted and floats round-trip through JSON, so two runs built
+    from equal configs always agree on the digest.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    try:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(f"config is not digestable: {exc}") from exc
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def parse_model_ref(ref: str) -> Tuple[str, Union[int, str, None]]:
+    """Split ``name[@version]`` into ``(name, version)``.
+
+    ``version`` comes back as an ``int``, the string ``"latest"``, or
+    ``None`` (no suffix — resolve to the promoted/active version, falling
+    back to latest).  Malformed refs raise :class:`RegistryError`.
+    """
+    name, sep, suffix = ref.partition("@")
+    if not _NAME_RE.match(name):
+        raise RegistryError(
+            f"invalid model name {name!r}; expected [A-Za-z0-9][A-Za-z0-9._-]*"
+        )
+    if not sep:
+        return name, None
+    if suffix == "latest":
+        return name, "latest"
+    try:
+        version = int(suffix)
+    except ValueError:
+        raise RegistryError(
+            f"invalid version {suffix!r} in model ref {ref!r}; "
+            "expected an integer or 'latest'"
+        ) from None
+    if version < 1:
+        raise RegistryError(f"model versions start at 1, got {version}")
+    return name, version
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryEntry:
+    """One verified registry version: where it lives and what it claims."""
+
+    name: str
+    version: int
+    path: Path
+    manifest: Dict[str, Any]
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    @property
+    def files(self) -> Tuple[str, ...]:
+        return tuple(entry["file"] for entry in self.manifest.get("files", ()))
+
+    @property
+    def provenance(self) -> Dict[str, Any]:
+        return dict(self.manifest.get("provenance", {}))
+
+
+class ModelRegistry:
+    """Named, monotonically versioned, manifest-verified model store."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot create registry root {self.root}: {exc}",
+                path=self.root) from exc
+
+    # -- layout ---------------------------------------------------------------
+
+    def _model_dir(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}; "
+                "expected [A-Za-z0-9][A-Za-z0-9._-]*")
+        return self.root / name
+
+    def _version_dir(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / f"v{int(version):06d}"
+
+    def _active_path(self, name: str) -> Path:
+        return self._model_dir(name) / ACTIVE_NAME
+
+    # -- enumeration ----------------------------------------------------------
+
+    def models(self) -> List[str]:
+        """Registered model names (those with at least one version)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            child.name for child in self.root.iterdir()
+            if child.is_dir() and self.versions(child.name)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        """Published (manifest-bearing) versions of ``name``, ascending.
+
+        Directories without a manifest — crashed stagings, hand-made dirs —
+        are not listed: an unmanifested version does not exist as far as
+        serving is concerned.
+        """
+        model_dir = self._model_dir(name)
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for child in model_dir.iterdir():
+            match = _VERSION_DIR_RE.match(child.name)
+            if match and (child / MANIFEST_NAME).is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(
+                f"model {name!r} has no published versions in {self.root}",
+                path=self._model_dir(name))
+        return versions[-1]
+
+    def active_version(self, name: str) -> Optional[int]:
+        """The promoted version, or ``None`` when nothing was promoted."""
+        pointer = self._read_active(name)
+        return None if pointer is None else int(pointer["version"])
+
+    def _read_active(self, name: str) -> Optional[Dict[str, Any]]:
+        path = self._active_path(name)
+        if not path.exists():
+            return None
+        try:
+            pointer = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            raise RegistryError(
+                f"corrupt promotion pointer {path}: {exc}", path=path
+            ) from exc
+        if not isinstance(pointer, dict) or not isinstance(
+                pointer.get("version"), int):
+            raise RegistryError(
+                f"corrupt promotion pointer {path}: missing integer 'version'",
+                path=path)
+        return pointer
+
+    # -- publish --------------------------------------------------------------
+
+    def publish(self, name: str, source_dir: PathLike, *,
+                config: Any = None,
+                metrics: Optional[Dict[str, Any]] = None,
+                mutate=None) -> RegistryEntry:
+        """Atomically publish the weight files in ``source_dir`` as a new version.
+
+        Every regular file in ``source_dir`` (non-recursive, dotfiles
+        skipped) is copied into a staging directory, optionally transformed
+        by ``mutate(staging_dir)`` (drills use this to inject degenerate
+        weights), hashed, manifested, and renamed into place in one
+        ``os.replace``.  Returns the verified entry for the new version.
+        """
+        source = Path(source_dir)
+        if not source.is_dir():
+            raise RegistryError(
+                f"publish source {source} is not a directory", path=source)
+        files = sorted(
+            child.name for child in source.iterdir()
+            if child.is_file() and not child.name.startswith(".")
+            and child.name != MANIFEST_NAME
+        )
+        if not files:
+            raise RegistryError(
+                f"publish source {source} holds no weight files", path=source)
+        model_dir = self._model_dir(name)
+        try:
+            model_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot create model directory {model_dir}: {exc}",
+                path=model_dir) from exc
+        staging = model_dir / f".stage-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir()
+        try:
+            for file_name in files:
+                shutil.copyfile(source / file_name, staging / file_name)
+            if mutate is not None:
+                mutate(staging)
+            version = self._next_version(name)
+            manifest = {
+                "schema_version": REGISTRY_SCHEMA_VERSION,
+                "name": name,
+                "version": version,
+                "files": [
+                    {
+                        "file": file_name,
+                        "sha256": _sha256(staging / file_name),
+                        "bytes": (staging / file_name).stat().st_size,
+                    }
+                    for file_name in sorted(
+                        child.name for child in staging.iterdir()
+                        if child.is_file()
+                    )
+                ],
+                "provenance": {
+                    "config_digest":
+                        None if config is None else config_digest(config),
+                    "build": build_fingerprint(),
+                    "metrics": dict(metrics or {}),
+                    "published_unix": time.time(),
+                },
+            }
+            atomic_write_json(staging / MANIFEST_NAME, manifest)
+            target = self._version_dir(name, version)
+            for _ in range(8):  # concurrent publishers race on the number
+                try:
+                    os.rename(staging, target)
+                    break
+                except OSError:
+                    if not target.exists():
+                        raise
+                    version += 1
+                    manifest["version"] = version
+                    atomic_write_json(staging / MANIFEST_NAME, manifest)
+                    target = self._version_dir(name, version)
+            else:
+                raise RegistryError(
+                    f"could not claim a version slot for {name!r} under "
+                    f"{model_dir}", path=model_dir)
+        finally:
+            if staging.exists():
+                shutil.rmtree(staging, ignore_errors=True)
+        return self.resolve(name, version)
+
+    def _next_version(self, name: str) -> int:
+        """One past the highest version directory, manifested or not."""
+        model_dir = self._model_dir(name)
+        highest = 0
+        if model_dir.is_dir():
+            for child in model_dir.iterdir():
+                match = _VERSION_DIR_RE.match(child.name)
+                if match:
+                    highest = max(highest, int(match.group(1)))
+        return highest + 1
+
+    # -- resolve / verify -----------------------------------------------------
+
+    def resolve(self, name: str,
+                version: Union[int, str, None] = None) -> RegistryEntry:
+        """Fully verify and return one version.
+
+        ``version`` may be an ``int``, ``"latest"``, or ``None`` (promoted
+        version, falling back to latest).  Verification checks the manifest
+        (present, parseable, schema/name/version consistent) and re-hashes
+        every listed weight file; any failure raises :class:`RegistryError`
+        naming the offending path.
+        """
+        if version is None:
+            version = self.active_version(name)
+            if version is None:
+                version = self.latest(name)
+        elif version == "latest":
+            version = self.latest(name)
+        version = int(version)
+        path = self._version_dir(name, version)
+        if not path.is_dir():
+            raise RegistryError(
+                f"model {name!r} has no version {version} in {self.root}",
+                path=path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise RegistryError(
+                f"version directory {path} has no manifest; it is not "
+                "servable", path=manifest_path)
+        try:
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            raise RegistryError(
+                f"corrupt registry manifest {manifest_path}: {exc}",
+                path=manifest_path) from exc
+        schema = manifest.get("schema_version")
+        if schema != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"{manifest_path} has registry schema version {schema!r}, "
+                f"this build reads {REGISTRY_SCHEMA_VERSION}",
+                path=manifest_path)
+        if manifest.get("name") != name or manifest.get("version") != version:
+            raise RegistryError(
+                f"{manifest_path} claims "
+                f"{manifest.get('name')!r}@{manifest.get('version')!r} but "
+                f"lives at {name!r}@{version}", path=manifest_path)
+        entries = manifest.get("files")
+        if not isinstance(entries, list) or not entries:
+            raise RegistryError(
+                f"{manifest_path} lists no weight files", path=manifest_path)
+        for entry in entries:
+            file_path = path / str(entry.get("file", ""))
+            if not file_path.is_file():
+                raise RegistryError(
+                    f"registry manifest {manifest_path} lists missing file "
+                    f"{file_path}", path=file_path)
+            if _sha256(file_path) != entry.get("sha256"):
+                raise RegistryError(
+                    f"registry file {file_path} fails its manifest checksum "
+                    "(file is corrupt or was modified)", path=file_path)
+        return RegistryEntry(
+            name=name, version=version, path=path, manifest=manifest)
+
+    def verify(self, name: str,
+               version: Union[int, str, None] = None) -> RegistryEntry:
+        """Alias of :meth:`resolve`: a full manifest + digest check."""
+        return self.resolve(name, version)
+
+    # -- promote / rollback ---------------------------------------------------
+
+    def promote(self, name: str, version: Union[int, str]) -> RegistryEntry:
+        """Point the active pointer at ``version`` (verified first).
+
+        The previously active version is pushed onto the promotion history
+        so :meth:`rollback` can walk back.
+        """
+        entry = self.resolve(name, version)
+        pointer = self._read_active(name)
+        history: List[int] = []
+        if pointer is not None:
+            history = [int(v) for v in pointer.get("history", [])]
+            previous = int(pointer["version"])
+            if previous != entry.version:
+                history.insert(0, previous)
+        atomic_write_json(self._active_path(name), {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "version": entry.version,
+            "history": history[:16],
+        })
+        return entry
+
+    def rollback(self, name: str) -> Tuple[int, int]:
+        """Walk the active pointer back one promotion; returns (from, to).
+
+        The restored version is re-verified before the pointer moves —
+        rolling back onto a corrupt version would trade one bad model for
+        another.
+        """
+        pointer = self._read_active(name)
+        if pointer is None:
+            raise RegistryError(
+                f"model {name!r} has no promotion pointer to roll back",
+                path=self._active_path(name))
+        history = [int(v) for v in pointer.get("history", [])]
+        if not history:
+            raise RegistryError(
+                f"model {name!r} has no earlier promotion to roll back to",
+                path=self._active_path(name))
+        current = int(pointer["version"])
+        restored = self.resolve(name, history[0]).version
+        atomic_write_json(self._active_path(name), {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "version": restored,
+            "history": history[1:],
+        })
+        return current, restored
+
+
+def degrade_weights(directory: PathLike,
+                    files: Tuple[str, ...] = ("generator.npz",)) -> None:
+    """Zero every array in the named ``.npz`` files (shape/dtype preserved).
+
+    Drill helper: a zeroed generator emits a constant field, which the
+    output guard flags degenerate on every clip — the canonical "bad weight
+    drop" for registry/canary drills.  Pass as ``mutate=`` to
+    :meth:`ModelRegistry.publish`.
+    """
+    directory = Path(directory)
+    for file_name in files:
+        path = directory / file_name
+        if not path.is_file():
+            raise RegistryError(
+                f"cannot degrade missing weight file {path}", path=path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {
+                key: np.zeros_like(data[key]) for key in data.files
+            }
+        atomic_savez(path, arrays)
+
+
+__all__ = [
+    "REGISTRY_SCHEMA_VERSION",
+    "MANIFEST_NAME",
+    "ACTIVE_NAME",
+    "ModelRegistry",
+    "RegistryEntry",
+    "config_digest",
+    "degrade_weights",
+    "parse_model_ref",
+]

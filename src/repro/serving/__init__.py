@@ -25,6 +25,9 @@ On top of the one-shot service sits the long-lived loop:
   continuous-batching serving loop (asynchronous submission, dynamic batch
   coalescing, per-request deadlines, a wedge watchdog, drain-on-shutdown)
   and the :func:`run_soak` sustained-load harness.
+* :mod:`repro.serving.rollout` — canary/shadow rollout policy: the
+  deterministic batch router and sliding-window health comparison behind
+  the server's zero-downtime hot swap and automatic rollback.
 """
 
 from .admission import (
@@ -61,6 +64,16 @@ from .service import (
     serve_latency_quantiles,
 )
 from .playback import PlaybackModel
+from .rollout import (
+    MODE_CANARY,
+    MODE_SHADOW,
+    SLOT_CANDIDATE,
+    SLOT_INCUMBENT,
+    RolloutController,
+    RolloutVerdict,
+    SlidingWindow,
+    clip_is_bad,
+)
 from .tenancy import (
     DEFAULT_TENANT,
     TenancyController,
@@ -101,6 +114,14 @@ __all__ = [
     "Deadline",
     "MONOTONIC_CLOCK",
     "PlaybackModel",
+    "MODE_CANARY",
+    "MODE_SHADOW",
+    "SLOT_CANDIDATE",
+    "SLOT_INCUMBENT",
+    "RolloutController",
+    "RolloutVerdict",
+    "SlidingWindow",
+    "clip_is_bad",
     "DEFAULT_TENANT",
     "TenancyController",
     "TenantQuota",

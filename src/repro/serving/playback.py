@@ -12,7 +12,11 @@ degenerate outputs in a drill are the ones a
 Lookup is by exact mask bytes (the common case — drills submit dataset
 masks verbatim) with a nearest-neighbour L1 fallback for sanitized or
 slightly perturbed masks, so admission-layer clipping cannot break the
-pairing.
+pairing.  The fallback is shape-strict: a request whose mask resolution
+differs from the playback records raises a typed
+:class:`~repro.errors.ShapeError` naming both shapes — silently
+broadcasting would pair the request with a meaningless record and turn a
+mis-published registry version into quietly wrong answers.
 """
 
 from __future__ import annotations
@@ -20,6 +24,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 import numpy as np
+
+from ..errors import ShapeError
 
 
 class PlaybackModel:
@@ -39,12 +45,19 @@ class PlaybackModel:
         }
 
     def _index_of(self, mask: np.ndarray) -> int:
-        key = np.ascontiguousarray(mask, dtype=np.float32).tobytes()
+        mask = np.asarray(mask, dtype=np.float32)
+        if mask.shape != self._masks.shape[1:]:
+            raise ShapeError(
+                f"playback records hold masks of shape "
+                f"{self._masks.shape[1:]}, request mask has shape "
+                f"{mask.shape}; refusing to broadcast a mismatched lookup"
+            )
+        key = np.ascontiguousarray(mask).tobytes()
         row = self._by_bytes.get(key)
         if row is not None:
             return row
         diffs = np.abs(
-            self._masks - np.asarray(mask, dtype=np.float32)
+            self._masks - mask
         ).reshape(len(self._masks), -1).sum(axis=1)
         return int(np.argmin(diffs))
 

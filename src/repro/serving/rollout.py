@@ -1,0 +1,208 @@
+"""Canary and shadow rollout control for the serving loop's model slots.
+
+:class:`RolloutController` is the policy half of zero-downtime model
+rollout: the :class:`~repro.serving.server.InferenceServer` owns two model
+slots (the *incumbent* answering traffic and an optional *candidate* being
+evaluated) and asks the controller two questions at each batch boundary —
+*who serves this batch?* and *has the candidate earned a verdict?*
+
+Routing is deterministic: a fraction accumulator sends ``fraction`` of
+batches to the candidate with no RNG, so drills and tests replay exactly.
+In **shadow** mode the candidate never serves responses; the server mirrors
+incumbent batches through it and only its statistics are recorded.
+
+Health is a sliding window per slot over the last ``window`` served clips:
+a clip counts *bad* when its :class:`~repro.serving.guards.OutputGuard`
+verdict is degenerate or the degradation ladder fell back to the physics
+simulator.  Once both slots have ``min_samples`` clips, a candidate whose
+bad rate exceeds the incumbent's by more than ``margin`` gets a
+``rollback`` verdict — the server then discards it atomically, emits the
+typed rollback telemetry, and keeps serving from the incumbent.  Promotion
+is never automatic: callers decide when a healthy canary takes over.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional
+
+from ..errors import ServingError
+from .guards import VERDICT_DEGENERATE
+
+#: rollout modes
+MODE_CANARY = "canary"
+MODE_SHADOW = "shadow"
+
+#: model-slot tags
+SLOT_INCUMBENT = "incumbent"
+SLOT_CANDIDATE = "candidate"
+
+
+def clip_is_bad(clip) -> bool:
+    """The health predicate both slots are scored on.
+
+    A served clip is *bad* when the guard called it degenerate or the
+    ladder abandoned the model for the simulator fallback — both are the
+    signature of a weight drop gone wrong, and both are visible whether or
+    not the fallback ultimately produced a usable answer.
+    """
+    return bool(clip.fallback) or clip.verdict == VERDICT_DEGENERATE
+
+
+class SlidingWindow:
+    """Bad-clip rate over the most recent ``window`` outcomes."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ServingError(
+                f"sliding window must hold >= 1 sample, got {window}",
+                reason="config")
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+
+    def record(self, bad: bool) -> None:
+        self._outcomes.append(bool(bad))
+
+    @property
+    def samples(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def bad_count(self) -> int:
+        return sum(self._outcomes)
+
+    @property
+    def bad_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return self.bad_count / len(self._outcomes)
+
+
+@dataclass(frozen=True)
+class RolloutVerdict:
+    """A rollback decision with the evidence that forced it."""
+
+    verdict: str  # currently always "rollback"; promotion is caller-driven
+    candidate_rate: float
+    incumbent_rate: float
+    candidate_samples: int
+    incumbent_samples: int
+    margin: float
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "candidate_rate": self.candidate_rate,
+            "incumbent_rate": self.incumbent_rate,
+            "candidate_samples": self.candidate_samples,
+            "incumbent_samples": self.incumbent_samples,
+            "margin": self.margin,
+        }
+
+
+class RolloutController:
+    """Routing + health comparison for one candidate rollout."""
+
+    def __init__(self, mode: str, *, fraction: float = 0.1,
+                 window: int = 64, min_samples: int = 16,
+                 margin: float = 0.2) -> None:
+        if mode not in (MODE_CANARY, MODE_SHADOW):
+            raise ServingError(
+                f"unknown rollout mode {mode!r}; expected "
+                f"{MODE_CANARY!r} or {MODE_SHADOW!r}", reason="config")
+        if not 0.0 < fraction <= 1.0:
+            raise ServingError(
+                f"canary fraction must be in (0, 1], got {fraction}",
+                reason="config")
+        if min_samples < 1 or min_samples > window:
+            raise ServingError(
+                f"min_samples must be in [1, window={window}], "
+                f"got {min_samples}", reason="config")
+        if not 0.0 <= margin < 1.0:
+            raise ServingError(
+                f"rollback margin must be in [0, 1), got {margin}",
+                reason="config")
+        self.mode = mode
+        self.fraction = fraction
+        self.margin = margin
+        self.min_samples = min_samples
+        self._windows: Dict[str, SlidingWindow] = {
+            SLOT_INCUMBENT: SlidingWindow(window),
+            SLOT_CANDIDATE: SlidingWindow(window),
+        }
+        self._accumulator = 0.0
+
+    # -- routing --------------------------------------------------------------
+
+    def route_to_candidate(self) -> bool:
+        """Deterministically route ``fraction`` of batches to the candidate.
+
+        Shadow candidates never serve responses, so shadow routing is
+        always False — the server mirrors batches instead.
+        """
+        if self.mode == MODE_SHADOW:
+            return False
+        self._accumulator += self.fraction
+        if self._accumulator >= 1.0 - 1e-12:
+            self._accumulator -= 1.0
+            return True
+        return False
+
+    # -- health ---------------------------------------------------------------
+
+    def record(self, slot: str, clips: Iterable) -> None:
+        """Score a batch of :class:`ServedClip` answers for one slot."""
+        window = self._windows[slot]
+        for clip in clips:
+            window.record(clip_is_bad(clip))
+
+    def record_failures(self, slot: str, count: int) -> None:
+        """Score ``count`` outright failures (a crashed batch) as bad clips."""
+        window = self._windows[slot]
+        for _ in range(count):
+            window.record(True)
+
+    def rates(self) -> Dict[str, Dict[str, float]]:
+        return {
+            slot: {
+                "samples": window.samples,
+                "bad": window.bad_count,
+                "bad_rate": window.bad_rate,
+            }
+            for slot, window in self._windows.items()
+        }
+
+    def verdict(self) -> Optional[RolloutVerdict]:
+        """A rollback verdict once the evidence demands one, else None.
+
+        Requires ``min_samples`` clips in *both* windows: comparing a
+        candidate against an idle incumbent (or vice versa) would decide
+        from noise.
+        """
+        incumbent = self._windows[SLOT_INCUMBENT]
+        candidate = self._windows[SLOT_CANDIDATE]
+        if (incumbent.samples < self.min_samples
+                or candidate.samples < self.min_samples):
+            return None
+        if candidate.bad_rate > incumbent.bad_rate + self.margin:
+            return RolloutVerdict(
+                verdict="rollback",
+                candidate_rate=candidate.bad_rate,
+                incumbent_rate=incumbent.bad_rate,
+                candidate_samples=candidate.samples,
+                incumbent_samples=incumbent.samples,
+                margin=self.margin,
+            )
+        return None
+
+
+__all__ = [
+    "MODE_CANARY",
+    "MODE_SHADOW",
+    "SLOT_CANDIDATE",
+    "SLOT_INCUMBENT",
+    "RolloutController",
+    "RolloutVerdict",
+    "SlidingWindow",
+    "clip_is_bad",
+]

@@ -39,10 +39,25 @@ the one-shot service into an always-on loop:
   ``reason="shutdown"``.  The invariant, chaos-drilled in CI: every
   admitted request is answered or explicitly shed — never dropped.
 
-Timing is split deliberately: request *deadlines* run on the injectable
-monotonic ``clock`` (so tests drive expiry with a fake clock), while the
-batcher's coalescing waits and the watchdog run on real time — they exist
-to detect real stalls, which a fake clock cannot produce.
+* **Hot swap.** The model lives in a *slot* each batch captures once at
+  its batch boundary: :meth:`InferenceServer.swap_model` replaces the slot
+  atomically, in-flight batches finish on the old model, and every admitted
+  request is still answered or shed typed — never dropped mid-swap.
+  :meth:`InferenceServer.start_canary` adds a *candidate* slot and routes a
+  configured fraction of batches to it while a
+  :class:`~repro.serving.rollout.RolloutController` compares guard-verdict
+  and fallback rates against the incumbent over a sliding window; a
+  candidate that regresses past the margin is **automatically rolled
+  back** (typed ``rollback`` telemetry, incumbent keeps serving).  Shadow
+  mode mirrors incumbent batches through the candidate without affecting
+  responses.
+
+All timing — request deadlines, the batcher's coalescing window, and the
+watchdog's stall measurement — runs on the injectable monotonic ``clock``,
+so swap/rollback/wedge drills advance a fake clock instead of sleeping.
+The condition-variable *waits* themselves still poll on short real-time
+bounds (a fake clock cannot wake a thread), which the loops treat purely
+as a polling cadence.
 
 :func:`run_soak` is the sustained-load harness: it ramps synthetic QPS
 across tenants against a server, then drains and audits the invariant,
@@ -66,6 +81,13 @@ from ..runtime.faults import FaultPlan
 from ..telemetry.hooks import NULL_HOOK, TelemetryHook
 from ..telemetry.trace import Tracer
 from .overload import BoundedWorkQueue, Deadline, MONOTONIC_CLOCK
+from .rollout import (
+    MODE_CANARY,
+    MODE_SHADOW,
+    SLOT_CANDIDATE,
+    SLOT_INCUMBENT,
+    RolloutController,
+)
 from .service import InferenceService, ServedClip
 from .tenancy import DEFAULT_TENANT, TenancyController, TenantQuota
 
@@ -196,7 +218,10 @@ class InferenceServer:
     unregistered tenants get weight ``1.0`` and no cap.  ``faults`` is the
     chaos hook: degenerate outputs are scheduled by global request ID, slow
     batches and wedges by forward-batch index.  ``clock`` (default real
-    monotonic) drives request deadlines only — see the module docstring.
+    monotonic) drives request deadlines, the coalescing window, and the
+    watchdog's stall measurement — see the module docstring.
+    ``model_name``/``model_version`` label the incumbent slot for swap and
+    rollback telemetry (registry-served models use ``name@version``).
     """
 
     def __init__(self, model, config: ExperimentConfig,
@@ -205,17 +230,27 @@ class InferenceServer:
                  tracer: Optional[Tracer] = None,
                  simulator=None,
                  faults: Optional[FaultPlan] = None,
-                 clock=None):
+                 clock=None,
+                 model_name: str = "model",
+                 model_version: Optional[int] = None):
         self.config = config
         self.server_config = config.server
         self.hook = hook if hook is not None else NULL_HOOK
         self.tracer = tracer if tracer is not None else Tracer()
         self.faults = faults
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
-        self.service = InferenceService(
-            model, config, hook=self.hook, tracer=self.tracer,
-            simulator=simulator, clock=clock,
-        )
+        self._given_clock = clock
+        self._simulator = simulator
+        self.service = self._make_service(model)
+        self._model_name = model_name
+        self._model_version = model_version
+        self._candidate_service: Optional[InferenceService] = None
+        self._candidate_name: Optional[str] = None
+        self._candidate_version: Optional[int] = None
+        self._rollout: Optional[RolloutController] = None
+        self._on_rollback = None
+        self._swaps = 0
+        self._rollbacks = 0
         self.tenancy = TenancyController(quotas)
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -227,11 +262,21 @@ class InferenceServer:
         self._wedged = False
         self._next_request = 0
         self._batches = 0
-        self._last_progress = MONOTONIC_CLOCK()
+        self._last_progress = self.clock()
         self._interrupt = threading.Event()
         self._watchdog_stop = threading.Event()
         self._batcher: Optional[threading.Thread] = None
         self._watchdog: Optional[threading.Thread] = None
+
+    def _make_service(self, model) -> InferenceService:
+        return InferenceService(
+            model, self.config, hook=self.hook, tracer=self.tracer,
+            simulator=self._simulator, clock=self._given_clock,
+        )
+
+    @staticmethod
+    def _slot_label(name: str, version: Optional[int]) -> str:
+        return name if version is None else f"{name}@{version}"
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -277,6 +322,191 @@ class InferenceServer:
     @property
     def queue(self) -> BoundedWorkQueue:
         return self._queue
+
+    # -- model slots / rollout -------------------------------------------------
+
+    @property
+    def model_label(self) -> str:
+        """The incumbent slot's ``name`` or ``name@version`` label."""
+        return self._slot_label(self._model_name, self._model_version)
+
+    @property
+    def candidate_label(self) -> Optional[str]:
+        if self._candidate_name is None:
+            return None
+        return self._slot_label(self._candidate_name, self._candidate_version)
+
+    def swap_model(self, model, *, name: str = "model",
+                   version: Optional[int] = None,
+                   reason: str = "swap") -> str:
+        """Atomically replace the incumbent model slot; returns its label.
+
+        The swap takes effect at the next batch boundary: the executor
+        captures the slot reference once per batch, so an in-flight batch
+        finishes on the old model and every admitted request is answered.
+        Any active canary/shadow candidate is discarded — it was being
+        compared against a model that no longer serves.
+        """
+        service = self._make_service(model)
+        with self._lock:
+            if self._wedged:
+                raise OverloadError(
+                    "cannot swap the model slot of a wedged server",
+                    reason=SHED_WEDGED,
+                )
+            previous = self.model_label
+            self.service = service
+            self._model_name = name
+            self._model_version = version
+            self._swaps += 1
+            self._clear_candidate_locked()
+            label = self.model_label
+            self.hook.on_model_swap(
+                name, str(version) if version is not None else label,
+                previous, reason,
+            )
+        return label
+
+    def start_canary(self, model, *, name: str = "candidate",
+                     version: Optional[int] = None,
+                     fraction: Optional[float] = None,
+                     window: Optional[int] = None,
+                     min_samples: Optional[int] = None,
+                     margin: Optional[float] = None,
+                     mode: str = MODE_CANARY,
+                     on_rollback=None) -> str:
+        """Install ``model`` as the candidate slot; returns its label.
+
+        In canary mode a deterministic ``fraction`` of batches route to the
+        candidate; in shadow mode (``mode="shadow"``) the candidate only
+        sees mirrored traffic and never answers a caller.  Health knobs
+        default from ``config.registry``.  ``on_rollback`` (optional
+        callable, invoked with the :class:`RolloutVerdict` dict) runs after
+        an automatic rollback — the CLI uses it to move the registry's
+        promotion pointer.
+        """
+        registry_cfg = self.config.registry
+        controller = RolloutController(
+            mode,
+            fraction=fraction if fraction is not None
+            else registry_cfg.canary_fraction,
+            window=window if window is not None else registry_cfg.window,
+            min_samples=min_samples if min_samples is not None
+            else registry_cfg.min_samples,
+            margin=margin if margin is not None
+            else registry_cfg.rollback_margin,
+        )
+        service = self._make_service(model)
+        with self._lock:
+            if self._wedged:
+                raise OverloadError(
+                    "cannot start a rollout on a wedged server",
+                    reason=SHED_WEDGED,
+                )
+            if self._candidate_service is not None:
+                raise OverloadError(
+                    f"a candidate ({self.candidate_label}) is already being "
+                    "rolled out", reason="rollout",
+                )
+            self._candidate_service = service
+            self._candidate_name = name
+            self._candidate_version = version
+            self._rollout = controller
+            self._on_rollback = on_rollback
+            label = self.candidate_label
+            self.hook.on_model_swap(
+                name, str(version) if version is not None else label,
+                self.model_label, mode,
+            )
+        return label
+
+    def start_shadow(self, model, **kwargs) -> str:
+        """Shorthand for :meth:`start_canary` with ``mode="shadow"``."""
+        kwargs["mode"] = MODE_SHADOW
+        return self.start_canary(model, **kwargs)
+
+    def promote_candidate(self, reason: str = "promote") -> str:
+        """Swap the candidate into the incumbent slot; returns its label.
+
+        Promotion is caller-driven — the controller only ever *rolls back*
+        automatically.  The swap is atomic at the batch boundary exactly
+        like :meth:`swap_model`.
+        """
+        with self._lock:
+            if self._candidate_service is None or self._rollout is None:
+                raise OverloadError(
+                    "no candidate rollout to promote", reason="rollout",
+                )
+            rates = self._rollout.rates()
+            previous = self.model_label
+            self.service = self._candidate_service
+            self._model_name = self._candidate_name
+            self._model_version = self._candidate_version
+            self._swaps += 1
+            name = self._model_name
+            version = self._model_version
+            self._clear_candidate_locked()
+            label = self.model_label
+            self.hook.on_canary_verdict(
+                name, "promote",
+                rates[SLOT_CANDIDATE]["bad_rate"],
+                rates[SLOT_INCUMBENT]["bad_rate"],
+                rates[SLOT_CANDIDATE]["samples"],
+            )
+            self.hook.on_model_swap(
+                name, str(version) if version is not None else label,
+                previous, reason,
+            )
+        return label
+
+    def cancel_candidate(self) -> None:
+        """Drop the candidate slot without a verdict (no telemetry)."""
+        with self._lock:
+            self._clear_candidate_locked()
+
+    def _clear_candidate_locked(self) -> None:
+        self._candidate_service = None
+        self._candidate_name = None
+        self._candidate_version = None
+        self._rollout = None
+        self._on_rollback = None
+
+    def _auto_rollback_locked(self, verdict):
+        """Discard a regressed candidate; returns the caller's callback."""
+        name = self._candidate_name or "candidate"
+        from_label = self.candidate_label or name
+        callback = self._on_rollback
+        self._clear_candidate_locked()
+        self._rollbacks += 1
+        self.hook.on_canary_verdict(
+            name, "rollback", verdict.candidate_rate,
+            verdict.incumbent_rate, verdict.candidate_samples,
+        )
+        self.hook.on_serve_rollback(
+            name, from_label, self.model_label,
+            verdict.candidate_rate, verdict.incumbent_rate,
+        )
+        if callback is None:
+            return None
+        payload = verdict.to_dict()
+        return lambda: callback(payload)
+
+    def _note_batch_outcome(self, slot: str, clips=(),
+                            failures: int = 0) -> None:
+        """Feed one batch's health into the rollout window; maybe roll back."""
+        callback = None
+        with self._lock:
+            rollout = self._rollout
+            if rollout is None:
+                return
+            rollout.record(slot, clips)
+            if failures:
+                rollout.record_failures(slot, failures)
+            verdict = rollout.verdict()
+            if verdict is not None:
+                callback = self._auto_rollback_locked(verdict)
+        if callback is not None:
+            callback()  # registry pointer updates happen outside the lock
 
     # -- submission ------------------------------------------------------------
 
@@ -399,14 +629,19 @@ class InferenceServer:
             if self._wedged or self._state == STATE_CLOSED:
                 return None
             wait_s = cfg.max_wait_ms / 1000.0
-            opened = MONOTONIC_CLOCK()
+            opened = self.clock()
+            opened_real = MONOTONIC_CLOCK()
             while (self._queue.depth() < cfg.max_batch
                    and self._state == STATE_RUNNING
                    and not self._wedged):
-                remaining = wait_s - (MONOTONIC_CLOCK() - opened)
-                if remaining <= 0:
+                # The coalescing budget is measured on the injected clock
+                # (tests expire it by advancing a fake clock); the real-time
+                # bound keeps the loop live when that clock never moves.
+                remaining = wait_s - (self.clock() - opened)
+                real_remaining = wait_s - (MONOTONIC_CLOCK() - opened_real)
+                if remaining <= 0 or real_remaining <= 0:
                     break
-                self._work.wait(min(remaining, 0.01))
+                self._work.wait(min(remaining, real_remaining, 0.01))
             if self._wedged:
                 return None
             requests = self._queue.pop_many(cfg.max_batch)
@@ -414,7 +649,7 @@ class InferenceServer:
                 self.tenancy.note_dequeued(request.tenant)
             self._inflight = list(requests)
             self.hook.on_queue_depth(self._queue.depth())
-            return requests, MONOTONIC_CLOCK() - opened
+            return requests, self.clock() - opened
 
     def _interruptible_sleep(self, seconds: float) -> None:
         """A fault-injected stall the watchdog/shutdown can cut short."""
@@ -469,12 +704,28 @@ class InferenceServer:
             _BatchFaults(self.faults, [r.request for r in live])
             if self.faults is not None else None
         )
+        # The batch boundary: capture the serving slot exactly once.  A
+        # concurrent swap_model replaces self.service for *later* batches;
+        # this one finishes on the model it started with.
+        with self._lock:
+            rollout = self._rollout
+            candidate = self._candidate_service
+            shadow = (
+                candidate if rollout is not None
+                and rollout.mode == MODE_SHADOW else None
+            )
+            if (rollout is not None and candidate is not None
+                    and rollout.route_to_candidate()):
+                service, slot = candidate, SLOT_CANDIDATE
+            else:
+                service, slot = self.service, SLOT_INCUMBENT
         with self.tracer.span(
             "batch_coalesce", batch=batch_index, size=len(live),
             waited_ms=waited_s * 1000.0, queue_depth=self._queue.depth(),
+            slot=slot,
         ):
             try:
-                report = self.service.serve_batch(
+                report = service.serve_batch(
                     masks, deadline_s=batch_deadline, faults=faults,
                 )
             except ReproError as exc:
@@ -490,6 +741,8 @@ class InferenceServer:
                             clip=request.request, reason="batch",
                         )
                     request.future.set_error(error)
+                # A crashing slot is maximally bad news for its window.
+                self._note_batch_outcome(slot, failures=len(live))
                 return
 
         served = {clip.clip: clip for clip in report.served}
@@ -508,6 +761,26 @@ class InferenceServer:
                     reason=rejection.reason,
                 )
                 request.future.set_error(error)
+        self._note_batch_outcome(slot, report.served)
+        if shadow is not None:
+            self._mirror_batch(shadow, masks, batch_deadline)
+
+    def _mirror_batch(self, candidate: InferenceService,
+                      masks: List[np.ndarray],
+                      batch_deadline: Optional[float]) -> None:
+        """Shadow mode: run the candidate on mirrored inputs, stats only.
+
+        Every caller was already answered from the incumbent before this
+        runs; nothing the candidate does here — good, degenerate, or a
+        crash — can affect a response.  Faults are *not* mirrored: shadow
+        scores the candidate's own behavior on clean inputs.
+        """
+        try:
+            report = candidate.serve_batch(masks, deadline_s=batch_deadline)
+        except ReproError:
+            self._note_batch_outcome(SLOT_CANDIDATE, failures=len(masks))
+            return
+        self._note_batch_outcome(SLOT_CANDIDATE, report.served)
 
     def _finish_batch(self, requests: List[ServeRequest]) -> None:
         with self._lock:
@@ -519,7 +792,7 @@ class InferenceServer:
                         "request left unanswered by the executor",
                     )
             self._inflight = []
-            self._last_progress = MONOTONIC_CLOCK()
+            self._last_progress = self.clock()
             self._work.notify_all()
 
     # -- the watchdog ----------------------------------------------------------
@@ -532,7 +805,9 @@ class InferenceServer:
             with self._lock:
                 pending = bool(self._inflight) or self._queue.depth() > 0
                 progress = self._last_progress
-            now = MONOTONIC_CLOCK()
+            # Stall time is measured on the injected clock so wedge drills
+            # advance a fake clock; the poll above is only a wakeup cadence.
+            now = self.clock()
             if not pending or progress != seen_progress:
                 seen_progress = progress
                 stall_started = now if pending else None
@@ -612,6 +887,7 @@ class InferenceServer:
     def stats(self) -> "ServerStats":
         with self._lock:
             tenants = self.tenancy.snapshot()
+            rollout = self._rollout
             return ServerStats(
                 state=self._state,
                 wedged=self._wedged,
@@ -624,6 +900,12 @@ class InferenceServer:
                 queue_shed=self._queue.shed,
                 breaker_state=self.service.breaker.state,
                 tenants=tenants,
+                model=self.model_label,
+                candidate=self.candidate_label,
+                rollout_mode=rollout.mode if rollout is not None else None,
+                rollout_rates=rollout.rates() if rollout is not None else None,
+                swaps=self._swaps,
+                rollbacks=self._rollbacks,
             )
 
 
@@ -642,6 +924,12 @@ class ServerStats:
     queue_shed: int
     breaker_state: str
     tenants: Dict[str, dict]
+    model: str = "model"
+    candidate: Optional[str] = None
+    rollout_mode: Optional[str] = None
+    rollout_rates: Optional[Dict[str, dict]] = None
+    swaps: int = 0
+    rollbacks: int = 0
 
     @property
     def answered(self) -> int:
@@ -676,6 +964,9 @@ class SoakReport:
     latency_p99_ms: Optional[float]
     shed_by_reason: Dict[str, int] = field(default_factory=dict)
     tenants: Dict[str, dict] = field(default_factory=dict)
+    model: str = "model"
+    swaps: int = 0
+    rollbacks: int = 0
 
     @property
     def answered(self) -> int:
@@ -814,4 +1105,7 @@ def run_soak(server: InferenceServer, masks: Sequence[np.ndarray], *,
         latency_p99_ms=_quantile_ms(latencies, 0.99),
         shed_by_reason=shed_by_reason,
         tenants=stats.tenants,
+        model=stats.model,
+        swaps=stats.swaps,
+        rollbacks=stats.rollbacks,
     )

@@ -51,6 +51,7 @@ from .trace import (
 from .events import (
     BREAKER_STATES,
     BREAKER_TRANSITIONS,
+    CANARY_VERDICTS,
     EVENT_TYPES,
     SCHEMA_VERSION,
     RunLogger,
@@ -90,6 +91,7 @@ __all__ = [
     "next_trace_id",
     "BREAKER_STATES",
     "BREAKER_TRANSITIONS",
+    "CANARY_VERDICTS",
     "EVENT_TYPES",
     "SCHEMA_VERSION",
     "RunLogger",

@@ -39,6 +39,13 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
 ``shed``
     A serving-loop request was refused or evicted (carries the request ID,
     its tenant, and the machine-readable shed reason).
+``model_swap``
+    The serving loop's model slot changed at a batch boundary (carries the
+    model name, new/previous version labels, and the machine-readable
+    reason: ``swap``/``promote``/``rollback``/``canary``/``shadow``).
+``canary_verdict``
+    A canary/shadow rollout reached a decision (``verdict`` is ``promote``
+    or ``rollback``; carries both slots' bad rates and sample counts).
 ``worker_crash``
     A parallel fan-out worker died or timed out (carries the shard index,
     the task name, and a short detail string).
@@ -64,8 +71,12 @@ SCHEMA_VERSION = 1
 EVENT_TYPES = (
     "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
     "eval_end", "admission", "fallback", "breaker", "queue_full", "shed",
+    "model_swap", "canary_verdict",
     "data_quarantine", "data_repair", "worker_crash", "run_end",
 )
+
+#: decisions a canary_verdict event may record
+CANARY_VERDICTS = ("promote", "rollback")
 
 #: circuit-breaker states and the transitions a valid serve log may record
 BREAKER_STATES = ("closed", "open", "half_open")
@@ -186,6 +197,19 @@ class RunLogger:
             "shed", request=request, tenant=tenant, reason=reason, **fields
         )
 
+    def model_swap(self, model: str, version: str, previous: str,
+                   reason: str, **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "model_swap", model=model, version=version, previous=previous,
+            reason=reason, **fields
+        )
+
+    def canary_verdict(self, model: str, verdict: str,
+                       **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "canary_verdict", model=model, verdict=verdict, **fields
+        )
+
     def data_quarantine(self, quarantined: int, total: int,
                         **fields: Any) -> Dict[str, Any]:
         return self.emit(
@@ -274,7 +298,9 @@ def validate_run_log(events: List[Dict[str, Any]],
     counts are non-negative integers, ``fallback`` names a clip and cause,
     ``breaker`` transitions follow the closed/open/half-open state machine
     from an initially closed breaker, ``queue_full`` records a depth at or
-    above capacity, ``shed`` names a request/tenant/reason), well-formed
+    above capacity, ``shed`` names a request/tenant/reason, ``model_swap``
+    names a model and reason, ``canary_verdict`` carries a known verdict),
+    well-formed
     data-integrity events
     (``data_quarantine`` counts are non-negative integers with
     ``quarantined <= total``, ``data_repair`` carries a non-negative
@@ -396,6 +422,22 @@ def validate_run_log(events: List[Dict[str, Any]],
                 raise TelemetryError(f"shed {index} is missing a tenant")
             if not record.get("reason"):
                 raise TelemetryError(f"shed {index} is missing a reason")
+        if record["event"] == "model_swap":
+            if not record.get("model"):
+                raise TelemetryError(f"model_swap {index} is missing a model")
+            if not record.get("reason"):
+                raise TelemetryError(f"model_swap {index} is missing a reason")
+        if record["event"] == "canary_verdict":
+            if not record.get("model"):
+                raise TelemetryError(
+                    f"canary_verdict {index} is missing a model"
+                )
+            verdict = record.get("verdict")
+            if verdict not in CANARY_VERDICTS:
+                raise TelemetryError(
+                    f"canary_verdict {index} has bad verdict {verdict!r}; "
+                    f"expected one of {CANARY_VERDICTS}"
+                )
         if record["event"] == "breaker":
             source = record.get("from_state")
             target = record.get("to_state")

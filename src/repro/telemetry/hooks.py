@@ -76,6 +76,21 @@ class TelemetryHook:
     def on_queue_depth(self, depth: int) -> None:
         """The serving-loop queue depth changed (sampled, post-transition)."""
 
+    def on_model_swap(self, model: str, version: str, previous: str,
+                      reason: str) -> None:
+        """The serving model slot changed at a batch boundary."""
+
+    def on_canary_verdict(self, model: str, verdict: str,
+                          candidate_rate: float, incumbent_rate: float,
+                          samples: int) -> None:
+        """A canary rollout reached a promote/rollback decision."""
+
+    def on_serve_rollback(self, model: str, from_version: str,
+                          to_version: str, candidate_rate: float,
+                          incumbent_rate: float,
+                          reason: str = "canary_regression") -> None:
+        """A canary candidate was automatically rolled back."""
+
     def on_data_quarantine(self, quarantined: int, total: int,
                            reasons: Optional[dict] = None,
                            manifest_missing: bool = False) -> None:
@@ -171,6 +186,27 @@ class CompositeHook(TelemetryHook):
     def on_queue_depth(self, depth: int) -> None:
         for hook in self.hooks:
             hook.on_queue_depth(depth)
+
+    def on_model_swap(self, model: str, version: str, previous: str,
+                      reason: str) -> None:
+        for hook in self.hooks:
+            hook.on_model_swap(model, version, previous, reason)
+
+    def on_canary_verdict(self, model: str, verdict: str,
+                          candidate_rate: float, incumbent_rate: float,
+                          samples: int) -> None:
+        for hook in self.hooks:
+            hook.on_canary_verdict(
+                model, verdict, candidate_rate, incumbent_rate, samples)
+
+    def on_serve_rollback(self, model: str, from_version: str,
+                          to_version: str, candidate_rate: float,
+                          incumbent_rate: float,
+                          reason: str = "canary_regression") -> None:
+        for hook in self.hooks:
+            hook.on_serve_rollback(
+                model, from_version, to_version, candidate_rate,
+                incumbent_rate, reason=reason)
 
     def on_data_quarantine(self, quarantined: int, total: int,
                            reasons: Optional[dict] = None,
@@ -358,6 +394,47 @@ class RunLoggerHook(TelemetryHook):
     def on_queue_depth(self, depth: int) -> None:
         if self.registry is not None:
             self.registry.gauge("serve_queue_depth").set(depth)
+
+    def on_model_swap(self, model: str, version: str, previous: str,
+                      reason: str) -> None:
+        if self.logger is not None:
+            self.logger.model_swap(model, version, previous, reason)
+        if self.registry is not None:
+            self.registry.counter(
+                "serve_model_swaps_total", labels={"model": model}).inc()
+            try:
+                self.registry.gauge(
+                    "serve_active_version", labels={"model": model}
+                ).set(int(version))
+            except (TypeError, ValueError):
+                pass  # unversioned (inline) models have no numeric version
+
+    def on_canary_verdict(self, model: str, verdict: str,
+                          candidate_rate: float, incumbent_rate: float,
+                          samples: int) -> None:
+        if self.logger is not None:
+            self.logger.canary_verdict(
+                model, verdict, candidate_rate=candidate_rate,
+                incumbent_rate=incumbent_rate, samples=samples,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "serve_canary_verdicts_total",
+                labels={"verdict": verdict}).inc()
+
+    def on_serve_rollback(self, model: str, from_version: str,
+                          to_version: str, candidate_rate: float,
+                          incumbent_rate: float,
+                          reason: str = "canary_regression") -> None:
+        if self.logger is not None:
+            self.logger.rollback(
+                phase="serving", model=model, from_version=from_version,
+                to_version=to_version, candidate_rate=candidate_rate,
+                incumbent_rate=incumbent_rate, reason=reason,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "serve_rollbacks_total", labels={"model": model}).inc()
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         if self.logger is not None:

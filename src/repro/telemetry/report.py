@@ -5,8 +5,9 @@ library one.  It takes the artifacts a run leaves behind — the JSONL event
 log (required), and optionally the merged Chrome trace, the metrics
 snapshot, and a layer profile — and folds them into one :class:`RunReport`:
 per-run outcomes, per-stage time breakdown, worker utilization and skew,
-incident counts (fallbacks, quarantines, rollbacks, worker crashes), and the
-top hot layers.
+incident counts (fallbacks, quarantines, rollbacks, worker crashes, shed
+requests), a serving-lifecycle summary (model swaps, canary verdicts,
+serving rollbacks, sheds per tenant), and the top hot layers.
 
 Reading is **fail-closed**: a corrupt input raises
 :class:`~repro.errors.TelemetryError` naming the offending path (the CLI
@@ -37,6 +38,9 @@ _HEADLINE_COUNTERS = (
     "rollbacks_total",
     "serve_clips_total",
     "serve_fallbacks_total",
+    "serve_model_swaps_total",
+    "serve_rollbacks_total",
+    "serve_shed_total",
     "data_records_quarantined_total",
     "data_records_repaired_total",
 )
@@ -95,6 +99,9 @@ class RunReport:
     profile_forward_s: float = 0.0
     profile_backward_s: float = 0.0
     sources: Dict[str, str] = field(default_factory=dict)
+    #: serving-lifecycle summary: model swaps, canary verdicts, serving
+    #: rollbacks, and requests shed per tenant
+    serving: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -121,6 +128,11 @@ class RunReport:
                 "backward_s": self.profile_backward_s,
             },
             "sources": dict(self.sources),
+            "serving": {
+                key: (dict(sorted(value.items()))
+                      if isinstance(value, dict) else value)
+                for key, value in sorted(self.serving.items())
+            },
         }
 
     def format_text(self) -> str:
@@ -156,6 +168,22 @@ class RunReport:
                     f"  {usage.worker:<6} {usage.shards:>4} shards "
                     f"{usage.busy_s:>9.3f}s busy"
                 )
+        serving = self.serving or {}
+        if any(serving.get(key) for key in
+               ("swaps", "rollbacks", "canary_verdicts", "sheds_by_tenant")):
+            verdicts = serving.get("canary_verdicts", {})
+            parts = [
+                f"swaps={serving.get('swaps', 0)}",
+                f"rollbacks={serving.get('rollbacks', 0)}",
+                "canary promote={}/rollback={}".format(
+                    verdicts.get("promote", 0), verdicts.get("rollback", 0)),
+            ]
+            sheds = serving.get("sheds_by_tenant", {})
+            if sheds:
+                parts.append("shed " + " ".join(
+                    f"{tenant}={count}"
+                    for tenant, count in sorted(sheds.items())))
+            lines.append("serving: " + ", ".join(parts))
         active = {name: count for name, count in self.incidents.items()
                   if count}
         lines.append("incidents: " + (
@@ -209,13 +237,19 @@ def _load_json(path: Union[str, Path], what: str) -> Any:
 
 
 def _summarize_runs(runs: List[List[dict]],
-                    ) -> Tuple[List[RunSummary], Dict, Dict, int]:
+                    ) -> Tuple[List[RunSummary], Dict, Dict, Dict, int]:
     summaries: List[RunSummary] = []
     stages: Dict[str, Dict[str, float]] = {}
     incidents = {
         "fallbacks": 0, "breaker_transitions": 0, "rollbacks": 0,
         "worker_crashes": 0, "records_quarantined": 0,
-        "records_repaired": 0, "rejected_inputs": 0,
+        "records_repaired": 0, "rejected_inputs": 0, "requests_shed": 0,
+    }
+    serving: Dict[str, Any] = {
+        "swaps": 0,
+        "rollbacks": 0,
+        "canary_verdicts": {"promote": 0, "rollback": 0},
+        "sheds_by_tenant": {},
     }
     unknown = 0
     for events in runs:
@@ -244,6 +278,19 @@ def _summarize_runs(runs: List[List[dict]],
                 incidents["breaker_transitions"] += 1
             elif event == "rollback":
                 incidents["rollbacks"] += 1
+                if record.get("phase") == "serving":
+                    serving["rollbacks"] += 1
+            elif event == "model_swap":
+                serving["swaps"] += 1
+            elif event == "canary_verdict":
+                verdict = str(record.get("verdict", "?"))
+                verdicts = serving["canary_verdicts"]
+                verdicts[verdict] = verdicts.get(verdict, 0) + 1
+            elif event == "shed":
+                incidents["requests_shed"] += 1
+                tenant = str(record.get("tenant", "?"))
+                sheds = serving["sheds_by_tenant"]
+                sheds[tenant] = sheds.get(tenant, 0) + 1
             elif event == "worker_crash":
                 incidents["worker_crashes"] += 1
             elif event == "data_quarantine":
@@ -266,7 +313,7 @@ def _summarize_runs(runs: List[List[dict]],
             events=len(events),
             build=dict(first.get("build") or {}),
         ))
-    return summaries, stages, incidents, unknown
+    return summaries, stages, incidents, serving, unknown
 
 
 def _worker_usage(trace: dict) -> Tuple[List[WorkerUsage], float]:
@@ -321,7 +368,7 @@ def build_report(log_path: Union[str, Path], *,
     events = read_run_log(log_path)
     if not events:
         raise TelemetryError(f"run log {log_path} contains no events")
-    summaries, stages, incidents, unknown = _summarize_runs(
+    summaries, stages, incidents, serving, unknown = _summarize_runs(
         split_runs(events))
     sources = {"log": str(log_path)}
 
@@ -367,4 +414,5 @@ def build_report(log_path: Union[str, Path], *,
         profile_forward_s=forward_s,
         profile_backward_s=backward_s,
         sources=sources,
+        serving=serving,
     )

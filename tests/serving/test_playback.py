@@ -1,0 +1,45 @@
+"""PlaybackModel drills: exact pairing, fuzzy fallback, shape strictness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.serving import PlaybackModel
+
+
+class TestLookup:
+    def test_exact_masks_round_trip_their_own_records(self, tiny_dataset):
+        model = PlaybackModel(tiny_dataset)
+        mono, centers = model.predict_raw(tiny_dataset.masks[:3])
+        golden = tiny_dataset.recentered_resists()
+        golden = golden[:, 0] if golden.ndim == 4 else golden
+        np.testing.assert_allclose(mono, golden[:3].astype(np.float32))
+        np.testing.assert_allclose(centers, tiny_dataset.centers[:3])
+
+    def test_perturbed_mask_falls_back_to_nearest_neighbour(
+            self, tiny_dataset):
+        model = PlaybackModel(tiny_dataset)
+        perturbed = tiny_dataset.masks[1].astype(np.float32) + 1e-4
+        mono, _ = model.predict_raw(perturbed[None])
+        golden = tiny_dataset.recentered_resists()
+        golden = golden[:, 0] if golden.ndim == 4 else golden
+        np.testing.assert_allclose(mono[0], golden[1].astype(np.float32))
+
+
+class TestShapeStrictness:
+    def test_mismatched_resolution_is_refused_not_broadcast(
+            self, tiny_dataset):
+        model = PlaybackModel(tiny_dataset)
+        record_shape = tiny_dataset.masks.shape[1:]
+        wrong_shape = tuple(extent // 2 for extent in record_shape)
+        wrong = np.zeros(wrong_shape, dtype=np.float32)
+        with pytest.raises(ShapeError) as excinfo:
+            model.predict_raw(wrong[None])
+        message = str(excinfo.value)
+        assert str(record_shape) in message
+        assert str(wrong_shape) in message
+
+    def test_scalar_mask_is_refused(self, tiny_dataset):
+        model = PlaybackModel(tiny_dataset)
+        with pytest.raises(ShapeError):
+            model._index_of(np.float32(0.5))

@@ -221,6 +221,77 @@ class TestWatchdog:
         assert server.stats().wedged
 
 
+class TestInjectedClock:
+    """The batcher's coalescing budget and the watchdog's stall timer run
+    on the injected clock, so wedge/coalescing drills advance a fake clock
+    instead of sleeping real wall time."""
+
+    def test_fake_clock_expires_the_coalescing_budget(
+            self, golden_model, tiny_dataset, tiny_config, server_config,
+            fake_clock):
+        import time as _time
+
+        # A 60s coalescing window: only the fake clock can close a
+        # non-full batch within this test's lifetime.
+        config = server_config(
+            tiny_config, max_batch=8, max_wait_ms=60_000.0)
+        server = InferenceServer(golden_model, config, clock=fake_clock)
+        server.start()
+        try:
+            future = server.submit(tiny_dataset.masks[0])
+            bound = _time.monotonic() + RESOLVE_TIMEOUT
+            while not future.done() and _time.monotonic() < bound:
+                fake_clock.advance(120.0)
+                _time.sleep(0.02)
+            clip = future.result(timeout=RESOLVE_TIMEOUT)
+            assert clip.provenance == PROVENANCE_MODEL
+        finally:
+            server.close()
+
+    def test_fake_clock_trips_the_watchdog_on_a_stuck_executor(
+            self, golden_model, tiny_dataset, tiny_config, server_config,
+            fake_clock):
+        import threading as _threading
+
+        class BlockingModel:
+            """Holds the forward pass until released — a real stall."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.entered = _threading.Event()
+                self.release = _threading.Event()
+
+            def predict_raw(self, masks):
+                self.entered.set()
+                self.release.wait(RESOLVE_TIMEOUT)
+                return self.inner.predict_raw(masks)
+
+        import time as _time
+
+        config = server_config(tiny_config, watchdog_s=300.0, max_batch=2)
+        model = BlockingModel(golden_model)
+        server = InferenceServer(model, config, clock=fake_clock)
+        server.start()
+        try:
+            future = server.submit(tiny_dataset.masks[0])
+            assert model.entered.wait(RESOLVE_TIMEOUT)
+            # 300 real seconds must not pass; fake ones do.  Advance past
+            # the stall budget repeatedly — the watchdog samples its stall
+            # start from this same clock, so one jump can land before it.
+            bound = _time.monotonic() + RESOLVE_TIMEOUT
+            while not server.wedged and _time.monotonic() < bound:
+                fake_clock.advance(301.0)
+                _time.sleep(0.02)
+            assert future.wait(RESOLVE_TIMEOUT), "request left unanswered"
+            error = future.error()
+            assert isinstance(error, OverloadError)
+            assert error.reason == SHED_WEDGED
+            assert server.wedged
+        finally:
+            model.release.set()
+            server.close()
+
+
 class TestTelemetry:
     def test_shed_and_queue_full_flow_into_log_and_metrics(
             self, golden_model, tiny_dataset, tiny_config, server_config,

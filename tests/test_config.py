@@ -11,6 +11,7 @@ from repro.config import (
     ImageConfig,
     ModelConfig,
     OpticalConfig,
+    RegistryConfig,
     ResistConfig,
     TechnologyConfig,
     TelemetryConfig,
@@ -201,6 +202,41 @@ class TestDataIntegrityConfig:
         assert isinstance(config.data, DataIntegrityConfig)
         custom = config.replace(data=DataIntegrityConfig(policy="strict"))
         assert custom.data.policy == "strict"
+
+
+class TestRegistryConfig:
+    def test_defaults_valid(self):
+        config = RegistryConfig()
+        assert config.root is None
+        assert 0.0 < config.canary_fraction <= 1.0
+        assert 1 <= config.min_samples <= config.window
+
+    def test_rejects_bad_canary_fraction(self):
+        with pytest.raises(ConfigError):
+            RegistryConfig(canary_fraction=0.0)
+        with pytest.raises(ConfigError):
+            RegistryConfig(canary_fraction=1.5)
+
+    def test_rejects_bad_window_shape(self):
+        with pytest.raises(ConfigError):
+            RegistryConfig(window=0)
+        with pytest.raises(ConfigError):
+            RegistryConfig(window=8, min_samples=9)
+        with pytest.raises(ConfigError):
+            RegistryConfig(min_samples=0)
+
+    def test_rejects_bad_rollback_margin(self):
+        with pytest.raises(ConfigError):
+            RegistryConfig(rollback_margin=1.0)
+        with pytest.raises(ConfigError):
+            RegistryConfig(rollback_margin=-0.1)
+
+    def test_experiment_config_carries_registry(self):
+        config = reduced()
+        assert isinstance(config.registry, RegistryConfig)
+        custom = config.replace(
+            registry=RegistryConfig(root="models/", canary_fraction=0.25))
+        assert custom.registry.root == "models/"
 
 
 class TestPresets:

@@ -1,0 +1,308 @@
+"""Model-registry drills: atomic publish, fail-closed resolve, rollback.
+
+The one property every test here defends: a version the registry cannot
+fully verify — missing manifest, corrupt manifest, checksum mismatch,
+missing weight file — raises :class:`~repro.errors.RegistryError` naming
+the offending path and is never handed to a caller.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.config import N10, tiny
+from repro.errors import CheckpointError, ConfigError, RegistryError
+from repro.registry import (
+    MANIFEST_NAME,
+    ModelRegistry,
+    config_digest,
+    degrade_weights,
+    parse_model_ref,
+)
+
+
+@pytest.fixture
+def weights(tmp_path):
+    """A minimal weight directory: two npz archives and a json sidecar."""
+    source = tmp_path / "weights"
+    source.mkdir()
+    np.savez(source / "generator.npz",
+             w0=np.arange(6, dtype=np.float32).reshape(2, 3),
+             b0=np.ones(3, dtype=np.float32))
+    np.savez(source / "center_cnn.npz", w0=np.full((2, 2), 2.0))
+    (source / "history.json").write_text(json.dumps({"loss": [1.0, 0.5]}))
+    return source
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestParseModelRef:
+    def test_bare_name_resolves_to_none(self):
+        assert parse_model_ref("litho") == ("litho", None)
+
+    def test_explicit_version_and_latest(self):
+        assert parse_model_ref("litho@3") == ("litho", 3)
+        assert parse_model_ref("litho@latest") == ("litho", "latest")
+
+    def test_rejects_bad_names_and_versions(self):
+        with pytest.raises(RegistryError):
+            parse_model_ref("../evil")
+        with pytest.raises(RegistryError):
+            parse_model_ref("litho@zero")
+        with pytest.raises(RegistryError):
+            parse_model_ref("litho@0")
+
+
+class TestConfigDigest:
+    def test_digest_is_stable_and_key_order_independent(self):
+        assert config_digest({"b": 1, "a": 2}) == config_digest(
+            {"a": 2, "b": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_dataclass_configs_are_digestable(self):
+        config = tiny(N10, num_clips=4, epochs=1)
+        assert len(config_digest(config)) == 64
+
+    def test_undigestable_payload_fails_typed(self):
+        with pytest.raises(RegistryError):
+            config_digest({"fn": object()})
+
+
+class TestPublish:
+    def test_versions_are_monotonic_and_verified(self, registry, weights):
+        first = registry.publish("litho", weights)
+        second = registry.publish("litho", weights)
+        assert (first.version, second.version) == (1, 2)
+        assert first.label == "litho@1"
+        assert registry.versions("litho") == [1, 2]
+        assert registry.models() == ["litho"]
+        assert set(first.files) == {
+            "generator.npz", "center_cnn.npz", "history.json"}
+
+    def test_manifest_records_digests_and_provenance(self, registry,
+                                                     weights):
+        config = tiny(N10, num_clips=4, epochs=1)
+        entry = registry.publish(
+            "litho", weights, config=config, metrics={"iou": 0.93})
+        manifest = json.loads(
+            (entry.path / MANIFEST_NAME).read_text("utf-8"))
+        for record in manifest["files"]:
+            assert len(record["sha256"]) == 64
+            assert record["bytes"] > 0
+        provenance = entry.provenance
+        assert provenance["config_digest"] == config_digest(config)
+        assert provenance["metrics"] == {"iou": 0.93}
+        assert provenance["build"]  # fingerprint is always stamped
+
+    def test_publish_requires_a_nonempty_directory(self, registry,
+                                                   tmp_path):
+        with pytest.raises(RegistryError):
+            registry.publish("litho", tmp_path / "missing")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(RegistryError):
+            registry.publish("litho", empty)
+
+    def test_staging_leftovers_are_invisible(self, registry, weights):
+        registry.publish("litho", weights)
+        stale = registry.root / "litho" / ".stage-9999"
+        stale.mkdir()
+        (stale / "generator.npz").write_bytes(b"half-written")
+        assert registry.versions("litho") == [1]
+        assert registry.models() == ["litho"]
+
+    def test_unmanifested_version_dirs_do_not_exist(self, registry,
+                                                    weights):
+        registry.publish("litho", weights)
+        ghost = registry.root / "litho" / "v000007"
+        ghost.mkdir()
+        (ghost / "generator.npz").write_bytes(b"no manifest")
+        assert registry.versions("litho") == [1]
+        # ...but the slot is not reused either: publish goes past it.
+        assert registry.publish("litho", weights).version == 8
+
+    def test_degenerate_mutation_zeroes_staged_weights_only(
+            self, registry, weights):
+        entry = registry.publish("litho", weights, mutate=degrade_weights)
+        with np.load(entry.path / "generator.npz") as data:
+            assert all(not data[key].any() for key in data.files)
+            assert data["w0"].shape == (2, 3)
+        # The source directory is untouched.
+        with np.load(weights / "generator.npz") as data:
+            assert data["w0"].any()
+
+    def test_degrade_weights_fails_on_missing_file(self, tmp_path):
+        with pytest.raises(RegistryError) as excinfo:
+            degrade_weights(tmp_path, files=("generator.npz",))
+        assert "generator.npz" in str(excinfo.value)
+
+
+class TestFailClosedResolve:
+    def test_resolve_roundtrip(self, registry, weights):
+        registry.publish("litho", weights)
+        entry = registry.resolve("litho", 1)
+        assert entry.version == 1
+        assert registry.resolve("litho", "latest").version == 1
+        assert registry.verify("litho").version == 1
+
+    def test_unknown_name_and_version_are_typed(self, registry, weights):
+        with pytest.raises(RegistryError):
+            registry.resolve("litho", 1)
+        registry.publish("litho", weights)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("litho", 2)
+        assert excinfo.value.path is not None
+
+    def test_corrupt_weight_file_names_the_path(self, registry, weights):
+        entry = registry.publish("litho", weights)
+        target = entry.path / "generator.npz"
+        target.write_bytes(b"flipped bits")
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("litho", 1)
+        assert str(target) in str(excinfo.value)
+        assert excinfo.value.path == str(target)
+
+    def test_missing_weight_file_names_the_path(self, registry, weights):
+        entry = registry.publish("litho", weights)
+        (entry.path / "center_cnn.npz").unlink()
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("litho", 1)
+        assert "center_cnn.npz" in str(excinfo.value)
+
+    def test_corrupt_manifest_names_the_path(self, registry, weights):
+        entry = registry.publish("litho", weights)
+        manifest_path = entry.path / MANIFEST_NAME
+        manifest_path.write_text("{not json")
+        with pytest.raises(RegistryError) as excinfo:
+            registry.resolve("litho", 1)
+        assert str(manifest_path) in str(excinfo.value)
+
+    def test_wrong_schema_or_identity_fails(self, registry, weights):
+        entry = registry.publish("litho", weights)
+        manifest_path = entry.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text("utf-8"))
+        manifest["schema_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError):
+            registry.resolve("litho", 1)
+        manifest["schema_version"] = 1
+        manifest["version"] = 5
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError):
+            registry.resolve("litho", 1)
+
+
+class TestPromoteRollback:
+    def test_promote_moves_the_pointer_with_history(self, registry,
+                                                    weights):
+        registry.publish("litho", weights)
+        registry.publish("litho", weights)
+        assert registry.active_version("litho") is None
+        registry.promote("litho", 1)
+        assert registry.active_version("litho") == 1
+        registry.promote("litho", 2)
+        assert registry.active_version("litho") == 2
+        # Bare resolve follows the promoted pointer, not latest.
+        registry.promote("litho", 1)
+        assert registry.resolve("litho").version == 1
+
+    def test_rollback_walks_history_and_reverifies(self, registry,
+                                                   weights):
+        registry.publish("litho", weights)
+        registry.publish("litho", weights)
+        registry.promote("litho", 1)
+        registry.promote("litho", 2)
+        assert registry.rollback("litho") == (2, 1)
+        assert registry.active_version("litho") == 1
+        with pytest.raises(RegistryError):
+            registry.rollback("litho")  # history exhausted
+
+    def test_rollback_without_pointer_is_typed(self, registry, weights):
+        registry.publish("litho", weights)
+        with pytest.raises(RegistryError):
+            registry.rollback("litho")
+
+    def test_promote_refuses_a_corrupt_target(self, registry, weights):
+        entry = registry.publish("litho", weights)
+        (entry.path / "generator.npz").write_bytes(b"bad")
+        with pytest.raises(RegistryError):
+            registry.promote("litho", 1)
+        assert registry.active_version("litho") is None
+
+    def test_rollback_refuses_a_corrupt_restore_target(self, registry,
+                                                       weights):
+        first = registry.publish("litho", weights)
+        registry.publish("litho", weights)
+        registry.promote("litho", 1)
+        registry.promote("litho", 2)
+        (first.path / "generator.npz").write_bytes(b"bad")
+        with pytest.raises(RegistryError):
+            registry.rollback("litho")
+        # The pointer did not move onto the corrupt version.
+        assert registry.active_version("litho") == 2
+
+
+class TestApiFacades:
+    def test_publish_promote_rollback_roundtrip(self, tmp_path, weights):
+        root = tmp_path / "registry"
+        entry = api.publish_model(weights, "litho", registry=root)
+        assert entry.label == "litho@1"
+        api.publish_model(weights, "litho", registry=root)
+        api.promote("litho@1", registry=root)
+        api.promote("litho@2", registry=root)
+        assert api.rollback("litho", registry=root) == (2, 1)
+
+    def test_publish_inject_degenerate_zeroes_the_generator(
+            self, tmp_path, weights):
+        entry = api.publish_model(
+            weights, "litho", registry=tmp_path / "registry",
+            inject_degenerate=True,
+        )
+        with np.load(entry.path / "generator.npz") as data:
+            assert not data["w0"].any()
+
+    def test_registry_defaults_from_config(self, tmp_path, weights):
+        import dataclasses
+
+        config = tiny(N10, num_clips=4, epochs=1)
+        config = dataclasses.replace(
+            config,
+            registry=dataclasses.replace(
+                config.registry, root=str(tmp_path / "registry")),
+        )
+        entry = api.publish_model(weights, "litho", config=config)
+        assert entry.version == 1
+        with pytest.raises(ConfigError):
+            api.publish_model(weights, "litho")  # no root anywhere
+
+    def test_resolve_model_round_trips_a_real_model(self, tmp_path,
+                                                    tiny_config, rng):
+        from repro.core import LithoGan
+
+        model = LithoGan(tiny_config, rng)
+        root = tmp_path / "registry"
+        entry = api.publish_model(
+            model, "litho", registry=root, config=tiny_config)
+        restored, resolved = api.resolve_model(
+            "litho@1", tiny_config, registry=root)
+        assert resolved.label == entry.label
+        np.testing.assert_array_equal(
+            restored._center_mean, model._center_mean)
+
+    def test_resolve_model_fails_closed_on_corruption(self, tmp_path,
+                                                      tiny_config, rng):
+        from repro.core import LithoGan
+
+        model = LithoGan(tiny_config, rng)
+        root = tmp_path / "registry"
+        entry = api.publish_model(
+            model, "litho", registry=root, config=tiny_config)
+        (entry.path / "generator.npz").write_bytes(b"corrupt")
+        with pytest.raises((RegistryError, CheckpointError)) as excinfo:
+            api.resolve_model("litho@1", tiny_config, registry=root)
+        assert "generator.npz" in str(excinfo.value)
