@@ -23,6 +23,8 @@ Subpackages
 ``repro.serving``    hardened batch inference: admission, guards, fallback
 ``repro.registry``   versioned, manifest-verified model store with
                      promote/rollback pointers for safe rollout
+``repro.sweep``      journaled, resumable multi-trial sweeps with per-trial
+                     supervision (timeouts, typed retries, failure budget)
 ``repro.api``        the stable high-level façade: ``mint`` / ``train`` /
                      ``evaluate`` / ``serve`` / ``process_window``
 
@@ -41,6 +43,7 @@ from .config import (
     RecoveryConfig,
     RegistryConfig,
     ResistConfig,
+    SweepConfig,
     TechnologyConfig,
     TelemetryConfig,
     TrainingConfig,
@@ -64,6 +67,7 @@ from .errors import (
     ReproError,
     ResistError,
     ShapeError,
+    SweepError,
     TelemetryError,
     TrainingError,
 )
@@ -98,6 +102,7 @@ __all__ = [
     "RecoveryConfig",
     "RegistryConfig",
     "ResistConfig",
+    "SweepConfig",
     "TechnologyConfig",
     "TelemetryConfig",
     "TrainingConfig",
@@ -118,6 +123,7 @@ __all__ = [
     "ResistError",
     "DataError",
     "ShapeError",
+    "SweepError",
     "TrainingError",
     "EvaluationError",
     "TelemetryError",

@@ -33,6 +33,12 @@ runs, so nobody has to know which subpackage owns which moving part:
     The versioned model registry (:mod:`repro.registry`): atomic manifested
     publication, pointer promotion with history, one-step rollback, and
     fail-closed resolution of ``name@version`` refs into served models.
+``run_sweep``
+    Journaled, resumable multi-trial sweeps (:mod:`repro.sweep`): a base
+    config plus a parameter grid, executed under per-trial supervision
+    (timeouts, typed retries, a fail-closed failure budget) with an
+    append-only journal so a killed sweep resumes without re-running
+    completed trials.
 ``report``
     Correlate a run's event log, merged trace, metrics snapshot, and layer
     profile into a :class:`~repro.telemetry.report.RunReport` (the engine
@@ -91,6 +97,7 @@ from .registry import (
     parse_model_ref,
 )
 from .runtime import CheckpointManager, RecoveryPolicy
+from .sweep import SweepResult, SweepSpec, SweepSupervisor, TrialResult
 from .telemetry.profile import profiled
 from .telemetry.report import RunReport, build_report
 
@@ -98,7 +105,9 @@ __all__ = [
     "EvalResult",
     "MintResult",
     "RunReport",
+    "SweepResult",
     "TrainResult",
+    "TrialResult",
     "evaluate",
     "load_data",
     "load_model",
@@ -109,6 +118,7 @@ __all__ = [
     "report",
     "resolve_model",
     "rollback",
+    "run_sweep",
     "save_model",
     "serve",
     "serve_loop",
@@ -659,6 +669,90 @@ def process_window(config: ExperimentConfig, *,
             if tracer is not None else nullcontext())
     with span:
         return sweep_process_window(layout, config)
+
+
+# ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+
+def run_sweep(config: ExperimentConfig, grid, *,
+              sweep_dir: Union[str, Path],
+              resume: bool = False,
+              metric: str = "ede_mean_nm",
+              publish_best: Optional[str] = None,
+              registry=None,
+              trial_fn: Optional[Callable] = None,
+              faults_for: Optional[Callable] = None,
+              hook=None,
+              sleep: Optional[Callable] = None,
+              clock: Optional[Callable] = None,
+              progress: Optional[Callable] = None,
+              spec_payload: Optional[dict] = None) -> "SweepResult":
+    """Run (or resume) a journaled multi-trial sweep of ``config``.
+
+    ``grid`` maps dotted config paths to candidate values
+    (``{"training.seed": [0, 1, 2]}``); the Cartesian product becomes the
+    trial list, each trial named by its config digest.  Supervision —
+    per-trial timeout/isolation, retry backoff, and the fail-closed
+    ``max_failed_trials`` budget — comes from ``config.sweep``.  The journal
+    lives at ``<sweep_dir>/journal.jsonl``; ``resume=True`` replays it and
+    re-runs only trials that are not journaled as completed.
+
+    ``publish_best`` publishes the winning trial's weight directory into the
+    model registry under that name, stamped with the sweep and trial digests
+    and the winning metric value.  ``trial_fn`` / ``faults_for`` / ``sleep``
+    / ``clock`` / ``progress`` are supervisor injection points (drills and
+    tests); see :class:`~repro.sweep.SweepSupervisor`.
+    """
+    configure_kernel_cache(config.parallel)
+    spec = SweepSpec.from_grid(config, grid)
+    kwargs = {}
+    if sleep is not None:
+        kwargs["sleep"] = sleep
+    if clock is not None:
+        kwargs["clock"] = clock
+    supervisor = SweepSupervisor(
+        spec, sweep_dir, trial_fn=trial_fn, faults_for=faults_for,
+        hook=hook, progress=progress, **kwargs,
+    )
+    if spec_payload is None:
+        # ordered pairs, not a dict — the journal writer sorts dict keys
+        # and axis order decides trial order (hence the sweep digest)
+        spec_payload = {
+            "grid": [
+                [path, list(values)] for path, values in spec.grid.items()
+            ]
+        }
+    trials = supervisor.run(resume=resume, spec_payload=spec_payload)
+    result = SweepResult(
+        trials=tuple(trials),
+        digest=spec.digest,
+        journal=supervisor.journal.path,
+        metric=metric,
+    )
+    if publish_best is not None:
+        winner = result.best(metric)
+        if winner.weights is None:
+            raise ConfigError(
+                f"winning trial {winner.name} recorded no weight directory; "
+                "cannot publish it"
+            )
+        by_digest = {trial.digest: trial for trial in spec.trials}
+        entry = publish_model(
+            winner.weights, publish_best,
+            registry=registry,
+            config=by_digest[winner.digest].config,
+            metrics={
+                "sweep_digest": spec.digest,
+                "trial_digest": winner.digest,
+                "trial": winner.name,
+                "params": dict(winner.params),
+                metric: float(winner.metrics[metric]),
+            },
+        )
+        result = dataclasses.replace(result, published=entry)
+    return result
 
 
 # ---------------------------------------------------------------------------

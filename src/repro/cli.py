@@ -26,6 +26,12 @@ actual work (synthesis, training, scoring, serving, sweeping) happens in
     manifested versions (``--inject-degenerate`` stages the drill's bad
     weights), ``list`` / ``verify`` them fail-closed, and ``promote`` /
     ``rollback`` the active pointer.
+``sweep``
+    Journaled multi-trial experiment sweeps (:mod:`repro.sweep`):
+    ``run`` expands a parameter grid over the base config and supervises
+    every trial (timeouts, typed retries, a fail-closed failure budget),
+    ``status`` prints the journal's per-trial picture, and ``resume``
+    replays the journal and re-runs only what never completed.
 ``process-window``
     Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
 ``report``
@@ -56,7 +62,9 @@ shard), 2 usage error, 3 missing or corrupted model weights (fail-closed),
 4 dataset failed integrity validation or repair (fail-closed), 5 serve-soak
 invariant violation (an unanswered request or an unfair shed spread), 6
 model-registry failure (unresolvable ref, corrupt manifest, checksum
-mismatch — the version is never served), 130 interrupted.
+mismatch — the version is never served), 7 sweep failure (the sweep-level
+failure budget was exhausted, or a journal/spec mismatch made a resume
+unsafe — the journal names every failed trial), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -86,6 +94,7 @@ from .errors import (
     DataIntegrityError,
     RegistryError,
     ReproError,
+    SweepError,
 )
 from .eval import format_table3, render_table
 from .layout import ArrayType
@@ -777,6 +786,217 @@ def cmd_registry(args) -> int:
     raise ReproError(f"unknown registry action {args.action!r}")
 
 
+def _parse_param(spec: str):
+    """Parse a ``PATH=V1[,V2,...]`` sweep axis; values decode as JSON when
+    they can (``0.5`` -> float, ``true`` -> bool) and stay strings otherwise.
+    """
+    path, sep, values = spec.partition("=")
+    if not sep or not path or not values:
+        raise ReproError(
+            f"bad --param {spec!r}; expected PATH=V1[,V2,...] "
+            "(e.g. training.seed=0,1,2)"
+        )
+    parsed = []
+    for raw in values.split(","):
+        raw = raw.strip()
+        try:
+            parsed.append(json.loads(raw))
+        except json.JSONDecodeError:
+            parsed.append(raw)
+    return path, parsed
+
+
+def _parse_trial_site(spec: str, flag: str):
+    """Parse a ``TRIAL[:all]`` sweep fault site into ``(index, every)``.
+
+    Without ``:all`` the fault fires on attempt 1 only, so the supervised
+    retry runs clean and the trial lands — the drill proves recovery, not
+    permanent damage.  ``:all`` poisons every attempt (the exit-7 drill).
+    """
+    every = spec.endswith(":all")
+    body = spec[:-4] if every else spec
+    try:
+        index = int(body)
+    except ValueError:
+        raise ReproError(
+            f"bad {flag} {spec!r}; expected TRIAL[:all]"
+        ) from None
+    if index < 0:
+        raise ReproError(f"{flag} trial index must be >= 0, got {index}")
+    return index, every
+
+
+def _sweep_faults_for(args):
+    """Build the supervisor's ``faults_for(index, attempt)`` callback."""
+    nan_sites = [_parse_trial_site(spec, "--inject-nan")
+                 for spec in (getattr(args, "inject_nan", None) or [])]
+    crash_sites = [_parse_trial_site(spec, "--inject-worker-crash")
+                   for spec in (getattr(args, "inject_worker_crash", None)
+                                or [])]
+    if not nan_sites and not crash_sites:
+        return None
+
+    def faults_for(index: int, attempt: int):
+        plan = None
+        for trial, every in nan_sites:
+            if trial == index and (every or attempt == 1):
+                plan = plan or FaultPlan(seed=args.seed)
+                plan.inject_nan("cgan", 1)
+        for trial, every in crash_sites:
+            if trial == index and (every or attempt == 1):
+                plan = plan or FaultPlan(seed=args.seed)
+                plan.inject_worker_crash(0)
+        return plan
+
+    return faults_for
+
+
+def _sweep_base_config(args) -> ExperimentConfig:
+    """The sweep's base config: ``_config_for`` plus the supervision knobs."""
+    from .config import SweepConfig
+
+    config = _config_for(args, args.clips)
+    return dataclasses.replace(config, sweep=SweepConfig(
+        trial_timeout_s=args.trial_timeout,
+        max_retries=args.max_retries,
+        retry_delay_s=args.retry_delay,
+        max_failed_trials=args.max_failed,
+        isolation=args.isolation,
+    ))
+
+
+def _finish_sweep_run(args, telemetry, result) -> int:
+    print(result.format_ranking(args.metric))
+    if result.published is not None:
+        print(f"published best trial as {result.published.label}")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n")
+        print(f"wrote sweep report to {args.report}")
+    telemetry.finish(
+        trials=len(result.trials),
+        completed=len(result.completed),
+        failed=len(result.failed),
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run, inspect, or resume a journaled multi-trial sweep.
+
+    The journal at ``<out>/journal.jsonl`` is the sweep's only durable
+    state: ``run`` refuses to clobber an existing one without ``--resume``,
+    ``status`` reports from it alone, and ``resume`` reconstructs the full
+    spec from its ``sweep_start`` record — no flags to repeat, no way to
+    resume a different sweep against the wrong journal (digest-checked).
+    """
+    from .sweep import read_journal, replay_journal
+
+    telemetry = args.telemetry
+    sweep_dir = Path(args.out)
+    journal_path = sweep_dir / "journal.jsonl"
+
+    if args.action == "status":
+        state = replay_journal(read_journal(journal_path))
+        if state.sweep is None:
+            raise SweepError(
+                f"journal {journal_path} has no sweep_start record"
+            )
+        trials = {
+            digest: {
+                "trial": record.get("trial", "?"),
+                "status": state.status_of(digest),
+                "attempts": state.attempts.get(digest, 0),
+                "retries": state.retries.get(digest, 0),
+            }
+            for digest, record in sorted(
+                state.latest.items(),
+                key=lambda item: item[1].get("index", 0),
+            )
+        }
+        payload = {
+            "sweep": state.sweep.get("digest"),
+            "declared_trials": state.sweep.get("trials"),
+            "journaled_trials": len(trials),
+            "trials": trials,
+        }
+        if args.json:
+            # Like ``repro report --json``: skip the telemetry summary so
+            # stdout stays parseable by pipeline consumers.
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"sweep {payload['sweep'][:12]}: "
+              f"{len(trials)}/{payload['declared_trials']} trials "
+              "journaled")
+        for digest, row in trials.items():
+            print(f"  {row['trial']:<22} {row['status']:<12} "
+                  f"attempts={row['attempts']} retries={row['retries']}")
+        telemetry.finish(trials=len(trials))
+        return 0
+
+    if args.action == "resume":
+        state = replay_journal(read_journal(journal_path))
+        if state.sweep is None:
+            raise SweepError(
+                f"cannot resume: journal {journal_path} has no sweep_start "
+                "record"
+            )
+        saved = state.sweep.get("spec") or {}
+        if "grid" not in saved or "args" not in saved:
+            raise SweepError(
+                f"cannot resume: journal {journal_path} carries no sweep "
+                "spec payload (was it started by an older writer?)"
+            )
+        # Rebuild the exact run invocation from the journal; only the
+        # telemetry flags come from this command line.
+        for key, value in saved["args"].items():
+            setattr(args, key, value)
+        # The grid is stored as ordered [path, values] pairs: the journal
+        # writer sorts dict keys, and axis order decides trial order (and
+        # therefore the sweep digest).
+        grid = dict((path, values) for path, values in saved["grid"])
+        print(f"resuming sweep {state.sweep.get('digest', '?')[:12]} "
+              f"from {journal_path}")
+        result = api.run_sweep(
+            _sweep_base_config(args), grid,
+            sweep_dir=sweep_dir, resume=True, metric=args.metric,
+            publish_best=args.publish_best, registry=args.registry,
+            hook=telemetry.hook(), progress=print,
+            spec_payload=saved,
+        )
+        return _finish_sweep_run(args, telemetry, result)
+
+    # action == "run"
+    grid = dict(_parse_param(spec) for spec in (args.param or []))
+    config = _sweep_base_config(args)
+    spec_payload = {
+        # ordered pairs, not a dict: the journal writer sorts dict keys,
+        # and axis order is load-bearing (it decides trial order)
+        "grid": [[path, list(values)] for path, values in grid.items()],
+        "args": {
+            "node": args.node, "seed": args.seed, "clips": args.clips,
+            "epochs": args.epochs, "workers": args.workers,
+            "trial_timeout": args.trial_timeout,
+            "isolation": args.isolation, "max_retries": args.max_retries,
+            "retry_delay": args.retry_delay, "max_failed": args.max_failed,
+            "metric": args.metric,
+        },
+    }
+    trials = 1
+    for _, values in grid.items():
+        trials *= len(values)
+    print(f"sweep: {trials} trial(s) over {len(grid)} axis(es), "
+          f"budget {args.max_failed} failed trial(s), "
+          f"{args.max_retries} retry(ies)/trial ...")
+    result = api.run_sweep(
+        config, grid, sweep_dir=sweep_dir, resume=args.resume,
+        metric=args.metric, publish_best=args.publish_best,
+        registry=args.registry, faults_for=_sweep_faults_for(args),
+        hook=telemetry.hook(), progress=print, spec_payload=spec_payload,
+    )
+    return _finish_sweep_run(args, telemetry, result)
+
+
 def cmd_process_window(args) -> int:
     telemetry = args.telemetry
     config = _config_for(args, 1)
@@ -1172,6 +1392,128 @@ def build_parser() -> argparse.ArgumentParser:
         action_parser.set_defaults(func=cmd_registry)
     registry.set_defaults(func=cmd_registry)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run, inspect, or resume a journaled multi-trial experiment "
+             "sweep",
+        parents=[common],
+    )
+    sweep.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="the sweep directory: holds journal.jsonl and one "
+             "trials/<name>/ directory per trial",
+    )
+    sweep_sub = sweep.add_subparsers(dest="action", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="expand the parameter grid and supervise every trial",
+        parents=[workers, epochs],
+    )
+    sweep_run.add_argument(
+        "--param", action="append", metavar="PATH=V1[,V2,...]", default=None,
+        help="one sweep axis: a dotted config path and its candidate "
+             "values (repeatable; the Cartesian product is the trial "
+             "list, e.g. --param training.seed=0,1,2)",
+    )
+    sweep_run.add_argument("--clips", type=int, default=24)
+    sweep_run.add_argument(
+        "--trial-timeout", dest="trial_timeout", type=float, default=None,
+        metavar="SECONDS",
+        help="wall-clock bound per trial attempt; a trial that overruns is "
+             "killed and classified 'timeout' (requires --isolation "
+             "thread|process)",
+    )
+    sweep_run.add_argument(
+        "--isolation", choices=("none", "thread", "process"),
+        default="none",
+        help="where a trial attempt runs: inline (none), or inside a "
+             "one-task worker pool that can enforce --trial-timeout",
+    )
+    sweep_run.add_argument(
+        "--max-retries", dest="max_retries", type=int, default=1,
+        metavar="N",
+        help="failed-attempt retries per trial, on deterministic "
+             "exponential backoff (default: 1)",
+    )
+    sweep_run.add_argument(
+        "--retry-delay", dest="retry_delay", type=float, default=0.25,
+        metavar="SECONDS",
+        help="base backoff delay before a retry, doubling per attempt "
+             "(default: 0.25)",
+    )
+    sweep_run.add_argument(
+        "--max-failed", dest="max_failed", type=int, default=0,
+        metavar="N",
+        help="sweep failure budget: fail the whole sweep (exit 7) once "
+             "more than N trials have exhausted their retries "
+             "(default: 0)",
+    )
+    sweep_run.add_argument(
+        "--metric", default="ede_mean_nm",
+        help="ranking metric, lower is better (default: ede_mean_nm)",
+    )
+    sweep_run.add_argument(
+        "--publish-best", dest="publish_best", metavar="NAME", default=None,
+        help="publish the winning trial's weights into the model registry "
+             "under NAME, stamped with the sweep/trial digests (requires "
+             "--registry)",
+    )
+    sweep_run.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="the model-registry root --publish-best publishes into",
+    )
+    sweep_run.add_argument(
+        "--inject-nan", dest="inject_nan", action="append",
+        metavar="TRIAL[:all]", default=None,
+        help="fault drill: poison trial TRIAL's first training batch with "
+             "NaNs on attempt 1 (append ':all' to poison every attempt — "
+             "the exit-7 drill)",
+    )
+    sweep_run.add_argument(
+        "--inject-worker-crash", dest="inject_worker_crash", action="append",
+        metavar="TRIAL[:all]", default=None,
+        help="fault drill: crash the worker for shard 0 of trial TRIAL's "
+             "mint fan-out on attempt 1 (':all' for every attempt; needs "
+             "--workers >= 2 for the fan-out to exist)",
+    )
+    sweep_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing journal instead of refusing to "
+             "overwrite it (completed trials are not re-run)",
+    )
+    sweep_run.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full per-trial sweep report as JSON to PATH",
+    )
+    sweep_run.set_defaults(func=cmd_sweep)
+    sweep_status = sweep_sub.add_parser(
+        "status", help="print the journal's per-trial picture",
+    )
+    sweep_status.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable status instead of the text one",
+    )
+    sweep_status.set_defaults(func=cmd_sweep)
+    sweep_resume = sweep_sub.add_parser(
+        "resume",
+        help="replay the journal and re-run only what never completed "
+             "(the spec comes from the journal itself)",
+    )
+    sweep_resume.add_argument(
+        "--publish-best", dest="publish_best", metavar="NAME", default=None,
+        help="publish the winning trial's weights under NAME once the "
+             "sweep completes (requires --registry)",
+    )
+    sweep_resume.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="the model-registry root --publish-best publishes into",
+    )
+    sweep_resume.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full per-trial sweep report as JSON to PATH",
+    )
+    sweep_resume.set_defaults(func=cmd_sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
     window = sub.add_parser(
         "process-window", help="dose/defocus sweep of one clip",
         parents=[common],
@@ -1253,6 +1595,14 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))
         return 6
+    except SweepError as exc:
+        # Fail closed: the sweep-level failure budget was exhausted (or a
+        # journal/spec mismatch made a resume unsafe).  The journal still
+        # accounts for every trial, so a resume retries exactly the failed
+        # ones.  Must precede the ReproError clause.
+        print(f"error: {exc}", file=sys.stderr)
+        args.telemetry.finish(status="error", error=str(exc))
+        return 7
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))

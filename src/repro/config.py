@@ -656,6 +656,82 @@ class RegistryConfig:
 
 
 # ---------------------------------------------------------------------------
+# Sweep orchestration
+# ---------------------------------------------------------------------------
+
+#: how a sweep trial is executed under its supervisor: ``none`` runs it in
+#: the orchestrator's own thread (no preemption, so no timeouts), ``thread``
+#: and ``process`` run it through a one-task :class:`~repro.runtime.parallel.
+#: WorkerPool` whose per-task timeout can kill a hung trial.
+SWEEP_ISOLATIONS = ("none", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Multi-trial sweep supervision knobs (see :mod:`repro.sweep`).
+
+    ``trial_timeout_s`` bounds one trial attempt's wall clock (``None`` = no
+    bound; requires ``thread`` or ``process`` isolation, because an
+    in-thread trial cannot be preempted).  A failed attempt — divergence,
+    worker death, or timeout — is retried up to ``max_retries`` times on a
+    deterministic exponential backoff (``retry_delay_s`` doubling by
+    ``retry_factor`` up to ``retry_max_delay_s``; see
+    :class:`~repro.runtime.retry.RetrySchedule`).  A trial whose retries are
+    exhausted is marked failed; once more than ``max_failed_trials`` trials
+    have failed the sweep itself fails closed with a
+    :class:`~repro.errors.SweepError` naming the failed trial digests.
+    These knobs steer supervision only — they are excluded from the trial
+    config digest, so tightening a budget never changes trial identity.
+    """
+
+    trial_timeout_s: Optional[float] = None
+    max_retries: int = 1
+    retry_delay_s: float = 0.25
+    retry_factor: float = 2.0
+    retry_max_delay_s: float = 30.0
+    max_failed_trials: int = 0
+    isolation: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ConfigError(
+                "trial_timeout_s must be positive or None, got "
+                f"{self.trial_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_delay_s < 0:
+            raise ConfigError(
+                f"retry_delay_s must be >= 0, got {self.retry_delay_s}"
+            )
+        if self.retry_factor < 1.0:
+            raise ConfigError(
+                f"retry_factor must be >= 1, got {self.retry_factor}"
+            )
+        if self.retry_max_delay_s < self.retry_delay_s:
+            raise ConfigError(
+                f"retry_max_delay_s ({self.retry_max_delay_s}) must be >= "
+                f"retry_delay_s ({self.retry_delay_s})"
+            )
+        if self.max_failed_trials < 0:
+            raise ConfigError(
+                f"max_failed_trials must be >= 0, got {self.max_failed_trials}"
+            )
+        if self.isolation not in SWEEP_ISOLATIONS:
+            raise ConfigError(
+                f"isolation must be one of {SWEEP_ISOLATIONS}, "
+                f"got {self.isolation!r}"
+            )
+        if self.trial_timeout_s is not None and self.isolation == "none":
+            raise ConfigError(
+                "trial_timeout_s requires 'thread' or 'process' isolation "
+                "(an in-thread trial cannot be preempted)"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
 
@@ -720,6 +796,7 @@ class ExperimentConfig:
     data: DataIntegrityConfig = field(default_factory=DataIntegrityConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     registry: RegistryConfig = field(default_factory=RegistryConfig)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

@@ -58,13 +58,26 @@ class ParallelError(ReproError):
     ``task`` name of the fan-out, so callers (and the CLI's error line) can
     name exactly which slice of work died without parsing the message.  The
     engine converts every worker death into this exception — a dead worker
-    must never become a hang.
+    must never become a hang.  ``kind`` is the machine-readable failure
+    class (``"timeout"`` for a task that ran past its deadline, ``"crash"``
+    for a dead worker process, ``"error"`` for a contained exception), so
+    supervisors — the sweep orchestrator's typed failure classification —
+    can discriminate without parsing the message.
     """
 
-    def __init__(self, message: str, shard=None, task: str = ""):
+    def __init__(self, message: str, shard=None, task: str = "",
+                 kind: str = "error"):
         super().__init__(message)
         self.shard = shard
         self.task = task
+        self.kind = kind
+
+    def __reduce__(self):
+        # Default exception pickling keeps only args[0]; preserve the typed
+        # attributes so a failure crossing a process boundary (an isolated
+        # sweep trial shipping its error back) stays classifiable.
+        return (self.__class__,
+                (self.args[0], self.shard, self.task, self.kind))
 
 
 class ShapeError(ReproError):
@@ -93,6 +106,21 @@ class RegistryError(ReproError):
     def __init__(self, message: str, path=None):
         super().__init__(message)
         self.path = None if path is None else str(path)
+
+
+class SweepError(ReproError):
+    """A multi-trial sweep failed closed.
+
+    Raised when the sweep-level failure budget (``max_failed_trials``) is
+    exhausted, or when a journal/spec mismatch makes a resume unsafe.
+    Carries the config digests of the ``failed`` trials so callers — the
+    CLI maps this to its own exit code 7 — can name exactly which trials
+    burned the budget without parsing the message.
+    """
+
+    def __init__(self, message: str, failed=()):
+        super().__init__(message)
+        self.failed = tuple(failed)
 
 
 class EvaluationError(ReproError):

@@ -11,6 +11,10 @@ recovery paths are provable rather than aspirational:
     :class:`CheckpointManager` — versioned, checksummed, retention-pruned
     snapshots of network/optimizer/RNG/history state, with manifest
     validation on load and bit-exact resume.
+``repro.runtime.retry``
+    :class:`RetrySchedule` / :func:`decay` — the shared deterministic
+    retry-budget and backoff arithmetic (no RNG, no clock reads) behind
+    both divergence recovery and the sweep supervisor.
 ``repro.runtime.recovery``
     :class:`RecoveryPolicy` — rollback-to-last-good plus learning-rate
     backoff with bounded retries when training diverges.
@@ -55,6 +59,7 @@ from .parallel import (
     shard_seed,
 )
 from .recovery import RecoveryPolicy
+from .retry import RetrySchedule, decay
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -66,6 +71,7 @@ __all__ = [
     "ParallelError",
     "RecoveryConfig",
     "RecoveryPolicy",
+    "RetrySchedule",
     "WorkerPool",
     "atomic_savez",
     "atomic_write_bytes",
@@ -74,6 +80,7 @@ __all__ = [
     "capture_rng_states",
     "chunk_indices",
     "collect_rngs",
+    "decay",
     "extract_extras",
     "load_checkpoint_source",
     "pack_state",

@@ -194,7 +194,8 @@ class WorkerPool:
 
     def __init__(self, workers: int = 1, backend: str = "auto", *,
                  chunk_size: Optional[int] = None, timeout_s: float = 300.0,
-                 tracer=None, hook=None, registry=None, faults=None) -> None:
+                 tracer=None, hook=None, registry=None, faults=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if backend not in PARALLEL_BACKENDS:
@@ -213,6 +214,9 @@ class WorkerPool:
         self.hook = hook
         self.registry = registry
         self.faults = faults
+        #: injectable monotonic clock: deadline accounting only (the actual
+        #: blocking waits still use the executor's real-time primitives)
+        self._clock = clock
         self._executor = None
 
     @classmethod
@@ -313,12 +317,12 @@ class WorkerPool:
                 "parallel_worker_failures_total", labels={"task": task}
             ).inc()
 
-    def _failure(self, task: str, shard: int,
-                 detail: str) -> ParallelError:
+    def _failure(self, task: str, shard: int, detail: str,
+                 kind: str = "error") -> ParallelError:
         self._record_failure(task, shard, detail)
         return ParallelError(
             f"worker for shard {shard} of task {task!r} failed: {detail}",
-            shard=shard, task=task,
+            shard=shard, task=task, kind=kind,
         )
 
     # -- dispatch ------------------------------------------------------------
@@ -337,14 +341,31 @@ class WorkerPool:
                 for shard in range(count)]
 
     def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any], *,
-            task: str = "map") -> List[Any]:
-        """Apply ``fn`` to each payload; return results in payload order."""
+            task: str = "map",
+            timeout_s: Optional[float] = None) -> List[Any]:
+        """Apply ``fn`` to each payload; return results in payload order.
+
+        ``timeout_s`` overrides the pool-level default for this call only:
+        each task must produce its result within ``timeout_s`` of *its own
+        dispatch* (not of the parent starting to wait on it), so one hung
+        worker surfaces as a :class:`~repro.errors.ParallelError` with
+        ``kind="timeout"`` after roughly one timeout, never ``N`` of them.
+        The serial backend runs in the caller's thread and cannot preempt a
+        hung function; timeouts are only enforced on the thread/process
+        backends.
+        """
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError(
+                f"timeout_s must be positive, got {timeout_s}"
+            )
+        effective = self.timeout_s if timeout_s is None else float(timeout_s)
         payloads = list(payloads)
         crash_flags = self._crash_flags(len(payloads))
         wires = self._make_wires(len(payloads))
         if self.backend == "serial":
             return self._map_serial(fn, payloads, crash_flags, wires, task)
-        return self._map_executor(fn, payloads, crash_flags, wires, task)
+        return self._map_executor(fn, payloads, crash_flags, wires, task,
+                                  effective)
 
     def _unpack(self, outcome: Any, wire: Optional[TraceWire],
                 ) -> Tuple[Any, Optional[ShardTelemetry]]:
@@ -362,6 +383,7 @@ class WorkerPool:
                 raise self._failure(
                     task, shard,
                     f"injected worker crash (exit {CRASH_EXIT_CODE})",
+                    kind="crash",
                 )
             try:
                 outcome = (fn(payload) if wires[shard] is None
@@ -379,7 +401,7 @@ class WorkerPool:
         return results
 
     def _map_executor(self, fn, payloads, crash_flags, wires,
-                      task) -> List[Any]:
+                      task, timeout_s) -> List[Any]:
         executor = self._ensure_executor()
         injected = [shard for shard, flag in enumerate(crash_flags) if flag]
         if self.backend == "thread" and injected:
@@ -388,24 +410,32 @@ class WorkerPool:
             raise self._failure(
                 task, injected[0],
                 f"injected worker crash (exit {CRASH_EXIT_CODE})",
+                kind="crash",
             )
         starts: List[float] = []
+        deadlines: List[float] = []
         futures: List[Future] = []
         try:
             for shard, payload in enumerate(payloads):
                 starts.append(time.perf_counter())
+                deadlines.append(self._clock() + timeout_s)
                 futures.append(executor.submit(
                     _shard_entry, fn, payload, shard, crash_flags[shard],
                     wires[shard],
                 ))
             results: List[Any] = []
             for shard, future in enumerate(futures):
+                # Each task's deadline runs from its own dispatch, so time
+                # spent waiting on earlier shards counts against it too —
+                # a single hung worker costs ~one timeout, not one per shard.
+                remaining = deadlines[shard] - self._clock()
                 try:
-                    outcome = future.result(timeout=self.timeout_s)
+                    outcome = future.result(timeout=max(0.0, remaining))
                 except FutureTimeoutError:
                     raise self._failure(
                         task, shard,
-                        f"no result within {self.timeout_s:g}s",
+                        f"no result within {timeout_s:g}s of dispatch",
+                        kind="timeout",
                     ) from None
                 except BrokenExecutor as exc:
                     # A dead process breaks every pending future; if we know
@@ -415,6 +445,7 @@ class WorkerPool:
                     raise self._failure(
                         task, blamed,
                         f"worker process died ({exc or 'broken pool'})",
+                        kind="crash",
                     ) from exc
                 except ReproError:
                     raise

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Optional
 
 from ..config import RecoveryConfig
 from ..errors import TrainingError
+from .retry import RetrySchedule, decay
 
 
 class RecoveryPolicy:
@@ -32,6 +33,9 @@ class RecoveryPolicy:
 
     def __init__(self, config: Optional[RecoveryConfig] = None) -> None:
         self.config = config if config is not None else RecoveryConfig()
+        #: the shared deterministic retry budget (no delays: rollback itself
+        #: is the pause between in-process retries)
+        self.schedule = RetrySchedule(max_retries=self.config.max_retries)
         self.consecutive_failures = 0
         self.total_rollbacks = 0
         self._base_lr: Dict[int, float] = {}
@@ -39,7 +43,7 @@ class RecoveryPolicy:
     def register_failure(self, exc: BaseException) -> None:
         """Count one failure; re-raise with context when the budget is gone."""
         self.consecutive_failures += 1
-        if self.consecutive_failures > self.config.max_retries:
+        if self.schedule.exhausted(self.consecutive_failures):
             raise TrainingError(
                 f"recovery budget exhausted after {self.config.max_retries} "
                 f"consecutive retries; last failure: {exc}"
@@ -57,14 +61,14 @@ class RecoveryPolicy:
         whatever the restore wrote back.  Returns the first optimizer's new
         learning rate for telemetry.
         """
-        scale = self.config.lr_backoff ** self.consecutive_failures
         new_lr: Optional[float] = None
         for optimizer in optimizers:
             base = self._base_lr.setdefault(
                 id(optimizer), float(optimizer.learning_rate)
             )
-            optimizer.learning_rate = max(
-                self.config.min_learning_rate, base * scale
+            optimizer.learning_rate = decay(
+                base, self.config.lr_backoff, self.consecutive_failures,
+                floor=self.config.min_learning_rate,
             )
             if new_lr is None:
                 new_lr = optimizer.learning_rate

@@ -1,0 +1,86 @@
+"""Deterministic retry/backoff schedules shared by recovery and sweeps.
+
+Every supervised retry loop in this repo — divergence recovery inside a
+training run (:class:`~repro.runtime.recovery.RecoveryPolicy`) and per-trial
+supervision inside a sweep (:mod:`repro.sweep`) — follows the same bounded
+exponential-backoff contract.  This module is that contract, extracted so
+both callers share one implementation and one set of tests.
+
+The schedule is a *pure function of the attempt number*: no RNG, no jitter,
+and no wall-clock reads.  Two runs that fail the same way produce identical
+retry timings and identical backed-off values, which is what makes the
+fault drills (and ``--resume``) reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigError
+
+
+def decay(base: float, factor: float, count: int, floor: float = 0.0) -> float:
+    """``base * factor**count``, clamped at ``floor`` — the backoff primitive.
+
+    ``count`` is the number of consecutive failures so far; the result is
+    *absolute* (computed from ``base`` every time, never compounding with a
+    previous call's output).  :class:`~repro.runtime.recovery.RecoveryPolicy`
+    uses this for learning-rate backoff with ``factor`` in (0, 1].
+    """
+    if count < 0:
+        raise ConfigError(f"count must be >= 0, got {count}")
+    return max(floor, base * factor ** count)
+
+
+@dataclass(frozen=True)
+class RetrySchedule:
+    """A bounded, deterministic exponential retry schedule.
+
+    ``max_retries`` bounds how many *retries* follow the first attempt, so a
+    task is tried at most ``max_retries + 1`` times.  The delay before retry
+    ``k`` (1-based) is ``base_delay_s * factor**(k - 1)``, capped at
+    ``max_delay_s``.  ``base_delay_s = 0`` yields immediate retries (the
+    in-process recovery case, where rollback itself is the pause).
+    """
+
+    max_retries: int
+    base_delay_s: float = 0.0
+    factor: float = 2.0
+    max_delay_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay_s < 0:
+            raise ConfigError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"factor must be >= 1 for a delay schedule, got {self.factor}"
+            )
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigError(
+                f"max_delay_s ({self.max_delay_s}) must be >= base_delay_s "
+                f"({self.base_delay_s})"
+            )
+
+    def exhausted(self, failures: int) -> bool:
+        """True once ``failures`` consecutive failures exceed the budget."""
+        return failures > self.max_retries
+
+    def delay_s(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        return min(self.max_delay_s, self.base_delay_s * self.factor ** (attempt - 1))
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full retry-delay sequence, one entry per allowed retry."""
+        return tuple(self.delay_s(k) for k in range(1, self.max_retries + 1))
+
+
+__all__ = ["RetrySchedule", "decay"]

@@ -1,0 +1,64 @@
+"""Fault-tolerant sweep orchestration: journaled, resumable multi-trial runs.
+
+The pieces:
+
+``repro.sweep.spec``
+    Declarative sweep specs — a base config plus a parameter grid, expanded
+    into digest-named :class:`TrialSpec` trials (:class:`SweepSpec`).
+``repro.sweep.journal``
+    The crash-tolerant append-only JSONL journal
+    (:class:`SweepJournal` / :func:`replay_journal`) that makes
+    ``repro sweep --resume`` skip completed trials bit-identically.
+``repro.sweep.runner``
+    The :class:`SweepSupervisor`: per-trial isolation and wall-clock
+    timeouts, typed failure classification, deterministic retry backoff,
+    and the fail-closed sweep failure budget — plus the
+    :class:`SweepResult` ranking report.
+
+The high-level entry point is :func:`repro.api.run_sweep`; the CLI's
+``repro sweep run/status/resume`` group is a thin shell over it.
+"""
+
+from .journal import (
+    JOURNAL_NAME,
+    JOURNAL_SCHEMA_VERSION,
+    JournalState,
+    SweepJournal,
+    read_journal,
+    replay_journal,
+)
+from .runner import (
+    SweepResult,
+    SweepSupervisor,
+    TrialResult,
+    classify_failure,
+    run_default_trial,
+)
+from .spec import (
+    SweepSpec,
+    TrialSpec,
+    expand_grid,
+    set_config_value,
+    sweep_digest,
+    trial_digest,
+)
+
+__all__ = [
+    "JOURNAL_NAME",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalState",
+    "SweepJournal",
+    "SweepResult",
+    "SweepSpec",
+    "SweepSupervisor",
+    "TrialResult",
+    "TrialSpec",
+    "classify_failure",
+    "expand_grid",
+    "read_journal",
+    "replay_journal",
+    "run_default_trial",
+    "set_config_value",
+    "sweep_digest",
+    "trial_digest",
+]

@@ -1,0 +1,215 @@
+"""Crash-tolerant sweep journal: append-only JSONL, last-record-wins replay.
+
+The journal is the sweep's only durable state.  Every supervision decision
+lands as one self-contained JSON line — ``sweep_start`` (the spec payload a
+resume reconstructs from), ``trial_start``, ``trial_retry``, ``trial_end``
+— flushed and fsynced before the orchestrator proceeds, so a ``kill -9`` at
+any instant loses at most the line being written.  Reading mirrors
+:func:`~repro.telemetry.events.read_run_log`: a torn *final* line is the
+signature of a killed writer and is dropped; corruption anywhere else is a
+real integrity problem and fails closed with
+:class:`~repro.errors.SweepError`.
+
+Replay is last-record-wins per trial digest: a trial is **done** only if
+its newest record is a ``trial_end`` with status ``completed``.  Everything
+else — started-but-unfinished, retried, interrupted, failed — re-runs on
+resume, so every trial is accounted for exactly once and nothing is
+silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import SweepError
+
+__all__ = [
+    "JOURNAL_NAME",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalState",
+    "SweepJournal",
+    "read_journal",
+    "replay_journal",
+]
+
+#: journal filename inside a sweep directory
+JOURNAL_NAME = "journal.jsonl"
+
+#: bumped on incompatible record-shape changes
+JOURNAL_SCHEMA_VERSION = 1
+
+#: record kinds a journal may contain
+RECORD_KINDS = ("sweep_start", "trial_start", "trial_retry", "trial_end")
+
+
+class SweepJournal:
+    """Append-only writer for one sweep's journal file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Durably append one record; returns the record written.
+
+        Write, flush, fsync — in that order — before returning, so a
+        record the supervisor acted on is on disk before the action's
+        consequences are.  A failed write is a failed sweep
+        (:class:`~repro.errors.SweepError`), not a silent gap in history.
+        """
+        if kind not in RECORD_KINDS:
+            raise SweepError(f"unknown journal record kind {kind!r}")
+        record = {"kind": kind, "schema": JOURNAL_SCHEMA_VERSION}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise SweepError(
+                f"cannot append to sweep journal {self.path}: {exc}"
+            ) from exc
+        return record
+
+    # -- record constructors -------------------------------------------------
+
+    def sweep_start(self, *, digest: str, trials: int,
+                    spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self.append(
+            "sweep_start", digest=digest, trials=trials, spec=spec,
+        )
+
+    def trial_start(self, *, digest: str, trial: str, index: int,
+                    attempt: int) -> Dict[str, Any]:
+        return self.append(
+            "trial_start", digest=digest, trial=trial, index=index,
+            attempt=attempt,
+        )
+
+    def trial_retry(self, *, digest: str, trial: str, attempt: int,
+                    reason: str, delay_s: float) -> Dict[str, Any]:
+        return self.append(
+            "trial_retry", digest=digest, trial=trial, attempt=attempt,
+            reason=reason, delay_s=delay_s,
+        )
+
+    def trial_end(self, *, digest: str, trial: str, status: str,
+                  attempts: int, reason: str = "", seconds: float = 0.0,
+                  metrics: Optional[Dict[str, Any]] = None,
+                  weights: Optional[str] = None) -> Dict[str, Any]:
+        return self.append(
+            "trial_end", digest=digest, trial=trial, status=status,
+            attempts=attempts, reason=reason, seconds=seconds,
+            metrics=metrics or {}, weights=weights,
+        )
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a journal file, tolerating only a torn final line."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise SweepError(
+            f"cannot read sweep journal {path}: {exc}"
+        ) from exc
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn final write from a killed orchestrator
+            raise SweepError(
+                f"corrupt sweep journal {path}: undecodable line {index + 1}"
+            ) from None
+        if not isinstance(record, dict) or "kind" not in record:
+            raise SweepError(
+                f"corrupt sweep journal {path}: line {index + 1} is not a "
+                "journal record"
+            )
+        records.append(record)
+    return records
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """The merged picture a journal replay produces."""
+
+    #: the sweep_start record (None for an empty/truncated-at-birth journal)
+    sweep: Optional[Dict[str, Any]]
+    #: per trial digest, the latest record observed (last-record-wins)
+    latest: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: per trial digest, how many attempts were started across all runs
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: per trial digest, how many retries were journaled
+    retries: Dict[str, int] = field(default_factory=dict)
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Digest -> trial_end record for every completed trial."""
+        return {
+            digest: record
+            for digest, record in self.latest.items()
+            if record["kind"] == "trial_end"
+            and record.get("status") == "completed"
+        }
+
+    def status_of(self, digest: str) -> str:
+        """The trial's journaled state: a terminal status, or transitional
+        ``running`` / ``retrying`` / ``pending``."""
+        record = self.latest.get(digest)
+        if record is None:
+            return "pending"
+        if record["kind"] == "trial_end":
+            return str(record.get("status", "?"))
+        if record["kind"] == "trial_retry":
+            return "retrying"
+        return "running"
+
+
+def replay_journal(records: List[Dict[str, Any]]) -> JournalState:
+    """Fold a journal's records into a :class:`JournalState`.
+
+    Later records supersede earlier ones per digest, so a trial that was
+    interrupted in one run and completed in the next counts once, as
+    completed.  Attempt counts accumulate across runs — a resumed trial's
+    retry budget starts fresh, but the journal still shows every attempt
+    ever made.
+    """
+    sweep: Optional[Dict[str, Any]] = None
+    latest: Dict[str, Dict[str, Any]] = {}
+    attempts: Dict[str, int] = {}
+    retries: Dict[str, int] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "sweep_start":
+            if sweep is None:
+                sweep = record
+            elif record.get("digest") != sweep.get("digest"):
+                raise SweepError(
+                    "sweep journal contains conflicting sweep_start records "
+                    f"({sweep.get('digest', '?')[:12]} vs "
+                    f"{record.get('digest', '?')[:12]}); refusing to merge"
+                )
+            continue
+        digest = record.get("digest")
+        if not digest:
+            raise SweepError(
+                f"sweep journal record of kind {kind!r} carries no digest"
+            )
+        latest[digest] = record
+        if kind == "trial_start":
+            attempts[digest] = attempts.get(digest, 0) + 1
+        elif kind == "trial_retry":
+            retries[digest] = retries.get(digest, 0) + 1
+    return JournalState(
+        sweep=sweep, latest=latest, attempts=attempts, retries=retries,
+    )

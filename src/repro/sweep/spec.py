@@ -1,0 +1,170 @@
+"""Declarative sweep specs: a base config plus a parameter grid.
+
+A sweep is a base :class:`~repro.config.ExperimentConfig` and a mapping of
+dotted parameter paths (``"training.seed"``, ``"model.base_filters"``) to
+candidate values.  :meth:`SweepSpec.from_grid` takes the Cartesian product
+and materializes one :class:`TrialSpec` per combination, applying each
+assignment functionally over the frozen config tree — every trial carries
+a complete, validated :class:`~repro.config.ExperimentConfig`.
+
+Trial identity is the **config digest**: a SHA-256 over the trial's config
+with the ``sweep`` supervision knobs removed (see :func:`trial_digest`), so
+a trial means the same thing across processes, resumes, and journal
+replays — and tightening a timeout or failure budget never changes which
+trials count as already done.  The sweep digest chains the ordered trial
+digests, letting a resume refuse a journal written for a different spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..config import ExperimentConfig
+from ..errors import ConfigError
+from ..registry import config_digest
+
+__all__ = [
+    "SweepSpec",
+    "TrialSpec",
+    "expand_grid",
+    "set_config_value",
+    "sweep_digest",
+    "trial_digest",
+]
+
+
+def set_config_value(config: Any, path: str, value: Any) -> Any:
+    """Return ``config`` with the dotted ``path`` replaced by ``value``.
+
+    Walks nested frozen dataclasses (``"training.seed"``) and rebuilds the
+    spine with :func:`dataclasses.replace`, so every ``__post_init__``
+    validator along the way re-runs — an out-of-range sweep value fails at
+    spec expansion, not mid-trial.  Unknown segments raise
+    :class:`~repro.errors.ConfigError` naming the path.
+    """
+    if not path:
+        raise ConfigError("parameter path must be non-empty")
+    head, _, rest = path.partition(".")
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigError(
+            f"parameter path {path!r} walks into non-config value "
+            f"{type(config).__name__}"
+        )
+    fields = {f.name for f in dataclasses.fields(config)}
+    if head not in fields:
+        raise ConfigError(
+            f"unknown parameter {head!r} on {type(config).__name__} "
+            f"(known: {', '.join(sorted(fields))})"
+        )
+    if rest:
+        value = set_config_value(getattr(config, head), rest, value)
+    return dataclasses.replace(config, **{head: value})
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian-product a ``path -> values`` grid into assignment dicts.
+
+    Paths vary in insertion order (the last-listed path varies fastest),
+    so trial indices are a pure function of the grid literal.  An empty
+    grid yields one empty assignment — a single-trial sweep of the base
+    config.  Empty value lists are rejected.
+    """
+    paths = list(grid)
+    for path in paths:
+        values = grid[path]
+        if isinstance(values, (str, bytes)) or not isinstance(
+                values, (list, tuple)):
+            raise ConfigError(
+                f"grid values for {path!r} must be a list or tuple, "
+                f"got {type(values).__name__}"
+            )
+        if len(values) == 0:
+            raise ConfigError(f"grid for {path!r} has no values")
+    return [
+        dict(zip(paths, combo))
+        for combo in itertools.product(*(grid[path] for path in paths))
+    ]
+
+
+def trial_digest(config: ExperimentConfig) -> str:
+    """SHA-256 identity of one trial: the config minus supervision knobs.
+
+    The ``sweep`` sub-config steers *how* trials are supervised (timeouts,
+    retries, failure budget), not *what* a trial computes, so it is
+    excluded — a resume under a tightened budget still recognizes every
+    completed trial.
+    """
+    payload = dataclasses.asdict(config)
+    payload.pop("sweep", None)
+    return config_digest(payload)
+
+
+def sweep_digest(digests: Sequence[str]) -> str:
+    """Chain the ordered trial digests into one sweep identity."""
+    joined = "\n".join(digests)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialSpec:
+    """One fully materialized trial: its config, identity, and assignment."""
+
+    index: int
+    name: str
+    digest: str
+    params: Dict[str, Any]
+    config: ExperimentConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """An expanded sweep: the base config and every trial to run."""
+
+    base: ExperimentConfig
+    grid: Dict[str, Tuple[Any, ...]]
+    trials: Tuple[TrialSpec, ...]
+    digest: str
+
+    @classmethod
+    def from_grid(cls, base: ExperimentConfig,
+                  grid: Mapping[str, Sequence[Any]]) -> "SweepSpec":
+        """Expand ``grid`` over ``base`` into a validated spec.
+
+        Duplicate trial digests (a grid that maps two assignments onto the
+        same effective config) are rejected — the journal keys trials by
+        digest, so duplicates could silently run half the work.
+        """
+        assignments = expand_grid(grid)
+        trials: List[TrialSpec] = []
+        seen: Dict[str, int] = {}
+        for index, params in enumerate(assignments):
+            config = base
+            for path, value in params.items():
+                config = set_config_value(config, path, value)
+            digest = trial_digest(config)
+            if digest in seen:
+                raise ConfigError(
+                    f"grid assignments {seen[digest]} and {index} produce "
+                    f"identical trial configs (digest {digest[:12]}); "
+                    "remove the redundant axis"
+                )
+            seen[digest] = index
+            trials.append(TrialSpec(
+                index=index,
+                name=f"trial-{index:03d}-{digest[:8]}",
+                digest=digest,
+                params=dict(params),
+                config=config,
+            ))
+        return cls(
+            base=base,
+            grid={path: tuple(values) for path, values in grid.items()},
+            trials=tuple(trials),
+            digest=sweep_digest([trial.digest for trial in trials]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.trials)

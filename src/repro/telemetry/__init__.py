@@ -54,6 +54,7 @@ from .events import (
     CANARY_VERDICTS,
     EVENT_TYPES,
     SCHEMA_VERSION,
+    TRIAL_STATUSES,
     RunLogger,
     next_run_id,
     read_run_log,
@@ -94,6 +95,7 @@ __all__ = [
     "CANARY_VERDICTS",
     "EVENT_TYPES",
     "SCHEMA_VERSION",
+    "TRIAL_STATUSES",
     "RunLogger",
     "next_run_id",
     "read_run_log",

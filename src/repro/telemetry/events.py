@@ -49,6 +49,17 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
 ``worker_crash``
     A parallel fan-out worker died or timed out (carries the shard index,
     the task name, and a short detail string).
+``trial_start``
+    A sweep trial attempt began (carries the trial's config digest, its
+    human-readable name, and the 1-based attempt number).
+``trial_retry``
+    A failed sweep trial attempt is being retried (carries the digest, the
+    attempt that failed, the machine-readable failure reason —
+    ``diverged``/``worker_death``/``timeout`` — and the deterministic
+    backoff delay).
+``trial_end``
+    A sweep trial reached a terminal state (carries the digest, the final
+    ``completed``/``failed``/``interrupted`` status, and the attempt count).
 ``run_end``
     Last event; carries status and total seconds.
 """
@@ -72,11 +83,15 @@ EVENT_TYPES = (
     "run_start", "epoch_end", "checkpoint", "rollback", "stage_end",
     "eval_end", "admission", "fallback", "breaker", "queue_full", "shed",
     "model_swap", "canary_verdict",
-    "data_quarantine", "data_repair", "worker_crash", "run_end",
+    "data_quarantine", "data_repair", "worker_crash",
+    "trial_start", "trial_retry", "trial_end", "run_end",
 )
 
 #: decisions a canary_verdict event may record
 CANARY_VERDICTS = ("promote", "rollback")
+
+#: terminal states a trial_end event may record
+TRIAL_STATUSES = ("completed", "failed", "interrupted")
 
 #: circuit-breaker states and the transitions a valid serve log may record
 BREAKER_STATES = ("closed", "open", "half_open")
@@ -221,6 +236,25 @@ class RunLogger:
 
     def worker_crash(self, shard: int, **fields: Any) -> Dict[str, Any]:
         return self.emit("worker_crash", shard=shard, **fields)
+
+    def trial_start(self, digest: str, attempt: int,
+                    **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "trial_start", digest=digest, attempt=attempt, **fields
+        )
+
+    def trial_retry(self, digest: str, attempt: int, reason: str,
+                    **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "trial_retry", digest=digest, attempt=attempt, reason=reason,
+            **fields
+        )
+
+    def trial_end(self, digest: str, status: str,
+                  **fields: Any) -> Dict[str, Any]:
+        return self.emit(
+            "trial_end", digest=digest, status=status, **fields
+        )
 
     def run_end(self, status: str = "ok", **fields: Any) -> Dict[str, Any]:
         return self.emit("run_end", status=status, **fields)
@@ -391,6 +425,26 @@ def validate_run_log(events: List[Dict[str, Any]],
             if not isinstance(shard, int) or shard < 0:
                 raise TelemetryError(
                     f"worker_crash {index} has bad shard {shard!r}"
+                )
+        if record["event"] in ("trial_start", "trial_retry", "trial_end"):
+            if not record.get("digest"):
+                raise TelemetryError(
+                    f"{record['event']} {index} is missing a trial digest"
+                )
+        if record["event"] in ("trial_start", "trial_retry"):
+            attempt = record.get("attempt")
+            if not isinstance(attempt, int) or attempt < 1:
+                raise TelemetryError(
+                    f"{record['event']} {index} has bad attempt {attempt!r}"
+                )
+        if record["event"] == "trial_retry" and not record.get("reason"):
+            raise TelemetryError(f"trial_retry {index} is missing a reason")
+        if record["event"] == "trial_end":
+            status = record.get("status")
+            if status not in TRIAL_STATUSES:
+                raise TelemetryError(
+                    f"trial_end {index} has bad status {status!r}; "
+                    f"expected one of {TRIAL_STATUSES}"
                 )
         if record["event"] == "fallback":
             if not isinstance(record.get("clip"), int):

@@ -104,6 +104,19 @@ class TelemetryHook:
                         detail: str = "") -> None:
         """A parallel fan-out worker died, timed out, or raised."""
 
+    def on_trial_start(self, digest: str, trial: str,
+                       attempt: int) -> None:
+        """A sweep trial attempt began (``attempt`` is 1-based)."""
+
+    def on_trial_retry(self, digest: str, trial: str, attempt: int,
+                       reason: str, delay_s: float) -> None:
+        """A failed sweep trial attempt is being retried after backoff."""
+
+    def on_trial_end(self, digest: str, trial: str, status: str,
+                     attempts: int, reason: str = "",
+                     seconds: float = 0.0) -> None:
+        """A sweep trial reached a terminal state."""
+
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         """The run finished (or failed, per ``status``)."""
 
@@ -226,6 +239,23 @@ class CompositeHook(TelemetryHook):
                         detail: str = "") -> None:
         for hook in self.hooks:
             hook.on_worker_crash(shard, task=task, detail=detail)
+
+    def on_trial_start(self, digest: str, trial: str,
+                       attempt: int) -> None:
+        for hook in self.hooks:
+            hook.on_trial_start(digest, trial, attempt)
+
+    def on_trial_retry(self, digest: str, trial: str, attempt: int,
+                       reason: str, delay_s: float) -> None:
+        for hook in self.hooks:
+            hook.on_trial_retry(digest, trial, attempt, reason, delay_s)
+
+    def on_trial_end(self, digest: str, trial: str, status: str,
+                     attempts: int, reason: str = "",
+                     seconds: float = 0.0) -> None:
+        for hook in self.hooks:
+            hook.on_trial_end(digest, trial, status, attempts,
+                              reason=reason, seconds=seconds)
 
     def on_run_end(self, status: str = "ok", **fields: Any) -> None:
         for hook in self.hooks:
@@ -364,6 +394,36 @@ class RunLoggerHook(TelemetryHook):
             self.registry.counter(
                 "parallel_worker_failures_total",
                 labels={"task": task}).inc()
+
+    def on_trial_start(self, digest: str, trial: str,
+                       attempt: int) -> None:
+        if self.logger is not None:
+            self.logger.trial_start(digest, attempt, trial=trial)
+
+    def on_trial_retry(self, digest: str, trial: str, attempt: int,
+                       reason: str, delay_s: float) -> None:
+        if self.logger is not None:
+            self.logger.trial_retry(
+                digest, attempt, reason, trial=trial, delay_s=delay_s,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "sweep_trials_retried_total",
+                labels={"reason": reason}).inc()
+
+    def on_trial_end(self, digest: str, trial: str, status: str,
+                     attempts: int, reason: str = "",
+                     seconds: float = 0.0) -> None:
+        if self.logger is not None:
+            self.logger.trial_end(
+                digest, status, trial=trial, attempts=attempts,
+                reason=reason, seconds=seconds,
+            )
+        if self.registry is not None:
+            if status == "completed":
+                self.registry.counter("sweep_trials_completed_total").inc()
+            elif status == "failed":
+                self.registry.counter("sweep_trials_failed_total").inc()
 
     def on_breaker(self, from_state: str, to_state: str,
                    reason: str = "") -> None:

@@ -43,6 +43,9 @@ _HEADLINE_COUNTERS = (
     "serve_shed_total",
     "data_records_quarantined_total",
     "data_records_repaired_total",
+    "sweep_trials_completed_total",
+    "sweep_trials_retried_total",
+    "sweep_trials_failed_total",
 )
 
 
@@ -102,6 +105,9 @@ class RunReport:
     #: serving-lifecycle summary: model swaps, canary verdicts, serving
     #: rollbacks, and requests shed per tenant
     serving: Dict[str, Any] = field(default_factory=dict)
+    #: sweep-health summary: distinct trials seen, terminal statuses, and
+    #: retry counts per failure reason
+    sweep: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -132,6 +138,11 @@ class RunReport:
                 key: (dict(sorted(value.items()))
                       if isinstance(value, dict) else value)
                 for key, value in sorted(self.serving.items())
+            },
+            "sweep": {
+                key: (dict(sorted(value.items()))
+                      if isinstance(value, dict) else value)
+                for key, value in sorted(self.sweep.items())
             },
         }
 
@@ -184,6 +195,20 @@ class RunReport:
                     f"{tenant}={count}"
                     for tenant, count in sorted(sheds.items())))
             lines.append("serving: " + ", ".join(parts))
+        sweep = self.sweep or {}
+        if sweep.get("trials"):
+            parts = [
+                f"trials={sweep.get('trials', 0)}",
+                f"completed={sweep.get('completed', 0)}",
+                f"failed={sweep.get('failed', 0)}",
+                f"interrupted={sweep.get('interrupted', 0)}",
+            ]
+            retries = sweep.get("retries_by_reason", {})
+            if retries:
+                parts.append("retries " + " ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(retries.items())))
+            lines.append("sweep: " + ", ".join(parts))
         active = {name: count for name, count in self.incidents.items()
                   if count}
         lines.append("incidents: " + (
@@ -237,7 +262,7 @@ def _load_json(path: Union[str, Path], what: str) -> Any:
 
 
 def _summarize_runs(runs: List[List[dict]],
-                    ) -> Tuple[List[RunSummary], Dict, Dict, Dict, int]:
+                    ) -> Tuple[List[RunSummary], Dict, Dict, Dict, Dict, int]:
     summaries: List[RunSummary] = []
     stages: Dict[str, Dict[str, float]] = {}
     incidents = {
@@ -251,6 +276,14 @@ def _summarize_runs(runs: List[List[dict]],
         "canary_verdicts": {"promote": 0, "rollback": 0},
         "sheds_by_tenant": {},
     }
+    sweep: Dict[str, Any] = {
+        "trials": 0,
+        "completed": 0,
+        "failed": 0,
+        "interrupted": 0,
+        "retries_by_reason": {},
+    }
+    sweep_digests: set = set()
     unknown = 0
     for events in runs:
         first = events[0]
@@ -293,6 +326,17 @@ def _summarize_runs(runs: List[List[dict]],
                 sheds[tenant] = sheds.get(tenant, 0) + 1
             elif event == "worker_crash":
                 incidents["worker_crashes"] += 1
+            elif event == "trial_start":
+                sweep_digests.add(str(record.get("digest", "?")))
+            elif event == "trial_retry":
+                reason = str(record.get("reason", "?"))
+                retries = sweep["retries_by_reason"]
+                retries[reason] = retries.get(reason, 0) + 1
+            elif event == "trial_end":
+                sweep_digests.add(str(record.get("digest", "?")))
+                trial_status = str(record.get("status", "?"))
+                if trial_status in sweep:
+                    sweep[trial_status] += 1
             elif event == "data_quarantine":
                 incidents["records_quarantined"] += int(
                     record.get("quarantined") or 0)
@@ -313,7 +357,8 @@ def _summarize_runs(runs: List[List[dict]],
             events=len(events),
             build=dict(first.get("build") or {}),
         ))
-    return summaries, stages, incidents, serving, unknown
+    sweep["trials"] = len(sweep_digests)
+    return summaries, stages, incidents, serving, sweep, unknown
 
 
 def _worker_usage(trace: dict) -> Tuple[List[WorkerUsage], float]:
@@ -368,7 +413,7 @@ def build_report(log_path: Union[str, Path], *,
     events = read_run_log(log_path)
     if not events:
         raise TelemetryError(f"run log {log_path} contains no events")
-    summaries, stages, incidents, serving, unknown = _summarize_runs(
+    summaries, stages, incidents, serving, sweep, unknown = _summarize_runs(
         split_runs(events))
     sources = {"log": str(log_path)}
 
@@ -415,4 +460,5 @@ def build_report(log_path: Union[str, Path], *,
         profile_backward_s=backward_s,
         sources=sources,
         serving=serving,
+        sweep=sweep,
     )

@@ -212,6 +212,72 @@ class TestCrashInjection:
             FaultPlan(seed=0).inject_worker_crash(-1)
 
 
+class _SteppingClock:
+    """Monotonic fake: returns the scripted readings, then holds the last."""
+
+    def __init__(self, *readings):
+        self._readings = list(readings)
+
+    def __call__(self):
+        if len(self._readings) > 1:
+            return self._readings.pop(0)
+        return self._readings[0]
+
+
+class TestTimeouts:
+    def test_per_call_override_beats_pool_default(self):
+        with WorkerPool(workers=2, backend="thread", timeout_s=300.0) as pool:
+            with pytest.raises(ParallelError, match="no result within 0.2s"):
+                pool.map(_sleep_forever, [0], timeout_s=0.2)
+
+    def test_timeout_error_is_typed(self):
+        with WorkerPool(workers=2, backend="thread", timeout_s=300.0) as pool:
+            with pytest.raises(ParallelError) as excinfo:
+                pool.map(_sleep_forever, [0], task="trial", timeout_s=0.2)
+        assert excinfo.value.kind == "timeout"
+        assert excinfo.value.task == "trial"
+
+    def test_deadline_runs_from_dispatch_fake_clock(self):
+        # Submit reads the clock at 0.0 (deadline 10.0); the wait reads it
+        # at 1000.0, so the remaining budget is already negative and the
+        # pool must raise without ever sleeping the 30s payload out.
+        clock = _SteppingClock(0.0, 1000.0)
+        start = time.perf_counter()
+        with WorkerPool(workers=2, backend="thread", timeout_s=10.0,
+                        clock=clock) as pool:
+            with pytest.raises(ParallelError, match="no result within"):
+                pool.map(_sleep_forever, [0])
+        assert time.perf_counter() - start < 5.0
+
+    def test_invalid_per_call_timeout_rejected(self):
+        with WorkerPool(workers=1, backend="serial") as pool:
+            with pytest.raises(ConfigError, match="timeout_s"):
+                pool.map(_square, [1], timeout_s=0)
+
+    def test_error_kinds_by_failure_mode(self):
+        with WorkerPool(workers=1, backend="serial") as pool:
+            with pytest.raises(ParallelError) as excinfo:
+                pool.map(_boom, [0])
+        assert excinfo.value.kind == "error"
+        faults = FaultPlan(seed=0)
+        faults.inject_worker_crash(0)
+        with WorkerPool(workers=1, backend="serial", faults=faults) as pool:
+            with pytest.raises(ParallelError) as excinfo:
+                pool.map(_square, [0])
+        assert excinfo.value.kind == "crash"
+
+    def test_parallel_error_pickle_keeps_identity(self):
+        import pickle
+
+        error = ParallelError("shard 2 of task 'trial': no result within 5s",
+                              shard=2, task="trial", kind="timeout")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.shard == 2
+        assert clone.task == "trial"
+        assert clone.kind == "timeout"
+        assert str(clone) == str(error)
+
+
 class TestPoolTelemetry:
     def test_shards_counted_and_traced(self):
         tracer = Tracer()

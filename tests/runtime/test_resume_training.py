@@ -275,3 +275,47 @@ class TestLithoGanResume:
                 dataset, np.random.default_rng(1),
                 resume_from=tmp_path / "single.npz",
             )
+
+
+class TestFacadeFailureSurface:
+    """api.train must fail loudly — with the checkpoint store intact."""
+
+    def test_train_raises_through_facade_with_journal_intact(self, tmp_path):
+        import dataclasses
+
+        from repro import api
+        from repro.config import RecoveryConfig as RC
+
+        config = tiny(num_clips=8, epochs=3)
+        config = dataclasses.replace(
+            config, recovery=RC(max_retries=1, checkpoint_every=1))
+        minted = api.mint(config)
+        ckpt_dir = tmp_path / "ckpts"
+        # A NaN that re-fires on every replay of epoch 2 exhausts the
+        # in-trial recovery budget; the facade must surface the raw
+        # TrainingError rather than swallow it.
+        with pytest.raises(TrainingError, match="recovery budget exhausted"):
+            api.train(
+                config, minted.dataset, checkpoints=ckpt_dir,
+                recovery=True,
+                faults=FaultPlan().inject_nan("cgan", 2, repeat=True),
+            )
+        # The checkpoint journal survives the failure: epoch 1's snapshot
+        # is present under the phase scope, manifest-valid, and loadable
+        # for a later resume.
+        manager = CheckpointManager(ckpt_dir / "cgan")
+        assert manager.latest_step() == 1
+        payload, meta = manager.load()
+        assert meta["step"] == 1
+        assert payload
+
+    def test_train_without_recovery_is_immediately_fatal(self, tmp_path):
+        from repro import api
+
+        config = tiny(num_clips=8, epochs=2)
+        minted = api.mint(config)
+        with pytest.raises(TrainingError, match="diverged"):
+            api.train(
+                config, minted.dataset, recovery=None,
+                faults=FaultPlan().inject_nan("cgan", 1),
+            )

@@ -1,0 +1,61 @@
+"""The shared deterministic retry/backoff arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.retry import RetrySchedule, decay
+
+
+class TestDecay:
+    def test_absolute_not_compounding(self):
+        assert decay(1e-2, 0.5, 0) == pytest.approx(1e-2)
+        assert decay(1e-2, 0.5, 1) == pytest.approx(5e-3)
+        assert decay(1e-2, 0.5, 3) == pytest.approx(1.25e-3)
+
+    def test_floor_clamps(self):
+        assert decay(1e-2, 0.1, 5, floor=1e-3) == pytest.approx(1e-3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError, match="count"):
+            decay(1.0, 0.5, -1)
+
+
+class TestRetrySchedule:
+    def test_exhausted_boundary(self):
+        schedule = RetrySchedule(max_retries=2)
+        assert not schedule.exhausted(0)
+        assert not schedule.exhausted(2)
+        assert schedule.exhausted(3)
+
+    def test_zero_retries_exhausts_on_first_failure(self):
+        schedule = RetrySchedule(max_retries=0)
+        assert schedule.exhausted(1)
+
+    def test_delay_sequence_is_exponential_and_capped(self):
+        schedule = RetrySchedule(
+            max_retries=5, base_delay_s=1.0, factor=2.0, max_delay_s=6.0
+        )
+        assert schedule.delays() == (1.0, 2.0, 4.0, 6.0, 6.0)
+
+    def test_zero_base_delay_means_immediate_retries(self):
+        schedule = RetrySchedule(max_retries=3, base_delay_s=0.0)
+        assert schedule.delays() == (0.0, 0.0, 0.0)
+
+    def test_delay_attempt_must_be_positive(self):
+        with pytest.raises(ConfigError, match="attempt"):
+            RetrySchedule(max_retries=1).delay_s(0)
+
+    def test_deterministic_across_instances(self):
+        a = RetrySchedule(max_retries=4, base_delay_s=0.3, factor=1.7)
+        b = RetrySchedule(max_retries=4, base_delay_s=0.3, factor=1.7)
+        assert a.delays() == b.delays()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"max_retries": 1, "base_delay_s": -0.1},
+        {"max_retries": 1, "factor": 0.5},
+        {"max_retries": 1, "base_delay_s": 2.0, "max_delay_s": 1.0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetrySchedule(**kwargs)

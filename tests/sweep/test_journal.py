@@ -1,0 +1,132 @@
+"""Journal durability and replay: torn lines, last-record-wins, conflicts."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import (
+    SweepJournal,
+    read_journal,
+    replay_journal,
+)
+
+
+def _journal(tmp_path):
+    return SweepJournal(tmp_path / "journal.jsonl")
+
+
+class TestAppend:
+    def test_records_round_trip(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.sweep_start(digest="s" * 64, trials=2, spec={"grid": {}})
+        journal.trial_start(digest="d1", trial="trial-000", index=0,
+                            attempt=1)
+        journal.trial_end(digest="d1", trial="trial-000", status="completed",
+                          attempts=1, metrics={"ede_mean_nm": 1.5},
+                          weights="/w")
+        records = read_journal(journal.path)
+        assert [r["kind"] for r in records] == [
+            "sweep_start", "trial_start", "trial_end"]
+        assert records[0]["spec"] == {"grid": {}}
+        assert records[2]["metrics"] == {"ede_mean_nm": 1.5}
+        assert all("schema" in r for r in records)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SweepError, match="unknown journal record kind"):
+            _journal(tmp_path).append("trial_midpoint")
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "sw" / "journal.jsonl")
+        journal.trial_start(digest="d", trial="t", index=0, attempt=1)
+        assert journal.path.exists()
+
+
+class TestRead:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.trial_start(digest="d1", trial="t", index=0, attempt=1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "trial_end", "digest": "d1", "sta')
+        records = read_journal(journal.path)
+        assert [r["kind"] for r in records] == ["trial_start"]
+
+    def test_mid_file_corruption_fails_closed(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.trial_start(digest="d1", trial="t", index=0, attempt=1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("garbage not json\n")
+        journal.trial_end(digest="d1", trial="t", status="completed",
+                          attempts=1)
+        with pytest.raises(SweepError, match="undecodable line 2"):
+            read_journal(journal.path)
+
+    def test_non_record_json_fails_closed(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps([1, 2, 3]) + "\n")
+        with pytest.raises(SweepError, match="not a journal record"):
+            read_journal(path)
+
+    def test_missing_file_is_a_sweep_error(self, tmp_path):
+        with pytest.raises(SweepError, match="cannot read"):
+            read_journal(tmp_path / "absent.jsonl")
+
+
+class TestReplay:
+    def test_last_record_wins_per_digest(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.sweep_start(digest="s", trials=1, spec={})
+        journal.trial_start(digest="d1", trial="t", index=0, attempt=1)
+        journal.trial_end(digest="d1", trial="t", status="interrupted",
+                          attempts=1, reason="interrupted")
+        # a later run completes the same trial
+        journal.trial_start(digest="d1", trial="t", index=0, attempt=1)
+        journal.trial_end(digest="d1", trial="t", status="completed",
+                          attempts=1, metrics={"m": 1.0})
+        state = replay_journal(read_journal(journal.path))
+        assert set(state.completed()) == {"d1"}
+        assert state.status_of("d1") == "completed"
+        assert state.attempts["d1"] == 2  # attempts accumulate across runs
+
+    def test_transitional_statuses(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.trial_start(digest="d1", trial="t", index=0, attempt=1)
+        state = replay_journal(read_journal(journal.path))
+        assert state.status_of("d1") == "running"
+        journal.trial_retry(digest="d1", trial="t", attempt=1,
+                            reason="diverged", delay_s=0.1)
+        state = replay_journal(read_journal(journal.path))
+        assert state.status_of("d1") == "retrying"
+        assert state.retries["d1"] == 1
+        assert state.status_of("unseen") == "pending"
+
+    def test_failed_and_interrupted_are_not_completed(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.trial_end(digest="d1", trial="a", status="failed",
+                          attempts=2, reason="diverged")
+        journal.trial_end(digest="d2", trial="b", status="interrupted",
+                          attempts=1, reason="interrupted")
+        state = replay_journal(read_journal(journal.path))
+        assert state.completed() == {}
+        assert state.status_of("d1") == "failed"
+        assert state.status_of("d2") == "interrupted"
+
+    def test_conflicting_sweep_starts_rejected(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.sweep_start(digest="aaa", trials=1, spec={})
+        journal.sweep_start(digest="bbb", trials=1, spec={})
+        with pytest.raises(SweepError, match="conflicting sweep_start"):
+            replay_journal(read_journal(journal.path))
+
+    def test_repeated_identical_sweep_start_tolerated(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.sweep_start(digest="aaa", trials=1, spec={})
+        journal.sweep_start(digest="aaa", trials=1, spec={})
+        state = replay_journal(read_journal(journal.path))
+        assert state.sweep["digest"] == "aaa"
+
+    def test_record_without_digest_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "trial_start"}\n')
+        with pytest.raises(SweepError, match="carries no digest"):
+            replay_journal(read_journal(path))

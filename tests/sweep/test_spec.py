@@ -1,0 +1,113 @@
+"""Sweep spec expansion: dotted paths, grid product, digest identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentConfig, SweepConfig, tiny
+from repro.errors import ConfigError
+from repro.sweep import (
+    SweepSpec,
+    expand_grid,
+    set_config_value,
+    sweep_digest,
+    trial_digest,
+)
+
+
+class TestSetConfigValue:
+    def test_replaces_nested_leaf_functionally(self):
+        base = tiny()
+        updated = set_config_value(base, "training.seed", 99)
+        assert updated.training.seed == 99
+        assert base.training.seed != 99 or base is not updated
+        assert updated.model == base.model
+
+    def test_top_level_path(self):
+        base = tiny()
+        updated = set_config_value(
+            base, "sweep", SweepConfig(max_retries=3))
+        assert updated.sweep.max_retries == 3
+
+    def test_unknown_segment_names_the_path(self):
+        with pytest.raises(ConfigError, match="unknown parameter 'nope'"):
+            set_config_value(tiny(), "training.nope", 1)
+
+    def test_walking_into_a_leaf_rejected(self):
+        with pytest.raises(ConfigError, match="walks into non-config"):
+            set_config_value(tiny(), "training.seed.deeper", 1)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            set_config_value(tiny(), "", 1)
+
+    def test_validators_rerun_on_the_rebuilt_spine(self):
+        with pytest.raises(ConfigError):
+            set_config_value(tiny(), "training.batch_size", 0)
+
+
+class TestExpandGrid:
+    def test_cartesian_product_insertion_order(self):
+        grid = {"a": [1, 2], "b": ["x", "y"]}
+        assert expand_grid(grid) == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_grid_is_single_base_trial(self):
+        assert expand_grid({}) == [{}]
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ConfigError, match="no values"):
+            expand_grid({"a": []})
+
+    def test_scalar_values_rejected(self):
+        with pytest.raises(ConfigError, match="must be a list"):
+            expand_grid({"a": 3})
+        with pytest.raises(ConfigError, match="must be a list"):
+            expand_grid({"a": "abc"})
+
+
+class TestDigests:
+    def test_trial_digest_stable_and_config_sensitive(self):
+        base = tiny()
+        assert trial_digest(base) == trial_digest(tiny())
+        changed = set_config_value(base, "training.seed", 99)
+        assert trial_digest(changed) != trial_digest(base)
+
+    def test_supervision_knobs_never_change_identity(self):
+        base = tiny()
+        tightened = dataclasses.replace(
+            base, sweep=SweepConfig(max_retries=5, max_failed_trials=3))
+        assert trial_digest(tightened) == trial_digest(base)
+
+    def test_sweep_digest_orders_matter(self):
+        assert sweep_digest(["a", "b"]) != sweep_digest(["b", "a"])
+        assert sweep_digest(["a", "b"]) == sweep_digest(["a", "b"])
+
+
+class TestSweepSpec:
+    def test_from_grid_materializes_named_trials(self):
+        spec = SweepSpec.from_grid(tiny(), {"training.seed": [0, 1, 2]})
+        assert len(spec) == 3
+        for index, trial in enumerate(spec.trials):
+            assert trial.index == index
+            assert trial.name == f"trial-{index:03d}-{trial.digest[:8]}"
+            assert trial.config.training.seed == index
+            assert trial.params == {"training.seed": index}
+            assert isinstance(trial.config, ExperimentConfig)
+
+    def test_duplicate_trial_configs_rejected(self):
+        with pytest.raises(ConfigError, match="identical trial configs"):
+            SweepSpec.from_grid(tiny(), {"training.seed": [7, 7]})
+
+    def test_spec_digest_matches_chained_trial_digests(self):
+        spec = SweepSpec.from_grid(tiny(), {"training.seed": [0, 1]})
+        assert spec.digest == sweep_digest(
+            [trial.digest for trial in spec.trials])
+
+    def test_empty_grid_single_trial_of_base(self):
+        base = tiny()
+        spec = SweepSpec.from_grid(base, {})
+        assert len(spec) == 1
+        assert spec.trials[0].digest == trial_digest(base)

@@ -289,3 +289,78 @@ class TestSplitRuns:
 
     def test_empty_stream_has_no_runs(self):
         assert split_runs([]) == []
+
+
+class TestTrialEvents:
+    def test_trial_lifecycle_round_trips_and_validates(self, tmp_path):
+        from repro.telemetry.events import (
+            RunLogger,
+            read_run_log,
+            validate_run_log,
+        )
+
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path) as logger:
+            logger.run_start(command="sweep")
+            logger.trial_start("d1", 1, trial="trial-000")
+            logger.trial_retry("d1", 1, "diverged", trial="trial-000",
+                               delay_s=0.5)
+            logger.trial_start("d1", 2, trial="trial-000")
+            logger.trial_end("d1", "completed", trial="trial-000",
+                             attempts=2, seconds=4.2)
+            logger.run_end(status="ok")
+        events = read_run_log(path)
+        validate_run_log(events)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["run_start", "trial_start", "trial_retry",
+                         "trial_start", "trial_end", "run_end"]
+        assert events[2]["reason"] == "diverged"
+        assert events[4]["status"] == "completed"
+
+    def test_trial_events_without_digest_rejected(self, tmp_path):
+        from repro.errors import TelemetryError
+        from repro.telemetry.events import (
+            RunLogger,
+            read_run_log,
+            validate_run_log,
+        )
+
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path) as logger:
+            logger.run_start(command="sweep")
+            logger.trial_start("", 1)
+            logger.run_end(status="ok")
+        with pytest.raises(TelemetryError, match="missing a trial digest"):
+            validate_run_log(read_run_log(path))
+
+    def test_trial_retry_requires_a_reason(self, tmp_path):
+        from repro.errors import TelemetryError
+        from repro.telemetry.events import (
+            RunLogger,
+            read_run_log,
+            validate_run_log,
+        )
+
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path) as logger:
+            logger.run_start(command="sweep")
+            logger.trial_retry("d1", 1, "")
+            logger.run_end(status="ok")
+        with pytest.raises(TelemetryError, match="missing a reason"):
+            validate_run_log(read_run_log(path))
+
+    def test_trial_end_status_must_be_terminal(self, tmp_path):
+        from repro.errors import TelemetryError
+        from repro.telemetry.events import (
+            RunLogger,
+            read_run_log,
+            validate_run_log,
+        )
+
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path) as logger:
+            logger.run_start(command="sweep")
+            logger.trial_end("d1", "retrying", attempts=1)
+            logger.run_end(status="ok")
+        with pytest.raises(TelemetryError, match="bad status"):
+            validate_run_log(read_run_log(path))

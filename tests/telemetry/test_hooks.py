@@ -102,3 +102,45 @@ class TestRunLoggerHook:
             hook.on_run_start(command="train")
             hook.on_run_end()
         assert len(read_run_log(path)) == 2
+
+
+class TestTrialHookBridge:
+    def test_trial_callbacks_log_events_and_count(self, tmp_path):
+        from repro.telemetry.events import (
+            RunLogger,
+            read_run_log,
+            validate_run_log,
+        )
+        from repro.telemetry.hooks import RunLoggerHook
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path) as logger:
+            hook = RunLoggerHook(logger=logger, registry=registry)
+            logger.run_start(command="sweep")
+            hook.on_trial_start("d1", "trial-000", 1)
+            hook.on_trial_retry("d1", "trial-000", 1, "worker_death", 0.25)
+            hook.on_trial_start("d1", "trial-000", 2)
+            hook.on_trial_end("d1", "trial-000", "completed", 2, seconds=3.0)
+            hook.on_trial_end("d2", "trial-001", "failed", 1,
+                              reason="timeout")
+            logger.run_end(status="ok")
+        events = read_run_log(path)
+        validate_run_log(events)
+        assert [e["event"] for e in events[1:-1]] == [
+            "trial_start", "trial_retry", "trial_start", "trial_end",
+            "trial_end"]
+        assert registry.counter("sweep_trials_completed_total").value == 1
+        assert registry.counter("sweep_trials_failed_total").value == 1
+        assert registry.counter(
+            "sweep_trials_retried_total",
+            labels={"reason": "worker_death"}).value == 1
+
+    def test_trial_callbacks_are_no_ops_on_the_base_hook(self):
+        from repro.telemetry.hooks import TelemetryHook
+
+        hook = TelemetryHook()
+        hook.on_trial_start("d", "t", 1)
+        hook.on_trial_retry("d", "t", 1, "diverged", 0.1)
+        hook.on_trial_end("d", "t", "completed", 1)

@@ -163,3 +163,35 @@ class TestBuildReport:
         report = build_report(log)
         saved = report.save(tmp_path / "report.json")
         assert json.loads(saved.read_text()) == report.to_dict()
+
+
+class TestSweepSection:
+    def test_trial_events_summarized(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        with RunLogger(log) as logger:
+            logger.run_start(command="sweep")
+            logger.trial_start("d1", 1, trial="trial-000")
+            logger.trial_retry("d1", 1, "diverged", trial="trial-000",
+                               delay_s=0.5)
+            logger.trial_start("d1", 2, trial="trial-000")
+            logger.trial_end("d1", "completed", trial="trial-000",
+                             attempts=2)
+            logger.trial_start("d2", 1, trial="trial-001")
+            logger.trial_end("d2", "failed", trial="trial-001",
+                             attempts=1, reason="timeout")
+            logger.run_end(status="ok")
+        report = build_report(log)
+        assert report.sweep["trials"] == 2
+        assert report.sweep["completed"] == 1
+        assert report.sweep["failed"] == 1
+        assert report.sweep["retries_by_reason"] == {"diverged": 1}
+        text = report.format_text()
+        assert "sweep: trials=2" in text
+        payload = report.to_dict()
+        assert payload["sweep"]["completed"] == 1
+
+    def test_report_without_trials_omits_sweep_line(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        _write_good_log(log)
+        report = build_report(log)
+        assert "sweep:" not in report.format_text()
