@@ -25,8 +25,11 @@ Subpackages
                      promote/rollback pointers for safe rollout
 ``repro.sweep``      journaled, resumable multi-trial sweeps with per-trial
                      supervision (timeouts, typed retries, failure budget)
+``repro.ilt``        inverse lithography: gradient-based mask optimization
+                     through the generator with simulator verification
 ``repro.api``        the stable high-level façade: ``mint`` / ``train`` /
-                     ``evaluate`` / ``serve`` / ``process_window``
+                     ``evaluate`` / ``serve`` / ``process_window`` /
+                     ``optimize_mask``
 
 The façade and the parallel-engine types are re-exported here:
 ``repro.api`` (lazily), :class:`ParallelConfig`, :class:`ParallelError`,
@@ -36,6 +39,7 @@ and ``WorkerPool``.
 from . import config
 from .config import (
     ExperimentConfig,
+    IltConfig,
     ImageConfig,
     ModelConfig,
     OpticalConfig,
@@ -60,6 +64,7 @@ from .errors import (
     DataError,
     EvaluationError,
     GeometryError,
+    IltError,
     LayoutError,
     OpticsError,
     ParallelError,
@@ -95,6 +100,7 @@ __all__ = [
     "api",
     "config",
     "ExperimentConfig",
+    "IltConfig",
     "ImageConfig",
     "ModelConfig",
     "OpticalConfig",
@@ -116,6 +122,7 @@ __all__ = [
     "CheckpointError",
     "ConfigError",
     "GeometryError",
+    "IltError",
     "LayoutError",
     "OpticsError",
     "ParallelError",

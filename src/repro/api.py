@@ -26,6 +26,11 @@ runs, so nobody has to know which subpackage owns which moving part:
     drain-on-shutdown.  Returned started; use as a context manager.
 ``process_window``
     Dose/defocus sweep of one synthesized clip.
+``optimize_mask``
+    Inverse lithography (:mod:`repro.ilt`): gradient-descend the target
+    mask through the trained generator's inference gradient path, verify
+    every reported candidate with the rigorous simulator, and compare EPE
+    against the unoptimized and rule-OPC baselines.
 ``load_model`` / ``save_model``
     Fail-closed weight restore (:class:`~repro.errors.CheckpointError` on any
     damage) and the matching writer.
@@ -51,9 +56,12 @@ reads ``profiler.report()`` afterwards.  No profiler, no overhead.
 
 Design rules: configuration objects are the first positional argument,
 everything optional is keyword-only, and every function either returns a
-small frozen result dataclass or the domain object itself.  The CLI's five
-subcommands are thin shells over exactly these functions — anything the CLI
-can do, a script can do with one call.
+small frozen result dataclass or the domain object itself.  The result
+dataclasses share one contract (:class:`ApiResult`): ``summary()`` is the
+JSON-ready dict and ``to_json()`` its canonical serialization, which is
+what every CLI ``--report`` path writes.  The CLI's subcommands are thin
+shells over exactly these functions — anything the CLI can do, a script
+can do with one call.
 """
 
 from __future__ import annotations
@@ -102,8 +110,10 @@ from .telemetry.profile import profiled
 from .telemetry.report import RunReport, build_report
 
 __all__ = [
+    "ApiResult",
     "EvalResult",
     "MintResult",
+    "OptimizeResult",
     "RunReport",
     "SweepResult",
     "TrainResult",
@@ -112,6 +122,7 @@ __all__ = [
     "load_data",
     "load_model",
     "mint",
+    "optimize_mask",
     "process_window",
     "promote",
     "publish_model",
@@ -143,8 +154,29 @@ def _model_profiled(profiler, model: "LithoGan"):
 # ---------------------------------------------------------------------------
 
 
+class ApiResult:
+    """Common contract of every façade result type.
+
+    Subclasses implement :meth:`summary`, a flat JSON-ready dict that leads
+    with a ``"type"`` tag naming the producing workflow; :meth:`to_json`
+    renders it canonically (sorted keys, trailing newline) and is the one
+    serialization every CLI ``--report`` path writes, so per-command report
+    formats cannot drift apart.
+    """
+
+    def summary(self) -> dict:
+        """JSON-ready summary of this result; implemented per subclass."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement summary()"
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON rendering of :meth:`summary`."""
+        return json.dumps(self.summary(), indent=indent, sort_keys=True) + "\n"
+
+
 @dataclasses.dataclass(frozen=True)
-class MintResult:
+class MintResult(ApiResult):
     """What :func:`mint` produced: the dataset, and where it was saved."""
 
     dataset: PairedDataset
@@ -153,9 +185,18 @@ class MintResult:
     def __len__(self) -> int:
         return len(self.dataset)
 
+    def summary(self) -> dict:
+        """Sample count, resolution, and destination of the minted set."""
+        return {
+            "type": "mint",
+            "samples": len(self.dataset),
+            "image_size": self.dataset.image_size,
+            "path": None if self.path is None else str(self.path),
+        }
+
 
 @dataclasses.dataclass(frozen=True)
-class TrainResult:
+class TrainResult(ApiResult):
     """What :func:`train` produced: the fitted model, history, and split."""
 
     model: LithoGan
@@ -164,14 +205,102 @@ class TrainResult:
     test_set: PairedDataset
     out_dir: Optional[Path] = None
 
+    def summary(self) -> dict:
+        """Epochs, final losses, split sizes, and the weight directory."""
+        cgan = self.history.cgan
+        return {
+            "type": "train",
+            "epochs": cgan.epochs_trained,
+            "final_l1_loss": cgan.l1_loss[-1] if cgan.l1_loss else None,
+            "final_generator_loss": (
+                cgan.generator_loss[-1] if cgan.generator_loss else None
+            ),
+            "train_samples": len(self.train_set),
+            "test_samples": len(self.test_set),
+            "out_dir": None if self.out_dir is None else str(self.out_dir),
+        }
+
 
 @dataclasses.dataclass(frozen=True)
-class EvalResult:
-    """What :func:`evaluate` produced: the Table 3 row and its inputs."""
+class EvalResult(ApiResult):
+    """What :func:`evaluate` produced: the Table 3 row and its inputs.
+
+    The full :class:`~repro.eval.EvaluationSummary` lives on
+    ``summary_stats`` (the :meth:`ApiResult.summary` method owns the
+    ``summary`` name under the unified result contract).
+    """
 
     row: dict
-    summary: EvaluationSummary
-    samples: int
+    summary_stats: EvaluationSummary = dataclasses.field(repr=False)
+    samples: int = 0
+
+    def summary(self) -> dict:
+        """The Table 3 row plus the scored sample count."""
+        return {"type": "eval", "samples": self.samples, **self.row}
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizeResult(ApiResult):
+    """What :func:`optimize_mask` produced: per-clip ILT outcomes.
+
+    Every ``best`` mask inside ``outcomes`` is simulator-verified — the
+    generator proxy never gets the final word.  The headline numbers are
+    means over clips, with an unprintable mask charged half the resist
+    window (see :meth:`repro.ilt.Verification.epe_capped`).
+    """
+
+    outcomes: tuple
+    steps: int
+    verifications: int
+    process_windows: Optional[dict] = None
+
+    @property
+    def clips(self) -> int:
+        """Number of clips optimized."""
+        return len(self.outcomes)
+
+    @property
+    def epe_ilt_nm(self) -> float:
+        """Mean EPE of the best verified masks, nm."""
+        return float(np.mean([o.epe_ilt_nm for o in self.outcomes]))
+
+    @property
+    def epe_unoptimized_nm(self) -> float:
+        """Mean EPE of the drawn (no-RET) masks, nm."""
+        return float(np.mean([o.epe_unoptimized_nm for o in self.outcomes]))
+
+    @property
+    def epe_rule_opc_nm(self) -> float:
+        """Mean EPE of the rule-based SRAF+OPC masks, nm."""
+        return float(np.mean([o.epe_rule_opc_nm for o in self.outcomes]))
+
+    @property
+    def improved_vs_unoptimized(self) -> bool:
+        """Mean EPE strictly below the unoptimized baseline."""
+        return self.epe_ilt_nm < self.epe_unoptimized_nm
+
+    @property
+    def improved_vs_rule_opc(self) -> bool:
+        """Mean EPE no worse than rule OPC (the descent's starting point)."""
+        return self.epe_ilt_nm <= self.epe_rule_opc_nm
+
+    def summary(self) -> dict:
+        """Headline EPE comparison plus per-clip records."""
+        payload = {
+            "type": "optimize",
+            "clips": self.clips,
+            "steps": self.steps,
+            "verifications": self.verifications,
+            "epe_ilt_nm": round(self.epe_ilt_nm, 4),
+            "epe_unoptimized_nm": round(self.epe_unoptimized_nm, 4),
+            "epe_rule_opc_nm": round(self.epe_rule_opc_nm, 4),
+            "improved_vs_unoptimized": self.improved_vs_unoptimized,
+            "improved_vs_rule_opc": self.improved_vs_rule_opc,
+            "per_clip": [o.summary() for o in self.outcomes],
+        }
+        if self.process_windows is not None:
+            payload["process_windows"] = self.process_windows
+        return payload
 
 
 # ---------------------------------------------------------------------------
@@ -564,7 +693,7 @@ def evaluate(config: ExperimentConfig, dataset: PairedDataset,
                 predicted_centers=model.predict_centers(test.masks),
             )
     row = table3_row_dict(dataset.tech_name or config.tech.name, summary)
-    return EvalResult(row=row, summary=summary, samples=len(test))
+    return EvalResult(row=row, summary_stats=summary, samples=len(test))
 
 
 def serve(model: Union[LithoGan, str, Path],
@@ -669,6 +798,120 @@ def process_window(config: ExperimentConfig, *,
             if tracer is not None else nullcontext())
     with span:
         return sweep_process_window(layout, config)
+
+
+# ---------------------------------------------------------------------------
+# Inverse lithography
+# ---------------------------------------------------------------------------
+
+
+def optimize_mask(config: ExperimentConfig,
+                  model: Union[LithoGan, str, Path], *,
+                  clips: Optional[Sequence] = None,
+                  num_clips: int = 1,
+                  rng: Optional[np.random.Generator] = None,
+                  compare_process_window: bool = False,
+                  tracer=None, logger=None, metrics=None,
+                  profiler=None,
+                  progress: Optional[Callable] = None) -> OptimizeResult:
+    """Gradient-based inverse lithography over ``config.ilt``.
+
+    ``model`` may be a fitted :class:`~repro.core.LithoGan` or a weight
+    directory (restored fail-closed).  ``clips`` supplies the
+    :class:`~repro.layout.ContactClip` targets directly; otherwise
+    ``num_clips`` are synthesized with ``rng`` (default: seeded by
+    ``config.training.seed``, cycling the three array families).  The loop
+    itself draws no randomness, so results are bit-reproducible for a
+    given model and clip set.
+
+    Telemetry: ``tracer`` records per-step ``ilt_step`` spans, ``logger``
+    (a :class:`~repro.telemetry.RunLogger`) receives ``ilt_start`` /
+    ``ilt_step`` / ``ilt_end`` events, and ``metrics`` (a
+    :class:`~repro.telemetry.MetricsRegistry`) accumulates the
+    ``ilt_steps_total`` / ``ilt_verifications_total`` counters and the
+    ``ilt_epe_nm`` gauge.  ``compare_process_window`` additionally sweeps
+    dose/defocus for the optimized vs. rule-OPC layouts (expensive).
+
+    Raises :class:`~repro.errors.IltError` when any clip finishes without
+    one simulator-verified candidate.
+    """
+    from .ilt import MaskVerifier, optimize_clip, process_window_comparison
+    from .layout import generate_clips
+
+    configure_kernel_cache(config.parallel)
+    if isinstance(model, (str, Path)):
+        model = load_model(model, config)
+    if clips is None:
+        if rng is None:
+            rng = np.random.default_rng(config.training.seed)
+        clips = generate_clips(config.tech, rng, count=num_clips)
+    clips = list(clips)
+    if not clips:
+        raise ConfigError("optimize_mask needs at least one clip")
+
+    def _say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    if logger is not None:
+        logger.ilt_start(clips=len(clips), steps=config.ilt.steps)
+
+    def on_step(step: int, loss: float) -> None:
+        if metrics is not None:
+            metrics.counter("ilt_steps_total").inc()
+        if logger is not None:
+            logger.ilt_step(step=step, loss=loss)
+
+    def on_verify(verification) -> None:
+        if metrics is not None:
+            metrics.counter("ilt_verifications_total").inc()
+
+    verifier = MaskVerifier(
+        config, rigorous=config.ilt.rigorous, tracer=tracer
+    )
+    outcomes = []
+    with _model_profiled(profiler, model):
+        for index, clip in enumerate(clips):
+            span = (tracer.span("ilt_clip", clip=index)
+                    if tracer is not None else nullcontext())
+            with span:
+                outcome = optimize_clip(
+                    config, model, clip, verifier=verifier, tracer=tracer,
+                    on_step=on_step, on_verify=on_verify,
+                )
+            outcomes.append(outcome)
+            # the baselines also go through on_verify accounting
+            if metrics is not None:
+                metrics.counter("ilt_verifications_total").inc(2)
+            _say(
+                f"clip {index} ({clip.array_type.value}): "
+                f"EPE {outcome.epe_ilt_nm:.2f} nm (unoptimized "
+                f"{outcome.epe_unoptimized_nm:.2f}, rule OPC "
+                f"{outcome.epe_rule_opc_nm:.2f})"
+            )
+    process_windows = None
+    if compare_process_window:
+        process_windows = {
+            str(index): process_window_comparison(config, outcome)
+            for index, outcome in enumerate(outcomes)
+        }
+    result = OptimizeResult(
+        outcomes=tuple(outcomes),
+        steps=config.ilt.steps,
+        verifications=verifier.verifications,
+        process_windows=process_windows,
+    )
+    if metrics is not None:
+        metrics.gauge("ilt_epe_nm").set(result.epe_ilt_nm)
+    if logger is not None:
+        logger.ilt_end(
+            verified=verifier.verifications,
+            epe_ilt_nm=round(result.epe_ilt_nm, 4),
+            epe_unoptimized_nm=round(result.epe_unoptimized_nm, 4),
+            epe_rule_opc_nm=round(result.epe_rule_opc_nm, 4),
+            improved=result.improved_vs_unoptimized,
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------

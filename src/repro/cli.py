@@ -34,6 +34,11 @@ actual work (synthesis, training, scoring, serving, sweeping) happens in
     replays the journal and re-runs only what never completed.
 ``process-window``
     Dose/defocus sweep of a synthesized clip (Bossung/DOF/latitude report).
+``optimize``
+    Inverse lithography (:mod:`repro.ilt`): gradient-descend the target
+    mask through trained generator weights, verify candidates with the
+    rigorous simulator, and report EPE vs. the unoptimized and rule-OPC
+    baselines (exit 8 when nothing verifies).
 ``report``
     Correlate a run's event log (+ optional trace/metrics/profile artifacts)
     into one health report: per-stage time, worker utilization/skew,
@@ -64,7 +69,9 @@ invariant violation (an unanswered request or an unfair shed spread), 6
 model-registry failure (unresolvable ref, corrupt manifest, checksum
 mismatch — the version is never served), 7 sweep failure (the sweep-level
 failure budget was exhausted, or a journal/spec mismatch made a resume
-unsafe — the journal names every failed trial), 130 interrupted.
+unsafe — the journal names every failed trial), 8 inverse-lithography
+failure (no candidate mask ever passed simulator verification — a
+proxy-only result is never reported), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -92,6 +99,7 @@ from .data import load_dataset
 from .errors import (
     CheckpointError,
     DataIntegrityError,
+    IltError,
     RegistryError,
     ReproError,
     SweepError,
@@ -366,14 +374,15 @@ def cmd_evaluate(args) -> int:
         print(json.dumps(result.row, indent=2))
     else:
         print(render_table(
-            format_table3(dataset.tech_name or args.node, [result.summary])
+            format_table3(dataset.tech_name or args.node,
+                          [result.summary_stats])
         ))
-        if result.summary.center_error_nm is not None:
+        if result.summary_stats.center_error_nm is not None:
             print(f"center-prediction error: "
-                  f"{result.summary.center_error_nm:.2f} nm")
+                  f"{result.summary_stats.center_error_nm:.2f} nm")
     telemetry.finish(
         samples=result.samples,
-        ede_mean_nm=round(result.summary.ede_mean_nm, 4),
+        ede_mean_nm=round(result.summary_stats.ede_mean_nm, 4),
     )
     return 0
 
@@ -1017,6 +1026,63 @@ def cmd_process_window(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    """Inverse lithography: optimize masks through trained weights."""
+    telemetry = args.telemetry
+    config = _config_for(args, max(args.clips, 1))
+    overrides = {}
+    if args.steps is not None:
+        overrides["steps"] = args.steps
+    if args.verify_every is not None:
+        overrides["verify_every"] = args.verify_every
+    if args.learning_rate is not None:
+        overrides["learning_rate"] = args.learning_rate
+    if args.rigorous:
+        overrides["rigorous"] = True
+    if overrides:
+        config = dataclasses.replace(
+            config, ilt=dataclasses.replace(config.ilt, **overrides)
+        )
+    if args.registry:
+        model, entry = api.resolve_model(
+            args.model, config, registry=args.registry
+        )
+        label = f"{entry.name}@{entry.version}"
+    else:
+        model = api.load_model(args.model, config)
+        label = str(args.model)
+    print(f"optimizing {args.clips} clip(s) against {label} "
+          f"({config.ilt.steps} steps, verify every "
+          f"{config.ilt.verify_every})")
+    result = api.optimize_mask(
+        config, model, num_clips=args.clips,
+        compare_process_window=args.process_window,
+        tracer=telemetry.tracer, logger=telemetry.logger,
+        metrics=telemetry.registry, profiler=telemetry.profiler,
+        progress=lambda message: print(f"  {message}"),
+    )
+    print(f"mean EPE: ILT {result.epe_ilt_nm:.2f} nm | unoptimized "
+          f"{result.epe_unoptimized_nm:.2f} nm | rule OPC "
+          f"{result.epe_rule_opc_nm:.2f} nm")
+    if result.process_windows:
+        for index in sorted(result.process_windows, key=int):
+            rows = result.process_windows[index]
+            print(f"  clip {index} depth of focus: ILT "
+                  f"{rows['ilt']['depth_of_focus_nm']:.0f} nm | rule OPC "
+                  f"{rows['rule_opc']['depth_of_focus_nm']:.0f} nm")
+    if args.report:
+        Path(args.report).write_text(result.to_json())
+        print(f"wrote optimize report to {args.report}")
+    telemetry.finish(
+        clips=result.clips,
+        epe_ilt_nm=round(result.epe_ilt_nm, 4),
+        epe_unoptimized_nm=round(result.epe_unoptimized_nm, 4),
+        epe_rule_opc_nm=round(result.epe_rule_opc_nm, 4),
+        improved=result.improved_vs_unoptimized,
+    )
+    return 0
+
+
 def cmd_report(args) -> int:
     """Correlate a run's artifacts into one health report.
 
@@ -1526,6 +1592,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     window.set_defaults(func=cmd_process_window)
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="gradient-based inverse lithography through trained weights",
+        parents=[common, profile],
+    )
+    optimize.add_argument(
+        "--model", required=True, metavar="DIR|REF",
+        help="trained weight directory — or, with --registry, the registry "
+             "ref NAME[@VERSION|latest] (fail-closed, exit 6 on damage)",
+    )
+    optimize.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="resolve --model as a fail-closed registry ref against the "
+             "model registry at DIR",
+    )
+    optimize.add_argument(
+        "--clips", type=int, default=3, metavar="N",
+        help="number of synthesized clips to optimize (default: 3; "
+             "deterministic in --seed)",
+    )
+    optimize.add_argument(
+        "--steps", type=int, default=None, metavar="N",
+        help="gradient steps per clip (default: config.ilt.steps)",
+    )
+    optimize.add_argument(
+        "--verify-every", dest="verify_every", type=int, default=None,
+        metavar="N",
+        help="simulator-verify the annealed candidate every N steps "
+             "(default: config.ilt.verify_every)",
+    )
+    optimize.add_argument(
+        "--learning-rate", dest="learning_rate", type=float, default=None,
+        metavar="LR",
+        help="descent step size in theta units (gradients are "
+             "max-normalized; default: config.ilt.learning_rate)",
+    )
+    optimize.add_argument(
+        "--rigorous", action="store_true",
+        help="verify candidates with the rigorous Abbe simulator instead "
+             "of the compact SOCS one (much slower)",
+    )
+    optimize.add_argument(
+        "--process-window", dest="process_window", action="store_true",
+        help="also sweep dose/defocus for the optimized vs. rule-OPC "
+             "layouts and report depth of focus / exposure latitude",
+    )
+    optimize.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full optimize report as JSON to PATH",
+    )
+    optimize.set_defaults(func=cmd_optimize)
+
     report = sub.add_parser(
         "report",
         help="correlate a run's log/trace/metrics/profile into one health "
@@ -1603,6 +1721,13 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))
         return 7
+    except IltError as exc:
+        # Fail closed: a mask the rigorous simulator never validated is not
+        # a solution, however good the proxy thought it was.  Must precede
+        # the ReproError clause.
+        print(f"error: {exc}", file=sys.stderr)
+        args.telemetry.finish(status="error", error=str(exc))
+        return 8
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         args.telemetry.finish(status="error", error=str(exc))

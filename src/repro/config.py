@@ -732,6 +732,67 @@ class SweepConfig:
 
 
 # ---------------------------------------------------------------------------
+# Inverse lithography (ILT)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IltConfig:
+    """Gradient-based mask optimization knobs (see :mod:`repro.ilt`).
+
+    The optimizer treats the trained generator as a differentiable forward
+    proxy: the GREEN (target) mask channel is parameterized as
+    ``sigmoid(steepness * theta)`` and descended with momentum through
+    :meth:`repro.nn.Sequential.input_gradient`.  ``steepness`` anneals from
+    ``steepness_start`` to ``steepness_end`` over the run, pushing the
+    continuous mask toward a manufacturable near-binary one whose residual
+    gray pixels encode sub-pixel edge placement.  Every ``verify_every``
+    steps (and at the end) the annealed candidate is re-simulated through
+    the rigorous pipeline — the proxy never gets the final word — and the
+    best *verified* candidate is reported.
+
+    ``learning_rate`` is in theta units per step: the descent max-normalizes
+    each gradient before the momentum update, so the step size is
+    independent of the proxy loss scale.
+    """
+
+    steps: int = 40
+    learning_rate: float = 0.25
+    momentum: float = 0.9
+    steepness_start: float = 4.0
+    steepness_end: float = 16.0
+    verify_every: int = 8
+    #: verify with the rigorous (per-focus-plane) simulator instead of the
+    #: compact one; far slower, same fail-closed contract
+    rigorous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ConfigError(f"steps must be >= 1, got {self.steps}")
+        if self.learning_rate <= 0:
+            raise ConfigError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if not 0 <= self.momentum < 1:
+            raise ConfigError(
+                f"momentum must lie in [0, 1), got {self.momentum}"
+            )
+        if self.steepness_start <= 0:
+            raise ConfigError(
+                f"steepness_start must be positive, got {self.steepness_start}"
+            )
+        if self.steepness_end < self.steepness_start:
+            raise ConfigError(
+                f"steepness_end ({self.steepness_end}) must be >= "
+                f"steepness_start ({self.steepness_start})"
+            )
+        if self.verify_every < 1:
+            raise ConfigError(
+                f"verify_every must be >= 1, got {self.verify_every}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
 
@@ -797,6 +858,7 @@ class ExperimentConfig:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     registry: RegistryConfig = field(default_factory=RegistryConfig)
     sweep: SweepConfig = field(default_factory=SweepConfig)
+    ilt: IltConfig = field(default_factory=IltConfig)
 
     def __post_init__(self) -> None:
         if self.model.image_size != self.image.mask_image_px:

@@ -123,6 +123,22 @@ class SweepError(ReproError):
         self.failed = tuple(failed)
 
 
+class IltError(ReproError):
+    """Inverse-lithography mask optimization failed closed.
+
+    Raised when the gradient loop finishes without a single candidate mask
+    passing rigorous-simulator verification (a proxy-only "solution" is
+    never reported), or when the optimization inputs are unusable.  Carries
+    the number of ``attempts`` (simulator verifications performed) so
+    callers — the CLI maps this to its own exit code 8 — can tell an
+    unverifiable trajectory from a loop that never ran.
+    """
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = int(attempts)
+
+
 class EvaluationError(ReproError):
     """Metric computation or report generation failed."""
 

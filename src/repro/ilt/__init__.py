@@ -1,0 +1,49 @@
+"""Inverse lithography: gradient-based mask optimization over the proxy.
+
+This package closes the loop the paper opens: a generator trained to
+*predict* resist patterns is differentiable end-to-end, so it can also be
+asked the inverse question — which mask prints closest to the drawn target?
+The optimizer descends the target-channel mask through the model's
+inference gradient path (:meth:`repro.nn.Sequential.input_gradient`) while
+a rigorous-simulator verifier keeps the proxy honest: only candidates that
+survive physical re-simulation are ever reported.
+
+Modules:
+
+:mod:`~repro.ilt.schedule`
+    Binarization annealing — the sigmoid-steepness ramp.
+:mod:`~repro.ilt.objective`
+    The differentiable proxy loss (MSE to the re-centered drawn target).
+:mod:`~repro.ilt.verify`
+    Simulator verification and EPE scoring of candidate masks.
+:mod:`~repro.ilt.optimizer`
+    The momentum descent loop, baselines, and outcome record.
+
+Most callers should use the :func:`repro.api.optimize_mask` facade (or the
+``repro optimize`` CLI) rather than these pieces directly.
+"""
+
+from .objective import ProxyObjective, ideal_resist_window
+from .optimizer import (
+    IltOutcome,
+    drawn_mask_layout,
+    optimize_clip,
+    optimized_layout,
+    process_window_comparison,
+)
+from .schedule import steepness_at, steepness_profile
+from .verify import MaskVerifier, Verification
+
+__all__ = [
+    "IltOutcome",
+    "MaskVerifier",
+    "ProxyObjective",
+    "Verification",
+    "drawn_mask_layout",
+    "ideal_resist_window",
+    "optimize_clip",
+    "optimized_layout",
+    "process_window_comparison",
+    "steepness_at",
+    "steepness_profile",
+]

@@ -1,0 +1,68 @@
+"""The differentiable proxy objective driving the ILT descent.
+
+The trained generator predicts the *re-centered* resist shape (the LithoGAN
+dual path removes placement before the CGAN ever sees a pattern), so the
+ideal proxy target is the drawn contact rendered at the center of the
+resist window: if the generator's prediction matches it exactly, the
+printed contact has the drawn CD and zero edge placement error, up to proxy
+fidelity.  Placement itself is judged later by the rigorous verifier, which
+measures EPE against the *as-drawn* target location.
+
+The objective is a plain MSE between the channel-mean generator output and
+that ideal window.  The channel mean is deliberately **not** clipped to
+[0, 1] the way :meth:`~repro.core.cgan.CganModel.predict_mono` clips for
+inference — clipping has zero gradient wherever it saturates, which is
+precisely where the optimizer needs pressure to push the prediction back
+into range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ExperimentConfig
+from ..geometry import Grid, Rect
+from ..layout import ContactClip
+
+
+def ideal_resist_window(config: ExperimentConfig,
+                        clip: ContactClip) -> np.ndarray:
+    """The drawn target, re-centered in the resist window — the proxy goal.
+
+    Returns an ``(resist_image_px, resist_image_px)`` float32 coverage map
+    in [0, 1] with anti-aliased (area-weighted) edges, matching how golden
+    windows are rasterized.
+    """
+    window_nm = config.tech.resist_window_nm
+    px = config.image.resist_image_px
+    grid = Grid(size=px, extent_nm=window_nm)
+    centered = Rect.from_center(
+        window_nm / 2.0, window_nm / 2.0,
+        clip.target.width, clip.target.height,
+    )
+    return grid.rasterize_rects([centered]).astype(np.float32)
+
+
+class ProxyObjective:
+    """MSE-to-ideal loss, shaped as an ``input_gradient`` callback.
+
+    Instances are passed directly as the ``grad_out`` callable of
+    :meth:`repro.nn.Sequential.input_gradient`: called with the generator
+    output, they return the loss gradient at that output and record the
+    scalar loss on ``self.loss`` — one forward pass serves both.
+    """
+
+    def __init__(self, ideal: np.ndarray):
+        self.ideal = np.asarray(ideal, dtype=np.float64)
+        #: scalar proxy loss of the most recent evaluation
+        self.loss: float = float("nan")
+
+    def __call__(self, out: np.ndarray) -> np.ndarray:
+        """Gradient of ``0.5 * mean((mean_c(out) - ideal)^2)`` w.r.t. out."""
+        mono = out.mean(axis=1, dtype=np.float64)
+        diff = mono - self.ideal[None]
+        self.loss = float(0.5 * np.mean(diff * diff))
+        channels = out.shape[1]
+        grad_mono = diff / diff.size
+        grad = np.broadcast_to(grad_mono[:, None] / channels, out.shape)
+        return grad.astype(np.float32)

@@ -1,0 +1,44 @@
+"""Binarization-annealing schedule for the ILT mask parameterization.
+
+The continuous mask is ``sigmoid(steepness * theta)``.  Early in the run a
+*low* steepness keeps the sigmoid soft, so gradients flow across wide bands
+around feature edges and the optimizer can move edges freely; late in the
+run a *high* steepness sharpens the projection toward a near-binary
+(manufacturable) mask whose residual gray pixels encode sub-pixel edge
+placement, exactly like area-weighted rasterization of a rectangle.
+
+The anneal is geometric — equal *ratio* increments per step — because the
+sigmoid's transition-band width scales as ``1/steepness``: a geometric ramp
+shrinks the band by the same factor each step instead of front-loading all
+the sharpening into the first few steps the way a linear ramp would.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def steepness_at(step: int, steps: int, start: float, end: float) -> float:
+    """Annealed sigmoid steepness at ``step`` of a ``steps``-step run.
+
+    Geometric interpolation from ``start`` (at step 0) to ``end`` (at step
+    ``steps - 1``).  A single-step run jumps straight to ``end`` — the one
+    projection that will actually be manufactured.
+    """
+    if steps < 1:
+        raise ConfigError(f"steps must be >= 1, got {steps}")
+    if not 0 <= step < steps:
+        raise ConfigError(f"step {step} outside [0, {steps})")
+    if start <= 0 or end < start:
+        raise ConfigError(
+            f"need 0 < start <= end, got start={start}, end={end}"
+        )
+    if steps == 1:
+        return float(end)
+    fraction = step / (steps - 1)
+    return float(start * (end / start) ** fraction)
+
+
+def steepness_profile(steps: int, start: float, end: float) -> tuple:
+    """The full anneal as a tuple, for plotting and tests."""
+    return tuple(steepness_at(t, steps, start, end) for t in range(steps))

@@ -89,3 +89,13 @@ def sigmoid(z: np.ndarray) -> np.ndarray:
     exp_z = np.exp(z[~positive])
     out[~positive] = exp_z / (1.0 + exp_z)
     return out.astype(z.dtype, copy=False)
+
+
+def sigmoid_grad(out: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`sigmoid` expressed in terms of its *output*.
+
+    Shared by the :class:`~repro.nn.layers.activations.Sigmoid` layer and
+    the ILT mask parameterization (``repro.ilt``), whose continuous mask is
+    ``sigmoid(steepness * theta)`` and needs the same chain-rule factor.
+    """
+    return out * (1.0 - out)

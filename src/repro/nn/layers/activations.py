@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ShapeError
-from ..functional import sigmoid
+from ..functional import sigmoid, sigmoid_grad
 from .base import Layer
 
 
@@ -79,7 +79,7 @@ class Sigmoid(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         out = self._require_cache(self._out, "output")
-        return grad * out * (1.0 - out)
+        return grad * sigmoid_grad(out)
 
 
 class Tanh(Layer):

@@ -22,6 +22,12 @@ class Layer:
     #: human-readable op name used in architecture summaries ("Conv", ...)
     op_name = "Layer"
 
+    #: when True, ``backward`` must not accumulate parameter gradients;
+    #: :meth:`input_gradient` sets it around the walk so inference-path
+    #: gradient queries (e.g. ILT mask optimization) leave training state
+    #: untouched
+    _param_grads_frozen = False
+
     def parameters(self) -> List[Parameter]:
         """Trainable parameters of this layer (empty by default)."""
         return []
@@ -31,6 +37,21 @@ class Layer:
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def input_gradient(self, grad: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. this layer's input, parameter gradients untouched.
+
+        The default freezes parameter-gradient accumulation around
+        :meth:`backward`; parametric layers additionally skip the weight
+        gradient computation entirely when frozen, and layers whose
+        eval-mode gradient differs from the cached training-mode one
+        (:class:`~repro.nn.layers.norm.BatchNorm`) override this.
+        """
+        self._param_grads_frozen = True
+        try:
+            return self.backward(grad)
+        finally:
+            self._param_grads_frozen = False
 
     def output_shape(self, input_shape: tuple) -> tuple:
         """Shape (without batch dim) this layer produces for an input shape."""

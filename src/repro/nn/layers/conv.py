@@ -102,11 +102,12 @@ class Conv2D(Layer):
         )
         n = grad.shape[0]
         grad_flat = grad.reshape(n, self.out_channels, out_h * out_w)
-        if self.bias is not None:
-            self.bias.add_grad(grad_flat.sum(axis=(0, 2)))
+        if not self._param_grads_frozen:
+            if self.bias is not None:
+                self.bias.add_grad(grad_flat.sum(axis=(0, 2)))
+            grad_w = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+            self.weight.add_grad(grad_w.reshape(self.weight.value.shape))
         w_mat = self.weight.value.reshape(self.out_channels, -1)
-        grad_w = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
-        self.weight.add_grad(grad_w.reshape(self.weight.value.shape))
         grad_cols = np.matmul(w_mat.T, grad_flat)
         grad_padded = col2im(
             grad_cols, padded_shape, self.kernel, self.stride, out_h, out_w
@@ -208,12 +209,13 @@ class ConvTranspose2D(Layer):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x_flat, (in_h, in_w), padding = self._require_cache(self._cache)
         n = grad.shape[0]
-        if self.bias is not None:
+        if not self._param_grads_frozen and self.bias is not None:
             self.bias.add_grad(grad.sum(axis=(0, 2, 3)))
         grad_padded = pad_image(grad, padding)
         grad_cols = im2col(grad_padded, self.kernel, self.stride, in_h, in_w)
         w_mat = self.weight.value.reshape(self.in_channels, -1)
         grad_x = np.matmul(w_mat, grad_cols)
-        grad_w = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
-        self.weight.add_grad(grad_w.reshape(self.weight.value.shape))
+        if not self._param_grads_frozen:
+            grad_w = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+            self.weight.add_grad(grad_w.reshape(self.weight.value.shape))
         return grad_x.reshape(n, self.in_channels, in_h, in_w)

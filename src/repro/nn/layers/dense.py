@@ -64,7 +64,8 @@ class Dense(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x = self._require_cache(self._cache)
-        self.weight.add_grad(x.T @ grad)
-        if self.bias is not None:
-            self.bias.add_grad(grad.sum(axis=0))
+        if not self._param_grads_frozen:
+            self.weight.add_grad(x.T @ grad)
+            if self.bias is not None:
+                self.bias.add_grad(grad.sum(axis=0))
         return grad @ self.weight.value.T

@@ -29,7 +29,9 @@ class Dropout(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if not training or self.rate == 0:
-            self._mask = np.ones_like(x)
+            # Eval mode is the identity; a scalar mask keeps backward the
+            # identity too without allocating a full ones tensor.
+            self._mask = np.float32(1.0)
             return x
         keep = 1.0 - self.rate
         self._mask = (

@@ -103,8 +103,9 @@ class BatchNorm(Layer):
         x_hat, inv_std, axes, bshape, count, training = self._require_cache(
             self._cache
         )
-        self.gamma.add_grad((grad * x_hat).sum(axis=axes))
-        self.beta.add_grad(grad.sum(axis=axes))
+        if not self._param_grads_frozen:
+            self.gamma.add_grad((grad * x_hat).sum(axis=axes))
+            self.beta.add_grad(grad.sum(axis=axes))
 
         gamma = self.gamma.value.reshape(bshape)
         if not training:
@@ -118,3 +119,20 @@ class BatchNorm(Layer):
             (grad_xhat - mean_grad - x_hat * mean_grad_xhat)
             * inv_std.reshape(bshape)
         ).astype(np.float32, copy=False)
+
+    def input_gradient(self, grad: np.ndarray) -> np.ndarray:
+        """Inference-path input gradient from the *running* statistics.
+
+        The inference forward normalizes with the running averages, so its
+        input gradient is ``grad * gamma / sqrt(running_var + eps)``.  The
+        ``inv_std`` is recomputed here from ``running_var`` rather than
+        taken from the forward cache, so a cache left behind by a
+        training-mode forward (batch statistics) can never contaminate an
+        eval-mode gradient query.  Gamma/beta gradients are never touched.
+        """
+        _, _, axes, bshape, _, _ = self._require_cache(self._cache)
+        gamma = self.gamma.value.reshape(bshape)
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        return (grad * gamma * inv_std.reshape(bshape)).astype(
+            np.float32, copy=False
+        )

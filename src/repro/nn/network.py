@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import zipfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +20,14 @@ class Sequential:
     the layers themselves); ``backward`` walks the stack in reverse and
     returns the gradient with respect to the network input — which is how the
     GAN loop pushes the discriminator's verdict back into the generator.
+
+    Gradient API: :meth:`backward` is the *training-internal* path — it
+    accumulates parameter gradients as a side effect and assumes the cached
+    forward matches the mode the optimizer expects.  Code that only wants
+    the gradient of some objective with respect to the network *input*
+    (inverse lithography, sensitivity analysis, saliency) must go through
+    :meth:`input_gradient`, which runs the inference path and is guaranteed
+    to leave parameter gradients — and therefore optimizer state — untouched.
     """
 
     def __init__(self, layers: Sequence[Layer], name: str = "network"):
@@ -43,12 +51,67 @@ class Sequential:
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Training-internal backward: accumulates parameter gradients.
+
+        External gradient consumers should call :meth:`input_gradient`.
+        """
         if self.profiler is not None:
             return self.profiler.backward(self, grad)
         out = grad
         for layer in reversed(self.layers):
             out = layer.backward(out)
         return out
+
+    def input_gradient(
+        self,
+        x: np.ndarray,
+        grad_out: Union[np.ndarray, Callable[[np.ndarray], np.ndarray]],
+        *,
+        train: bool = False,
+    ) -> np.ndarray:
+        """Gradient of an objective with respect to the network input.
+
+        Runs a fresh forward pass in inference mode (normalization layers
+        use their running statistics and update nothing; with
+        ``train=True`` dropout layers sample noise — the paper's implicit
+        ``z`` — while normalization still stays on the inference path),
+        then walks the stack in reverse through each layer's
+        ``input_gradient``, which never accumulates parameter gradients.
+
+        ``grad_out`` is either the gradient of the objective at the network
+        output, or a callable mapping the forward output to that gradient —
+        the callable form lets a caller compute its loss from the same
+        forward pass instead of paying for a second one.
+
+        The method verifies the no-training-side-effects contract: if any
+        parameter gradient changed during the walk, it raises
+        :class:`~repro.errors.TrainingError` naming the parameter, so a
+        layer that forgets to honor the frozen flag fails loudly instead of
+        silently corrupting the next optimizer step.
+        """
+        out = x
+        for layer in self.layers:
+            noisy = train and layer.op_name == "Dropout"
+            out = layer.forward(out, training=noisy)
+        grad = grad_out(out) if callable(grad_out) else grad_out
+        grad = np.asarray(grad)
+        if grad.shape != out.shape:
+            raise ShapeError(
+                f"grad_out shape {grad.shape} does not match network "
+                f"output shape {out.shape}"
+            )
+        params = self.parameters()
+        before = [param.grad.copy() for param in params]
+        for layer in reversed(self.layers):
+            grad = layer.input_gradient(grad)
+        for param, prev in zip(params, before):
+            if not np.array_equal(param.grad, prev):
+                raise TrainingError(
+                    f"input_gradient touched parameter gradient "
+                    f"{param.name!r}; the inference gradient path must "
+                    "leave optimizer state untouched"
+                )
+        return grad
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         return self.forward(x, training=training)

@@ -60,6 +60,16 @@ The canonical event vocabulary (see DESIGN.md "Observability"):
 ``trial_end``
     A sweep trial reached a terminal state (carries the digest, the final
     ``completed``/``failed``/``interrupted`` status, and the attempt count).
+``ilt_start``
+    An inverse-lithography run began (carries the clip count and the
+    configured gradient steps per clip).
+``ilt_step``
+    One ILT gradient step (carries the 0-based step index and the proxy
+    loss at that step).
+``ilt_end``
+    An inverse-lithography run finished (carries the simulator
+    verification count and the mean EPE of the verified best masks vs.
+    the unoptimized and rule-OPC baselines).
 ``run_end``
     Last event; carries status and total seconds.
 """
@@ -84,7 +94,8 @@ EVENT_TYPES = (
     "eval_end", "admission", "fallback", "breaker", "queue_full", "shed",
     "model_swap", "canary_verdict",
     "data_quarantine", "data_repair", "worker_crash",
-    "trial_start", "trial_retry", "trial_end", "run_end",
+    "trial_start", "trial_retry", "trial_end",
+    "ilt_start", "ilt_step", "ilt_end", "run_end",
 )
 
 #: decisions a canary_verdict event may record
@@ -256,6 +267,16 @@ class RunLogger:
             "trial_end", digest=digest, status=status, **fields
         )
 
+    def ilt_start(self, clips: int, steps: int,
+                  **fields: Any) -> Dict[str, Any]:
+        return self.emit("ilt_start", clips=clips, steps=steps, **fields)
+
+    def ilt_step(self, step: int, **fields: Any) -> Dict[str, Any]:
+        return self.emit("ilt_step", step=step, **fields)
+
+    def ilt_end(self, verified: int, **fields: Any) -> Dict[str, Any]:
+        return self.emit("ilt_end", verified=verified, **fields)
+
     def run_end(self, status: str = "ok", **fields: Any) -> Dict[str, Any]:
         return self.emit("run_end", status=status, **fields)
 
@@ -338,7 +359,10 @@ def validate_run_log(events: List[Dict[str, Any]],
     data-integrity events
     (``data_quarantine`` counts are non-negative integers with
     ``quarantined <= total``, ``data_repair`` carries a non-negative
-    ``repaired`` count), and (unless ``require_run_end=False``,
+    ``repaired`` count), well-formed inverse-lithography events
+    (``ilt_start`` carries positive clip and step counts, ``ilt_step`` a
+    non-negative step index, ``ilt_end`` a non-negative verification
+    count), and (unless ``require_run_end=False``,
     for crash-truncated logs) a terminal ``run_end``.  Raises
     :class:`TelemetryError` on the first violation.
     """
@@ -445,6 +469,25 @@ def validate_run_log(events: List[Dict[str, Any]],
                 raise TelemetryError(
                     f"trial_end {index} has bad status {status!r}; "
                     f"expected one of {TRIAL_STATUSES}"
+                )
+        if record["event"] == "ilt_start":
+            for key in ("clips", "steps"):
+                value = record.get(key)
+                if not isinstance(value, int) or value < 1:
+                    raise TelemetryError(
+                        f"ilt_start {index} has bad {key} {value!r}"
+                    )
+        if record["event"] == "ilt_step":
+            step = record.get("step")
+            if not isinstance(step, int) or step < 0:
+                raise TelemetryError(
+                    f"ilt_step {index} has bad step {step!r}"
+                )
+        if record["event"] == "ilt_end":
+            verified = record.get("verified")
+            if not isinstance(verified, int) or verified < 0:
+                raise TelemetryError(
+                    f"ilt_end {index} has bad verified count {verified!r}"
                 )
         if record["event"] == "fallback":
             if not isinstance(record.get("clip"), int):

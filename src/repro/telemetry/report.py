@@ -46,6 +46,8 @@ _HEADLINE_COUNTERS = (
     "sweep_trials_completed_total",
     "sweep_trials_retried_total",
     "sweep_trials_failed_total",
+    "ilt_steps_total",
+    "ilt_verifications_total",
 )
 
 
@@ -108,6 +110,9 @@ class RunReport:
     #: sweep-health summary: distinct trials seen, terminal statuses, and
     #: retry counts per failure reason
     sweep: Dict[str, Any] = field(default_factory=dict)
+    #: inverse-lithography summary: runs, gradient steps, simulator
+    #: verifications, mean EPE, and how many runs improved on rule OPC
+    ilt: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -143,6 +148,11 @@ class RunReport:
                 key: (dict(sorted(value.items()))
                       if isinstance(value, dict) else value)
                 for key, value in sorted(self.sweep.items())
+            },
+            "ilt": {
+                key: (dict(sorted(value.items()))
+                      if isinstance(value, dict) else value)
+                for key, value in sorted(self.ilt.items())
             },
         }
 
@@ -209,6 +219,18 @@ class RunReport:
                     f"{reason}={count}"
                     for reason, count in sorted(retries.items())))
             lines.append("sweep: " + ", ".join(parts))
+        ilt = self.ilt or {}
+        if ilt.get("runs"):
+            parts = [
+                f"runs={ilt.get('runs', 0)}",
+                f"steps={ilt.get('steps', 0)}",
+                f"verifications={ilt.get('verifications', 0)}",
+            ]
+            epe = ilt.get("epe_ilt_nm")
+            if epe is not None:
+                parts.append(f"epe={epe:.2f}nm")
+            parts.append(f"improved={ilt.get('improved', 0)}")
+            lines.append("ilt: " + ", ".join(parts))
         active = {name: count for name, count in self.incidents.items()
                   if count}
         lines.append("incidents: " + (
@@ -262,7 +284,8 @@ def _load_json(path: Union[str, Path], what: str) -> Any:
 
 
 def _summarize_runs(runs: List[List[dict]],
-                    ) -> Tuple[List[RunSummary], Dict, Dict, Dict, Dict, int]:
+                    ) -> Tuple[List[RunSummary], Dict, Dict, Dict, Dict,
+                               Dict, int]:
     summaries: List[RunSummary] = []
     stages: Dict[str, Dict[str, float]] = {}
     incidents = {
@@ -284,6 +307,13 @@ def _summarize_runs(runs: List[List[dict]],
         "retries_by_reason": {},
     }
     sweep_digests: set = set()
+    ilt: Dict[str, Any] = {
+        "runs": 0,
+        "steps": 0,
+        "verifications": 0,
+        "improved": 0,
+    }
+    ilt_epes: List[float] = []
     unknown = 0
     for events in runs:
         first = events[0]
@@ -337,6 +367,17 @@ def _summarize_runs(runs: List[List[dict]],
                 trial_status = str(record.get("status", "?"))
                 if trial_status in sweep:
                     sweep[trial_status] += 1
+            elif event == "ilt_start":
+                ilt["runs"] += 1
+            elif event == "ilt_step":
+                ilt["steps"] += 1
+            elif event == "ilt_end":
+                ilt["verifications"] += int(record.get("verified") or 0)
+                if record.get("improved"):
+                    ilt["improved"] += 1
+                epe = record.get("epe_ilt_nm")
+                if isinstance(epe, (int, float)):
+                    ilt_epes.append(float(epe))
             elif event == "data_quarantine":
                 incidents["records_quarantined"] += int(
                     record.get("quarantined") or 0)
@@ -358,7 +399,9 @@ def _summarize_runs(runs: List[List[dict]],
             build=dict(first.get("build") or {}),
         ))
     sweep["trials"] = len(sweep_digests)
-    return summaries, stages, incidents, serving, sweep, unknown
+    if ilt_epes:
+        ilt["epe_ilt_nm"] = sum(ilt_epes) / len(ilt_epes)
+    return summaries, stages, incidents, serving, sweep, ilt, unknown
 
 
 def _worker_usage(trace: dict) -> Tuple[List[WorkerUsage], float]:
@@ -413,8 +456,8 @@ def build_report(log_path: Union[str, Path], *,
     events = read_run_log(log_path)
     if not events:
         raise TelemetryError(f"run log {log_path} contains no events")
-    summaries, stages, incidents, serving, sweep, unknown = _summarize_runs(
-        split_runs(events))
+    (summaries, stages, incidents, serving, sweep, ilt,
+     unknown) = _summarize_runs(split_runs(events))
     sources = {"log": str(log_path)}
 
     workers: List[WorkerUsage] = []
@@ -461,4 +504,5 @@ def build_report(log_path: Union[str, Path], *,
         sources=sources,
         serving=serving,
         sweep=sweep,
+        ilt=ilt,
     )

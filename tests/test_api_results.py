@@ -1,0 +1,48 @@
+"""The unified façade result contract: ApiResult and its subclasses."""
+
+import json
+
+import pytest
+
+from repro import api
+
+
+RESULT_TYPES = [
+    api.MintResult,
+    api.TrainResult,
+    api.EvalResult,
+    api.OptimizeResult,
+]
+
+
+class TestApiResultContract:
+    def test_base_summary_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            api.ApiResult().summary()
+
+    @pytest.mark.parametrize("result_type", RESULT_TYPES)
+    def test_every_result_subclasses_the_base(self, result_type):
+        assert issubclass(result_type, api.ApiResult)
+
+    @pytest.mark.parametrize("result_type", RESULT_TYPES)
+    def test_every_result_overrides_summary(self, result_type):
+        assert result_type.summary is not api.ApiResult.summary
+
+    def test_to_json_is_canonical(self):
+        class Dummy(api.ApiResult):
+            def summary(self):
+                return {"type": "dummy", "b": 2, "a": 1}
+
+        text = Dummy().to_json()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"type": "dummy", "a": 1, "b": 2}
+        # sorted keys: canonical byte-identical rendering
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_mint_result_summary(self, tiny_config, tiny_dataset):
+        result = api.MintResult(dataset=tiny_dataset)
+        summary = result.summary()
+        assert summary["type"] == "mint"
+        assert summary["samples"] == len(tiny_dataset)
+        assert summary["path"] is None
+        json.dumps(summary)  # must not raise

@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.telemetry",
     "repro.runtime",
     "repro.serving",
+    "repro.ilt",
 ]
 
 
